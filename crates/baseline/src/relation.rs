@@ -1,0 +1,261 @@
+//! Materialized intermediate relations for the baseline engines.
+
+use parj_dict::Id;
+use parj_join::{Atom, VarId};
+use parj_optimizer::Pattern;
+use parj_store::{SortOrder, TripleStore};
+
+/// A materialized relation: a flat row-major buffer with a variable per
+/// column. This is exactly what the pipelined PARJ executor *avoids*
+/// building; baselines build one per join step.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Relation {
+    /// Variable ids, one per column.
+    pub vars: Vec<VarId>,
+    /// Row-major data, `vars.len()` ids per row.
+    pub data: Vec<Id>,
+}
+
+impl Relation {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        if self.vars.is_empty() {
+            // A zero-column relation encodes its cardinality separately;
+            // engines avoid this by keeping at least one column, so an
+            // empty schema means empty.
+            0
+        } else {
+            self.data.len() / self.vars.len()
+        }
+    }
+
+    /// True if no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row accessor.
+    pub fn row(&self, i: usize) -> &[Id] {
+        let w = self.vars.len();
+        &self.data[i * w..(i + 1) * w]
+    }
+
+    /// Column index of `var`, if present.
+    pub fn col_of(&self, var: VarId) -> Option<usize> {
+        self.vars.iter().position(|&v| v == var)
+    }
+
+    /// Materializes the full extension of one triple pattern: one row
+    /// per matching triple, with columns for the pattern's variables
+    /// (deduplicated if the same variable occurs twice).
+    ///
+    /// Constants are applied as filters during the scan; a repeated
+    /// variable (`?x p ?x`) keeps a single column and filters `s == o`.
+    pub fn scan_pattern(store: &TripleStore, pat: &Pattern) -> Relation {
+        let mut vars: Vec<VarId> = Vec::new();
+        if let Atom::Var(v) = pat.s {
+            vars.push(v);
+        }
+        if let Atom::Var(v) = pat.o {
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        let mut rel = Relation {
+            vars,
+            data: Vec::new(),
+        };
+        let Some(replica) = store.replica(pat.p, SortOrder::SO) else {
+            return rel;
+        };
+        // Constant-key fast paths keep baselines honest (no artificial
+        // handicap): a constant subject/object restricts the scan.
+        match (pat.s, pat.o) {
+            (Atom::Const(cs), Atom::Const(co)) => {
+                if replica.values_for_key(cs).binary_search(&co).is_ok() {
+                    // Zero variables: encode existence as one empty row
+                    // via a sentinel column-less relation; callers use
+                    // `exists` on patterns like this instead.
+                    rel.vars = Vec::new();
+                    rel.data = Vec::new();
+                }
+                rel
+            }
+            (Atom::Const(cs), Atom::Var(_)) => {
+                rel.data.extend_from_slice(replica.values_for_key(cs));
+                rel
+            }
+            (Atom::Var(_), Atom::Const(co)) => {
+                let os = store
+                    .replica(pat.p, SortOrder::OS)
+                    .expect("partition has both replicas");
+                rel.data.extend_from_slice(os.values_for_key(co));
+                rel
+            }
+            (Atom::Var(a), Atom::Var(b)) if a == b => {
+                for (s, os) in replica.iter_groups() {
+                    if os.binary_search(&s).is_ok() {
+                        rel.data.push(s);
+                    }
+                }
+                rel
+            }
+            (Atom::Var(_), Atom::Var(_)) => {
+                for (s, o) in replica.iter_pairs() {
+                    rel.data.push(s);
+                    rel.data.push(o);
+                }
+                rel
+            }
+        }
+    }
+
+    /// Existence of a fully-constant pattern.
+    pub fn exists(store: &TripleStore, pat: &Pattern) -> bool {
+        match (pat.s, pat.o) {
+            (Atom::Const(cs), Atom::Const(co)) => store
+                .replica(pat.p, SortOrder::SO)
+                .is_some_and(|r| r.values_for_key(cs).binary_search(&co).is_ok()),
+            _ => panic!("exists() requires a fully-constant pattern"),
+        }
+    }
+
+    /// Sorts rows by the given columns (for merge joins).
+    pub fn sort_by_cols(&mut self, cols: &[usize]) {
+        let w = self.vars.len();
+        if w == 0 || self.data.is_empty() {
+            return;
+        }
+        let mut rows: Vec<&[Id]> = self.data.chunks_exact(w).collect();
+        rows.sort_by(|a, b| {
+            for &c in cols {
+                match a[c].cmp(&b[c]) {
+                    std::cmp::Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        let mut data = Vec::with_capacity(self.data.len());
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        self.data = data;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parj_dict::Term;
+    use parj_store::StoreBuilder;
+
+    fn store() -> TripleStore {
+        let mut b = StoreBuilder::new();
+        for (s, p, o) in [
+            ("a", "p", "x"),
+            ("a", "p", "y"),
+            ("b", "p", "x"),
+            ("c", "q", "c"),
+            ("c", "q", "d"),
+        ] {
+            b.add_term_triple(&Term::iri(s), &Term::iri(p), &Term::iri(o));
+        }
+        b.build()
+    }
+
+    fn rid(s: &TripleStore, n: &str) -> Id {
+        s.dict().resource_id(&Term::iri(n)).unwrap()
+    }
+
+    fn pid(s: &TripleStore, n: &str) -> Id {
+        s.dict().predicate_id(&Term::iri(n)).unwrap()
+    }
+
+    #[test]
+    fn scan_full_pattern() {
+        let s = store();
+        let rel = Relation::scan_pattern(
+            &s,
+            &Pattern {
+                s: Atom::Var(0),
+                p: pid(&s, "p"),
+                o: Atom::Var(1),
+            },
+        );
+        assert_eq!(rel.vars, vec![0, 1]);
+        assert_eq!(rel.len(), 3);
+    }
+
+    #[test]
+    fn scan_with_const_subject_and_object() {
+        let s = store();
+        let rel = Relation::scan_pattern(
+            &s,
+            &Pattern {
+                s: Atom::Const(rid(&s, "a")),
+                p: pid(&s, "p"),
+                o: Atom::Var(0),
+            },
+        );
+        assert_eq!(rel.vars, vec![0]);
+        assert_eq!(rel.len(), 2);
+        let rel = Relation::scan_pattern(
+            &s,
+            &Pattern {
+                s: Atom::Var(0),
+                p: pid(&s, "p"),
+                o: Atom::Const(rid(&s, "x")),
+            },
+        );
+        assert_eq!(rel.len(), 2); // a and b point at x
+    }
+
+    #[test]
+    fn scan_self_loop() {
+        let s = store();
+        let rel = Relation::scan_pattern(
+            &s,
+            &Pattern {
+                s: Atom::Var(0),
+                p: pid(&s, "q"),
+                o: Atom::Var(0),
+            },
+        );
+        assert_eq!(rel.vars, vec![0]);
+        assert_eq!(rel.len(), 1); // only c q c
+    }
+
+    #[test]
+    fn exists_check() {
+        let s = store();
+        assert!(Relation::exists(
+            &s,
+            &Pattern {
+                s: Atom::Const(rid(&s, "a")),
+                p: pid(&s, "p"),
+                o: Atom::Const(rid(&s, "x")),
+            }
+        ));
+        assert!(!Relation::exists(
+            &s,
+            &Pattern {
+                s: Atom::Const(rid(&s, "b")),
+                p: pid(&s, "p"),
+                o: Atom::Const(rid(&s, "y")),
+            }
+        ));
+    }
+
+    #[test]
+    fn sort_by_cols() {
+        let mut rel = Relation {
+            vars: vec![0, 1],
+            data: vec![3, 1, 1, 2, 3, 0, 1, 1],
+        };
+        rel.sort_by_cols(&[0, 1]);
+        assert_eq!(rel.data, vec![1, 1, 1, 2, 3, 0, 3, 1]);
+        rel.sort_by_cols(&[1]);
+        assert_eq!(rel.data, vec![3, 0, 1, 1, 3, 1, 1, 2]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Criterion end-to-end query benchmarks: representative queries from
+//! both workloads under every probe strategy (silent mode), plus a
+//! parse+optimize-only benchmark isolating the preparation cost the
+//! paper discusses in §5.2.3 (query S1: "more than 40 milliseconds of
+//! the reported time of 49 milliseconds is spent on producing the join
+//! order in the optimizer").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use parj_core::{EngineConfig, Parj, ProbeStrategy, RunOverrides};
+use parj_datagen::{lubm, watdiv};
+
+fn lubm_engine() -> Parj {
+    Parj::from_store(
+        lubm::generate_store(&lubm::LubmConfig {
+            universities: 4,
+            seed: 42,
+        }),
+        EngineConfig::default(),
+    )
+}
+
+fn watdiv_engine() -> Parj {
+    Parj::from_store(
+        watdiv::generate_store(&watdiv::WatDivConfig { scale: 8, seed: 42 }),
+        EngineConfig::default(),
+    )
+}
+
+fn bench_lubm_queries(c: &mut Criterion) {
+    let mut engine = lubm_engine();
+    let queries = lubm::queries();
+    let mut group = c.benchmark_group("lubm_silent");
+    for name in ["LUBM2", "LUBM4", "LUBM9"] {
+        let q = queries.iter().find(|q| q.name == name).expect("exists");
+        for strategy in ProbeStrategy::TABLE5 {
+            let over = RunOverrides {
+                threads: Some(1),
+                strategy: Some(strategy),
+            };
+            group.bench_with_input(
+                BenchmarkId::new(name, strategy.label()),
+                &q.sparql,
+                |b, sparql| {
+                    b.iter(|| black_box(engine.query_count_with(sparql, &over).expect("runs")));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_watdiv_queries(c: &mut Criterion) {
+    let mut engine = watdiv_engine();
+    let mut group = c.benchmark_group("watdiv_silent");
+    let picks: Vec<_> = watdiv::all_queries()
+        .into_iter()
+        .filter(|q| matches!(q.name.as_str(), "S1" | "C3" | "IL-3-7" | "ML-2-7"))
+        .collect();
+    for q in &picks {
+        let over = RunOverrides::threads(1);
+        group.bench_function(&q.name, |b| {
+            b.iter(|| black_box(engine.query_count_with(&q.sparql, &over).expect("runs")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_prepare_only(c: &mut Criterion) {
+    let mut engine = watdiv_engine();
+    let s1 = watdiv::basic_workload()
+        .into_iter()
+        .find(|q| q.name == "S1")
+        .expect("S1 exists");
+    c.bench_function("prepare_only_S1", |b| {
+        b.iter(|| black_box(engine.explain(&s1.sparql).expect("plans")));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lubm_queries,
+    bench_watdiv_queries,
+    bench_prepare_only
+);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Ablation studies of PARJ's design choices (adaptive window,
+//! ID-to-Position interval, shard over-subscription, histogram
+//! resolution). See EXPERIMENTS.md.
+fn main() {
+    let args = parj_bench::Args::parse(parj_bench::default_scale("ablation"));
+    let (tables, json) = parj_bench::ablation::ablation(&args);
+    parj_bench::write_outputs(&args.out, "ablation", &tables, json);
+}

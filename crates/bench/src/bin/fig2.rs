@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig2Figure 2 artifact. See EXPERIMENTS.md.
+fn main() {
+    let args = parj_bench::Args::parse(parj_bench::default_scale("fig2"));
+    let (tables, json) = parj_bench::experiments::fig2(&args);
+    parj_bench::write_outputs(&args.out, "fig2", &tables, json);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig3Figure 3 artifact. See EXPERIMENTS.md.
+fn main() {
+    let args = parj_bench::Args::parse(parj_bench::default_scale("fig3"));
+    let (tables, json) = parj_bench::experiments::fig3(&args);
+    parj_bench::write_outputs(&args.out, "fig3", &tables, json);
+}

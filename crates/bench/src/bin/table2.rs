@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 2table2 artifact. See EXPERIMENTS.md.
+fn main() {
+    let args = parj_bench::Args::parse(parj_bench::default_scale("table2"));
+    let (tables, json) = parj_bench::experiments::table2(&args);
+    parj_bench::write_outputs(&args.out, "table2", &tables, json);
+}

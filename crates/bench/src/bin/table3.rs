@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 3table3 artifact. See EXPERIMENTS.md.
+fn main() {
+    let args = parj_bench::Args::parse(parj_bench::default_scale("table3"));
+    let (tables, json) = parj_bench::experiments::table3(&args);
+    parj_bench::write_outputs(&args.out, "table3", &tables, json);
+}

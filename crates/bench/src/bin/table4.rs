@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 4table4 artifact. See EXPERIMENTS.md.
+fn main() {
+    let args = parj_bench::Args::parse(parj_bench::default_scale("table4"));
+    let (tables, json) = parj_bench::experiments::table4(&args);
+    parj_bench::write_outputs(&args.out, "table4", &tables, json);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 5table5 artifact. See EXPERIMENTS.md.
+fn main() {
+    let args = parj_bench::Args::parse(parj_bench::default_scale("table5"));
+    let (tables, json) = parj_bench::experiments::table5(&args);
+    parj_bench::write_outputs(&args.out, "table5", &tables, json);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 6table6 artifact. See EXPERIMENTS.md.
+fn main() {
+    let args = parj_bench::Args::parse(parj_bench::default_scale("table6"));
+    let (tables, json) = parj_bench::experiments::table6(&args);
+    parj_bench::write_outputs(&args.out, "table6", &tables, json);
+}

@@ -1,0 +1,571 @@
+//! The seven experiment implementations (Tables 2–6, Figures 2–3).
+//!
+//! Each function builds its dataset, measures, and returns Markdown
+//! tables plus a JSON record; the `table*`/`fig*` binaries are thin
+//! wrappers. See `EXPERIMENTS.md` at the repository root for the
+//! paper-vs-measured analysis of each artifact.
+
+use parj_baseline::{BaselineEngine, HashJoinEngine, MergeJoinEngine};
+use parj_core::{Parj, ProbeStrategy, RunOverrides};
+use parj_datagen::{lubm, watdiv, NamedQuery};
+use serde_json::json;
+
+use crate::report::{fmt_ms, Table};
+use crate::setup::{encode_bgp, lubm_engine, watdiv_engine, Args};
+use crate::timing::{avg, geomean, measure_ms};
+
+/// Measures PARJ silent-mode execution for one query.
+fn parj_ms(engine: &mut Parj, sparql: &str, threads: usize, runs: usize) -> (f64, u64) {
+    let over = RunOverrides::threads(threads);
+    let mut count = 0;
+    let m = measure_ms(runs, || {
+        count = engine
+            .query_count_with(sparql, &over)
+            .expect("benchmark query must run")
+            .0;
+    });
+    (m.avg_ms, count)
+}
+
+/// Measures a baseline engine on the same query (via encoded patterns).
+/// Returns `None` for queries the baselines cannot express.
+fn baseline_ms<E: BaselineEngine>(
+    engine: &mut Parj,
+    e: &E,
+    sparql: &str,
+    runs: usize,
+) -> Option<(f64, u64)> {
+    let (patterns, _) = encode_bgp(engine, sparql)?;
+    let store = engine.store();
+    let mut count = 0;
+    let m = measure_ms(runs, || {
+        count = e.run_count(store, &patterns);
+    });
+    Some((m.avg_ms, count))
+}
+
+fn push_aggregates(table: &mut Table, columns: &[Vec<f64>]) {
+    table.row(
+        "**Avg**",
+        columns.iter().map(|c| fmt_ms(avg(c))).collect(),
+    );
+    table.row(
+        "**Geomean**",
+        columns.iter().map(|c| fmt_ms(geomean(c))).collect(),
+    );
+}
+
+/// A generic engine-comparison run over a query set: PARJ single- and
+/// multi-thread against the merge-join (RDF-3X stand-in) and hash-join
+/// (TriAD stand-in) baselines. Returns one table plus raw per-query
+/// series, asserting all engines agree on result counts.
+fn engine_comparison(
+    engine: &mut Parj,
+    queries: &[NamedQuery],
+    args: &Args,
+    title: &str,
+    with_groups: bool,
+) -> (Table, serde_json::Value) {
+    let cols = [
+        "PARJ (1T)",
+        "MergeJoin (1T)",
+        "HashJoin (1T)",
+        &format!("PARJ ({}T)", args.threads),
+        &format!("HashJoin ({}T)", args.threads),
+        "results",
+    ];
+    let mut table = Table::new(title, &cols.iter().map(|s| &**s).collect::<Vec<_>>());
+    let mut json_rows = Vec::new();
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); 5];
+    let mut group_series: std::collections::BTreeMap<String, Vec<Vec<f64>>> = Default::default();
+
+    for q in queries {
+        let (t_parj1, n_parj) = parj_ms(engine, &q.sparql, 1, args.runs);
+        let (t_parjn, n_parjn) = parj_ms(engine, &q.sparql, args.threads, args.runs);
+        assert_eq!(n_parj, n_parjn, "{}: thread count changed results", q.name);
+        let merge = baseline_ms(engine, &MergeJoinEngine, &q.sparql, args.runs);
+        let hash1 = baseline_ms(engine, &HashJoinEngine::default(), &q.sparql, args.runs);
+        let hashn = baseline_ms(
+            engine,
+            &HashJoinEngine::parallel(args.threads),
+            &q.sparql,
+            args.runs,
+        );
+        for (m, label) in [(&merge, "merge"), (&hash1, "hash")] {
+            if let Some((_, n)) = m {
+                assert_eq!(*n, n_parj, "{}: {label} baseline disagrees on count", q.name);
+            }
+        }
+        let cells = [
+            Some((t_parj1, n_parj)),
+            merge,
+            hash1,
+            Some((t_parjn, n_parj)),
+            hashn,
+        ];
+        let mut row = Vec::with_capacity(6);
+        for (i, c) in cells.iter().enumerate() {
+            match c {
+                Some((t, _)) => {
+                    series[i].push(*t);
+                    if with_groups {
+                        group_series
+                            .entry(q.group.clone())
+                            .or_insert_with(|| vec![Vec::new(); 5])[i]
+                            .push(*t);
+                    }
+                    row.push(fmt_ms(*t));
+                }
+                None => row.push("—".into()),
+            }
+        }
+        row.push(n_parj.to_string());
+        table.row(&q.name, row);
+        json_rows.push(json!({
+            "query": q.name, "group": q.group, "results": n_parj,
+            "parj_1t_ms": t_parj1, "parj_mt_ms": t_parjn,
+            "merge_1t_ms": merge.map(|m| m.0),
+            "hash_1t_ms": hash1.map(|m| m.0),
+            "hash_mt_ms": hashn.map(|m| m.0),
+        }));
+    }
+    if with_groups {
+        for (group, cols) in &group_series {
+            let mut cells: Vec<String> = cols.iter().map(|c| fmt_ms(avg(c))).collect();
+            cells.push(String::new());
+            table.row(format!("**{group} Avg**"), cells);
+            let mut cells: Vec<String> = cols.iter().map(|c| fmt_ms(geomean(c))).collect();
+            cells.push(String::new());
+            table.row(format!("**{group} Geomean**"), cells);
+        }
+    }
+    let mut agg_cols = series;
+    agg_cols.truncate(5);
+    push_aggregates(&mut table, &agg_cols);
+    (table, json!(json_rows))
+}
+
+/// Table 2: LUBM engine comparison, single- and multi-thread.
+pub fn table2(args: &Args) -> (Vec<Table>, serde_json::Value) {
+    let mut engine = lubm_engine(args.scale, args.engine_config());
+    let triples = engine.num_triples();
+    let queries = lubm::queries();
+    let (table, rows) = engine_comparison(
+        &mut engine,
+        &queries,
+        args,
+        &format!(
+            "Table 2 — LUBM (universities={}, {} triples): silent-mode ms",
+            args.scale, triples
+        ),
+        false,
+    );
+
+    // The §5.2 silent-vs-full comparison: full result handling decodes
+    // every row through the dictionary.
+    let mut full = Table::new(
+        "Table 2b — silent vs full result handling (PARJ, multi-thread ms)",
+        &["silent", "full", "results"],
+    );
+    let mut full_rows = Vec::new();
+    for q in &queries {
+        let over = RunOverrides::threads(args.threads);
+        let (t_silent, n) = parj_ms(&mut engine, &q.sparql, args.threads, args.runs);
+        let m = measure_ms(args.runs, || {
+            engine
+                .query_with(&q.sparql, &over)
+                .expect("benchmark query must run");
+        });
+        full.row(
+            &q.name,
+            vec![fmt_ms(t_silent), fmt_ms(m.avg_ms), n.to_string()],
+        );
+        full_rows.push(json!({
+            "query": q.name, "silent_ms": t_silent, "full_ms": m.avg_ms, "results": n
+        }));
+    }
+    (
+        vec![table, full],
+        json!({
+            "experiment": "table2", "dataset": "lubm", "scale": args.scale,
+            "triples": triples, "threads": args.threads, "runs": args.runs,
+            "rows": rows, "full_result_handling": full_rows,
+        }),
+    )
+}
+
+fn engine_comparison_titled(
+    engine: &mut Parj,
+    queries: &[NamedQuery],
+    args: &Args,
+    title: String,
+) -> (Table, serde_json::Value) {
+    engine_comparison(engine, queries, args, &title, true)
+}
+
+/// Table 3: WatDiv basic workload.
+pub fn table3(args: &Args) -> (Vec<Table>, serde_json::Value) {
+    let mut engine = watdiv_engine(args.scale, args.engine_config());
+    let triples = engine.num_triples();
+    let queries = watdiv::basic_workload();
+    let (table, rows) = engine_comparison_titled(
+        &mut engine,
+        &queries,
+        args,
+        format!(
+            "Table 3 — WatDiv basic workload (scale={}, {} triples): silent-mode ms",
+            args.scale, triples
+        ),
+    );
+    (
+        vec![table],
+        json!({
+            "experiment": "table3", "dataset": "watdiv", "scale": args.scale,
+            "triples": triples, "threads": args.threads, "runs": args.runs, "rows": rows,
+        }),
+    )
+}
+
+/// Table 4: WatDiv incremental & mixed linear workloads.
+pub fn table4(args: &Args) -> (Vec<Table>, serde_json::Value) {
+    let mut engine = watdiv_engine(args.scale, args.engine_config());
+    let triples = engine.num_triples();
+    let mut queries = Vec::new();
+    for k in 1..=3 {
+        queries.extend(watdiv::incremental_linear(k));
+    }
+    for k in 1..=2 {
+        queries.extend(watdiv::mixed_linear(k));
+    }
+    let (table, rows) = engine_comparison_titled(
+        &mut engine,
+        &queries,
+        args,
+        format!(
+            "Table 4 — WatDiv incremental & mixed linear (scale={}, {} triples): silent-mode ms",
+            args.scale, triples
+        ),
+    );
+    (
+        vec![table],
+        json!({
+            "experiment": "table4", "dataset": "watdiv", "scale": args.scale,
+            "triples": triples, "threads": args.threads, "runs": args.runs, "rows": rows,
+        }),
+    )
+}
+
+/// Table 5: impact of adaptive processing — the four probe strategies,
+/// single-threaded, on both datasets.
+pub fn table5(args: &Args) -> (Vec<Table>, serde_json::Value) {
+    let strategies = ProbeStrategy::TABLE5;
+    let labels: Vec<&str> = strategies.iter().map(|s| s.label()).collect();
+    let mut json_rows = Vec::new();
+
+    let mut engine = lubm_engine(args.scale, args.engine_config());
+    let mut table = Table::new(
+        format!(
+            "Table 5 — impact of adaptive processing, 1 thread (LUBM universities={}, WatDiv scale={}): ms",
+            args.scale, args.scale
+        ),
+        &labels,
+    );
+    let mut lubm_cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for q in lubm::queries() {
+        let mut cells = Vec::new();
+        let mut rec = serde_json::Map::new();
+        rec.insert("query".into(), json!(q.name));
+        for (i, s) in strategies.iter().enumerate() {
+            let over = RunOverrides {
+                threads: Some(1),
+                strategy: Some(*s),
+            };
+            let m = measure_ms(args.runs, || {
+                engine
+                    .query_count_with(&q.sparql, &over)
+                    .expect("benchmark query must run");
+            });
+            lubm_cols[i].push(m.avg_ms);
+            cells.push(fmt_ms(m.avg_ms));
+            rec.insert(format!("{}_ms", s.label()), json!(m.avg_ms));
+        }
+        table.row(&q.name, cells);
+        json_rows.push(serde_json::Value::Object(rec));
+    }
+    push_aggregates(&mut table, &lubm_cols);
+
+    // WatDiv: the paper reports only avg + geomean over the full query
+    // mix.
+    let mut wengine = watdiv_engine(args.scale, args.engine_config());
+    let mut watdiv_cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for q in watdiv::all_queries() {
+        for (i, s) in strategies.iter().enumerate() {
+            let over = RunOverrides {
+                threads: Some(1),
+                strategy: Some(*s),
+            };
+            let m = measure_ms(args.runs, || {
+                wengine
+                    .query_count_with(&q.sparql, &over)
+                    .expect("benchmark query must run");
+            });
+            watdiv_cols[i].push(m.avg_ms);
+        }
+    }
+    table.row(
+        "**WatDiv Avg**",
+        watdiv_cols.iter().map(|c| fmt_ms(avg(c))).collect(),
+    );
+    table.row(
+        "**WatDiv Geomean**",
+        watdiv_cols.iter().map(|c| fmt_ms(geomean(c))).collect(),
+    );
+
+    (
+        vec![table],
+        json!({
+            "experiment": "table5", "lubm_scale": args.scale, "watdiv_scale": args.scale,
+            "runs": args.runs, "lubm_rows": json_rows,
+            "watdiv_avg_ms": watdiv_cols.iter().map(|c| avg(c)).collect::<Vec<_>>(),
+            "watdiv_geomean_ms": watdiv_cols.iter().map(|c| geomean(c)).collect::<Vec<_>>(),
+            "strategies": labels,
+        }),
+    )
+}
+
+/// Table 6: adaptive-method decision counts plus the deterministic
+/// memory-work counters comparing whole-array binary search with the
+/// ID-to-Position index.
+pub fn table6(args: &Args) -> (Vec<Table>, serde_json::Value) {
+    let mut engine = lubm_engine(args.scale, args.engine_config());
+    let mut table = Table::new(
+        format!(
+            "Table 6 — searches chosen by the adaptive method and memory-work \
+             counters (LUBM universities={}, 1 thread)",
+            args.scale
+        ),
+        &[
+            "#Binary",
+            "#Sequential",
+            "Binary: probe steps",
+            "Binary: words",
+            "Index: words",
+            "Index/Binary words",
+        ],
+    );
+    let mut json_rows = Vec::new();
+    for q in lubm::queries() {
+        // Decision counts under the paper's default AdBinary strategy.
+        let over = |s| RunOverrides {
+            threads: Some(1),
+            strategy: Some(s),
+        };
+        let (_, ad) = engine
+            .query_count_with(&q.sparql, &over(ProbeStrategy::AdaptiveBinary))
+            .expect("run");
+        // Memory work under forced binary vs forced index.
+        let (_, bin) = engine
+            .query_count_with(&q.sparql, &over(ProbeStrategy::AlwaysBinary))
+            .expect("run");
+        let (_, idx) = engine
+            .query_count_with(&q.sparql, &over(ProbeStrategy::AlwaysIndex))
+            .expect("run");
+        let bin_words = bin.search.words_touched();
+        let idx_words = idx.search.words_touched();
+        let ratio = if bin_words > 0 {
+            idx_words as f64 / bin_words as f64
+        } else {
+            1.0
+        };
+        table.row(
+            &q.name,
+            vec![
+                ad.search.binary_searches.to_string(),
+                ad.search.sequential_searches.to_string(),
+                bin.search.binary_steps.to_string(),
+                bin_words.to_string(),
+                idx_words.to_string(),
+                format!("{ratio:.2}"),
+            ],
+        );
+        json_rows.push(json!({
+            "query": q.name,
+            "adaptive_binary_searches": ad.search.binary_searches,
+            "adaptive_sequential_searches": ad.search.sequential_searches,
+            "binary_run_steps": bin.search.binary_steps,
+            "binary_run_words": bin_words,
+            "index_run_words": idx_words,
+        }));
+    }
+    // Extension beyond the paper's LUBM-only Table 6: the WatDiv mix
+    // exercises the binary arm of the adaptive switch far more (chain
+    // hops land on uncorrelated ids), so both decision outcomes are
+    // visible.
+    let mut wengine = watdiv_engine(args.scale, args.engine_config());
+    let mut wtable = Table::new(
+        format!(
+            "Table 6b (extension) — adaptive decisions on the WatDiv mix \
+             (scale={}, 1 thread)",
+            args.scale
+        ),
+        &["#Binary", "#Sequential", "Binary: words", "Index: words"],
+    );
+    let mut wjson = Vec::new();
+    for q in watdiv::basic_workload() {
+        let over = |s| RunOverrides {
+            threads: Some(1),
+            strategy: Some(s),
+        };
+        let (_, ad) = wengine
+            .query_count_with(&q.sparql, &over(ProbeStrategy::AdaptiveBinary))
+            .expect("run");
+        let (_, bin) = wengine
+            .query_count_with(&q.sparql, &over(ProbeStrategy::AlwaysBinary))
+            .expect("run");
+        let (_, idx) = wengine
+            .query_count_with(&q.sparql, &over(ProbeStrategy::AlwaysIndex))
+            .expect("run");
+        wtable.row(
+            &q.name,
+            vec![
+                ad.search.binary_searches.to_string(),
+                ad.search.sequential_searches.to_string(),
+                bin.search.words_touched().to_string(),
+                idx.search.words_touched().to_string(),
+            ],
+        );
+        wjson.push(json!({
+            "query": q.name,
+            "adaptive_binary_searches": ad.search.binary_searches,
+            "adaptive_sequential_searches": ad.search.sequential_searches,
+            "binary_run_words": bin.search.words_touched(),
+            "index_run_words": idx.search.words_touched(),
+        }));
+    }
+    (
+        vec![table, wtable],
+        json!({
+            "experiment": "table6", "dataset": "lubm", "scale": args.scale,
+            "rows": json_rows, "watdiv_rows": wjson,
+        }),
+    )
+}
+
+/// Figure 2: execution time vs thread count on the LUBM queries (the
+/// paper excludes the trivially-selective LUBM4–LUBM6).
+pub fn fig2(args: &Args) -> (Vec<Table>, serde_json::Value) {
+    let mut engine = lubm_engine(args.scale, args.engine_config());
+    let threads = [1usize, 2, 4, 8, 16];
+    let labels: Vec<String> = threads.iter().map(|t| format!("{t} threads")).collect();
+    let mut table = Table::new(
+        format!(
+            "Figure 2 — LUBM execution time vs threads (universities={}): ms",
+            args.scale
+        ),
+        &labels.iter().map(|s| &**s).collect::<Vec<_>>(),
+    );
+    // Wall-clock only shows speedup when the host has that many cores;
+    // the load-balance bound `sum(work)/max(work)` measures the shard
+    // distribution itself (workers share nothing, so on ideal hardware
+    // wall-clock tracks this bound). Both are reported.
+    let mut bound_table = Table::new(
+        format!(
+            "Figure 2b — parallel work-balance speedup bound (universities={}, \
+             host cores={})",
+            args.scale,
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        ),
+        &labels.iter().map(|s| &**s).collect::<Vec<_>>(),
+    );
+    let mut json_rows = Vec::new();
+    for q in lubm::queries() {
+        if matches!(q.name.as_str(), "LUBM4" | "LUBM5" | "LUBM6") {
+            continue; // excluded in the paper's Figure 2
+        }
+        let mut cells = Vec::new();
+        let mut times = Vec::new();
+        let mut bounds = Vec::new();
+        let mut bound_cells = Vec::new();
+        for &t in &threads {
+            let (ms, _) = parj_ms(&mut engine, &q.sparql, t, args.runs);
+            cells.push(fmt_ms(ms));
+            times.push(ms);
+            let plans = engine
+                .shard_loads(&q.sparql, &RunOverrides::threads(t))
+                .expect("benchmark query must run");
+            // Plans run back-to-back; each contributes its own dynamic-
+            // scheduling makespan bound max(total/K, max_shard).
+            let mut total_all = 0.0f64;
+            let mut makespan = 0.0f64;
+            for loads in &plans {
+                let total: u64 = loads.iter().sum();
+                let max_shard = loads.iter().copied().max().unwrap_or(0);
+                total_all += total as f64;
+                makespan += (total as f64 / t as f64).max(max_shard as f64);
+            }
+            let bound = if makespan > 0.0 { total_all / makespan } else { 1.0 };
+            bounds.push(bound);
+            bound_cells.push(format!("{bound:.2}x"));
+        }
+        table.row(&q.name, cells);
+        bound_table.row(&q.name, bound_cells);
+        json_rows.push(json!({
+            "query": q.name, "threads": threads, "ms": times,
+            "speedup_bound": bounds,
+        }));
+    }
+    (
+        vec![table, bound_table],
+        json!({
+            "experiment": "fig2", "dataset": "lubm", "scale": args.scale,
+            "runs": args.runs,
+            "host_cores": std::thread::available_parallelism().map_or(1, |n| n.get()),
+            "rows": json_rows,
+        }),
+    )
+}
+
+/// Figure 3: execution time vs dataset size at full thread count
+/// (the paper's ladder is 1280→10240 universities; ours is
+/// `scale/8 → scale` in ×2 steps).
+pub fn fig3(args: &Args) -> (Vec<Table>, serde_json::Value) {
+    let scales: Vec<usize> = {
+        let s = args.scale.max(8);
+        vec![s / 8, s / 4, s / 2, s]
+    };
+    let labels: Vec<String> = scales.iter().map(|s| format!("U={s}")).collect();
+    let mut table = Table::new(
+        format!(
+            "Figure 3 — LUBM execution time vs dataset size ({} threads): ms",
+            args.threads
+        ),
+        &labels.iter().map(|s| &**s).collect::<Vec<_>>(),
+    );
+    // Build all engines first (columns are datasets).
+    let mut engines: Vec<Parj> = scales
+        .iter()
+        .map(|&u| lubm_engine(u, args.engine_config()))
+        .collect();
+    let mut json_rows = Vec::new();
+    for q in lubm::queries() {
+        if matches!(q.name.as_str(), "LUBM4" | "LUBM5" | "LUBM6") {
+            continue;
+        }
+        let mut cells = Vec::new();
+        let mut times = Vec::new();
+        for e in engines.iter_mut() {
+            let (ms, _) = parj_ms(e, &q.sparql, args.threads, args.runs);
+            cells.push(fmt_ms(ms));
+            times.push(ms);
+        }
+        table.row(&q.name, cells);
+        json_rows.push(json!({ "query": q.name, "scales": scales, "ms": times }));
+    }
+    (
+        vec![table],
+        json!({
+            "experiment": "fig3", "dataset": "lubm", "scales": scales,
+            "threads": args.threads, "runs": args.runs, "rows": json_rows,
+        }),
+    )
+}

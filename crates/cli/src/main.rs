@@ -1,0 +1,283 @@
+//! `parj` — command-line interface to the PARJ RDF store.
+//!
+//! ```text
+//! parj load <data.nt> -o <store.parj>              build a snapshot from N-Triples
+//! parj query <store.parj|data.nt> <sparql|@file>   run a query (full results)
+//! parj count <store.parj|data.nt> <sparql|@file>   run a query in silent mode
+//! parj explain <store.parj|data.nt> <sparql|@file> show the optimized plan
+//! parj stats <store.parj|data.nt>                  store statistics
+//! parj generate lubm|watdiv <scale> -o <out.nt>    emit benchmark data
+//! ```
+//!
+//! Common flags: `--threads N`, `--strategy binary|adbinary|index|adindex`,
+//! `--reasoning`, `--calibrate`.
+
+use std::process::ExitCode;
+
+use parj_core::{EngineConfig, Parj, ParjError, ProbeStrategy};
+
+const USAGE: &str = "\
+parj — Parallel Adaptive RDF Joins (EDBT 2019 reproduction)
+
+USAGE:
+  parj load <data.nt|data.ttl> -o <store.parj> [flags]
+  parj query <store.parj|data.nt> <sparql | @query.rq> [flags]
+  parj count <store.parj|data.nt> <sparql | @query.rq> [flags]
+  parj explain <store.parj|data.nt> <sparql | @query.rq> [flags]
+  parj profile <store.parj|data.nt> <sparql | @query.rq> [flags]
+  parj stats <store.parj|data.nt>
+  parj generate <lubm|watdiv> <scale> -o <out.nt>
+
+FLAGS:
+  --threads N      worker threads per query (default: all cores)
+  --strategy S     binary | adbinary (default) | index | adindex
+  --reasoning      answer w.r.t. rdfs:subClassOf/subPropertyOf in the data
+  --calibrate      run Algorithm 2's timed calibration after load
+  -o PATH          output path (load/generate)
+";
+
+struct Cli {
+    positional: Vec<String>,
+    threads: Option<usize>,
+    strategy: Option<ProbeStrategy>,
+    reasoning: bool,
+    calibrate: bool,
+    output: Option<String>,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        positional: Vec::new(),
+        threads: None,
+        strategy: None,
+        reasoning: false,
+        calibrate: false,
+        output: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                cli.threads = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--threads needs a number")?,
+                )
+            }
+            "--strategy" => {
+                let s = it.next().ok_or("--strategy needs a value")?;
+                cli.strategy = Some(match s.as_str() {
+                    "binary" => ProbeStrategy::AlwaysBinary,
+                    "adbinary" => ProbeStrategy::AdaptiveBinary,
+                    "index" => ProbeStrategy::AlwaysIndex,
+                    "adindex" => ProbeStrategy::AdaptiveIndex,
+                    other => return Err(format!("unknown strategy {other:?}")),
+                });
+            }
+            "--reasoning" => cli.reasoning = true,
+            "--calibrate" => cli.calibrate = true,
+            "-o" | "--output" => cli.output = Some(it.next().ok_or("-o needs a path")?),
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
+            other => cli.positional.push(other.to_string()),
+        }
+    }
+    Ok(cli)
+}
+
+impl Cli {
+    fn engine_config(&self) -> EngineConfig {
+        let mut cfg = EngineConfig {
+            reasoning: self.reasoning,
+            calibrate: self.calibrate,
+            ..EngineConfig::default()
+        };
+        if let Some(t) = self.threads {
+            cfg.threads = t.max(1);
+        }
+        if let Some(s) = self.strategy {
+            cfg.strategy = s;
+        }
+        cfg
+    }
+
+    /// Opens a store: `.parj` snapshots load directly, `.ttl` parses as
+    /// Turtle, anything else as N-Triples.
+    fn open(&self, path: &str) -> Result<Parj, ParjError> {
+        if path.ends_with(".parj") {
+            Parj::load_snapshot(path, self.engine_config())
+        } else {
+            let mut e = Parj::builder().build();
+            let cfg = self.engine_config();
+            // Rebuild with the requested config around the same data.
+            if path.ends_with(".ttl") || path.ends_with(".turtle") {
+                e.load_turtle_path(path)?;
+            } else {
+                e.load_ntriples_path(path)?;
+            }
+            e.finalize();
+            let store = parj_core::TripleStore::from_snapshot_bytes(
+                &e.store().to_snapshot_bytes(),
+            )?;
+            Ok(Parj::from_store(store, cfg))
+        }
+    }
+
+    /// Resolves a query argument: literal SPARQL, or `@file`.
+    fn query_text(&self, arg: &str) -> Result<String, std::io::Error> {
+        if let Some(path) = arg.strip_prefix('@') {
+            std::fs::read_to_string(path)
+        } else {
+            Ok(arg.to_string())
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let cli = parse_cli()?;
+    let Some(command) = cli.positional.first().cloned() else {
+        return Err("missing command; try --help".into());
+    };
+    match command.as_str() {
+        "load" => {
+            let [_, input] = &cli.positional[..] else {
+                return Err("usage: parj load <data.nt> -o <store.parj>".into());
+            };
+            let out = cli.output.clone().ok_or("load needs -o <store.parj>")?;
+            let mut e = Parj::builder().build();
+            let n = if input.ends_with(".ttl") || input.ends_with(".turtle") {
+                e.load_turtle_path(input).map_err(|e| e.to_string())?
+            } else {
+                e.load_ntriples_path(input).map_err(|e| e.to_string())?
+            };
+            e.finalize();
+            e.save_snapshot(&out).map_err(|e| e.to_string())?;
+            eprintln!(
+                "loaded {n} statements ({} distinct triples) -> {out}",
+                e.num_triples()
+            );
+            Ok(())
+        }
+        "query" | "count" | "explain" | "profile" => {
+            let [_, store_path, query_arg] = &cli.positional[..] else {
+                return Err(format!("usage: parj {command} <store> <sparql | @file>"));
+            };
+            let query = cli.query_text(query_arg).map_err(|e| e.to_string())?;
+            let mut engine = cli.open(store_path).map_err(|e| e.to_string())?;
+            match command.as_str() {
+                "explain" => {
+                    println!("{}", engine.explain(&query).map_err(|e| e.to_string())?);
+                }
+                "profile" => {
+                    println!("{}", engine.profile(&query).map_err(|e| e.to_string())?);
+                }
+                "count" => {
+                    let (count, stats) =
+                        engine.query_count(&query).map_err(|e| e.to_string())?;
+                    println!("{count}");
+                    eprintln!(
+                        "prepare {} µs, execute {} µs; {} sequential / {} binary / {} index searches",
+                        stats.prepare_micros,
+                        stats.exec_micros,
+                        stats.search.sequential_searches,
+                        stats.search.binary_searches,
+                        stats.search.index_lookups,
+                    );
+                }
+                _ => {
+                    let result = engine.query(&query).map_err(|e| e.to_string())?;
+                    print!("{}", result.to_table());
+                    eprintln!(
+                        "{} rows in {} µs (prepare {} µs, decode {} µs)",
+                        result.rows.len(),
+                        result.stats.total_micros(),
+                        result.stats.prepare_micros,
+                        result.stats.decode_micros,
+                    );
+                }
+            }
+            Ok(())
+        }
+        "stats" => {
+            let [_, store_path] = &cli.positional[..] else {
+                return Err("usage: parj stats <store>".into());
+            };
+            let mut engine = cli.open(store_path).map_err(|e| e.to_string())?;
+            let store = engine.store();
+            println!("triples:     {}", store.num_triples());
+            println!("predicates:  {}", store.num_predicates());
+            println!("resources:   {}", store.dict().num_resources());
+            println!(
+                "partitions:  {:.2} MiB",
+                store.partitions_memory_bytes() as f64 / (1 << 20) as f64
+            );
+            println!(
+                "dictionary:  {:.2} MiB",
+                store.dict().memory_bytes() as f64 / (1 << 20) as f64
+            );
+            let mut parts: Vec<_> = store
+                .partitions()
+                .iter()
+                .map(|p| (p.num_triples(), p.predicate()))
+                .collect();
+            parts.sort_unstable_by(|a, b| b.cmp(a));
+            println!("top predicates:");
+            for (n, pid) in parts.into_iter().take(10) {
+                let term = store
+                    .dict()
+                    .decode_predicate(pid)
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|_| format!("#{pid}"));
+                println!("  {n:>10}  {term}");
+            }
+            Ok(())
+        }
+        "generate" => {
+            let [_, which, scale] = &cli.positional[..] else {
+                return Err("usage: parj generate <lubm|watdiv> <scale> -o <out.nt>".into());
+            };
+            let scale: usize = scale.parse().map_err(|_| "scale must be a number")?;
+            let out = cli.output.clone().ok_or("generate needs -o <out.nt>")?;
+            let file = std::fs::File::create(&out).map_err(|e| e.to_string())?;
+            let mut w = std::io::BufWriter::new(file);
+            use std::io::Write;
+            let mut n = 0u64;
+            match which.as_str() {
+                "lubm" => parj_datagen::lubm::generate(
+                    &parj_datagen::lubm::LubmConfig {
+                        universities: scale,
+                        seed: 7,
+                    },
+                    |s, p, o| {
+                        writeln!(w, "{s} {p} {o} .").expect("write");
+                        n += 1;
+                    },
+                ),
+                "watdiv" => parj_datagen::watdiv::generate(
+                    &parj_datagen::watdiv::WatDivConfig { scale, seed: 7 },
+                    |s, p, o| {
+                        writeln!(w, "{s} {p} {o} .").expect("write");
+                        n += 1;
+                    },
+                ),
+                other => return Err(format!("unknown generator {other:?}")),
+            }
+            eprintln!("wrote {n} triples -> {out}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try --help")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! End-to-end tests of the `parj` binary: generate → load → stats /
+//! count / query / explain, over both input syntaxes.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn parj() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_parj"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("parj-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn generate_load_query_roundtrip() {
+    let dir = tmpdir("roundtrip");
+    let nt = dir.join("data.nt");
+    let snap = dir.join("data.parj");
+
+    let out = parj()
+        .args(["generate", "lubm", "1", "-o"])
+        .arg(&nt)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = parj().args(["load"]).arg(&nt).arg("-o").arg(&snap).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = parj().args(["stats"]).arg(&snap).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("predicates:  17"), "{text}");
+
+    let out = parj()
+        .args(["count"])
+        .arg(&snap)
+        .arg("SELECT ?x WHERE { ?x <http://lubm/headOf> ?d }")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let count: u64 = String::from_utf8_lossy(&out.stdout).trim().parse().unwrap();
+    assert!(count > 0, "no department heads found");
+
+    let out = parj()
+        .args(["explain"])
+        .arg(&snap)
+        .arg("SELECT ?x WHERE { ?x <http://lubm/memberOf> <http://lubm/u0/d0> }")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("scan"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn turtle_input_and_query_file() {
+    let dir = tmpdir("turtle");
+    let ttl = dir.join("data.ttl");
+    std::fs::write(
+        &ttl,
+        "@prefix e: <http://e/> .\ne:a e:knows e:b , e:c .\ne:b e:knows e:c .\n",
+    )
+    .unwrap();
+    let rq = dir.join("query.rq");
+    std::fs::write(&rq, "SELECT ?x ?y WHERE { ?x <http://e/knows> ?y }").unwrap();
+
+    let out = parj()
+        .args(["query"])
+        .arg(&ttl)
+        .arg(format!("@{}", rq.display()))
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Header + 3 rows.
+    assert_eq!(text.lines().count(), 4, "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reasoning_flag_changes_answers() {
+    let dir = tmpdir("reasoning");
+    let ttl = dir.join("onto.ttl");
+    std::fs::write(
+        &ttl,
+        "@prefix e: <http://e/> .\n\
+         @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
+         e:Dog rdfs:subClassOf e:Animal .\n\
+         e:rex a e:Dog .\n",
+    )
+    .unwrap();
+    let q = "SELECT ?x WHERE { ?x a <http://e/Animal> }";
+
+    let plain = parj().args(["count"]).arg(&ttl).arg(q).output().unwrap();
+    assert_eq!(String::from_utf8_lossy(&plain.stdout).trim(), "0");
+
+    let smart = parj()
+        .args(["count", "--reasoning"])
+        .arg(&ttl)
+        .arg(q)
+        .output()
+        .unwrap();
+    assert_eq!(String::from_utf8_lossy(&smart.stdout).trim(), "1");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let out = parj().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = parj().args(["query", "/nonexistent.nt", "SELECT * WHERE { ?s ?p ?o }"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let out = parj().args(["--help"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

@@ -1,0 +1,1352 @@
+//! The PARJ engine: configuration, lifecycle, and query execution.
+
+use std::path::Path;
+use std::time::Instant;
+
+use parj_dict::{Id, Term};
+use parj_join::{
+    calibrate, execute, CalibrationConfig, CalibrationResult, CollectSink, CountSink, ExecOptions,
+    PhysicalPlan, ProbeStrategy, SearchStats, ThresholdTable,
+};
+use parj_optimizer::{optimize, Stats};
+use parj_rio::NTriplesParser;
+use parj_sparql::parse_query;
+use parj_store::{StoreBuilder, StoreOptions, TripleStore};
+
+use crate::error::ParjError;
+use crate::hierarchy::Hierarchy;
+use crate::result::{QueryResult, QueryRunStats};
+use crate::translate::{translate, Translation};
+
+/// Engine configuration (fixed at build; per-query aspects can be
+/// overridden with [`RunOverrides`]).
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads per query. The paper's optimum was 2× physical
+    /// cores (hyper-threading); default: `available_parallelism`.
+    pub threads: usize,
+    /// Driver shards per thread (load-balancing granularity).
+    pub shards_per_thread: usize,
+    /// Probe strategy; PARJ's default is the adaptive binary/sequential
+    /// switch of Algorithm 1.
+    pub strategy: ProbeStrategy,
+    /// Store build options (ID-to-Position index on/off + interval).
+    pub store: StoreOptions,
+    /// Run Algorithm 2's timed calibration at finalize. When `false`
+    /// the paper's published windows (200 binary / 20 index) are used —
+    /// deterministic and good on commodity hardware.
+    pub calibrate: bool,
+    /// Calibration tuning (used when `calibrate` is true).
+    pub calibration: CalibrationConfig,
+    /// Equi-depth histogram buckets per column.
+    pub histogram_buckets: usize,
+    /// Answer queries with respect to RDFS class/property hierarchies
+    /// found in the data (`rdfs:subClassOf` / `rdfs:subPropertyOf`), by
+    /// unioning partitions during the pipelined execution — the paper's
+    /// §6 extension. Results are deduplicated to entailment semantics.
+    pub reasoning: bool,
+    /// Run plans whose driver domain is below this many entries on a
+    /// single thread, regardless of the configured thread count — the
+    /// §3-suggested extension "such that very simple and selective
+    /// queries could be executed with fewer resources". `0` disables.
+    pub small_query_threshold: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            shards_per_thread: 4,
+            strategy: ProbeStrategy::AdaptiveBinary,
+            store: StoreOptions::default(),
+            calibrate: false,
+            calibration: CalibrationConfig::default(),
+            histogram_buckets: 64,
+            reasoning: false,
+            small_query_threshold: 2048,
+        }
+    }
+}
+
+/// Builder for [`Parj`].
+#[derive(Debug, Default, Clone)]
+pub struct ParjBuilder {
+    config: EngineConfig,
+}
+
+impl ParjBuilder {
+    /// Worker threads per query.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.config.threads = n.max(1);
+        self
+    }
+
+    /// Driver shards per thread.
+    pub fn shards_per_thread(mut self, n: usize) -> Self {
+        self.config.shards_per_thread = n.max(1);
+        self
+    }
+
+    /// Probe strategy.
+    pub fn strategy(mut self, s: ProbeStrategy) -> Self {
+        self.config.strategy = s;
+        self
+    }
+
+    /// Build ID-to-Position indexes (§4.2). Default: on.
+    pub fn build_idpos(mut self, on: bool) -> Self {
+        self.config.store.build_idpos = on;
+        self
+    }
+
+    /// ID-to-Position block interval (multiple of 64).
+    pub fn idpos_interval(mut self, interval: usize) -> Self {
+        self.config.store.idpos_interval = interval;
+        self
+    }
+
+    /// Run the timed calibration of Algorithm 2 at finalize.
+    pub fn calibrate(mut self, on: bool) -> Self {
+        self.config.calibrate = on;
+        self
+    }
+
+    /// Calibration tuning.
+    pub fn calibration_config(mut self, cfg: CalibrationConfig) -> Self {
+        self.config.calibration = cfg;
+        self
+    }
+
+    /// Histogram resolution.
+    pub fn histogram_buckets(mut self, buckets: usize) -> Self {
+        self.config.histogram_buckets = buckets.max(1);
+        self
+    }
+
+    /// Driver-domain size below which plans run single-threaded (0
+    /// disables the heuristic).
+    pub fn small_query_threshold(mut self, entries: usize) -> Self {
+        self.config.small_query_threshold = entries;
+        self
+    }
+
+    /// Enable RDFS class/property hierarchy answering (§6 of the paper):
+    /// `rdf:type`/property patterns expand into unions over
+    /// sub-classes/-properties declared in the data, with solutions
+    /// deduplicated to entailment semantics. No materialization happens.
+    pub fn rdfs_reasoning(mut self, on: bool) -> Self {
+        self.config.reasoning = on;
+        self
+    }
+
+    /// Builds an empty engine.
+    pub fn build(self) -> Parj {
+        Parj {
+            config: self.config,
+            staged: Some(StoreBuilder::new()),
+            ready: None,
+        }
+    }
+}
+
+/// Per-query overrides of engine configuration — used by the benchmark
+/// harness to sweep threads and strategies without reloading data.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RunOverrides {
+    /// Override worker threads.
+    pub threads: Option<usize>,
+    /// Override probe strategy.
+    pub strategy: Option<ProbeStrategy>,
+}
+
+impl RunOverrides {
+    /// Override only the thread count.
+    pub fn threads(n: usize) -> Self {
+        Self {
+            threads: Some(n),
+            ..Self::default()
+        }
+    }
+
+    /// Override only the strategy.
+    pub fn strategy(s: ProbeStrategy) -> Self {
+        Self {
+            strategy: Some(s),
+            ..Self::default()
+        }
+    }
+}
+
+/// Prepared query: translation metadata + one plan per pattern set
+/// (`None` when a constant is absent and the result is trivially empty).
+type Prepared = Option<(crate::translate::TranslatedQuery, Vec<PhysicalPlan>)>;
+
+/// Finalized query-ready state.
+struct Ready {
+    store: TripleStore,
+    stats: Stats,
+    thresholds: ThresholdTable,
+    calibration: CalibrationResult,
+    hierarchy: Option<Hierarchy>,
+}
+
+/// The PARJ engine. See the crate docs for the lifecycle.
+pub struct Parj {
+    config: EngineConfig,
+    staged: Option<StoreBuilder>,
+    ready: Option<Ready>,
+}
+
+impl Parj {
+    /// Starts building an engine.
+    pub fn builder() -> ParjBuilder {
+        ParjBuilder::default()
+    }
+
+    /// Engine with all-default configuration.
+    pub fn new() -> Parj {
+        Self::builder().build()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Adds one triple. Triples added after [`Parj::finalize`] trigger a
+    /// full store rebuild at the next finalize (PARJ's store is
+    /// immutable-after-build by design: workers share it without
+    /// synchronization).
+    pub fn add_triple(&mut self, s: &Term, p: &Term, o: &Term) {
+        self.unfinalize();
+        self.staged
+            .as_mut()
+            .expect("unfinalize staged a builder")
+            .add_term_triple(s, p, o);
+    }
+
+    /// Parses and loads N-Triples text; returns the number of statements
+    /// read.
+    pub fn load_ntriples_str(&mut self, text: &str) -> Result<usize, ParjError> {
+        self.load_ntriples_reader(text.as_bytes())
+    }
+
+    /// Loads an N-Triples file.
+    pub fn load_ntriples_path(&mut self, path: impl AsRef<Path>) -> Result<usize, ParjError> {
+        let file = std::fs::File::open(path)?;
+        self.load_ntriples_reader(std::io::BufReader::new(file))
+    }
+
+    /// Parses and loads Turtle text; returns the number of statements
+    /// read.
+    pub fn load_turtle_str(&mut self, text: &str) -> Result<usize, ParjError> {
+        let triples = parj_rio::parse_turtle_str(text)?;
+        self.unfinalize();
+        let staged = self.staged.as_mut().expect("unfinalize staged a builder");
+        let n = triples.len();
+        for (s, p, o) in &triples {
+            staged.add_term_triple(s, p, o);
+        }
+        Ok(n)
+    }
+
+    /// Loads a Turtle file.
+    pub fn load_turtle_path(&mut self, path: impl AsRef<Path>) -> Result<usize, ParjError> {
+        let text = std::fs::read_to_string(path)?;
+        self.load_turtle_str(&text)
+    }
+
+    /// Loads N-Triples from any buffered reader.
+    pub fn load_ntriples_reader<R: std::io::BufRead>(
+        &mut self,
+        reader: R,
+    ) -> Result<usize, ParjError> {
+        self.unfinalize();
+        let staged = self.staged.as_mut().expect("unfinalize staged a builder");
+        let mut n = 0usize;
+        for triple in NTriplesParser::new(reader) {
+            let (s, p, o) = triple?;
+            staged.add_term_triple(&s, &p, &o);
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Builds partitions, statistics and thresholds from the staged
+    /// triples. Idempotent; called implicitly by the query methods.
+    pub fn finalize(&mut self) {
+        let Some(staged) = self.staged.take() else {
+            return;
+        };
+        let store = staged.build_with(self.config.store);
+        let stats = Stats::build_with_buckets(&store, self.config.histogram_buckets);
+        let calibration = if self.config.calibrate {
+            calibrate(&store, &self.config.calibration)
+        } else {
+            CalibrationResult::paper_defaults()
+        };
+        let thresholds = ThresholdTable::from_calibration(&store, &calibration);
+        let hierarchy = self.config.reasoning.then(|| Hierarchy::extract(&store));
+        self.ready = Some(Ready {
+            store,
+            stats,
+            thresholds,
+            calibration,
+            hierarchy,
+        });
+    }
+
+    /// True once finalized (and not re-opened by later loads).
+    pub fn is_finalized(&self) -> bool {
+        self.staged.is_none() && self.ready.is_some()
+    }
+
+    /// Moves a finalized store back into staging for further loads.
+    fn unfinalize(&mut self) {
+        if self.staged.is_some() {
+            return;
+        }
+        let ready = self.ready.take().expect("either staged or ready");
+        let mut builder = StoreBuilder::new();
+        *builder.dict_mut() = ready.store.dict().clone();
+        for t in ready.store.iter_triples() {
+            builder.add_encoded(t);
+        }
+        self.staged = Some(builder);
+    }
+
+    fn ensure_ready(&mut self) -> &Ready {
+        self.finalize();
+        self.ready.as_ref().expect("finalize sets ready")
+    }
+
+    /// The underlying store (finalizing first if needed).
+    pub fn store(&mut self) -> &TripleStore {
+        &self.ensure_ready().store
+    }
+
+    /// Optimizer statistics.
+    pub fn stats(&mut self) -> &Stats {
+        &self.ensure_ready().stats
+    }
+
+    /// The calibration result in effect.
+    pub fn calibration(&mut self) -> CalibrationResult {
+        self.ensure_ready().calibration
+    }
+
+    /// Total triples stored.
+    pub fn num_triples(&mut self) -> usize {
+        self.ensure_ready().store.num_triples()
+    }
+
+    /// Borrows the finalized state or reports [`ParjError::NotFinalized`].
+    fn ready_or_err(&self) -> Result<&Ready, ParjError> {
+        if self.staged.is_some() {
+            return Err(ParjError::NotFinalized);
+        }
+        self.ready.as_ref().ok_or(ParjError::NotFinalized)
+    }
+
+    fn exec_options(config: &EngineConfig, over: &RunOverrides) -> ExecOptions {
+        ExecOptions {
+            threads: over.threads.unwrap_or(config.threads).max(1),
+            shards_per_thread: config.shards_per_thread,
+            strategy: over.strategy.unwrap_or(config.strategy),
+        }
+    }
+
+    /// §3's small-query extension: a plan driving a tiny domain runs on
+    /// one thread; the thread-spawn overhead the paper discusses in
+    /// §5.2.3 would otherwise dominate it.
+    fn opts_for_plan(
+        config: &EngineConfig,
+        ready: &Ready,
+        base: ExecOptions,
+        explicit_threads: bool,
+        plan: &PhysicalPlan,
+    ) -> ExecOptions {
+        // An explicit per-run thread override (benchmark sweeps) always
+        // wins over the heuristic.
+        if !explicit_threads
+            && config.small_query_threshold > 0
+            && base.threads > 1
+            && parj_join::driver_domain(&ready.store, plan, &base) < config.small_query_threshold
+        {
+            ExecOptions { threads: 1, ..base }
+        } else {
+            base
+        }
+    }
+
+    /// Parses, translates and optimizes `query` against finalized state;
+    /// returns the plans (one per union expansion) plus translation
+    /// metadata.
+    fn prepare_on(
+        ready: &Ready,
+        query: &str,
+    ) -> Result<(Prepared, Vec<String>, Option<usize>), ParjError> {
+        let parsed = parse_query(query)?;
+        match translate(&parsed, ready.store.dict(), ready.hierarchy.as_ref())? {
+            Translation::Empty { proj_names, limit } => Ok((None, proj_names, limit)),
+            Translation::Run(tq) => {
+                // Hierarchy expansions union alternative derivations of
+                // the same solutions; dedup needs the *full* binding row,
+                // so plans then project every variable.
+                let plan_proj: Vec<parj_join::VarId> = if tq.full_rows {
+                    (0..tq.num_vars as parj_join::VarId).collect()
+                } else {
+                    tq.projection.clone()
+                };
+                let mut plans = Vec::with_capacity(tq.pattern_sets.len());
+                for set in &tq.pattern_sets {
+                    plans.push(optimize(&ready.stats, set, tq.num_vars, plan_proj.clone())?);
+                }
+                let names = tq.proj_names.clone();
+                let limit = tq.limit;
+                Ok((Some((tq, plans)), names, limit))
+            }
+        }
+    }
+
+    /// Silent-mode execution (the paper's primary measurement): count
+    /// result rows without dictionary lookups or row materialization.
+    ///
+    /// `DISTINCT` queries still require materializing ids to
+    /// deduplicate; `LIMIT` caps the reported count.
+    pub fn query_count(&mut self, query: &str) -> Result<(u64, QueryRunStats), ParjError> {
+        self.query_count_with(query, &RunOverrides::default())
+    }
+
+    /// [`Parj::query_count`] with per-run overrides.
+    pub fn query_count_with(
+        &mut self,
+        query: &str,
+        over: &RunOverrides,
+    ) -> Result<(u64, QueryRunStats), ParjError> {
+        self.finalize();
+        self.query_count_ref(query, over)
+    }
+
+    /// `&self` variant of [`Parj::query_count_with`]: requires a
+    /// finalized engine (see [`crate::SharedParj`] for concurrent use).
+    pub fn query_count_ref(
+        &self,
+        query: &str,
+        over: &RunOverrides,
+    ) -> Result<(u64, QueryRunStats), ParjError> {
+        let ready = self.ready_or_err()?;
+        let opts = Self::exec_options(&self.config, over);
+        let t0 = Instant::now();
+        let (prepared, _names, limit) = Self::prepare_on(ready, query)?;
+        let prepare_micros = t0.elapsed().as_micros() as u64;
+        let Some((tq, plans)) = prepared else {
+            return Ok((
+                0,
+                QueryRunStats {
+                    prepare_micros,
+                    plan: "<empty: constant absent from data>".into(),
+                    ..Default::default()
+                },
+            ));
+        };
+        if tq.distinct || tq.dedup_full {
+            // DISTINCT and hierarchy dedup force materialization; reuse
+            // the id path.
+            let (rows, stats) = Self::run_ids_on(&self.config, ready, opts, over.threads.is_some(), &tq, &plans, prepare_micros)?;
+            return Ok((rows.len() as u64, stats));
+        }
+        let offset = tq.offset.unwrap_or(0) as u64;
+        let t1 = Instant::now();
+        let mut count = 0u64;
+        let mut search = SearchStats::default();
+        for plan in &plans {
+            let plan_opts = Self::opts_for_plan(&self.config, ready, opts, over.threads.is_some(), plan);
+            let (sinks, s) = execute(
+                &ready.store,
+                plan,
+                &plan_opts,
+                &ready.thresholds,
+                CountSink::default,
+            );
+            count += sinks.iter().map(|s| s.count).sum::<u64>();
+            search.merge(&s);
+        }
+        let exec_micros = t1.elapsed().as_micros() as u64;
+        // OFFSET/LIMIT arithmetic (ordering does not change a count).
+        count = count.saturating_sub(offset);
+        if let Some(l) = limit {
+            count = count.min(l as u64);
+        }
+        Ok((
+            count,
+            QueryRunStats {
+                prepare_micros,
+                exec_micros,
+                decode_micros: 0,
+                search,
+                rows: count,
+                plan: plans
+                    .iter()
+                    .map(PhysicalPlan::explain)
+                    .collect::<Vec<_>>()
+                    .join("\n---\n"),
+            },
+        ))
+    }
+
+    fn run_ids_on(
+        config: &EngineConfig,
+        ready: &Ready,
+        opts: ExecOptions,
+        explicit_threads: bool,
+        tq: &crate::translate::TranslatedQuery,
+        plans: &[PhysicalPlan],
+        prepare_micros: u64,
+    ) -> Result<(Vec<Vec<Id>>, QueryRunStats), ParjError> {
+        // Full-width plans (hierarchy dedup / ORDER BY a non-projected
+        // variable) carry every binding; see prepare.
+        let arity = if tq.full_rows {
+            tq.num_vars
+        } else {
+            tq.projection.len()
+        };
+        let t1 = Instant::now();
+        // Rows grouped per UNION branch: hierarchy dedup must not merge
+        // duplicate solutions coming from *different* branches (those
+        // are legitimate SPARQL multiset results).
+        let n_branches = tq.set_branch.iter().copied().max().map_or(1, |m| m + 1);
+        let mut branch_rows: Vec<Vec<Vec<Id>>> = vec![Vec::new(); n_branches];
+        let mut search = SearchStats::default();
+        for (idx, plan) in plans.iter().enumerate() {
+            let branch = tq.set_branch.get(idx).copied().unwrap_or(0);
+            let plan_opts = Self::opts_for_plan(config, ready, opts, explicit_threads, plan);
+            let (sinks, s) = execute(
+                &ready.store,
+                plan,
+                &plan_opts,
+                &ready.thresholds,
+                CollectSink::default,
+            );
+            search.merge(&s);
+            for sink in sinks {
+                if arity == 0 {
+                    continue;
+                }
+                for chunk in sink.data.chunks_exact(arity) {
+                    branch_rows[branch].push(chunk.to_vec());
+                }
+            }
+        }
+        let exec_micros = t1.elapsed().as_micros() as u64;
+        let t2 = Instant::now();
+        if tq.dedup_full {
+            // Entailment semantics: one row per distinct solution
+            // mapping *within each branch* (projection applied below).
+            for rows in &mut branch_rows {
+                rows.sort_unstable();
+                rows.dedup();
+            }
+        }
+        let mut rows: Vec<Vec<Id>> = branch_rows.into_iter().flatten().collect();
+        if !tq.order_by.is_empty() {
+            // Column index of an ordering key within the row layout.
+            let col_of = |v: parj_join::VarId| -> usize {
+                if tq.full_rows {
+                    v as usize
+                } else {
+                    tq.projection
+                        .iter()
+                        .position(|&p| p == v)
+                        .expect("translate guarantees projected order keys")
+                }
+            };
+            let dict = ready.store.dict();
+            // Deterministic total order on terms via their canonical
+            // dictionary keys (SPARQL operator ordering is out of scope;
+            // see ParsedQuery::order_by docs).
+            let key_of = |id: Id| -> Term {
+                dict.decode_resource(id).expect("engine-produced ids are valid")
+            };
+            rows.sort_by(|a, b| {
+                for &(v, desc) in &tq.order_by {
+                    let c = col_of(v);
+                    let ord = key_of(a[c]).cmp(&key_of(b[c]));
+                    let ord = if desc { ord.reverse() } else { ord };
+                    if !ord.is_eq() {
+                        return ord;
+                    }
+                }
+                a.cmp(b) // stable tiebreak on the raw ids
+            });
+        }
+        if tq.full_rows {
+            rows = rows
+                .into_iter()
+                .map(|row| {
+                    tq.projection
+                        .iter()
+                        .map(|&v| row[v as usize])
+                        .collect::<Vec<Id>>()
+                })
+                .collect();
+        }
+        if tq.distinct {
+            if tq.order_by.is_empty() {
+                rows.sort_unstable();
+                rows.dedup();
+            } else {
+                // Preserve the requested ordering: keep first
+                // occurrences.
+                let mut seen = std::collections::HashSet::new();
+                rows.retain(|r| seen.insert(r.clone()));
+            }
+        }
+        if let Some(off) = tq.offset {
+            if off >= rows.len() {
+                rows.clear();
+            } else {
+                rows.drain(..off);
+            }
+        }
+        if let Some(l) = tq.limit {
+            rows.truncate(l);
+        }
+        let decode_micros = t2.elapsed().as_micros() as u64;
+        let n = rows.len() as u64;
+        Ok((
+            rows,
+            QueryRunStats {
+                prepare_micros,
+                exec_micros,
+                decode_micros,
+                search,
+                rows: n,
+                plan: plans
+                    .iter()
+                    .map(PhysicalPlan::explain)
+                    .collect::<Vec<_>>()
+                    .join("\n---\n"),
+            },
+        ))
+    }
+
+    /// Returns, per plan of the query, the **work units** (result rows
+    /// emitted + array words touched) of every driver shard the
+    /// executor would distribute at the configured thread count.
+    ///
+    /// Because PARJ workers share nothing and draw shards dynamically,
+    /// the parallel makespan with `K` threads on ideal hardware is
+    /// bounded below by `max(total/K, max_shard)` per plan; the
+    /// benchmark harness reports the corresponding achievable speedup so
+    /// the scalability of the shard distribution is measurable even on
+    /// hosts with fewer cores than worker threads.
+    pub fn shard_loads(
+        &mut self,
+        query: &str,
+        over: &RunOverrides,
+    ) -> Result<Vec<Vec<u64>>, ParjError> {
+        self.finalize();
+        let ready = self.ready_or_err()?;
+        let (prepared, _, _) = Self::prepare_on(ready, query)?;
+        let Some((_tq, plans)) = prepared else {
+            return Ok(Vec::new());
+        };
+        let opts = Self::exec_options(&self.config, over);
+        Ok(plans
+            .iter()
+            .map(|plan| parj_join::shard_loads(&ready.store, plan, &opts, &ready.thresholds))
+            .collect())
+    }
+
+    /// Materialized execution returning dictionary ids (no term decode).
+    pub fn query_ids(&mut self, query: &str) -> Result<(Vec<Vec<Id>>, QueryRunStats), ParjError> {
+        self.query_ids_with(query, &RunOverrides::default())
+    }
+
+    /// [`Parj::query_ids`] with overrides.
+    pub fn query_ids_with(
+        &mut self,
+        query: &str,
+        over: &RunOverrides,
+    ) -> Result<(Vec<Vec<Id>>, QueryRunStats), ParjError> {
+        self.finalize();
+        self.query_ids_ref(query, over)
+    }
+
+    /// `&self` variant of [`Parj::query_ids_with`] (finalized engines).
+    pub fn query_ids_ref(
+        &self,
+        query: &str,
+        over: &RunOverrides,
+    ) -> Result<(Vec<Vec<Id>>, QueryRunStats), ParjError> {
+        let ready = self.ready_or_err()?;
+        let opts = Self::exec_options(&self.config, over);
+        let t0 = Instant::now();
+        let (prepared, _names, _limit) = Self::prepare_on(ready, query)?;
+        let prepare_micros = t0.elapsed().as_micros() as u64;
+        match prepared {
+            None => Ok((
+                Vec::new(),
+                QueryRunStats {
+                    prepare_micros,
+                    plan: "<empty: constant absent from data>".into(),
+                    ..Default::default()
+                },
+            )),
+            Some((tq, plans)) => Self::run_ids_on(&self.config, ready, opts, over.threads.is_some(), &tq, &plans, prepare_micros),
+        }
+    }
+
+    /// Full result handling (the paper's non-silent mode): rows decoded
+    /// through the dictionary into terms.
+    pub fn query(&mut self, query: &str) -> Result<QueryResult, ParjError> {
+        self.query_with(query, &RunOverrides::default())
+    }
+
+    /// [`Parj::query`] with overrides.
+    pub fn query_with(
+        &mut self,
+        query: &str,
+        over: &RunOverrides,
+    ) -> Result<QueryResult, ParjError> {
+        self.finalize();
+        self.query_ref(query, over)
+    }
+
+    /// `&self` variant of [`Parj::query_with`] (finalized engines).
+    pub fn query_ref(
+        &self,
+        query: &str,
+        over: &RunOverrides,
+    ) -> Result<QueryResult, ParjError> {
+        let ready = self.ready_or_err()?;
+        let opts = Self::exec_options(&self.config, over);
+        let t0 = Instant::now();
+        let (prepared, proj_names, _limit) = Self::prepare_on(ready, query)?;
+        let prepare_micros = t0.elapsed().as_micros() as u64;
+        let Some((tq, plans)) = prepared else {
+            return Ok(QueryResult {
+                vars: proj_names,
+                rows: Vec::new(),
+                stats: QueryRunStats {
+                    prepare_micros,
+                    plan: "<empty: constant absent from data>".into(),
+                    ..Default::default()
+                },
+            });
+        };
+        let (id_rows, mut stats) = Self::run_ids_on(&self.config, ready, opts, over.threads.is_some(), &tq, &plans, prepare_micros)?;
+        let t2 = Instant::now();
+        let mut rows = Vec::with_capacity(id_rows.len());
+        for id_row in id_rows {
+            let mut row = Vec::with_capacity(id_row.len());
+            for id in id_row {
+                row.push(
+                    ready
+                        .store
+                        .dict()
+                        .decode_resource(id)
+                        .expect("engine-produced ids are valid"),
+                );
+            }
+            rows.push(row);
+        }
+        stats.decode_micros += t2.elapsed().as_micros() as u64;
+        Ok(QueryResult {
+            vars: tq.proj_names.clone(),
+            rows,
+            stats,
+        })
+    }
+
+    /// Renders the optimized plan(s) for a query without executing it.
+    pub fn explain(&mut self, query: &str) -> Result<String, ParjError> {
+        self.finalize();
+        let ready = self.ready_or_err()?;
+        let (prepared, _, _) = Self::prepare_on(ready, query)?;
+        Ok(match prepared {
+            None => "<empty: constant absent from data>".to_string(),
+            Some((_, plans)) => plans
+                .iter()
+                .map(PhysicalPlan::explain)
+                .collect::<Vec<_>>()
+                .join("\n---\n"),
+        })
+    }
+
+    /// Executes the query single-threaded and renders an annotated plan:
+    /// per pipeline stage, the tuples that entered it and the search
+    /// decisions it made — the `EXPLAIN ANALYZE` counterpart of
+    /// [`Parj::explain`].
+    pub fn profile(&mut self, query: &str) -> Result<String, ParjError> {
+        use std::fmt::Write;
+        self.finalize();
+        let ready = self.ready_or_err()?;
+        let (prepared, _, _) = Self::prepare_on(ready, query)?;
+        let Some((_tq, plans)) = prepared else {
+            return Ok("<empty: constant absent from data>".to_string());
+        };
+        let opts = ExecOptions {
+            threads: 1,
+            ..Self::exec_options(&self.config, &RunOverrides::default())
+        };
+        let mut out = String::new();
+        for (pi, plan) in plans.iter().enumerate() {
+            if plans.len() > 1 {
+                writeln!(out, "-- union branch plan {pi} --").expect("write");
+            }
+            let prof = parj_join::execute_profiled(&ready.store, plan, &opts, &ready.thresholds);
+            for (si, line) in plan.explain().lines().enumerate() {
+                match si.checked_sub(1).and_then(|probe| prof.step_search.get(probe)) {
+                    None if si == 0 => {
+                        // Driver line.
+                        let fed = prof.rows.first().copied().unwrap_or(0);
+                        if prof.driver.group_probes > 0 {
+                            writeln!(
+                                out,
+                                "{line}   → {fed} rows ({} group checks)",
+                                prof.driver.group_probes
+                            )
+                            .expect("write");
+                        } else {
+                            writeln!(out, "{line}   → {fed} rows").expect("write");
+                        }
+                    }
+                    Some(st) => {
+                        let probe = si - 1;
+                        let rows_in = prof.rows.get(probe).copied().unwrap_or(0);
+                        let rows_out = prof.rows.get(probe + 1).copied().unwrap_or(0);
+                        writeln!(
+                            out,
+                            "{line}   ← {rows_in} probes ({} seq / {} bin / {} idx) → {rows_out} rows",
+                            st.sequential_searches, st.binary_searches, st.index_lookups
+                        )
+                        .expect("write");
+                    }
+                    None => {
+                        // Projection line.
+                        writeln!(out, "{line}   = {} result rows", prof.results())
+                            .expect("write");
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Saves a snapshot of the finalized store.
+    pub fn save_snapshot(&mut self, path: impl AsRef<Path>) -> Result<(), ParjError> {
+        self.finalize();
+        let ready = self.ready.as_ref().expect("finalized");
+        ready.store.save_snapshot(path)?;
+        Ok(())
+    }
+
+    /// Loads an engine from a snapshot, rebuilding statistics and
+    /// thresholds under `config`.
+    pub fn load_snapshot(
+        path: impl AsRef<Path>,
+        config: EngineConfig,
+    ) -> Result<Parj, ParjError> {
+        let store = TripleStore::load_snapshot(path)?;
+        let stats = Stats::build_with_buckets(&store, config.histogram_buckets);
+        let calibration = if config.calibrate {
+            calibrate(&store, &config.calibration)
+        } else {
+            CalibrationResult::paper_defaults()
+        };
+        let thresholds = ThresholdTable::from_calibration(&store, &calibration);
+        let hierarchy = config.reasoning.then(|| Hierarchy::extract(&store));
+        Ok(Parj {
+            config,
+            staged: None,
+            ready: Some(Ready {
+                store,
+                stats,
+                thresholds,
+                calibration,
+                hierarchy,
+            }),
+        })
+    }
+
+    /// Manually constructs an engine around an existing store (used by
+    /// the benchmark harness, which builds stores via the generators).
+    pub fn from_store(store: TripleStore, config: EngineConfig) -> Parj {
+        let stats = Stats::build_with_buckets(&store, config.histogram_buckets);
+        let calibration = if config.calibrate {
+            calibrate(&store, &config.calibration)
+        } else {
+            CalibrationResult::paper_defaults()
+        };
+        let thresholds = ThresholdTable::from_calibration(&store, &calibration);
+        let hierarchy = config.reasoning.then(|| Hierarchy::extract(&store));
+        Parj {
+            config,
+            staged: None,
+            ready: Some(Ready {
+                store,
+                stats,
+                thresholds,
+                calibration,
+                hierarchy,
+            }),
+        }
+    }
+}
+
+impl Default for Parj {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Parj {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Parj")
+            .field("config", &self.config)
+            .field("finalized", &self.ready.is_some())
+            .field(
+                "triples",
+                &self.ready.as_ref().map(|r| r.store.num_triples()),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DATA: &str = r#"
+<http://e/ProfA> <http://e/teaches> <http://e/Math> .
+<http://e/ProfA> <http://e/teaches> <http://e/Physics> .
+<http://e/ProfB> <http://e/teaches> <http://e/Chem> .
+<http://e/ProfC> <http://e/teaches> <http://e/Lit> .
+<http://e/ProfA> <http://e/worksFor> <http://e/U1> .
+<http://e/ProfB> <http://e/worksFor> <http://e/U2> .
+<http://e/ProfC> <http://e/worksFor> <http://e/U2> .
+<http://e/ProfA> <http://e/name> "Alice" .
+"#;
+
+    fn engine() -> Parj {
+        let mut e = Parj::builder().threads(2).build();
+        assert_eq!(e.load_ntriples_str(DATA).unwrap(), 8);
+        e.finalize();
+        e
+    }
+
+    #[test]
+    fn end_to_end_example_31() {
+        let mut e = engine();
+        let res = e
+            .query("SELECT ?x ?z ?y WHERE { ?x <http://e/teaches> ?z . ?x <http://e/worksFor> ?y }")
+            .unwrap();
+        assert_eq!(res.vars, vec!["x", "z", "y"]);
+        assert_eq!(res.rows.len(), 4);
+        assert!(res
+            .rows
+            .iter()
+            .any(|r| r[0] == Term::iri("http://e/ProfA") && r[1] == Term::iri("http://e/Physics")));
+    }
+
+    #[test]
+    fn end_to_end_example_32_filter() {
+        let mut e = engine();
+        let (count, stats) = e
+            .query_count(
+                "SELECT ?x ?z WHERE { ?x <http://e/teaches> ?z . ?x <http://e/worksFor> <http://e/U2> }",
+            )
+            .unwrap();
+        assert_eq!(count, 2);
+        assert!(stats.plan.contains("scan"));
+    }
+
+    #[test]
+    fn silent_vs_full_agree() {
+        let mut e = engine();
+        let q = "SELECT ?x ?y WHERE { ?x <http://e/worksFor> ?y }";
+        let (count, _) = e.query_count(q).unwrap();
+        let full = e.query(q).unwrap();
+        assert_eq!(count, full.rows.len() as u64);
+    }
+
+    #[test]
+    fn missing_constant_empty() {
+        let mut e = engine();
+        let (count, stats) = e
+            .query_count("SELECT ?x WHERE { ?x <http://e/teaches> <http://e/Nope> }")
+            .unwrap();
+        assert_eq!(count, 0);
+        assert!(stats.plan.contains("empty"));
+        let res = e
+            .query("SELECT ?x WHERE { ?x <http://e/nopred> ?y }")
+            .unwrap();
+        assert!(res.is_empty());
+        assert_eq!(res.vars, vec!["x"]);
+    }
+
+    #[test]
+    fn distinct_and_limit() {
+        let mut e = engine();
+        // Professors teaching anything: 3 distinct, 4 rows raw.
+        let q = "SELECT ?x WHERE { ?x <http://e/teaches> ?z }";
+        let (raw, _) = e.query_count(q).unwrap();
+        assert_eq!(raw, 4);
+        let q = "SELECT DISTINCT ?x WHERE { ?x <http://e/teaches> ?z }";
+        let (distinct, _) = e.query_count(q).unwrap();
+        assert_eq!(distinct, 3);
+        let q = "SELECT ?x WHERE { ?x <http://e/teaches> ?z } LIMIT 2";
+        let (limited, _) = e.query_count(q).unwrap();
+        assert_eq!(limited, 2);
+        let (rows, _) = e.query_ids(q).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn ask_query() {
+        let mut e = engine();
+        let (yes, _) = e
+            .query_count("ASK { <http://e/ProfA> <http://e/worksFor> <http://e/U1> }")
+            .unwrap();
+        assert_eq!(yes, 1);
+        let (no, _) = e
+            .query_count("ASK { <http://e/ProfA> <http://e/worksFor> <http://e/U2> }")
+            .unwrap();
+        assert_eq!(no, 0);
+    }
+
+    #[test]
+    fn predicate_variable_union() {
+        let mut e = engine();
+        // Everything about ProfA over any predicate: 2 teaches +
+        // 1 worksFor + 1 name = 4 triples.
+        let (count, _) = e
+            .query_count("SELECT ?o WHERE { <http://e/ProfA> ?p ?o }")
+            .unwrap();
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn literals_in_queries() {
+        let mut e = engine();
+        let (count, _) = e
+            .query_count(r#"SELECT ?x WHERE { ?x <http://e/name> "Alice" }"#)
+            .unwrap();
+        assert_eq!(count, 1);
+        let (count, _) = e
+            .query_count(r#"SELECT ?x WHERE { ?x <http://e/name> "Bob" }"#)
+            .unwrap();
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn overrides_thread_and_strategy() {
+        let mut e = engine();
+        let q = "SELECT ?x ?z WHERE { ?x <http://e/teaches> ?z . ?x <http://e/worksFor> ?y }";
+        let base = e.query_count(q).unwrap().0;
+        for strategy in ProbeStrategy::TABLE5 {
+            for threads in [1, 3, 8] {
+                let over = RunOverrides {
+                    threads: Some(threads),
+                    strategy: Some(strategy),
+                };
+                assert_eq!(e.query_count_with(q, &over).unwrap().0, base);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_load_after_finalize() {
+        let mut e = engine();
+        assert_eq!(e.num_triples(), 8);
+        e.add_triple(
+            &Term::iri("http://e/ProfD"),
+            &Term::iri("http://e/worksFor"),
+            &Term::iri("http://e/U1"),
+        );
+        let (count, _) = e
+            .query_count("SELECT ?x WHERE { ?x <http://e/worksFor> ?u }")
+            .unwrap();
+        assert_eq!(count, 4);
+        assert_eq!(e.num_triples(), 9);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_via_engine() {
+        let mut e = engine();
+        let dir = std::env::temp_dir().join(format!("parj-core-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.parj");
+        e.save_snapshot(&path).unwrap();
+        let mut back = Parj::load_snapshot(&path, EngineConfig::default()).unwrap();
+        let q = "SELECT ?x ?y WHERE { ?x <http://e/worksFor> ?y }";
+        assert_eq!(back.query_count(q).unwrap().0, e.query_count(q).unwrap().0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn explain_without_execution() {
+        let mut e = engine();
+        let text = e
+            .explain("SELECT ?x WHERE { ?x <http://e/teaches> ?z . ?x <http://e/worksFor> <http://e/U2> }")
+            .unwrap();
+        assert!(text.contains("scan"));
+        assert!(text.contains("probe"));
+    }
+
+    #[test]
+    fn profile_annotates_the_plan() {
+        let mut e = engine();
+        let text = e
+            .profile("SELECT ?x ?z WHERE { ?x <http://e/teaches> ?z . ?x <http://e/worksFor> <http://e/U2> }")
+            .unwrap();
+        // Driver row count, probe search counts and the result total all
+        // appear.
+        assert!(text.contains("→ 2 rows"), "{text}");
+        assert!(text.contains("probes ("), "{text}");
+        assert!(text.contains("= 2 result rows"), "{text}");
+        // Union plans are labelled per branch.
+        let text = e
+            .profile("SELECT ?x WHERE { { ?x <http://e/teaches> ?y } UNION { ?x <http://e/worksFor> ?y } }")
+            .unwrap();
+        assert!(text.contains("union branch plan 0"), "{text}");
+        assert!(text.contains("union branch plan 1"), "{text}");
+    }
+
+    #[test]
+    fn query_on_empty_engine() {
+        let mut e = Parj::new();
+        let res = e.query("SELECT ?s WHERE { ?s ?p ?o }").unwrap();
+        assert!(res.is_empty());
+    }
+
+    /// Ontology + data for the §6 reasoning extension tests.
+    const ONTOLOGY: &str = r#"
+<http://e/GradStudent> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <http://e/Student> .
+<http://e/Student> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <http://e/Person> .
+<http://e/Prof> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <http://e/Person> .
+<http://e/advisor> <http://www.w3.org/2000/01/rdf-schema#subPropertyOf> <http://e/knows> .
+<http://e/alice> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://e/GradStudent> .
+<http://e/alice> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://e/Student> .
+<http://e/bob> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://e/Prof> .
+<http://e/carol> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://e/Person> .
+<http://e/alice> <http://e/advisor> <http://e/bob> .
+<http://e/bob> <http://e/knows> <http://e/carol> .
+"#;
+
+    fn reasoning_engine(on: bool) -> Parj {
+        let mut e = Parj::builder().threads(2).rdfs_reasoning(on).build();
+        e.load_ntriples_str(ONTOLOGY).unwrap();
+        e.finalize();
+        e
+    }
+
+    #[test]
+    fn reasoning_subclass_union() {
+        let q = "SELECT ?x WHERE { ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://e/Person> }";
+        // Without reasoning only the direct assertion matches.
+        let mut plain = reasoning_engine(false);
+        assert_eq!(plain.query_count(q).unwrap().0, 1); // carol
+        // With reasoning: alice (GradStudent ⊑ Student ⊑ Person), bob
+        // (Prof ⊑ Person), carol — and alice only ONCE although she is
+        // typed under two subclasses (entailment dedup).
+        let mut smart = reasoning_engine(true);
+        assert_eq!(smart.query_count(q).unwrap().0, 3);
+        let res = smart.query(q).unwrap();
+        let mut names: Vec<String> = res.rows.iter().map(|r| r[0].to_string()).collect();
+        names.sort();
+        assert_eq!(
+            names,
+            vec!["<http://e/alice>", "<http://e/bob>", "<http://e/carol>"]
+        );
+    }
+
+    #[test]
+    fn reasoning_subproperty_union() {
+        let q = "SELECT ?a ?b WHERE { ?a <http://e/knows> ?b }";
+        let mut plain = reasoning_engine(false);
+        assert_eq!(plain.query_count(q).unwrap().0, 1); // bob knows carol
+        let mut smart = reasoning_engine(true);
+        // advisor ⊑ knows adds alice→bob.
+        assert_eq!(smart.query_count(q).unwrap().0, 2);
+    }
+
+    #[test]
+    fn reasoning_matches_materialization_oracle() {
+        // Forward-chain the closure by hand, load it into a plain
+        // engine, and compare DISTINCT results with the reasoning
+        // engine on the original data.
+        let mut materialized = Parj::builder().threads(1).build();
+        materialized.load_ntriples_str(ONTOLOGY).unwrap();
+        // Manual closure for this ontology:
+        for (s, c) in [
+            ("alice", "Student"), // from GradStudent (already asserted too)
+            ("alice", "Person"),
+            ("bob", "Person"),
+        ] {
+            materialized.add_triple(
+                &Term::iri(format!("http://e/{s}")),
+                &Term::iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
+                &Term::iri(format!("http://e/{c}")),
+            );
+        }
+        materialized.add_triple(
+            &Term::iri("http://e/alice"),
+            &Term::iri("http://e/knows"),
+            &Term::iri("http://e/bob"),
+        );
+        let mut smart = reasoning_engine(true);
+        for q in [
+            "SELECT ?x WHERE { ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://e/Person> }",
+            "SELECT ?x WHERE { ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://e/Student> }",
+            "SELECT ?a ?b WHERE { ?a <http://e/knows> ?b }",
+            "SELECT ?a ?c WHERE { ?a <http://e/knows> ?b . ?b <http://e/knows> ?c }",
+        ] {
+            let (expect, _) = materialized.query_count(q).unwrap();
+            let (got, _) = smart.query_count(q).unwrap();
+            assert_eq!(got, expect, "{q}");
+        }
+    }
+
+    #[test]
+    fn reasoning_preserves_limit_and_threads() {
+        let mut smart = reasoning_engine(true);
+        let q = "SELECT ?x WHERE { ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://e/Person> } LIMIT 2";
+        assert_eq!(smart.query_count(q).unwrap().0, 2);
+        for threads in [1, 4] {
+            let over = RunOverrides::threads(threads);
+            let q = "SELECT ?x WHERE { ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://e/Person> }";
+            assert_eq!(smart.query_count_with(q, &over).unwrap().0, 3);
+        }
+    }
+
+    #[test]
+    fn union_queries() {
+        let mut e = engine();
+        // teaches ∪ worksFor: 4 + 3 rows, multiset semantics.
+        let q = "SELECT ?x ?y WHERE { \
+                 { ?x <http://e/teaches> ?y } UNION { ?x <http://e/worksFor> ?y } }";
+        let (count, _) = e.query_count(q).unwrap();
+        assert_eq!(count, 7);
+        let res = e.query(q).unwrap();
+        assert_eq!(res.rows.len(), 7);
+
+        // Overlapping branches keep duplicates (multiset union)…
+        let q = "SELECT ?x WHERE { \
+                 { ?x <http://e/teaches> ?z } UNION { ?x <http://e/teaches> ?z } }";
+        assert_eq!(e.query_count(q).unwrap().0, 8);
+        // …unless DISTINCT.
+        let q = "SELECT DISTINCT ?x WHERE { \
+                 { ?x <http://e/teaches> ?z } UNION { ?x <http://e/teaches> ?z } }";
+        assert_eq!(e.query_count(q).unwrap().0, 3);
+
+        // A branch with a missing constant contributes nothing; the
+        // other still answers.
+        let q = "SELECT ?x WHERE { \
+                 { ?x <http://e/teaches> <http://e/Nope> } UNION { ?x <http://e/worksFor> <http://e/U2> } }";
+        assert_eq!(e.query_count(q).unwrap().0, 2);
+
+        // A projected variable unbound in one branch is rejected.
+        let q = "SELECT ?y WHERE { \
+                 { ?x <http://e/teaches> ?y } UNION { ?x <http://e/worksFor> ?z } }";
+        assert!(matches!(e.query(q), Err(ParjError::Unsupported(_))));
+
+        // Joins inside branches work.
+        let q = "SELECT ?x ?c WHERE { \
+                 { ?x <http://e/teaches> ?c . ?x <http://e/worksFor> <http://e/U1> } \
+                 UNION { ?x <http://e/teaches> ?c . ?x <http://e/worksFor> <http://e/U2> } }";
+        assert_eq!(e.query_count(q).unwrap().0, 4);
+    }
+
+    #[test]
+    fn union_with_reasoning_dedups_per_branch() {
+        let mut smart = reasoning_engine(true);
+        // Within one branch alice's double typing (GradStudent+Student)
+        // dedups; the identical second branch re-contributes every
+        // solution (multiset union).
+        let person = "SELECT ?x WHERE { \
+            { ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://e/Person> } \
+            UNION \
+            { ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://e/Person> } }";
+        assert_eq!(smart.query_count(person).unwrap().0, 6); // 3 + 3
+    }
+
+    #[test]
+    fn order_by_and_offset() {
+        let mut e = engine();
+        // Professors ordered by IRI ascending.
+        let res = e
+            .query("SELECT ?x WHERE { ?x <http://e/worksFor> ?u } ORDER BY ?x")
+            .unwrap();
+        let names: Vec<String> = res.rows.iter().map(|r| r[0].to_string()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        assert_eq!(names.len(), 3);
+
+        // DESC reverses.
+        let res = e
+            .query("SELECT ?x WHERE { ?x <http://e/worksFor> ?u } ORDER BY DESC(?x)")
+            .unwrap();
+        let desc: Vec<String> = res.rows.iter().map(|r| r[0].to_string()).collect();
+        assert_eq!(desc, sorted.iter().rev().cloned().collect::<Vec<_>>());
+
+        // ORDER BY a non-projected variable forces full-width rows.
+        let res = e
+            .query("SELECT ?x WHERE { ?x <http://e/worksFor> ?u } ORDER BY ?u ?x")
+            .unwrap();
+        assert_eq!(res.rows.len(), 3);
+        assert_eq!(res.vars, vec!["x"]);
+
+        // OFFSET slices after ordering; pagination covers everything.
+        let page1 = e
+            .query("SELECT ?x WHERE { ?x <http://e/worksFor> ?u } ORDER BY ?x LIMIT 2")
+            .unwrap();
+        let page2 = e
+            .query("SELECT ?x WHERE { ?x <http://e/worksFor> ?u } ORDER BY ?x OFFSET 2 LIMIT 2")
+            .unwrap();
+        assert_eq!(page1.rows.len(), 2);
+        assert_eq!(page2.rows.len(), 1);
+        let mut all: Vec<String> = page1
+            .rows
+            .iter()
+            .chain(&page2.rows)
+            .map(|r| r[0].to_string())
+            .collect();
+        assert_eq!(all, sorted);
+        all.dedup();
+        assert_eq!(all.len(), 3);
+
+        // Silent-mode count honors OFFSET without materializing.
+        let (count, _) = e
+            .query_count("SELECT ?x WHERE { ?x <http://e/teaches> ?z } OFFSET 3")
+            .unwrap();
+        assert_eq!(count, 1); // 4 teaching rows - 3
+
+        // DISTINCT preserves requested order.
+        let res = e
+            .query("SELECT DISTINCT ?x WHERE { ?x <http://e/teaches> ?z } ORDER BY DESC(?x)")
+            .unwrap();
+        let names: Vec<String> = res.rows.iter().map(|r| r[0].to_string()).collect();
+        let mut check = names.clone();
+        check.sort();
+        check.reverse();
+        assert_eq!(names, check);
+        assert_eq!(names.len(), 3);
+    }
+
+    #[test]
+    fn sparql_errors_surface() {
+        let mut e = engine();
+        assert!(matches!(
+            e.query("SELECT ?x WHERE { OPTIONAL { ?x ?p ?o } }"),
+            Err(ParjError::Sparql(_))
+        ));
+        assert!(matches!(
+            e.query("SELECT ?p WHERE { ?x ?p ?o }"),
+            Err(ParjError::Unsupported(_))
+        ));
+    }
+}

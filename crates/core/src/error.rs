@@ -1,0 +1,92 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Anything that can go wrong between a query string and its results.
+#[derive(Debug)]
+pub enum ParjError {
+    /// SPARQL lex/parse failure.
+    Sparql(parj_sparql::SparqlError),
+    /// RDF data parse failure.
+    Rio(parj_rio::ParseError),
+    /// Join-order optimization failure (e.g. cartesian product).
+    Optimize(parj_optimizer::OptimizeError),
+    /// Plan validation failure (internal invariant).
+    Plan(parj_join::PlanError),
+    /// Snapshot persistence failure.
+    Snapshot(parj_store::SnapshotError),
+    /// I/O failure.
+    Io(std::io::Error),
+    /// Query uses a feature the engine rejects, with an explanation.
+    Unsupported(String),
+    /// A `&self` query path was used on an engine that has staged,
+    /// un-finalized data; call [`crate::Parj::finalize`] first.
+    NotFinalized,
+}
+
+impl fmt::Display for ParjError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParjError::Sparql(e) => write!(f, "{e}"),
+            ParjError::Rio(e) => write!(f, "RDF parse error: {e}"),
+            ParjError::Optimize(e) => write!(f, "optimizer error: {e}"),
+            ParjError::Plan(e) => write!(f, "plan error: {e}"),
+            ParjError::Snapshot(e) => write!(f, "{e}"),
+            ParjError::Io(e) => write!(f, "I/O error: {e}"),
+            ParjError::Unsupported(m) => write!(f, "unsupported query: {m}"),
+            ParjError::NotFinalized => {
+                write!(f, "engine not finalized; call finalize() before &self queries")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParjError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParjError::Sparql(e) => Some(e),
+            ParjError::Rio(e) => Some(e),
+            ParjError::Optimize(e) => Some(e),
+            ParjError::Plan(e) => Some(e),
+            ParjError::Snapshot(e) => Some(e),
+            ParjError::Io(e) => Some(e),
+            ParjError::Unsupported(_) | ParjError::NotFinalized => None,
+        }
+    }
+}
+
+impl From<parj_sparql::SparqlError> for ParjError {
+    fn from(e: parj_sparql::SparqlError) -> Self {
+        ParjError::Sparql(e)
+    }
+}
+
+impl From<parj_rio::ParseError> for ParjError {
+    fn from(e: parj_rio::ParseError) -> Self {
+        ParjError::Rio(e)
+    }
+}
+
+impl From<parj_optimizer::OptimizeError> for ParjError {
+    fn from(e: parj_optimizer::OptimizeError) -> Self {
+        ParjError::Optimize(e)
+    }
+}
+
+impl From<parj_join::PlanError> for ParjError {
+    fn from(e: parj_join::PlanError) -> Self {
+        ParjError::Plan(e)
+    }
+}
+
+impl From<parj_store::SnapshotError> for ParjError {
+    fn from(e: parj_store::SnapshotError) -> Self {
+        ParjError::Snapshot(e)
+    }
+}
+
+impl From<std::io::Error> for ParjError {
+    fn from(e: std::io::Error) -> Self {
+        ParjError::Io(e)
+    }
+}

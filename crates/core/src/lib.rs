@@ -1,0 +1,72 @@
+//! # parj-core — PARJ: Parallel Adaptive RDF Joins
+//!
+//! The public engine API of this reproduction of *"Scalable
+//! Parallelization of RDF Joins on Multicore Architectures"* (Bilidas &
+//! Koubarakis, EDBT 2019). It wires together the workspace substrates:
+//!
+//! | layer | crate |
+//! |---|---|
+//! | dictionary encoding | `parj-dict` |
+//! | N-Triples I/O | `parj-rio` |
+//! | vertical partitions, S-O/O-S replicas, ID-to-Position index | `parj-store` |
+//! | adaptive join, calibration, parallel executor | `parj-join` |
+//! | SPARQL BGP parsing | `parj-sparql` |
+//! | statistics + DP join ordering | `parj-optimizer` |
+//!
+//! ## Lifecycle
+//!
+//! 1. build an engine ([`Parj::builder`]) — thread count, probe
+//!    strategy, index options;
+//! 2. load data ([`Parj::load_ntriples_str`], [`Parj::add_triple`], or a
+//!    snapshot);
+//! 3. [`Parj::finalize`] — builds partitions, statistics, and runs the
+//!    calibration of Algorithm 2 (or adopts the paper's default
+//!    windows);
+//! 4. query: [`Parj::query`] (full result handling: decoded terms),
+//!    [`Parj::query_ids`] (materialized ids), or [`Parj::query_count`]
+//!    (the paper's "silent mode").
+//!
+//! ```
+//! use parj_core::Parj;
+//!
+//! let mut engine = Parj::builder().threads(2).build();
+//! engine.load_ntriples_str(r#"
+//!     <http://e/ProfA> <http://e/teaches> <http://e/Math> .
+//!     <http://e/ProfA> <http://e/worksFor> <http://e/U1> .
+//!     <http://e/ProfB> <http://e/teaches> <http://e/Chem> .
+//!     <http://e/ProfB> <http://e/worksFor> <http://e/U2> .
+//! "#).unwrap();
+//! engine.finalize();
+//! let res = engine.query(
+//!     "SELECT ?x ?y WHERE { ?x <http://e/teaches> ?z . ?x <http://e/worksFor> ?y . }"
+//! ).unwrap();
+//! assert_eq!(res.rows.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+mod hierarchy;
+mod error;
+mod result;
+mod shared;
+mod translate;
+
+pub use engine::{EngineConfig, Parj, ParjBuilder, RunOverrides};
+pub use error::ParjError;
+pub use hierarchy::{Hierarchy, RDFS_SUBCLASSOF, RDFS_SUBPROPERTYOF, RDF_TYPE};
+pub use result::{QueryResult, QueryRunStats};
+pub use shared::SharedParj;
+pub use translate::{TranslatedQuery, Translation};
+
+// Re-export the workspace vocabulary so downstream users need only this
+// crate.
+pub use parj_dict::{Dictionary, EncodedTriple, Id, Term};
+pub use parj_join::{
+    CalibrationConfig, CalibrationResult, ExecOptions, PhysicalPlan, ProbeStrategy, SearchStats,
+    ThresholdTable,
+};
+pub use parj_optimizer::Stats;
+pub use parj_rio::{parse_ntriples_str, NTriplesParser};
+pub use parj_sparql::{parse_query, ParsedQuery, STerm, TriplePattern};
+pub use parj_store::{SortOrder, StoreOptions, TripleStore};

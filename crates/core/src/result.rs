@@ -1,0 +1,71 @@
+//! Query result and run-statistics types.
+
+use parj_dict::Term;
+use parj_join::SearchStats;
+
+/// Timing and counter record for one query run.
+///
+/// `prepare_micros` covers parsing, translation and optimization — the
+/// component the paper notes "cannot be avoided in multi-threaded
+/// execution" and which dominates very simple queries (§5.2.3, query
+/// S1). `exec_micros` is pure join time, the quantity the paper's
+/// tables report in silent mode.
+#[derive(Debug, Clone, Default)]
+pub struct QueryRunStats {
+    /// Parse + translate + optimize wall time, microseconds.
+    pub prepare_micros: u64,
+    /// Join execution wall time, microseconds.
+    pub exec_micros: u64,
+    /// Result decode / aggregation wall time, microseconds (zero in
+    /// silent mode).
+    pub decode_micros: u64,
+    /// Merged search counters from all workers.
+    pub search: SearchStats,
+    /// Result rows produced (pre-LIMIT count in silent mode).
+    pub rows: u64,
+    /// `explain` text of the executed plan(s).
+    pub plan: String,
+}
+
+impl QueryRunStats {
+    /// Total wall time in microseconds.
+    pub fn total_micros(&self) -> u64 {
+        self.prepare_micros + self.exec_micros + self.decode_micros
+    }
+}
+
+/// A fully-materialized query result (the paper's "full result handling"
+/// mode: rows decoded through the dictionary).
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Projected variable names, in output order.
+    pub vars: Vec<String>,
+    /// Result rows of decoded terms (row-major, `vars.len()` per row).
+    pub rows: Vec<Vec<Term>>,
+    /// Run statistics.
+    pub stats: QueryRunStats,
+}
+
+impl QueryResult {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders a compact table (for examples and debugging).
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(out, "{}", self.vars.join("\t")).expect("write");
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|t| t.to_string()).collect();
+            writeln!(out, "{}", cells.join("\t")).expect("write");
+        }
+        out
+    }
+}

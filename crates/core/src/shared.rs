@@ -1,0 +1,130 @@
+//! A thread-safe engine handle for serving workloads.
+//!
+//! [`Parj`]'s query methods take `&mut self` because they finalize
+//! lazily (and rebuild after updates). A server embedding the engine
+//! wants the opposite shape: many reader threads issuing queries
+//! concurrently, occasional writers loading data. [`SharedParj`] wraps
+//! a finalized engine in a `parking_lot::RwLock` with query paths that
+//! take `&self` under a read lock — multiple queries proceed truly in
+//! parallel (the store itself is immutable and PARJ's workers need no
+//! synchronization; the lock only fences out rebuilds).
+
+use parking_lot::RwLock;
+
+use parj_dict::Term;
+
+use crate::engine::{Parj, RunOverrides};
+use crate::error::ParjError;
+use crate::result::{QueryResult, QueryRunStats};
+
+/// Thread-safe, shareable engine handle. Cheap to share by reference
+/// (`&SharedParj` is `Send + Sync`); clone an `Arc<SharedParj>` to share
+/// across ownership boundaries.
+pub struct SharedParj {
+    inner: RwLock<Parj>,
+}
+
+impl SharedParj {
+    /// Wraps an engine, finalizing it first so reads never need the
+    /// write lock.
+    pub fn new(mut engine: Parj) -> Self {
+        engine.finalize();
+        SharedParj {
+            inner: RwLock::new(engine),
+        }
+    }
+
+    /// Full result handling under a read lock: any number of callers
+    /// run concurrently.
+    pub fn query(&self, query: &str) -> Result<QueryResult, ParjError> {
+        self.inner.read().query_ref(query, &RunOverrides::default())
+    }
+
+    /// Silent-mode count under a read lock.
+    pub fn query_count(&self, query: &str) -> Result<(u64, QueryRunStats), ParjError> {
+        self.inner
+            .read()
+            .query_count_ref(query, &RunOverrides::default())
+    }
+
+    /// Silent-mode count with overrides, under a read lock.
+    pub fn query_count_with(
+        &self,
+        query: &str,
+        over: &RunOverrides,
+    ) -> Result<(u64, QueryRunStats), ParjError> {
+        self.inner.read().query_count_ref(query, over)
+    }
+
+    /// Applies updates (triple additions) under the write lock; the
+    /// store rebuilds once on the next query.
+    pub fn update<R>(&self, f: impl FnOnce(&mut Parj) -> R) -> R {
+        let mut guard = self.inner.write();
+        let r = f(&mut guard);
+        guard.finalize();
+        r
+    }
+
+    /// Adds a triple (convenience for [`SharedParj::update`]).
+    pub fn add_triple(&self, s: &Term, p: &Term, o: &Term) {
+        self.update(|e| e.add_triple(s, p, o));
+    }
+
+    /// Number of stored triples.
+    pub fn num_triples(&self) -> usize {
+        self.inner.write().num_triples()
+    }
+
+    /// Unwraps the inner engine.
+    pub fn into_inner(self) -> Parj {
+        self.inner.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn engine() -> Parj {
+        let mut e = Parj::builder().threads(1).build();
+        e.load_ntriples_str(
+            "<http://e/a> <http://e/p> <http://e/b> .\n\
+             <http://e/b> <http://e/p> <http://e/c> .\n",
+        )
+        .unwrap();
+        e
+    }
+
+    #[test]
+    fn concurrent_queries() {
+        let shared = Arc::new(SharedParj::new(engine()));
+        let q = "SELECT ?x ?z WHERE { ?x <http://e/p> ?y . ?y <http://e/p> ?z }";
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let s = Arc::clone(&shared);
+                let q = q.to_string();
+                std::thread::spawn(move || s.query_count(&q).unwrap().0)
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn interleaved_updates_and_queries() {
+        let shared = SharedParj::new(engine());
+        let q = "SELECT ?x WHERE { ?x <http://e/p> ?y }";
+        assert_eq!(shared.query_count(q).unwrap().0, 2);
+        shared.add_triple(
+            &Term::iri("http://e/c"),
+            &Term::iri("http://e/p"),
+            &Term::iri("http://e/a"),
+        );
+        assert_eq!(shared.query_count(q).unwrap().0, 3);
+        assert_eq!(shared.num_triples(), 3);
+        let inner = shared.into_inner();
+        assert!(inner.is_finalized());
+    }
+}

@@ -1,0 +1,126 @@
+//! # parj-datagen — benchmark data and query generators
+//!
+//! Deterministic, laptop-scale substitutes for the two benchmark suites
+//! the PARJ paper evaluates on (§5):
+//!
+//! * [`lubm`] — a university-domain generator mirroring the **Lehigh
+//!   University Benchmark** structure (universities → departments →
+//!   faculty/students/courses, 17 predicates like the paper reports for
+//!   LUBM 10240) together with analogues of the queries **LUBM1–LUBM7**
+//!   (the seven commonly used without reasoning, from the Trinity.RDF
+//!   evaluation) and **LUBM8–LUBM10** (the three extra queries from the
+//!   dynamic-exchange paper).
+//! * [`watdiv`] — an e-commerce/social generator mirroring the
+//!   **Waterloo SPARQL Diversity Test Suite** entity mix (users,
+//!   products, reviews, retailers…) with the basic workload classes
+//!   **L/S/F/C** and the extended **IL-1/2/3** (incremental linear) and
+//!   **ML-1/2** (mixed linear) workloads of lengths 5–10.
+//!
+//! The real generators are Java programs with closed seeds; what the
+//! paper's experiments depend on is the *shape* of the data — dense
+//! subject ranges per predicate (dictionary order correlates with
+//! generation order, which PARJ's sequential-search mode exploits),
+//! skewed fan-outs, and the selectivity classes of the query templates.
+//! Both generators here are seeded and deterministic: the same config
+//! always produces the identical triple set, so experiments are
+//! reproducible bit-for-bit.
+//!
+//! ```
+//! use parj_datagen::lubm;
+//!
+//! let store = lubm::generate_store(&lubm::LubmConfig { universities: 1, seed: 7 });
+//! assert!(store.num_triples() > 1_000);
+//! assert_eq!(store.num_predicates(), 17);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod lubm;
+pub mod watdiv;
+
+/// A benchmark query: a stable name (e.g. `LUBM2`, `IL-3-7`), the
+/// workload group it reports under, and its SPARQL text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamedQuery {
+    /// Stable identifier used in tables (e.g. `LUBM2`, `S3`, `ML-1-7`).
+    pub name: String,
+    /// Reporting group (e.g. `LUBM`, `L`, `S`, `F`, `C`, `IL-1`…).
+    pub group: String,
+    /// The SPARQL text (absolute IRIs; parses with `parj-sparql`).
+    pub sparql: String,
+}
+
+impl NamedQuery {
+    pub(crate) fn new(
+        name: impl Into<String>,
+        group: impl Into<String>,
+        sparql: impl Into<String>,
+    ) -> Self {
+        NamedQuery {
+            name: name.into(),
+            group: group.into(),
+            sparql: sparql.into(),
+        }
+    }
+}
+
+/// A minimal deterministic PRNG (splitmix64) used by both generators.
+/// `rand`'s `StdRng` is also seeded where distributions are needed; this
+/// one is for cheap structural decisions where reproducibility across
+/// `rand` versions matters most.
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform in `[lo, hi]`.
+    #[inline]
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below(hi - lo + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn range_bounds() {
+        let mut r = SplitMix64::new(1);
+        for _ in 0..1000 {
+            let x = r.range(3, 7);
+            assert!((3..=7).contains(&x));
+        }
+    }
+}

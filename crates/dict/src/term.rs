@@ -1,0 +1,307 @@
+//! RDF term model and its canonical single-string encoding used as the
+//! dictionary key.
+
+use std::fmt;
+
+/// Canonical keys for two-part literals are length-prefixed:
+/// `l<len>:<lang><lexical>` / `T<len>:<datatype><lexical>`, where `<len>`
+/// is the decimal byte length of the lang/datatype component. This is
+/// unambiguous for *arbitrary* component content (even content containing
+/// separators or digits), which matters because the dictionary must
+/// round-trip whatever the parser accepted.
+fn split_len_prefixed(rest: &str) -> Option<(&str, &str)> {
+    let colon = rest.find(':')?;
+    let len: usize = rest[..colon].parse().ok()?;
+    let body = &rest[colon + 1..];
+    if len <= body.len() && body.is_char_boundary(len) {
+        Some((&body[..len], &body[len..]))
+    } else {
+        None
+    }
+}
+
+/// An RDF term: IRI, blank node, or literal.
+///
+/// Literals carry an optional language tag (for `rdf:langString`) or an
+/// optional datatype IRI; a literal with neither is a plain
+/// `xsd:string`. Terms order lexicographically on their canonical key,
+/// which gives a deterministic total order used by tests and snapshots.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// An IRI reference, stored without the surrounding `<` `>`.
+    Iri(String),
+    /// A blank node label, stored without the leading `_:`.
+    BlankNode(String),
+    /// A literal value.
+    Literal {
+        /// The lexical form (unescaped).
+        lexical: String,
+        /// Language tag, if any (mutually exclusive with `datatype`).
+        lang: Option<String>,
+        /// Datatype IRI, if any.
+        datatype: Option<String>,
+    },
+}
+
+/// Error produced when decoding a malformed canonical key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TermParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for TermParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid canonical term key: {}", self.message)
+    }
+}
+
+impl std::error::Error for TermParseError {}
+
+impl Term {
+    /// Creates an IRI term.
+    pub fn iri(iri: impl Into<String>) -> Self {
+        Term::Iri(iri.into())
+    }
+
+    /// Creates a blank node term from its label (without `_:`).
+    pub fn blank(label: impl Into<String>) -> Self {
+        Term::BlankNode(label.into())
+    }
+
+    /// Creates a plain (`xsd:string`) literal.
+    pub fn literal(lexical: impl Into<String>) -> Self {
+        Term::Literal {
+            lexical: lexical.into(),
+            lang: None,
+            datatype: None,
+        }
+    }
+
+    /// Creates a language-tagged literal.
+    pub fn lang_literal(lexical: impl Into<String>, lang: impl Into<String>) -> Self {
+        Term::Literal {
+            lexical: lexical.into(),
+            lang: Some(lang.into()),
+            datatype: None,
+        }
+    }
+
+    /// Creates a typed literal.
+    pub fn typed_literal(lexical: impl Into<String>, datatype: impl Into<String>) -> Self {
+        Term::Literal {
+            lexical: lexical.into(),
+            lang: None,
+            datatype: Some(datatype.into()),
+        }
+    }
+
+    /// Returns the IRI string if this term is an IRI.
+    pub fn as_iri(&self) -> Option<&str> {
+        match self {
+            Term::Iri(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Returns the lexical form if this term is a literal.
+    pub fn as_literal(&self) -> Option<&str> {
+        match self {
+            Term::Literal { lexical, .. } => Some(lexical),
+            _ => None,
+        }
+    }
+
+    /// True if this term is a literal. Literals may only appear in the
+    /// object position of a triple.
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal { .. })
+    }
+
+    /// Encodes the term into the canonical single-string key stored in
+    /// the dictionary arena. Inverse of [`Term::from_canonical_key`].
+    pub fn canonical_key(&self) -> String {
+        let mut out = String::new();
+        self.write_canonical_key(&mut out);
+        out
+    }
+
+    /// Appends the canonical key onto `out` (allocation-reuse variant of
+    /// [`Term::canonical_key`]).
+    pub fn write_canonical_key(&self, out: &mut String) {
+        match self {
+            Term::Iri(iri) => {
+                out.push('I');
+                out.push_str(iri);
+            }
+            Term::BlankNode(label) => {
+                out.push('B');
+                out.push_str(label);
+            }
+            Term::Literal {
+                lexical,
+                lang: Some(lang),
+                ..
+            } => {
+                out.push('l');
+                out.push_str(&lang.len().to_string());
+                out.push(':');
+                out.push_str(lang);
+                out.push_str(lexical);
+            }
+            Term::Literal {
+                lexical,
+                datatype: Some(dt),
+                ..
+            } => {
+                out.push('T');
+                out.push_str(&dt.len().to_string());
+                out.push(':');
+                out.push_str(dt);
+                out.push_str(lexical);
+            }
+            Term::Literal { lexical, .. } => {
+                out.push('L');
+                out.push_str(lexical);
+            }
+        }
+    }
+
+    /// Decodes a canonical key produced by [`Term::canonical_key`].
+    pub fn from_canonical_key(key: &str) -> Result<Self, TermParseError> {
+        let mut chars = key.chars();
+        let tag = chars.next().ok_or_else(|| TermParseError {
+            message: "empty key".to_string(),
+        })?;
+        let rest = chars.as_str();
+        match tag {
+            'I' => Ok(Term::Iri(rest.to_string())),
+            'B' => Ok(Term::BlankNode(rest.to_string())),
+            'L' => Ok(Term::literal(rest)),
+            'l' => {
+                let (lang, lexical) = split_len_prefixed(rest).ok_or_else(|| TermParseError {
+                    message: "lang literal key missing length prefix".to_string(),
+                })?;
+                Ok(Term::lang_literal(lexical, lang))
+            }
+            'T' => {
+                let (dt, lexical) = split_len_prefixed(rest).ok_or_else(|| TermParseError {
+                    message: "typed literal key missing length prefix".to_string(),
+                })?;
+                Ok(Term::typed_literal(lexical, dt))
+            }
+            other => Err(TermParseError {
+                message: format!("unknown tag character {other:?}"),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    /// Formats the term in N-Triples syntax (with escaping).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(iri) => write!(f, "<{iri}>"),
+            Term::BlankNode(label) => write!(f, "_:{label}"),
+            Term::Literal {
+                lexical,
+                lang,
+                datatype,
+            } => {
+                f.write_str("\"")?;
+                for c in lexical.chars() {
+                    match c {
+                        '"' => f.write_str("\\\"")?,
+                        '\\' => f.write_str("\\\\")?,
+                        '\n' => f.write_str("\\n")?,
+                        '\r' => f.write_str("\\r")?,
+                        '\t' => f.write_str("\\t")?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                f.write_str("\"")?;
+                if let Some(lang) = lang {
+                    write!(f, "@{lang}")?;
+                } else if let Some(dt) = datatype {
+                    write!(f, "^^<{dt}>")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(t: &Term) {
+        let key = t.canonical_key();
+        let back = Term::from_canonical_key(&key).expect("decodable");
+        assert_eq!(&back, t, "roundtrip failed for key {key:?}");
+    }
+
+    #[test]
+    fn canonical_roundtrips() {
+        roundtrip(&Term::iri("http://example.org/x"));
+        roundtrip(&Term::iri(""));
+        roundtrip(&Term::blank("b0"));
+        roundtrip(&Term::literal("hello world"));
+        roundtrip(&Term::literal(""));
+        roundtrip(&Term::literal("with \u{1F} separator inside"));
+        roundtrip(&Term::lang_literal("bonjour", "fr"));
+        roundtrip(&Term::lang_literal("", "en-US"));
+        roundtrip(&Term::typed_literal(
+            "42",
+            "http://www.w3.org/2001/XMLSchema#integer",
+        ));
+    }
+
+    #[test]
+    fn distinct_terms_have_distinct_keys() {
+        let terms = [
+            Term::iri("x"),
+            Term::blank("x"),
+            Term::literal("x"),
+            Term::lang_literal("x", "en"),
+            Term::typed_literal("x", "http://dt"),
+            Term::lang_literal("", "enx"), // must not collide with lang "en", lex "x"
+        ];
+        for (i, a) in terms.iter().enumerate() {
+            for (j, b) in terms.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a.canonical_key(), b.canonical_key(), "{a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_keys() {
+        assert!(Term::from_canonical_key("").is_err());
+        assert!(Term::from_canonical_key("Zoops").is_err());
+        assert!(Term::from_canonical_key("lno-separator").is_err());
+        assert!(Term::from_canonical_key("Tno-separator").is_err());
+    }
+
+    #[test]
+    fn display_ntriples() {
+        assert_eq!(Term::iri("http://e/x").to_string(), "<http://e/x>");
+        assert_eq!(Term::blank("b1").to_string(), "_:b1");
+        assert_eq!(Term::literal("a\"b\\c\nd").to_string(), r#""a\"b\\c\nd""#);
+        assert_eq!(Term::lang_literal("hi", "en").to_string(), "\"hi\"@en");
+        assert_eq!(
+            Term::typed_literal("1", "http://dt").to_string(),
+            "\"1\"^^<http://dt>"
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Term::iri("x").as_iri(), Some("x"));
+        assert_eq!(Term::literal("x").as_iri(), None);
+        assert_eq!(Term::literal("x").as_literal(), Some("x"));
+        assert!(Term::literal("x").is_literal());
+        assert!(!Term::blank("x").is_literal());
+    }
+}

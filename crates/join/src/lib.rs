@@ -1,0 +1,72 @@
+//! # parj-join — the PARJ adaptive join and parallel executor
+//!
+//! This crate is the paper's primary contribution (Bilidas & Koubarakis,
+//! EDBT 2019, §3–4): pipelined left-deep joins over the vertically
+//! partitioned store of `parj-store`, where every probe of a replica's
+//! sorted keys array **adaptively** chooses between
+//!
+//! * **sequential search** continuing from a per-(worker, step) cursor —
+//!   merge-join-like behaviour that exploits the full *or partial*
+//!   ordering RDF data exhibits (Example 4.1 of the paper), and
+//! * **binary search** over the whole array (or an **ID-to-Position
+//!   lookup**, §4.2) — index-nested-loop behaviour for selective probes,
+//!
+//! using Algorithm 1: one subtraction and one comparison of the *value
+//! distance* `|arr[cursor] − value|` against a per-replica threshold.
+//! The thresholds come from the calibration micro-benchmark of
+//! Algorithm 2 ([`calibrate`]).
+//!
+//! Parallelism follows §3: the driver relation of the left-deep plan (or
+//! the value vector of a constant key, Example 3.2) is split into
+//! shards; worker threads draw shard indexes from one atomic counter and
+//! run the **entire pipeline** on read-only shared data — no exchange,
+//! no rehashing, no synchronization, no graph partitioning.
+//!
+//! ```
+//! use parj_dict::Term;
+//! use parj_store::{SortOrder, StoreBuilder};
+//! use parj_join::{Atom, ExecOptions, PhysicalPlan, PlanStep, execute_count};
+//!
+//! // ?x teaches ?z . ?x worksFor ?y   (Example 3.1 of the paper)
+//! let mut b = StoreBuilder::new();
+//! for (s, p, o) in [("A", "teaches", "Math"), ("B", "teaches", "Chem"),
+//!                   ("A", "worksFor", "U1"), ("B", "worksFor", "U2")] {
+//!     b.add_term_triple(&Term::iri(s), &Term::iri(p), &Term::iri(o));
+//! }
+//! let store = b.build();
+//! let teaches = store.dict().predicate_id(&Term::iri("teaches")).unwrap();
+//! let works_for = store.dict().predicate_id(&Term::iri("worksFor")).unwrap();
+//! let plan = PhysicalPlan::new(
+//!     vec![
+//!         PlanStep { predicate: teaches, order: SortOrder::SO,
+//!                    key: Atom::Var(0), value: Atom::Var(2) },
+//!         PlanStep { predicate: works_for, order: SortOrder::SO,
+//!                    key: Atom::Var(0), value: Atom::Var(1) },
+//!     ],
+//!     3,
+//!     vec![0, 1, 2],
+//! ).unwrap();
+//! let (count, _stats) = execute_count(&store, &plan, &ExecOptions::default());
+//! assert_eq!(count, 2);
+//! ```
+
+#![warn(missing_docs)]
+
+mod calibrate;
+mod exec;
+mod plan;
+mod search;
+mod stats;
+mod threshold;
+
+pub use calibrate::{calibrate, CalibrationConfig, CalibrationResult};
+pub use exec::{
+    driver_domain, execute, execute_collect, execute_count, execute_count_with, execute_detailed,
+    execute_profiled, shard_loads, PlanProfile,
+    CollectSink, CountSink,
+    ExecOptions, FnSink, Sink,
+};
+pub use plan::{Atom, PhysicalPlan, PlanError, PlanStep, VarId};
+pub use search::{adaptive_search, binary_search_cursor, sequential_search, ProbeStrategy};
+pub use stats::SearchStats;
+pub use threshold::{ReplicaThresholds, ThresholdTable};

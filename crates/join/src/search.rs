@@ -1,0 +1,360 @@
+//! The search primitives and Algorithm 1, the adaptive switch between
+//! binary and sequential search.
+
+use parj_dict::Id;
+use parj_store::IdPosIndex;
+
+use crate::stats::SearchStats;
+
+/// Which probe method the executor uses on replica key arrays.
+///
+/// The four named strategies are exactly the four measured columns of
+/// the paper's Table 5; `AlwaysSequential` is a degenerate control used
+/// by tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ProbeStrategy {
+    /// Always whole-array binary search (Table 5 column "Binary").
+    AlwaysBinary,
+    /// Algorithm 1 switching between binary and sequential search
+    /// (column "AdBinary"). This is PARJ's default.
+    #[default]
+    AdaptiveBinary,
+    /// Always the ID-to-Position index (column "Index"); falls back to
+    /// binary search on replicas without an index.
+    AlwaysIndex,
+    /// Algorithm 1 switching between the ID-to-Position index and
+    /// sequential search (column "AdIndex").
+    AdaptiveIndex,
+    /// Always sequential search from the cursor (test-only control; not
+    /// in the paper's tables).
+    AlwaysSequential,
+}
+
+impl ProbeStrategy {
+    /// All four paper strategies, in Table 5 column order.
+    pub const TABLE5: [ProbeStrategy; 4] = [
+        ProbeStrategy::AlwaysBinary,
+        ProbeStrategy::AdaptiveBinary,
+        ProbeStrategy::AlwaysIndex,
+        ProbeStrategy::AdaptiveIndex,
+    ];
+
+    /// Short label as used in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProbeStrategy::AlwaysBinary => "Binary",
+            ProbeStrategy::AdaptiveBinary => "AdBinary",
+            ProbeStrategy::AlwaysIndex => "Index",
+            ProbeStrategy::AdaptiveIndex => "AdIndex",
+            ProbeStrategy::AlwaysSequential => "Sequential",
+        }
+    }
+}
+
+impl std::fmt::Display for ProbeStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Sequential search for `value` starting at `*cursor`, scanning in
+/// whichever direction the sort order dictates ("continuing from the
+/// position that the cursor has been left from a previous search").
+///
+/// Returns the position of `value` if present. The cursor is updated on
+/// both hits and misses — on a miss it rests on the element nearest the
+/// probe, so the next nearby probe stays cheap (Algorithm 1: "the
+/// cursor_position is updated each time for both successful and
+/// unsuccessful searches").
+#[inline]
+pub fn sequential_search(
+    arr: &[Id],
+    value: Id,
+    cursor: &mut usize,
+    stats: &mut SearchStats,
+) -> Option<usize> {
+    if arr.is_empty() {
+        return None;
+    }
+    let mut i = (*cursor).min(arr.len() - 1);
+    stats.sequential_searches += 1;
+    stats.sequential_steps += 1; // the element under the cursor
+    if arr[i] < value {
+        while arr[i] < value {
+            if i + 1 == arr.len() {
+                *cursor = i;
+                return None;
+            }
+            i += 1;
+            stats.sequential_steps += 1;
+        }
+    } else {
+        while arr[i] > value {
+            if i == 0 {
+                *cursor = 0;
+                return None;
+            }
+            i -= 1;
+            stats.sequential_steps += 1;
+        }
+    }
+    *cursor = i;
+    (arr[i] == value).then_some(i)
+}
+
+/// Whole-array binary search, updating the cursor to the last examined
+/// position.
+///
+/// Per §4.1 the search deliberately spans the full array rather than the
+/// sub-range suggested by the cursor: "always performing binary search
+/// on the whole array leads to the array positions visited during the
+/// first steps to frequently occur in cache".
+#[inline]
+pub fn binary_search_cursor(
+    arr: &[Id],
+    value: Id,
+    cursor: &mut usize,
+    stats: &mut SearchStats,
+) -> Option<usize> {
+    stats.binary_searches += 1;
+    let mut lo = 0usize;
+    let mut hi = arr.len();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        stats.binary_steps += 1;
+        *cursor = mid;
+        match arr[mid].cmp(&value) {
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+            std::cmp::Ordering::Equal => return Some(mid),
+        }
+    }
+    // Miss: rest the cursor on the element nearest the insertion point.
+    *cursor = lo.min(arr.len().saturating_sub(1));
+    None
+}
+
+/// ID-to-Position lookup, updating the cursor so a subsequent adaptive
+/// decision measures distance from the found position.
+#[inline]
+fn index_search(
+    idx: &IdPosIndex,
+    arr: &[Id],
+    value: Id,
+    cursor: &mut usize,
+    stats: &mut SearchStats,
+) -> Option<usize> {
+    stats.index_lookups += 1;
+    // One bitmap word + (amortized) one anchor + partial-block words; we
+    // charge the §4.2 claim of "one memory access and some computation"
+    // as 2 words (bit word + anchor) — partial-block popcounts stay in
+    // the same cache line for interval ≤ 512.
+    stats.index_words += 2;
+    match idx.lookup(value) {
+        Some(pos) => {
+            *cursor = pos;
+            Some(pos)
+        }
+        None => {
+            // Miss: the bitmap answers without touching `arr`; leave the
+            // cursor where it was (no better information).
+            let _ = arr;
+            None
+        }
+    }
+}
+
+/// Algorithm 1 of the paper: adaptively switch between sequential search
+/// from the cursor and a random-access method (binary search or
+/// ID-to-Position lookup) based on the value distance.
+///
+/// `threshold` is in **value space**: the calibration's position window
+/// multiplied by the replica's average inter-key gap (§4.1's uniform
+/// distribution assumption). `index` supplies the ID-to-Position index
+/// for the index-based strategies; absent indexes fall back to binary
+/// search.
+#[inline]
+pub fn adaptive_search(
+    arr: &[Id],
+    value: Id,
+    cursor: &mut usize,
+    threshold: i64,
+    strategy: ProbeStrategy,
+    index: Option<&IdPosIndex>,
+    stats: &mut SearchStats,
+) -> Option<usize> {
+    if arr.is_empty() {
+        return None;
+    }
+    match strategy {
+        ProbeStrategy::AlwaysSequential => sequential_search(arr, value, cursor, stats),
+        ProbeStrategy::AlwaysBinary => binary_search_cursor(arr, value, cursor, stats),
+        ProbeStrategy::AlwaysIndex => match index {
+            Some(idx) => index_search(idx, arr, value, cursor, stats),
+            None => binary_search_cursor(arr, value, cursor, stats),
+        },
+        ProbeStrategy::AdaptiveBinary | ProbeStrategy::AdaptiveIndex => {
+            // Lines 2-3 of Algorithm 1: one subtraction, one absolute
+            // value, one comparison.
+            let at = (*cursor).min(arr.len() - 1);
+            let distance = arr[at] as i64 - value as i64;
+            if distance.abs() <= threshold {
+                sequential_search(arr, value, cursor, stats)
+            } else if strategy == ProbeStrategy::AdaptiveIndex {
+                match index {
+                    Some(idx) => index_search(idx, arr, value, cursor, stats),
+                    None => binary_search_cursor(arr, value, cursor, stats),
+                }
+            } else {
+                binary_search_cursor(arr, value, cursor, stats)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr() -> Vec<Id> {
+        vec![5, 7, 13, 18, 24, 29, 33, 45]
+    }
+
+    #[test]
+    fn sequential_forward_and_backward() {
+        let a = arr();
+        let mut stats = SearchStats::new();
+        let mut cursor = 0;
+        assert_eq!(sequential_search(&a, 18, &mut cursor, &mut stats), Some(3));
+        assert_eq!(cursor, 3);
+        // Backward from cursor.
+        assert_eq!(sequential_search(&a, 7, &mut cursor, &mut stats), Some(1));
+        assert_eq!(cursor, 1);
+        // Miss in the middle: cursor rests near the gap.
+        assert_eq!(sequential_search(&a, 20, &mut cursor, &mut stats), None);
+        assert!(cursor == 4 || cursor == 3, "cursor {cursor}");
+        // Miss past the end.
+        assert_eq!(sequential_search(&a, 99, &mut cursor, &mut stats), None);
+        assert_eq!(cursor, a.len() - 1);
+        // Miss before the start.
+        assert_eq!(sequential_search(&a, 1, &mut cursor, &mut stats), None);
+        assert_eq!(cursor, 0);
+        assert_eq!(stats.sequential_searches, 5);
+        assert!(stats.sequential_steps >= 5);
+    }
+
+    #[test]
+    fn binary_matches_std() {
+        let a = arr();
+        let mut stats = SearchStats::new();
+        for probe in 0..50u32 {
+            let mut cursor = 3;
+            assert_eq!(
+                binary_search_cursor(&a, probe, &mut cursor, &mut stats),
+                a.binary_search(&probe).ok(),
+                "probe {probe}"
+            );
+            assert!(cursor < a.len());
+        }
+        assert_eq!(stats.binary_searches, 50);
+    }
+
+    #[test]
+    fn empty_array() {
+        let a: Vec<Id> = vec![];
+        let mut stats = SearchStats::new();
+        let mut cursor = 0;
+        assert_eq!(sequential_search(&a, 5, &mut cursor, &mut stats), None);
+        assert_eq!(binary_search_cursor(&a, 5, &mut cursor, &mut stats), None);
+        for strat in ProbeStrategy::TABLE5 {
+            assert_eq!(
+                adaptive_search(&a, 5, &mut cursor, 100, strat, None, &mut stats),
+                None
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_decision_follows_threshold() {
+        let a: Vec<Id> = (0..1000).map(|i| i * 10).collect();
+        let idx = IdPosIndex::build(&a, 10_000, 64);
+
+        // Close probe (distance 10 <= threshold 50): sequential.
+        let mut stats = SearchStats::new();
+        let mut cursor = 100; // arr[100] = 1000
+        let r = adaptive_search(
+            &a, 1010, &mut cursor, 50,
+            ProbeStrategy::AdaptiveBinary, Some(&idx), &mut stats,
+        );
+        assert_eq!(r, Some(101));
+        assert_eq!(stats.sequential_searches, 1);
+        assert_eq!(stats.binary_searches, 0);
+
+        // Far probe: binary.
+        let mut stats = SearchStats::new();
+        let mut cursor = 100;
+        let r = adaptive_search(
+            &a, 9990, &mut cursor, 50,
+            ProbeStrategy::AdaptiveBinary, Some(&idx), &mut stats,
+        );
+        assert_eq!(r, Some(999));
+        assert_eq!(stats.binary_searches, 1);
+        assert_eq!(stats.sequential_searches, 0);
+
+        // Far probe with AdaptiveIndex: index lookup.
+        let mut stats = SearchStats::new();
+        let mut cursor = 100;
+        let r = adaptive_search(
+            &a, 9990, &mut cursor, 50,
+            ProbeStrategy::AdaptiveIndex, Some(&idx), &mut stats,
+        );
+        assert_eq!(r, Some(999));
+        assert_eq!(stats.index_lookups, 1);
+        assert_eq!(cursor, 999, "index lookup must update the cursor");
+    }
+
+    #[test]
+    fn all_strategies_agree_with_oracle() {
+        let a: Vec<Id> = vec![2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377];
+        let idx = IdPosIndex::build(&a, 400, 64);
+        let strategies = [
+            ProbeStrategy::AlwaysBinary,
+            ProbeStrategy::AdaptiveBinary,
+            ProbeStrategy::AlwaysIndex,
+            ProbeStrategy::AdaptiveIndex,
+            ProbeStrategy::AlwaysSequential,
+        ];
+        for strat in strategies {
+            let mut stats = SearchStats::new();
+            let mut cursor = 0;
+            for probe in 0..400u32 {
+                assert_eq!(
+                    adaptive_search(&a, probe, &mut cursor, 7, strat, Some(&idx), &mut stats),
+                    a.binary_search(&probe).ok(),
+                    "{strat} probe {probe} cursor {cursor}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn index_strategies_fall_back_without_index() {
+        let a = arr();
+        let mut stats = SearchStats::new();
+        let mut cursor = 0;
+        let r = adaptive_search(
+            &a, 45, &mut cursor, 0,
+            ProbeStrategy::AlwaysIndex, None, &mut stats,
+        );
+        assert_eq!(r, Some(7));
+        assert_eq!(stats.binary_searches, 1);
+        assert_eq!(stats.index_lookups, 0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ProbeStrategy::AdaptiveBinary.label(), "AdBinary");
+        assert_eq!(ProbeStrategy::TABLE5.map(|s| s.label()),
+                   ["Binary", "AdBinary", "Index", "AdIndex"]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Search-operation counters.
+//!
+//! The paper's Table 6 reports, per query, the number of binary vs.
+//! sequential searches chosen by the adaptive method, plus hardware
+//! cycle and cache-miss counters comparing binary search with the
+//! ID-to-Position index. Hardware counters are not portable, so this
+//! reproduction tallies deterministic software equivalents: search
+//! counts, comparison/step counts, and array words touched (a locality
+//! proxy — every touched word is a potential cache line fetch).
+
+/// Deterministic counters accumulated by every search operation.
+///
+/// One instance lives per worker thread (no sharing, no atomics — PARJ
+/// workers never communicate); results are merged after the join.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Times the adaptive method chose (or a fixed strategy forced)
+    /// whole-array binary search.
+    pub binary_searches: u64,
+    /// Times sequential search from the cursor ran.
+    pub sequential_searches: u64,
+    /// Times an ID-to-Position lookup ran.
+    pub index_lookups: u64,
+    /// Probe-array elements examined by binary searches.
+    pub binary_steps: u64,
+    /// Probe-array elements examined by sequential searches.
+    pub sequential_steps: u64,
+    /// Bitmap/anchor words examined by ID-to-Position lookups.
+    pub index_words: u64,
+    /// Membership checks inside value groups (second-column searches).
+    pub group_probes: u64,
+}
+
+impl SearchStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `other` into `self` (merging per-worker counters).
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.binary_searches += other.binary_searches;
+        self.sequential_searches += other.sequential_searches;
+        self.index_lookups += other.index_lookups;
+        self.binary_steps += other.binary_steps;
+        self.sequential_steps += other.sequential_steps;
+        self.index_words += other.index_words;
+        self.group_probes += other.group_probes;
+    }
+
+    /// Total searches of any kind.
+    pub fn total_searches(&self) -> u64 {
+        self.binary_searches + self.sequential_searches + self.index_lookups
+    }
+
+    /// Total array words touched across all search kinds — the
+    /// deterministic stand-in for Table 6's cache-miss columns.
+    pub fn words_touched(&self) -> u64 {
+        self.binary_steps + self.sequential_steps + self.index_words + self.group_probes
+    }
+}
+
+impl std::ops::AddAssign<&SearchStats> for SearchStats {
+    fn add_assign(&mut self, rhs: &SearchStats) {
+        self.merge(rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_all_fields() {
+        let a = SearchStats {
+            binary_searches: 1,
+            sequential_searches: 2,
+            index_lookups: 3,
+            binary_steps: 4,
+            sequential_steps: 5,
+            index_words: 6,
+            group_probes: 7,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.binary_searches, 2);
+        assert_eq!(b.group_probes, 14);
+        assert_eq!(b.total_searches(), 12);
+        assert_eq!(b.words_touched(), 44);
+    }
+}

@@ -1,0 +1,32 @@
+//! # parj-optimizer — join ordering and cost estimation for PARJ
+//!
+//! Implements §4.3 of the paper: a **bottom-up dynamic-programming
+//! optimizer over left-deep join orders** that
+//!
+//! * ignores parallelism ("we assume that the benefit of each possible
+//!   join order from parallelism will be a fixed proportion of its
+//!   centralized cost ... we disregard parallelism during optimization"),
+//! * assumes one probe method per join during costing ("we assume that a
+//!   specific choice will be followed for all tuples of a join, either
+//!   binary search or scanning"; run-time adaptivity then only improves
+//!   on the estimate),
+//! * estimates intermediate sizes with **equi-depth histograms** over
+//!   each partition's subject and object columns, corrected by
+//!   **precomputed predicate-pair cardinalities** ("we precompute some
+//!   cardinalities between pairs of properties during data loading and
+//!   use these as a corrective step"), and
+//! * per join "choose\[s\] to use the replica that leads to more selective
+//!   results".
+//!
+//! Statistics are built once after load ([`Stats::build`]) and shared by
+//! all queries.
+
+#![warn(missing_docs)]
+
+mod histogram;
+mod optimize;
+mod stats;
+
+pub use histogram::EquiDepthHistogram;
+pub use optimize::{optimize, OptimizeError, Pattern};
+pub use stats::{PairCard, PredStats, Stats};

@@ -1,0 +1,247 @@
+//! Store statistics: per-predicate histograms and predicate-pair
+//! cardinalities (§4.3's "corrective step").
+
+use parj_dict::Id;
+use parj_store::{SortOrder, TripleStore};
+
+use crate::histogram::EquiDepthHistogram;
+
+/// Default number of histogram buckets per column.
+pub const DEFAULT_BUCKETS: usize = 64;
+/// Pair cardinalities are computed only up to this many predicates
+/// (quadratic storage); real RDF schemas are far below it (LUBM: 17,
+/// WatDiv: dozens).
+pub const MAX_PAIR_PREDICATES: usize = 512;
+
+/// Per-predicate statistics.
+#[derive(Debug, Clone)]
+pub struct PredStats {
+    /// Distinct triples with this predicate.
+    pub triples: u64,
+    /// Distinct subjects.
+    pub distinct_subjects: u64,
+    /// Distinct objects.
+    pub distinct_objects: u64,
+    /// Equi-depth histogram over the subject column.
+    pub subject_hist: EquiDepthHistogram,
+    /// Equi-depth histogram over the object column.
+    pub object_hist: EquiDepthHistogram,
+}
+
+/// Intersection cardinalities between the key sets of two predicates:
+/// how many distinct resources appear in column X of `a` *and* column Y
+/// of `b`. These drive join-selectivity estimates: for a join
+/// `?v` ∈ subjects(a) ⋈ subjects(b), the match probability of a probe is
+/// `ss / |subjects(a)|`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PairCard {
+    /// `|S_a ∩ S_b|`.
+    pub ss: u64,
+    /// `|S_a ∩ O_b|`.
+    pub so: u64,
+    /// `|O_a ∩ S_b|`.
+    pub os: u64,
+    /// `|O_a ∩ O_b|`.
+    pub oo: u64,
+}
+
+/// All optimizer statistics for one store.
+#[derive(Debug, Clone)]
+pub struct Stats {
+    preds: Vec<PredStats>,
+    /// Row-major `preds × preds` matrix; empty if the predicate count
+    /// exceeded [`MAX_PAIR_PREDICATES`].
+    pairs: Vec<PairCard>,
+}
+
+/// Sorted-set intersection size (both inputs strictly increasing).
+fn intersection_size(a: &[Id], b: &[Id]) -> u64 {
+    let mut i = 0;
+    let mut j = 0;
+    let mut n = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+impl Stats {
+    /// Scans the store once and builds all statistics. Runs at load
+    /// time, like the paper's precomputation.
+    pub fn build(store: &TripleStore) -> Self {
+        Self::build_with_buckets(store, DEFAULT_BUCKETS)
+    }
+
+    /// [`Stats::build`] with an explicit histogram resolution.
+    pub fn build_with_buckets(store: &TripleStore, buckets: usize) -> Self {
+        let preds: Vec<PredStats> = store
+            .partitions()
+            .iter()
+            .map(|part| {
+                let so = part.replica(SortOrder::SO);
+                let os = part.replica(SortOrder::OS);
+                let subj_groups: Vec<(Id, u64)> = (0..so.num_keys())
+                    .map(|i| (so.key_at(i), so.group_len(i) as u64))
+                    .collect();
+                let obj_groups: Vec<(Id, u64)> = (0..os.num_keys())
+                    .map(|i| (os.key_at(i), os.group_len(i) as u64))
+                    .collect();
+                PredStats {
+                    triples: so.num_triples() as u64,
+                    distinct_subjects: so.num_keys() as u64,
+                    distinct_objects: os.num_keys() as u64,
+                    subject_hist: EquiDepthHistogram::build(subj_groups, buckets),
+                    object_hist: EquiDepthHistogram::build(obj_groups, buckets),
+                }
+            })
+            .collect();
+
+        let n = preds.len();
+        let pairs = if n <= MAX_PAIR_PREDICATES {
+            let mut pairs = vec![PairCard::default(); n * n];
+            for a in 0..n {
+                let sa = store.replica(a as Id, SortOrder::SO).expect("dense").keys();
+                let oa = store.replica(a as Id, SortOrder::OS).expect("dense").keys();
+                for b in a..n {
+                    let sb = store.replica(b as Id, SortOrder::SO).expect("dense").keys();
+                    let ob = store.replica(b as Id, SortOrder::OS).expect("dense").keys();
+                    let card = PairCard {
+                        ss: intersection_size(sa, sb),
+                        so: intersection_size(sa, ob),
+                        os: intersection_size(oa, sb),
+                        oo: intersection_size(oa, ob),
+                    };
+                    pairs[a * n + b] = card;
+                    // Mirror with S/O roles swapped.
+                    pairs[b * n + a] = PairCard {
+                        ss: card.ss,
+                        so: card.os,
+                        os: card.so,
+                        oo: card.oo,
+                    };
+                }
+            }
+            pairs
+        } else {
+            Vec::new()
+        };
+        Stats { preds, pairs }
+    }
+
+    /// Per-predicate statistics, or `None` for an out-of-range id.
+    pub fn pred(&self, predicate: Id) -> Option<&PredStats> {
+        self.preds.get(predicate as usize)
+    }
+
+    /// Pair cardinalities for `(a, b)`, if computed.
+    pub fn pair(&self, a: Id, b: Id) -> Option<PairCard> {
+        let n = self.preds.len();
+        if self.pairs.is_empty() {
+            return None;
+        }
+        let (a, b) = (a as usize, b as usize);
+        if a < n && b < n {
+            Some(self.pairs[a * n + b])
+        } else {
+            None
+        }
+    }
+
+    /// Number of predicates covered.
+    pub fn num_predicates(&self) -> usize {
+        self.preds.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parj_dict::Term;
+    use parj_store::StoreBuilder;
+
+    fn store() -> TripleStore {
+        let mut b = StoreBuilder::new();
+        // p0: 1->a, 2->a, 3->b   p1: 2->x, 3->x, 9->y
+        for (s, p, o) in [
+            ("r1", "p0", "a"),
+            ("r2", "p0", "a"),
+            ("r3", "p0", "b"),
+            ("r2", "p1", "x"),
+            ("r3", "p1", "x"),
+            ("r9", "p1", "y"),
+        ] {
+            b.add_term_triple(&Term::iri(s), &Term::iri(p), &Term::iri(o));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn per_pred_counts() {
+        let s = store();
+        let stats = Stats::build(&s);
+        let p0 = s.dict().predicate_id(&Term::iri("p0")).unwrap();
+        let ps = stats.pred(p0).unwrap();
+        assert_eq!(ps.triples, 3);
+        assert_eq!(ps.distinct_subjects, 3);
+        assert_eq!(ps.distinct_objects, 2);
+        let a = s.dict().resource_id(&Term::iri("a")).unwrap();
+        assert!((ps.object_hist.estimate_freq(a) - 2.0).abs() < 1.01);
+    }
+
+    #[test]
+    fn pair_intersections() {
+        let s = store();
+        let stats = Stats::build(&s);
+        let p0 = s.dict().predicate_id(&Term::iri("p0")).unwrap();
+        let p1 = s.dict().predicate_id(&Term::iri("p1")).unwrap();
+        let card = stats.pair(p0, p1).unwrap();
+        // subjects(p0) = {r1,r2,r3}, subjects(p1) = {r2,r3,r9} → ss = 2.
+        assert_eq!(card.ss, 2);
+        // objects(p0) = {a,b}, objects(p1) = {x,y} → oo = 0.
+        assert_eq!(card.oo, 0);
+        assert_eq!(card.so, 0);
+        // Self-pair: full overlap.
+        let self_card = stats.pair(p0, p0).unwrap();
+        assert_eq!(self_card.ss, 3);
+        assert_eq!(self_card.oo, 2);
+    }
+
+    #[test]
+    fn mirrored_pairs_swap_roles() {
+        let s = store();
+        let stats = Stats::build(&s);
+        let p0 = s.dict().predicate_id(&Term::iri("p0")).unwrap();
+        let p1 = s.dict().predicate_id(&Term::iri("p1")).unwrap();
+        let ab = stats.pair(p0, p1).unwrap();
+        let ba = stats.pair(p1, p0).unwrap();
+        assert_eq!(ab.ss, ba.ss);
+        assert_eq!(ab.oo, ba.oo);
+        assert_eq!(ab.so, ba.os);
+        assert_eq!(ab.os, ba.so);
+    }
+
+    #[test]
+    fn out_of_range() {
+        let s = store();
+        let stats = Stats::build(&s);
+        assert!(stats.pred(99).is_none());
+        assert!(stats.pair(0, 99).is_none());
+    }
+
+    #[test]
+    fn intersection_size_cases() {
+        assert_eq!(intersection_size(&[], &[]), 0);
+        assert_eq!(intersection_size(&[1, 2, 3], &[]), 0);
+        assert_eq!(intersection_size(&[1, 3, 5], &[2, 4, 6]), 0);
+        assert_eq!(intersection_size(&[1, 3, 5], &[3, 5, 7]), 2);
+        assert_eq!(intersection_size(&[1, 2, 3], &[1, 2, 3]), 3);
+    }
+}

@@ -1,0 +1,36 @@
+//! # parj-rio — RDF I/O for PARJ
+//!
+//! A streaming [N-Triples](https://www.w3.org/TR/n-triples/) parser and
+//! serializer. N-Triples is the line-oriented interchange syntax the
+//! PARJ paper's data import consumes ("Disk-based tables are created and
+//! saved during data import from RDF files", §5); this crate is the
+//! substrate that turns those files into [`parj_dict::Term`] triples.
+//!
+//! The parser is hand-written and allocation-conscious: each line is
+//! scanned once, escape sequences (`\t \b \n \r \f \" \' \\`, `\uXXXX`,
+//! `\UXXXXXXXX`) are decoded in place, and errors carry exact line and
+//! column positions.
+//!
+//! ```
+//! use parj_rio::parse_ntriples_str;
+//!
+//! let data = r#"
+//! <http://e/ProfessorA> <http://e/teaches> <http://e/Mathematics> . # a comment
+//! <http://e/ProfessorA> <http://e/name> "Alice"@en .
+//! "#;
+//! let triples = parse_ntriples_str(data).unwrap();
+//! assert_eq!(triples.len(), 2);
+//! assert_eq!(triples[0].1.as_iri(), Some("http://e/teaches"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod parser;
+mod turtle;
+mod writer;
+
+pub use error::{ParseError, ParseErrorKind};
+pub use parser::{parse_ntriples_str, NTriplesParser, TermTriple};
+pub use turtle::parse_turtle_str;
+pub use writer::{write_ntriples, write_triple};

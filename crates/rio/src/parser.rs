@@ -1,0 +1,465 @@
+//! The line-oriented N-Triples parser.
+
+use std::io::BufRead;
+
+use parj_dict::Term;
+
+use crate::error::{ParseError, ParseErrorKind};
+
+/// A parsed `(subject, predicate, object)` triple of terms.
+pub type TermTriple = (Term, Term, Term);
+
+/// Streaming N-Triples parser over any [`BufRead`] source.
+///
+/// Iterate it to receive one triple per statement line; blank lines and
+/// comment lines are skipped. The iterator yields `Result` so malformed
+/// lines surface with their exact position without aborting the caller's
+/// control flow.
+///
+/// ```
+/// use parj_rio::NTriplesParser;
+/// let src = "<http://e/s> <http://e/p> \"42\"^^<http://www.w3.org/2001/XMLSchema#int> .\n";
+/// let mut p = NTriplesParser::new(src.as_bytes());
+/// let (s, _p, o) = p.next().unwrap().unwrap();
+/// assert_eq!(s.as_iri(), Some("http://e/s"));
+/// assert_eq!(o.as_literal(), Some("42"));
+/// ```
+pub struct NTriplesParser<R> {
+    reader: R,
+    line_no: usize,
+    buf: String,
+}
+
+impl<R: BufRead> NTriplesParser<R> {
+    /// Creates a parser over `reader`.
+    pub fn new(reader: R) -> Self {
+        Self {
+            reader,
+            line_no: 0,
+            buf: String::with_capacity(256),
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for NTriplesParser<R> {
+    type Item = Result<TermTriple, ParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.buf.clear();
+            self.line_no += 1;
+            match self.reader.read_line(&mut self.buf) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => {
+                    return Some(Err(ParseError::new(
+                        self.line_no,
+                        1,
+                        ParseErrorKind::Io(e.to_string()),
+                    )))
+                }
+            }
+            match parse_line(&self.buf, self.line_no) {
+                Ok(Some(t)) => return Some(Ok(t)),
+                Ok(None) => continue, // blank or comment line
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+/// Parses a whole N-Triples document held in memory, collecting either
+/// all triples or the first error.
+pub fn parse_ntriples_str(input: &str) -> Result<Vec<TermTriple>, ParseError> {
+    let mut out = Vec::new();
+    for (idx, line) in input.lines().enumerate() {
+        if let Some(t) = parse_line(line, idx + 1)? {
+            out.push(t);
+        }
+    }
+    Ok(out)
+}
+
+/// Byte-cursor over one line.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err(&self, kind: ParseErrorKind) -> ParseError {
+        ParseError::new(self.line, self.pos + 1, kind)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Decodes `\uXXXX` / `\UXXXXXXXX` (the leading backslash is already
+    /// consumed, `kind` is the `u`/`U` byte).
+    fn unicode_escape(&mut self, kind: u8) -> Result<char, ParseError> {
+        let n = if kind == b'u' { 4 } else { 8 };
+        let start = self.pos;
+        if self.pos + n > self.bytes.len() {
+            return Err(self.err(ParseErrorKind::BadEscape("truncated \\u escape".into())));
+        }
+        let hex = &self.bytes[start..start + n];
+        self.pos += n;
+        let s = std::str::from_utf8(hex)
+            .map_err(|_| self.err(ParseErrorKind::BadEscape("non-ASCII in \\u escape".into())))?;
+        let code = u32::from_str_radix(s, 16)
+            .map_err(|_| self.err(ParseErrorKind::BadEscape(format!("bad hex {s:?}"))))?;
+        char::from_u32(code).ok_or_else(|| {
+            self.err(ParseErrorKind::BadEscape(format!(
+                "U+{code:X} is not a scalar value"
+            )))
+        })
+    }
+
+    /// Parses an `<IRI>`; the `<` is already consumed.
+    fn iri_body(&mut self) -> Result<String, ParseError> {
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err(ParseErrorKind::UnclosedIri)),
+                Some(b'>') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(k @ (b'u' | b'U')) => out.push(self.unicode_escape(k)?),
+                    other => {
+                        return Err(self.err(ParseErrorKind::BadEscape(format!(
+                            "\\{} not allowed in IRI",
+                            other.map(char::from).unwrap_or(' ')
+                        ))))
+                    }
+                },
+                Some(b) if b < 0x20 || matches!(b, b' ' | b'<' | b'"' | b'{' | b'}' | b'|' | b'^' | b'`') => {
+                    return Err(self.err(ParseErrorKind::BadIriChar(b as char)));
+                }
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Multi-byte UTF-8: copy the full sequence verbatim.
+                    let len = utf8_len(b);
+                    let start = self.pos - 1;
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| self.err(ParseErrorKind::BadIriChar('\u{FFFD}')))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    /// Parses a `"string"`; the opening quote is already consumed.
+    fn string_body(&mut self) -> Result<String, ParseError> {
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err(ParseErrorKind::UnclosedLiteral)),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'f') => out.push('\u{C}'),
+                    Some(b'"') => out.push('"'),
+                    Some(b'\'') => out.push('\''),
+                    Some(b'\\') => out.push('\\'),
+                    Some(k @ (b'u' | b'U')) => out.push(self.unicode_escape(k)?),
+                    other => {
+                        return Err(self.err(ParseErrorKind::BadEscape(format!(
+                            "\\{}",
+                            other.map(char::from).unwrap_or(' ')
+                        ))))
+                    }
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    let len = utf8_len(b);
+                    let start = self.pos - 1;
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| {
+                            self.err(ParseErrorKind::BadEscape("invalid UTF-8".into()))
+                        })?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    /// Parses a blank node label; the `_` is already consumed.
+    fn blank_label(&mut self) -> Result<String, ParseError> {
+        if self.bump() != Some(b':') {
+            return Err(self.err(ParseErrorKind::BadBlankNode));
+        }
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.' || b >= 0x80 {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        // A trailing '.' belongs to the statement terminator, not the label.
+        let mut end = self.pos;
+        while end > start && self.bytes[end - 1] == b'.' {
+            end -= 1;
+            self.pos -= 1;
+        }
+        if end == start {
+            return Err(self.err(ParseErrorKind::BadBlankNode));
+        }
+        std::str::from_utf8(&self.bytes[start..end])
+            .map(str::to_string)
+            .map_err(|_| self.err(ParseErrorKind::BadBlankNode))
+    }
+
+    /// Parses one term at the cursor.
+    fn term(&mut self, position: &'static str) -> Result<Term, ParseError> {
+        match self.peek() {
+            Some(b'<') => {
+                self.pos += 1;
+                Ok(Term::Iri(self.iri_body()?))
+            }
+            Some(b'_') => {
+                self.pos += 1;
+                Ok(Term::BlankNode(self.blank_label()?))
+            }
+            Some(b'"') => {
+                self.pos += 1;
+                let lexical = self.string_body()?;
+                match self.peek() {
+                    Some(b'@') => {
+                        self.pos += 1;
+                        let start = self.pos;
+                        while let Some(b) = self.peek() {
+                            if b.is_ascii_alphanumeric() || b == b'-' {
+                                self.pos += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                        if self.pos == start {
+                            return Err(self.err(ParseErrorKind::BadLanguageTag));
+                        }
+                        let lang =
+                            std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII");
+                        Ok(Term::lang_literal(lexical, lang))
+                    }
+                    Some(b'^') => {
+                        self.pos += 1;
+                        if self.bump() != Some(b'^') || self.bump() != Some(b'<') {
+                            return Err(self.err(ParseErrorKind::ExpectedTerm("^^<datatype>")));
+                        }
+                        let dt = self.iri_body()?;
+                        Ok(Term::typed_literal(lexical, dt))
+                    }
+                    _ => Ok(Term::literal(lexical)),
+                }
+            }
+            _ => Err(self.err(ParseErrorKind::ExpectedTerm(position))),
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Parses one line; `Ok(None)` for blank/comment lines.
+pub(crate) fn parse_line(line: &str, line_no: usize) -> Result<Option<TermTriple>, ParseError> {
+    let mut c = Cursor {
+        bytes: line.trim_end_matches(['\n', '\r']).as_bytes(),
+        pos: 0,
+        line: line_no,
+    };
+    c.skip_ws();
+    match c.peek() {
+        None | Some(b'#') => return Ok(None),
+        _ => {}
+    }
+
+    let subject = c.term("IRI or blank node in subject position")?;
+    if subject.is_literal() {
+        return Err(c.err(ParseErrorKind::LiteralSubject));
+    }
+    c.skip_ws();
+    let predicate = c.term("IRI in predicate position")?;
+    if predicate.as_iri().is_none() {
+        return Err(c.err(ParseErrorKind::NonIriPredicate));
+    }
+    c.skip_ws();
+    let object = c.term("term in object position")?;
+    c.skip_ws();
+    if c.bump() != Some(b'.') {
+        return Err(c.err(ParseErrorKind::MissingDot));
+    }
+    c.skip_ws();
+    match c.peek() {
+        None | Some(b'#') => Ok(Some((subject, predicate, object))),
+        Some(_) => Err(c.err(ParseErrorKind::TrailingGarbage)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(line: &str) -> TermTriple {
+        parse_line(line, 1).unwrap().unwrap()
+    }
+
+    fn fails(line: &str) -> ParseErrorKind {
+        parse_line(line, 1).unwrap_err().kind
+    }
+
+    #[test]
+    fn plain_triple() {
+        let (s, p, o) = one("<http://e/s> <http://e/p> <http://e/o> .");
+        assert_eq!(s, Term::iri("http://e/s"));
+        assert_eq!(p, Term::iri("http://e/p"));
+        assert_eq!(o, Term::iri("http://e/o"));
+    }
+
+    #[test]
+    fn literal_objects() {
+        let (_, _, o) = one(r#"<http://e/s> <http://e/p> "hello world" ."#);
+        assert_eq!(o, Term::literal("hello world"));
+        let (_, _, o) = one(r#"<http://e/s> <http://e/p> "bonjour"@fr-CA ."#);
+        assert_eq!(o, Term::lang_literal("bonjour", "fr-CA"));
+        let (_, _, o) =
+            one(r#"<http://e/s> <http://e/p> "5"^^<http://www.w3.org/2001/XMLSchema#int> ."#);
+        assert_eq!(
+            o,
+            Term::typed_literal("5", "http://www.w3.org/2001/XMLSchema#int")
+        );
+    }
+
+    #[test]
+    fn escapes_decoded() {
+        let (_, _, o) = one(r#"<http://e/s> <http://e/p> "a\tb\nc\"d\\e" ."#);
+        assert_eq!(o, Term::literal("a\tb\nc\"d\\e"));
+        let (_, _, o) = one(r#"<http://e/s> <http://e/p> "é\U0001F600" ."#);
+        assert_eq!(o, Term::literal("é😀"));
+        let (s, _, _) = one(r#"<http://e/café> <http://e/p> <http://e/o> ."#);
+        assert_eq!(s, Term::iri("http://e/café"));
+    }
+
+    #[test]
+    fn blank_nodes() {
+        let (s, _, o) = one("_:alice <http://e/knows> _:bob .");
+        assert_eq!(s, Term::blank("alice"));
+        assert_eq!(o, Term::blank("bob"));
+        // Label followed directly by the statement dot.
+        let (s, _, _) = one("_:a.b <http://e/p> <http://e/o> .");
+        assert_eq!(s, Term::blank("a.b"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        assert_eq!(parse_line("", 1).unwrap(), None);
+        assert_eq!(parse_line("   \t ", 1).unwrap(), None);
+        assert_eq!(parse_line("# full line comment", 1).unwrap(), None);
+        let t = parse_line("<http://e/s> <http://e/p> <http://e/o> . # trailing", 1)
+            .unwrap()
+            .unwrap();
+        assert_eq!(t.0, Term::iri("http://e/s"));
+    }
+
+    #[test]
+    fn unicode_iri_passthrough() {
+        let (s, _, _) = one("<http://e/café> <http://e/p> <http://e/o> .");
+        assert_eq!(s, Term::iri("http://e/café"));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(
+            fails(r#""literal" <http://e/p> <http://e/o> ."#),
+            ParseErrorKind::LiteralSubject
+        ));
+        assert!(matches!(
+            fails("<http://e/s> _:b <http://e/o> ."),
+            ParseErrorKind::NonIriPredicate
+        ));
+        assert!(matches!(
+            fails("<http://e/s> <http://e/p> <http://e/o>"),
+            ParseErrorKind::MissingDot
+        ));
+        assert!(matches!(
+            fails("<http://e/s> <http://e/p> <http://e/o> . extra"),
+            ParseErrorKind::TrailingGarbage
+        ));
+        assert!(matches!(
+            fails("<http://e/unclosed <http://e/p> <http://e/o> ."),
+            ParseErrorKind::BadIriChar(_) | ParseErrorKind::UnclosedIri
+        ));
+        assert!(matches!(
+            fails(r#"<http://e/s> <http://e/p> "unclosed ."#),
+            ParseErrorKind::UnclosedLiteral
+        ));
+        assert!(matches!(
+            fails(r#"<http://e/s> <http://e/p> "bad \q escape" ."#),
+            ParseErrorKind::BadEscape(_)
+        ));
+        assert!(matches!(
+            fails(r#"<http://e/s> <http://e/p> "x"@ ."#),
+            ParseErrorKind::BadLanguageTag
+        ));
+        assert!(matches!(
+            fails(r#"<http://e/s> <http://e/p> "\uD800" ."#),
+            ParseErrorKind::BadEscape(_) // lone surrogate
+        ));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let e = parse_line("<http://e/s> <http://e/p> <http://e/o>", 7).unwrap_err();
+        assert_eq!(e.line, 7);
+        assert!(e.column > 30, "column {} should be near line end", e.column);
+    }
+
+    #[test]
+    fn streaming_parser_skips_and_counts_lines() {
+        let src = "\n# c\n<http://e/a> <http://e/p> <http://e/b> .\nbad line\n";
+        let mut p = NTriplesParser::new(src.as_bytes());
+        assert!(p.next().unwrap().is_ok());
+        let err = p.next().unwrap().unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(p.next().is_none());
+    }
+
+    #[test]
+    fn crlf_lines() {
+        let src = "<http://e/a> <http://e/p> <http://e/b> .\r\n";
+        let mut p = NTriplesParser::new(src.as_bytes());
+        let (s, _, _) = p.next().unwrap().unwrap();
+        assert_eq!(s, Term::iri("http://e/a"));
+    }
+}

@@ -1,0 +1,701 @@
+//! A Turtle subset parser.
+//!
+//! [Turtle](https://www.w3.org/TR/turtle/) is the human-oriented RDF
+//! syntax most published datasets ship in. This parser covers the
+//! subset that real data uses:
+//!
+//! * `@prefix` / `PREFIX` directives and prefixed names,
+//! * the `a` keyword, `;` predicate lists and `,` object lists,
+//! * IRIs, blank node labels, anonymous blank nodes `[ … ]` (with
+//!   nested property lists),
+//! * string literals (single/double quoted and triple-quoted long
+//!   strings) with escapes, language tags and datatypes,
+//! * numeric literals (`42` → `xsd:integer`, `3.14` → `xsd:decimal`,
+//!   `1e3`-style → `xsd:double`) and booleans,
+//! * comments.
+//!
+//! Out of scope (rejected with a positioned error, never misparsed):
+//! `@base`/relative IRIs and RDF collections `( … )`.
+
+use parj_dict::Term;
+
+use crate::error::{ParseError, ParseErrorKind};
+use crate::parser::TermTriple;
+
+/// `xsd` datatype IRIs for Turtle's sugared literal forms.
+const XSD_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+const XSD_DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+const XSD_DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+const XSD_BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+/// `rdf:type`, abbreviated by `a`.
+const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+/// Parses a complete Turtle document, returning all triples (blank
+/// nodes get document-scoped labels; anonymous nodes get generated
+/// labels that cannot collide with parsed ones).
+pub fn parse_turtle_str(input: &str) -> Result<Vec<TermTriple>, ParseError> {
+    let mut p = Turtle {
+        chars: input.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        prefixes: std::collections::HashMap::new(),
+        out: Vec::new(),
+        next_anon: 0,
+    };
+    p.document()?;
+    Ok(rename_anonymous(p.out))
+}
+
+/// During parsing, anonymous nodes get `anon#N` labels — `#` cannot
+/// occur in a parsed label, so they are collision-free but also not
+/// valid N-Triples/Turtle syntax. Rename them to a plain prefix chosen
+/// to avoid every document label, so the output serializes cleanly in
+/// any RDF syntax.
+fn rename_anonymous(mut triples: Vec<TermTriple>) -> Vec<TermTriple> {
+    let mut has_generated = false;
+    let mut prefix = String::from("genid");
+    loop {
+        let mut clash = false;
+        for (s, _, o) in &triples {
+            for t in [s, o] {
+                if let Term::BlankNode(label) = t {
+                    if label.contains('#') {
+                        has_generated = true;
+                    } else if label.starts_with(&prefix) {
+                        clash = true;
+                    }
+                }
+            }
+        }
+        if !clash {
+            break;
+        }
+        prefix.push('x');
+    }
+    if !has_generated {
+        return triples;
+    }
+    let rename = |t: &mut Term| {
+        if let Term::BlankNode(label) = t {
+            if let Some(n) = label.strip_prefix("anon#") {
+                *label = format!("{prefix}{n}");
+            }
+        }
+    };
+    for (s, _, o) in &mut triples {
+        rename(s);
+        rename(o);
+    }
+    triples
+}
+
+struct Turtle {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+    prefixes: std::collections::HashMap<String, String>,
+    out: Vec<TermTriple>,
+    next_anon: usize,
+}
+
+impl Turtle {
+    fn err(&self, kind: ParseErrorKind) -> ParseError {
+        ParseError::new(self.line, self.col, kind)
+    }
+
+    fn err_msg(&self, msg: impl Into<String>) -> ParseError {
+        self.err(ParseErrorKind::BadEscape(msg.into()))
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('#') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), ParseError> {
+        self.skip_trivia();
+        if self.bump() == Some(c) {
+            Ok(())
+        } else {
+            Err(self.err_msg(format!("expected {c:?}")))
+        }
+    }
+
+    fn keyword_ahead(&self, kw: &str) -> bool {
+        let mut i = self.pos;
+        for k in kw.chars() {
+            match self.chars.get(i) {
+                Some(&c) if c.eq_ignore_ascii_case(&k) => i += 1,
+                _ => return false,
+            }
+        }
+        // Must not continue as a name.
+        !matches!(self.chars.get(i), Some(c) if c.is_alphanumeric() || *c == '_' || *c == ':')
+    }
+
+    fn take_keyword(&mut self, kw: &str) {
+        for _ in kw.chars() {
+            self.bump();
+        }
+    }
+
+    fn fresh_anon(&mut self) -> Term {
+        // '#' cannot appear in a parsed blank-node label, so generated
+        // labels never collide with document labels.
+        let t = Term::blank(format!("anon#{}", self.next_anon));
+        self.next_anon += 1;
+        t
+    }
+
+    fn name(&mut self, allow_dot: bool) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            let ok = c.is_alphanumeric()
+                || c == '_'
+                || c == '-'
+                || (allow_dot
+                    && c == '.'
+                    && matches!(self.peek2(), Some(n) if n.is_alphanumeric() || n == '_'));
+            if ok {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    fn iri_ref(&mut self) -> Result<String, ParseError> {
+        // '<' consumed by caller.
+        let mut iri = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err(ParseErrorKind::UnclosedIri)),
+                Some('>') => return Ok(iri),
+                Some(c) if c.is_whitespace() => {
+                    return Err(self.err(ParseErrorKind::BadIriChar(c)))
+                }
+                Some('\\') => match self.bump() {
+                    Some(k @ ('u' | 'U')) => iri.push(self.unicode_escape(k)?),
+                    other => {
+                        return Err(self.err_msg(format!(
+                            "\\{} not allowed in IRI",
+                            other.unwrap_or(' ')
+                        )))
+                    }
+                },
+                Some(c) => iri.push(c),
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self, kind: char) -> Result<char, ParseError> {
+        let n = if kind == 'u' { 4 } else { 8 };
+        let mut code = 0u32;
+        for _ in 0..n {
+            let c = self
+                .bump()
+                .ok_or_else(|| self.err_msg("truncated \\u escape"))?;
+            code = code * 16
+                + c.to_digit(16)
+                    .ok_or_else(|| self.err_msg(format!("bad hex digit {c:?}")))?;
+        }
+        char::from_u32(code).ok_or_else(|| self.err_msg(format!("U+{code:X} not a scalar")))
+    }
+
+    fn expand(&self, prefix: &str, local: &str) -> Result<String, ParseError> {
+        match self.prefixes.get(prefix) {
+            Some(ns) => Ok(format!("{ns}{local}")),
+            None => Err(self.err_msg(format!("undeclared prefix `{prefix}:`"))),
+        }
+    }
+
+    /// A string body; `quote` is the quote char, `long` selects
+    /// triple-quoted parsing (the opening quotes are consumed).
+    fn string_body(&mut self, quote: char, long: bool) -> Result<String, ParseError> {
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err(ParseErrorKind::UnclosedLiteral)),
+                Some(c) if c == quote => {
+                    if !long {
+                        return Ok(s);
+                    }
+                    // Long string: need three closing quotes.
+                    if self.peek() == Some(quote) && self.peek2() == Some(quote) {
+                        self.bump();
+                        self.bump();
+                        return Ok(s);
+                    }
+                    s.push(c);
+                }
+                Some('\\') => match self.bump() {
+                    Some('t') => s.push('\t'),
+                    Some('b') => s.push('\u{8}'),
+                    Some('n') => s.push('\n'),
+                    Some('r') => s.push('\r'),
+                    Some('f') => s.push('\u{C}'),
+                    Some('"') => s.push('"'),
+                    Some('\'') => s.push('\''),
+                    Some('\\') => s.push('\\'),
+                    Some(k @ ('u' | 'U')) => s.push(self.unicode_escape(k)?),
+                    other => {
+                        return Err(self.err(ParseErrorKind::BadEscape(format!(
+                            "\\{}",
+                            other.unwrap_or(' ')
+                        ))))
+                    }
+                },
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    fn literal(&mut self) -> Result<Term, ParseError> {
+        let quote = self.bump().expect("caller saw a quote");
+        let long = self.peek() == Some(quote) && self.peek2() == Some(quote);
+        let lexical = if long {
+            self.bump();
+            self.bump();
+            self.string_body(quote, true)?
+        } else if self.peek() == Some(quote) {
+            // Empty short string: second quote closes immediately.
+            self.bump();
+            String::new()
+        } else {
+            self.string_body(quote, false)?
+        };
+        match self.peek() {
+            Some('@') => {
+                self.bump();
+                let lang = self.name(false);
+                if lang.is_empty() {
+                    return Err(self.err(ParseErrorKind::BadLanguageTag));
+                }
+                Ok(Term::lang_literal(lexical, lang))
+            }
+            Some('^') => {
+                self.bump();
+                if self.bump() != Some('^') {
+                    return Err(self.err_msg("expected ^^ before datatype"));
+                }
+                self.skip_trivia();
+                let dt = match self.peek() {
+                    Some('<') => {
+                        self.bump();
+                        self.iri_ref()?
+                    }
+                    _ => {
+                        let prefix = self.name(false);
+                        if self.bump() != Some(':') {
+                            return Err(self.err_msg("expected datatype IRI or prefixed name"));
+                        }
+                        let local = self.name(true);
+                        self.expand(&prefix, &local)?
+                    }
+                };
+                Ok(Term::typed_literal(lexical, dt))
+            }
+            _ => Ok(Term::literal(lexical)),
+        }
+    }
+
+    fn number(&mut self) -> Result<Term, ParseError> {
+        let mut text = String::new();
+        if matches!(self.peek(), Some('+' | '-')) {
+            text.push(self.bump().expect("sign"));
+        }
+        let mut is_decimal = false;
+        let mut is_double = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                text.push(c);
+                self.bump();
+            } else if c == '.'
+                && !is_decimal
+                && matches!(self.peek2(), Some(d) if d.is_ascii_digit())
+            {
+                is_decimal = true;
+                text.push(c);
+                self.bump();
+            } else if matches!(c, 'e' | 'E') {
+                is_double = true;
+                text.push(c);
+                self.bump();
+                if matches!(self.peek(), Some('+' | '-')) {
+                    text.push(self.bump().expect("sign"));
+                }
+            } else {
+                break;
+            }
+        }
+        if text.is_empty() || text.ends_with(['+', '-']) {
+            return Err(self.err_msg("malformed numeric literal"));
+        }
+        let dt = if is_double {
+            XSD_DOUBLE
+        } else if is_decimal {
+            XSD_DECIMAL
+        } else {
+            XSD_INTEGER
+        };
+        Ok(Term::typed_literal(text, dt))
+    }
+
+    /// Parses a subject/object term. `as_subject` restricts literals.
+    fn term(&mut self, as_subject: bool) -> Result<Term, ParseError> {
+        self.skip_trivia();
+        match self.peek() {
+            Some('<') => {
+                self.bump();
+                Ok(Term::Iri(self.iri_ref()?))
+            }
+            Some('_') => {
+                self.bump();
+                if self.bump() != Some(':') {
+                    return Err(self.err(ParseErrorKind::BadBlankNode));
+                }
+                let label = self.name(true);
+                if label.is_empty() {
+                    return Err(self.err(ParseErrorKind::BadBlankNode));
+                }
+                Ok(Term::blank(label))
+            }
+            Some('[') => {
+                self.bump();
+                let node = self.fresh_anon();
+                self.skip_trivia();
+                if self.peek() == Some(']') {
+                    self.bump();
+                } else {
+                    self.predicate_object_list(&node)?;
+                    self.expect(']')?;
+                }
+                Ok(node)
+            }
+            Some('(') => Err(self.err_msg(
+                "RDF collections `( … )` are outside the supported Turtle subset",
+            )),
+            Some('"') | Some('\'') if !as_subject => self.literal(),
+            Some(c) if (c.is_ascii_digit() || c == '+' || c == '-') && !as_subject => {
+                self.number()
+            }
+            Some(c) if c.is_alphabetic() || c == ':' => {
+                if !as_subject && self.keyword_ahead("true") {
+                    self.take_keyword("true");
+                    return Ok(Term::typed_literal("true", XSD_BOOLEAN));
+                }
+                if !as_subject && self.keyword_ahead("false") {
+                    self.take_keyword("false");
+                    return Ok(Term::typed_literal("false", XSD_BOOLEAN));
+                }
+                let prefix = if c == ':' { String::new() } else { self.name(false) };
+                if self.bump() != Some(':') {
+                    return Err(self.err_msg(format!("expected `:` after prefix {prefix:?}")));
+                }
+                let local = self.name(true);
+                Ok(Term::Iri(self.expand(&prefix, &local)?))
+            }
+            other => Err(self.err(ParseErrorKind::ExpectedTerm(if as_subject {
+                "subject"
+            } else {
+                "object"
+            })
+            .clone_with(other))),
+        }
+    }
+
+    fn verb(&mut self) -> Result<Term, ParseError> {
+        self.skip_trivia();
+        if self.keyword_ahead("a") {
+            self.take_keyword("a");
+            return Ok(Term::iri(RDF_TYPE));
+        }
+        match self.peek() {
+            Some('<') => {
+                self.bump();
+                Ok(Term::Iri(self.iri_ref()?))
+            }
+            Some(c) if c.is_alphabetic() || c == ':' => {
+                let prefix = if c == ':' { String::new() } else { self.name(false) };
+                if self.bump() != Some(':') {
+                    return Err(self.err_msg("expected prefixed name as predicate"));
+                }
+                let local = self.name(true);
+                Ok(Term::Iri(self.expand(&prefix, &local)?))
+            }
+            _ => Err(self.err(ParseErrorKind::NonIriPredicate)),
+        }
+    }
+
+    fn predicate_object_list(&mut self, subject: &Term) -> Result<(), ParseError> {
+        loop {
+            let p = self.verb()?;
+            loop {
+                let o = self.term(false)?;
+                self.out.push((subject.clone(), p.clone(), o));
+                self.skip_trivia();
+                if self.peek() == Some(',') {
+                    self.bump();
+                    continue;
+                }
+                break;
+            }
+            self.skip_trivia();
+            if self.peek() == Some(';') {
+                self.bump();
+                self.skip_trivia();
+                // Tolerate dangling `;` before `.`/`]`.
+                if matches!(self.peek(), Some('.') | Some(']') | None) {
+                    break;
+                }
+                continue;
+            }
+            break;
+        }
+        Ok(())
+    }
+
+    fn directive(&mut self) -> Result<(), ParseError> {
+        // `@prefix` / `PREFIX` (the `@`/keyword is detected by caller).
+        let at_form = self.peek() == Some('@');
+        if at_form {
+            self.bump();
+        }
+        let kw = self.name(false).to_ascii_lowercase();
+        match kw.as_str() {
+            "prefix" => {
+                self.skip_trivia();
+                let prefix = self.name(false);
+                self.expect(':')?;
+                self.skip_trivia();
+                if self.bump() != Some('<') {
+                    return Err(self.err_msg("expected <iri> in prefix directive"));
+                }
+                let iri = self.iri_ref()?;
+                self.prefixes.insert(prefix, iri);
+                if at_form {
+                    self.expect('.')?;
+                }
+                Ok(())
+            }
+            "base" => Err(self.err_msg(
+                "@base / relative IRIs are outside the supported Turtle subset",
+            )),
+            other => Err(self.err_msg(format!("unknown directive @{other}"))),
+        }
+    }
+
+    fn document(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.skip_trivia();
+            match self.peek() {
+                None => return Ok(()),
+                Some('@') => self.directive()?,
+                _ if self.keyword_ahead("prefix") || self.keyword_ahead("base") => {
+                    self.directive()?
+                }
+                _ => {
+                    let subject = self.term(true)?;
+                    if subject.is_literal() {
+                        return Err(self.err(ParseErrorKind::LiteralSubject));
+                    }
+                    self.predicate_object_list(&subject)?;
+                    self.expect('.')?;
+                }
+            }
+        }
+    }
+}
+
+impl ParseErrorKind {
+    /// Annotates an `ExpectedTerm` with what was actually seen.
+    fn clone_with(&self, got: Option<char>) -> ParseErrorKind {
+        match self {
+            ParseErrorKind::ExpectedTerm(what) => ParseErrorKind::BadEscape(format!(
+                "expected {what}, found {:?}",
+                got.map(String::from).unwrap_or_else(|| "end of input".into())
+            )),
+            other => other.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Vec<TermTriple> {
+        parse_turtle_str(src).expect("valid turtle")
+    }
+
+    #[test]
+    fn basic_statement() {
+        let t = parse("<http://e/s> <http://e/p> <http://e/o> .");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].0, Term::iri("http://e/s"));
+    }
+
+    #[test]
+    fn prefixes_and_a() {
+        let t = parse(
+            "@prefix ex: <http://e/> .\nPREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+             ex:alice a foaf:Person .",
+        );
+        assert_eq!(
+            t[0],
+            (
+                Term::iri("http://e/alice"),
+                Term::iri(RDF_TYPE),
+                Term::iri("http://xmlns.com/foaf/0.1/Person")
+            )
+        );
+    }
+
+    #[test]
+    fn semicolons_and_commas() {
+        let t = parse(
+            "@prefix e: <http://e/> .\n\
+             e:s e:p e:o1 , e:o2 ;\n    e:q e:o3 ;\n.",
+        );
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].0, t[1].0);
+        assert_eq!(t[2].1, Term::iri("http://e/q"));
+    }
+
+    #[test]
+    fn literal_forms() {
+        let t = parse(
+            r#"@prefix e: <http://e/> .
+e:s e:str "plain" ;
+    e:lang "bonjour"@fr ;
+    e:typed "5"^^e:myType ;
+    e:int 42 ;
+    e:neg -7 ;
+    e:dec 3.25 ;
+    e:dbl 1.5e3 ;
+    e:yes true ;
+    e:no false ;
+    e:sq 'single' ;
+    e:long """line1
+line2 "quoted" inside""" .
+"#,
+        );
+        let objects: Vec<&Term> = t.iter().map(|(_, _, o)| o).collect();
+        assert_eq!(objects[0], &Term::literal("plain"));
+        assert_eq!(objects[1], &Term::lang_literal("bonjour", "fr"));
+        assert_eq!(objects[2], &Term::typed_literal("5", "http://e/myType"));
+        assert_eq!(objects[3], &Term::typed_literal("42", XSD_INTEGER));
+        assert_eq!(objects[4], &Term::typed_literal("-7", XSD_INTEGER));
+        assert_eq!(objects[5], &Term::typed_literal("3.25", XSD_DECIMAL));
+        assert_eq!(objects[6], &Term::typed_literal("1.5e3", XSD_DOUBLE));
+        assert_eq!(objects[7], &Term::typed_literal("true", XSD_BOOLEAN));
+        assert_eq!(objects[8], &Term::typed_literal("false", XSD_BOOLEAN));
+        assert_eq!(objects[9], &Term::literal("single"));
+        assert_eq!(
+            objects[10],
+            &Term::literal("line1\nline2 \"quoted\" inside")
+        );
+    }
+
+    #[test]
+    fn blank_nodes_and_anonymous() {
+        let t = parse(
+            "@prefix e: <http://e/> .\n\
+             _:b1 e:knows [ e:name \"anon\" ; e:age 3 ] .\n\
+             [] e:p e:o .",
+        );
+        // Nested property lists emit before the containing triple:
+        // X name anon, X age 3, _:b1 knows X, Y p o. Generated labels
+        // are renamed to a plain `genid…` prefix after parsing.
+        assert_eq!(t.len(), 4);
+        let anon = &t[0].0;
+        assert!(matches!(anon, Term::BlankNode(l) if l.starts_with("genid")));
+        assert_eq!(&t[1].0, anon);
+        assert_eq!(t[2].0, Term::blank("b1"));
+        assert_eq!(&t[2].2, anon);
+        assert!(matches!(&t[3].0, Term::BlankNode(l) if l.starts_with("genid")));
+        assert_ne!(&t[3].0, anon);
+    }
+
+    #[test]
+    fn generated_labels_avoid_document_labels() {
+        // A document that already uses `genid…` labels pushes the
+        // generated prefix further.
+        let t = parse(
+            "@prefix e: <http://e/> .\n_:genid0 e:p [ e:q e:o ] .",
+        );
+        assert_eq!(t[1].0, Term::blank("genid0"));
+        let gen = &t[0].0;
+        assert!(matches!(gen, Term::BlankNode(l) if l.starts_with("genidx")), "{gen:?}");
+    }
+
+    #[test]
+    fn comments_everywhere() {
+        let t = parse(
+            "# header\n@prefix e: <http://e/> . # trailing\ne:s e:p # mid\n e:o .",
+        );
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_positioned_and_loud() {
+        assert!(parse_turtle_str("@base <http://e/> .").is_err());
+        assert!(parse_turtle_str("<http://e/s> <http://e/p> (1 2) .").is_err());
+        assert!(parse_turtle_str("ex:undeclared <http://e/p> <http://e/o> .").is_err());
+        assert!(parse_turtle_str("<http://e/s> <http://e/p> <http://e/o>").is_err()); // no dot
+        assert!(parse_turtle_str("\"literal\" <http://e/p> <http://e/o> .").is_err());
+        let e = parse_turtle_str("<http://e/s>\n  <http://e/p> @ .").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn roundtrip_with_ntriples_writer() {
+        // Everything Turtle parses, the N-Triples writer + parser must
+        // round-trip.
+        let triples = parse(
+            "@prefix e: <http://e/> .\n e:s e:p \"x\\ty\" , 42 , e:o ; a e:C .",
+        );
+        let mut buf = Vec::new();
+        crate::writer::write_ntriples(&mut buf, &triples).unwrap();
+        let back = crate::parser::parse_ntriples_str(&String::from_utf8(buf).unwrap()).unwrap();
+        assert_eq!(back, triples);
+    }
+}

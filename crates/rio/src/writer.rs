@@ -1,0 +1,57 @@
+//! N-Triples serialization.
+
+use std::io::{self, Write};
+
+use parj_dict::Term;
+
+/// Writes one triple as a single N-Triples statement line.
+///
+/// `Term`'s `Display` implementation already performs N-Triples escaping
+/// for literals; IRIs are written verbatim inside angle brackets.
+pub fn write_triple<W: Write>(w: &mut W, s: &Term, p: &Term, o: &Term) -> io::Result<()> {
+    writeln!(w, "{s} {p} {o} .")
+}
+
+/// Writes a whole sequence of triples.
+pub fn write_ntriples<'a, W, I>(w: &mut W, triples: I) -> io::Result<()>
+where
+    W: Write,
+    I: IntoIterator<Item = &'a (Term, Term, Term)>,
+{
+    for (s, p, o) in triples {
+        write_triple(w, s, p, o)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_ntriples_str;
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let triples = vec![
+            (
+                Term::iri("http://e/s"),
+                Term::iri("http://e/p"),
+                Term::literal("line1\nline2 \"quoted\" back\\slash"),
+            ),
+            (
+                Term::blank("b0"),
+                Term::iri("http://e/p"),
+                Term::lang_literal("héllo", "fr"),
+            ),
+            (
+                Term::iri("http://e/s"),
+                Term::iri("http://e/p"),
+                Term::typed_literal("3.14", "http://www.w3.org/2001/XMLSchema#double"),
+            ),
+        ];
+        let mut buf = Vec::new();
+        write_ntriples(&mut buf, &triples).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let parsed = parse_ntriples_str(&text).unwrap();
+        assert_eq!(parsed, triples);
+    }
+}

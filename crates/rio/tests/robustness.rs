@@ -1,0 +1,97 @@
+//! Robustness: no input — however malformed — may panic the parsers;
+//! they must return a positioned error or a parse.
+
+use proptest::prelude::*;
+
+use parj_rio::{parse_ntriples_str, parse_turtle_str};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary unicode garbage never panics the N-Triples parser.
+    #[test]
+    fn ntriples_never_panics(input in "\\PC*") {
+        let _ = parse_ntriples_str(&input);
+    }
+
+    /// Arbitrary garbage with RDF-ish ingredients never panics.
+    #[test]
+    fn ntriples_never_panics_structured(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("<http://e/x>".to_string()),
+                Just("_:b".to_string()),
+                Just("\"lit\"".to_string()),
+                Just(".".to_string()),
+                Just("\\u12".to_string()),
+                Just("@en".to_string()),
+                Just("^^".to_string()),
+                Just("<".to_string()),
+                Just("\"".to_string()),
+                "[ -~]{0,6}",
+            ],
+            0..12,
+        )
+    ) {
+        let line = parts.join(" ");
+        let _ = parse_ntriples_str(&line);
+    }
+
+    /// Arbitrary unicode garbage never panics the Turtle parser.
+    #[test]
+    fn turtle_never_panics(input in "\\PC*") {
+        let _ = parse_turtle_str(&input);
+    }
+
+    /// Turtle-flavoured fragments never panic.
+    #[test]
+    fn turtle_never_panics_structured(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("@prefix e: <http://e/> .".to_string()),
+                Just("e:s".to_string()),
+                Just("a".to_string()),
+                Just(";".to_string()),
+                Just(",".to_string()),
+                Just(".".to_string()),
+                Just("[".to_string()),
+                Just("]".to_string()),
+                Just("(".to_string()),
+                Just("\"\"\"x".to_string()),
+                Just("'''".to_string()),
+                Just("123.".to_string()),
+                Just("1e".to_string()),
+                Just("true".to_string()),
+                "[ -~]{0,6}",
+            ],
+            0..16,
+        )
+    ) {
+        let doc = parts.join(" ");
+        let _ = parse_turtle_str(&doc);
+    }
+
+    /// Whatever Turtle accepts must be representable and re-parseable
+    /// through the N-Triples writer (cross-format consistency).
+    #[test]
+    fn turtle_accepts_implies_ntriples_roundtrip(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("e:s e:p e:o .".to_string()),
+                Just("e:s a e:C ; e:q 4 .".to_string()),
+                Just("e:x e:r \"v\"@en , 't' .".to_string()),
+                Just("_:b e:p [ e:q e:o ] .".to_string()),
+            ],
+            0..6,
+        )
+    ) {
+        let doc = format!("@prefix e: <http://e/> .\n{}", parts.join("\n"));
+        if let Ok(triples) = parse_turtle_str(&doc) {
+            let mut buf = Vec::new();
+            parj_rio::write_ntriples(&mut buf, &triples).unwrap();
+            let text = String::from_utf8(buf).unwrap();
+            let back = parse_ntriples_str(&text).unwrap();
+            prop_assert_eq!(back, triples);
+        }
+    }
+}

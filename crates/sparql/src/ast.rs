@@ -1,0 +1,88 @@
+//! Parsed query AST.
+
+use parj_dict::Term;
+
+/// A term slot in a triple pattern: a named variable or a concrete term
+/// (IRI/literal), with prefixed names already expanded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum STerm {
+    /// `?name`.
+    Var(String),
+    /// A constant RDF term.
+    Term(Term),
+}
+
+impl STerm {
+    /// The variable name if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            STerm::Var(v) => Some(v),
+            STerm::Term(_) => None,
+        }
+    }
+}
+
+/// One triple pattern of a BGP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriplePattern {
+    /// Subject slot.
+    pub s: STerm,
+    /// Predicate slot.
+    pub p: STerm,
+    /// Object slot.
+    pub o: STerm,
+}
+
+/// A parsed query: one BGP with projection/modifiers, prefixes expanded
+/// and `FILTER (?v = const)` already folded into the patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedQuery {
+    /// `SELECT DISTINCT`?
+    pub distinct: bool,
+    /// Projected variable names in order; `None` means `SELECT *`
+    /// (all variables in first-occurrence order). `ASK` parses to
+    /// `Some(vec![])` with `limit = Some(1)`.
+    pub projection: Option<Vec<String>>,
+    /// All triple patterns, flattened across UNION branches (the
+    /// variable inventory; use [`ParsedQuery::branches`] for execution
+    /// structure).
+    pub patterns: Vec<TriplePattern>,
+    /// The UNION branches: one BGP each. Queries without `UNION` have
+    /// exactly one branch (equal to `patterns`).
+    pub branches: Vec<Vec<TriplePattern>>,
+    /// `ORDER BY` keys: `(variable, descending)`, in priority order.
+    /// Ordering is by the terms' canonical string form (a deterministic
+    /// total order; full SPARQL operator ordering is out of scope).
+    pub order_by: Vec<(String, bool)>,
+    /// `OFFSET n`, if present (applied after ordering, before LIMIT).
+    pub offset: Option<usize>,
+    /// `LIMIT n`, if present.
+    pub limit: Option<usize>,
+}
+
+impl ParsedQuery {
+    /// All distinct variable names in first-occurrence order across the
+    /// patterns.
+    pub fn all_vars(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for pat in &self.patterns {
+            for slot in [&pat.s, &pat.p, &pat.o] {
+                if let STerm::Var(v) = slot {
+                    if !seen.iter().any(|s| s == v) {
+                        seen.push(v.clone());
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// The effective projection: explicit list, or all variables for
+    /// `SELECT *`.
+    pub fn effective_projection(&self) -> Vec<String> {
+        match &self.projection {
+            Some(vars) => vars.clone(),
+            None => self.all_vars(),
+        }
+    }
+}

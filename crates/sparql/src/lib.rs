@@ -1,0 +1,49 @@
+//! # parj-sparql — SPARQL BGP front end
+//!
+//! A hand-written tokenizer and recursive-descent parser for the SPARQL
+//! subset PARJ evaluates (the paper's workloads are Basic Graph Pattern
+//! `SELECT` queries — LUBM 1–10, WatDiv basic/IL/ML):
+//!
+//! * `PREFIX` declarations and prefixed names,
+//! * `SELECT [DISTINCT] (?v… | *)`, `ASK`,
+//! * `WHERE { … }` with `.`-separated triple patterns and the `;` / `,`
+//!   predicate-object / object-list abbreviations, the `a` keyword,
+//! * IRIs, numeric/string/lang/typed literals,
+//! * `FILTER (?v = <iri> | literal)` equality sugar (folded into the BGP
+//!   as a constant binding),
+//! * `LIMIT n`.
+//!
+//! Anything beyond the subset (OPTIONAL, UNION, property paths, …) is a
+//! parse error with a position — no silent misparsing.
+//!
+//! ```
+//! use parj_sparql::{parse_query, STerm};
+//!
+//! let q = parse_query(r#"
+//!     PREFIX ub: <http://example.org/univ#>
+//!     SELECT ?x ?y WHERE {
+//!         ?x ub:worksFor ?y ;
+//!            a ub:Professor .
+//!     }
+//! "#).unwrap();
+//! assert_eq!(q.projection.as_deref(), Some(&["x".to_string(), "y".to_string()][..]));
+//! assert_eq!(q.patterns.len(), 2);
+//! assert!(matches!(q.patterns[1].p, STerm::Term(_))); // `a` → rdf:type
+//! ```
+
+#![warn(missing_docs)]
+
+mod ast;
+mod parser;
+mod token;
+
+pub use ast::{ParsedQuery, STerm, TriplePattern};
+pub use parser::parse_query;
+pub use token::{SparqlError, Token, TokenKind};
+
+/// The `rdf:type` IRI that the `a` keyword abbreviates.
+pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+/// The `xsd:integer` datatype used for bare integer literals.
+pub const XSD_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+/// The `xsd:decimal` datatype used for bare decimal literals.
+pub const XSD_DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";

@@ -1,0 +1,79 @@
+//! Robustness: the SPARQL parser never panics, and every accepted query
+//! re-parses consistently.
+
+use proptest::prelude::*;
+
+use parj_sparql::parse_query;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary unicode garbage never panics the parser.
+    #[test]
+    fn parser_never_panics(input in "\\PC*") {
+        let _ = parse_query(&input);
+    }
+
+    /// SPARQL-flavoured token soup never panics.
+    #[test]
+    fn parser_never_panics_structured(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT".to_string()),
+                Just("ASK".to_string()),
+                Just("WHERE".to_string()),
+                Just("DISTINCT".to_string()),
+                Just("PREFIX e: <http://e/>".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just("?x".to_string()),
+                Just("e:p".to_string()),
+                Just("<http://e/x>".to_string()),
+                Just("\"lit\"".to_string()),
+                Just(".".to_string()),
+                Just(";".to_string()),
+                Just(",".to_string()),
+                Just("*".to_string()),
+                Just("FILTER".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just("=".to_string()),
+                Just("LIMIT".to_string()),
+                Just("42".to_string()),
+                Just("3.5".to_string()),
+                Just("a".to_string()),
+                "[ -~]{0,6}",
+            ],
+            0..20,
+        )
+    ) {
+        let q = parts.join(" ");
+        let _ = parse_query(&q);
+    }
+
+    /// Well-formed generated queries always parse, and their variable
+    /// inventory is stable.
+    #[test]
+    fn generated_queries_parse(
+        n_patterns in 1usize..5,
+        distinct in any::<bool>(),
+        limit in proptest::option::of(0usize..100),
+    ) {
+        let mut body = String::new();
+        for i in 0..n_patterns {
+            body.push_str(&format!("?v{i} <http://e/p{i}> ?v{} . ", i + 1));
+        }
+        let mut q = format!(
+            "SELECT {}?v0 WHERE {{ {body}}}",
+            if distinct { "DISTINCT " } else { "" },
+        );
+        if let Some(l) = limit {
+            q.push_str(&format!(" LIMIT {l}"));
+        }
+        let parsed = parse_query(&q).unwrap();
+        prop_assert_eq!(parsed.patterns.len(), n_patterns);
+        prop_assert_eq!(parsed.distinct, distinct);
+        prop_assert_eq!(parsed.limit, limit);
+        prop_assert_eq!(parsed.all_vars().len(), n_patterns + 1);
+    }
+}

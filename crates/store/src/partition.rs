@@ -1,0 +1,172 @@
+//! A property partition: the two sort-order replicas for one predicate.
+
+use parj_dict::Id;
+
+use crate::replica::{Replica, ReplicaBuilder};
+use crate::store::SortOrder;
+
+/// The vertical partition for one predicate: an S-O replica (`prop_i` in
+/// the paper's notation) and an O-S replica (`prop_i'`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Partition {
+    predicate: Id,
+    so: Replica,
+    os: Replica,
+}
+
+impl Partition {
+    /// Builds both replicas from raw `(subject, object)` pairs (not
+    /// necessarily sorted or unique).
+    pub fn build(predicate: Id, pairs: &[(Id, Id)]) -> Self {
+        let mut so = ReplicaBuilder::with_capacity(pairs.len());
+        let mut os = ReplicaBuilder::with_capacity(pairs.len());
+        for &(s, o) in pairs {
+            so.push(s, o);
+            os.push(o, s);
+        }
+        Partition {
+            predicate,
+            so: so.finish(),
+            os: os.finish(),
+        }
+    }
+
+    /// The predicate id this partition stores.
+    #[inline]
+    pub fn predicate(&self) -> Id {
+        self.predicate
+    }
+
+    /// The replica with the requested sort order.
+    #[inline]
+    pub fn replica(&self, order: SortOrder) -> &Replica {
+        match order {
+            SortOrder::SO => &self.so,
+            SortOrder::OS => &self.os,
+        }
+    }
+
+    /// Mutable replica access (index building).
+    #[inline]
+    pub fn replica_mut(&mut self, order: SortOrder) -> &mut Replica {
+        match order {
+            SortOrder::SO => &mut self.so,
+            SortOrder::OS => &mut self.os,
+        }
+    }
+
+    /// Number of distinct triples with this predicate.
+    #[inline]
+    pub fn num_triples(&self) -> usize {
+        self.so.num_triples()
+    }
+
+    /// Number of distinct subjects.
+    #[inline]
+    pub fn num_subjects(&self) -> usize {
+        self.so.num_keys()
+    }
+
+    /// Number of distinct objects.
+    #[inline]
+    pub fn num_objects(&self) -> usize {
+        self.os.num_keys()
+    }
+
+    /// True if `(s, o)` is present.
+    pub fn contains(&self, s: Id, o: Id) -> bool {
+        self.so.values_for_key(s).binary_search(&o).is_ok()
+    }
+
+    /// Iterates all `(subject, object)` pairs in (s, o) order.
+    pub fn iter_so(&self) -> impl Iterator<Item = (Id, Id)> + '_ {
+        self.so.iter_pairs()
+    }
+
+    /// Combined memory of both replicas.
+    pub fn memory_bytes(&self) -> usize {
+        self.so.memory_bytes() + self.os.memory_bytes()
+    }
+
+    /// Checks both replicas' invariants plus their mutual consistency
+    /// (same multiset of triples, equal cardinalities).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.so.check_invariants().map_err(|e| format!("SO: {e}"))?;
+        self.os.check_invariants().map_err(|e| format!("OS: {e}"))?;
+        if self.so.num_triples() != self.os.num_triples() {
+            return Err(format!(
+                "replica cardinality mismatch: SO={} OS={}",
+                self.so.num_triples(),
+                self.os.num_triples()
+            ));
+        }
+        let mut from_so: Vec<(Id, Id)> = self.so.iter_pairs().collect();
+        let mut from_os: Vec<(Id, Id)> = self.os.iter_pairs().map(|(o, s)| (s, o)).collect();
+        from_so.sort_unstable();
+        from_os.sort_unstable();
+        if from_so != from_os {
+            return Err("SO and OS replicas disagree on triple set".into());
+        }
+        Ok(())
+    }
+
+    /// Rebuilds a partition from already-validated replicas (snapshot
+    /// loading path).
+    pub(crate) fn from_replicas(predicate: Id, so: Replica, os: Replica) -> Self {
+        Partition { predicate, so, os }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example of §3: `teaches` triples from Table 1.
+    /// ProfessorA(1) teaches Mathematics(3) & Physics(8), ProfessorB(4)
+    /// teaches Chemistry(5), ProfessorC(6) teaches Literature(7).
+    fn teaches() -> Partition {
+        Partition::build(0, &[(1, 3), (4, 5), (6, 7), (1, 8)])
+    }
+
+    #[test]
+    fn both_replicas_constructed() {
+        let p = teaches();
+        assert_eq!(p.num_triples(), 4);
+        assert_eq!(p.num_subjects(), 3);
+        assert_eq!(p.num_objects(), 4);
+        assert_eq!(p.replica(SortOrder::SO).keys(), &[1, 4, 6]);
+        assert_eq!(p.replica(SortOrder::SO).values_for_key(1), &[3, 8]);
+        assert_eq!(p.replica(SortOrder::OS).keys(), &[3, 5, 7, 8]);
+        assert_eq!(p.replica(SortOrder::OS).values_for_key(8), &[1]);
+        assert_eq!(p.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn contains() {
+        let p = teaches();
+        assert!(p.contains(1, 3));
+        assert!(p.contains(1, 8));
+        assert!(!p.contains(1, 5));
+        assert!(!p.contains(99, 3));
+    }
+
+    #[test]
+    fn duplicate_triples_are_set_semantics() {
+        let p = Partition::build(0, &[(1, 2), (1, 2), (1, 2)]);
+        assert_eq!(p.num_triples(), 1);
+    }
+
+    #[test]
+    fn iter_so_is_sorted() {
+        let p = teaches();
+        let pairs: Vec<_> = p.iter_so().collect();
+        assert_eq!(pairs, vec![(1, 3), (1, 8), (4, 5), (6, 7)]);
+    }
+
+    #[test]
+    fn empty_partition() {
+        let p = Partition::build(3, &[]);
+        assert_eq!(p.num_triples(), 0);
+        assert_eq!(p.check_invariants(), Ok(()));
+    }
+}

@@ -1,0 +1,411 @@
+//! One sort-order replica of a property's two-column table (Figure 1 of
+//! the paper): distinct sorted keys, a CSR offsets table, and one
+//! contiguous sorted-per-group values area.
+
+use parj_dict::Id;
+
+use crate::idpos::IdPosIndex;
+
+/// A single replica (S-O or O-S) of a property partition.
+///
+/// Invariants (checked by [`Replica::check_invariants`], relied on by the
+/// join layer):
+///
+/// 1. `keys` is strictly increasing (distinct, sorted).
+/// 2. `offsets.len() == keys.len() + 1`, `offsets[0] == 0`,
+///    `offsets` is strictly increasing (every key has ≥ 1 value), and
+///    `offsets[keys.len()] == values.len()`.
+/// 3. Each group `values[offsets[i]..offsets[i+1]]` is strictly
+///    increasing (values are distinct within a key: RDF graphs are sets).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Replica {
+    keys: Vec<Id>,
+    offsets: Vec<u32>,
+    values: Vec<Id>,
+    idpos: Option<IdPosIndex>,
+}
+
+impl Replica {
+    /// The distinct, sorted first-column values.
+    #[inline]
+    pub fn keys(&self) -> &[Id] {
+        &self.keys
+    }
+
+    /// Number of distinct keys.
+    #[inline]
+    pub fn num_keys(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Number of `(key, value)` pairs, i.e. triples in this replica.
+    #[inline]
+    pub fn num_triples(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the replica holds no triples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The sorted values group for the key at position `pos`.
+    ///
+    /// # Panics
+    /// Panics if `pos >= num_keys()`.
+    #[inline]
+    pub fn values_at(&self, pos: usize) -> &[Id] {
+        let start = self.offsets[pos] as usize;
+        let end = self.offsets[pos + 1] as usize;
+        &self.values[start..end]
+    }
+
+    /// The key at position `pos`.
+    #[inline]
+    pub fn key_at(&self, pos: usize) -> Id {
+        self.keys[pos]
+    }
+
+    /// Group size for the key at `pos` without touching the values array.
+    #[inline]
+    pub fn group_len(&self, pos: usize) -> usize {
+        (self.offsets[pos + 1] - self.offsets[pos]) as usize
+    }
+
+    /// The raw CSR offsets table (`num_keys() + 1` entries).
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The contiguous values area.
+    #[inline]
+    pub fn values(&self) -> &[Id] {
+        &self.values
+    }
+
+    /// Plain binary search for `key` over the whole keys array.
+    #[inline]
+    pub fn find_key(&self, key: Id) -> Option<usize> {
+        self.keys.binary_search(&key).ok()
+    }
+
+    /// The values group for `key`, empty if absent (uses the
+    /// ID-to-Position index when present).
+    pub fn values_for_key(&self, key: Id) -> &[Id] {
+        let pos = match &self.idpos {
+            Some(idx) => idx.lookup(key),
+            None => self.find_key(key),
+        };
+        match pos {
+            Some(p) => self.values_at(p),
+            None => &[],
+        }
+    }
+
+    /// The ID-to-Position index, if built.
+    #[inline]
+    pub fn idpos(&self) -> Option<&IdPosIndex> {
+        self.idpos.as_ref()
+    }
+
+    /// Builds (or rebuilds) the ID-to-Position index over `universe`
+    /// dictionary ids with the given block interval.
+    pub fn build_idpos(&mut self, universe: usize, interval: usize) {
+        self.idpos = Some(IdPosIndex::build(&self.keys, universe, interval));
+    }
+
+    /// Drops the ID-to-Position index (the paper notes the index is
+    /// auxiliary: "our system can operate without all or some of these
+    /// indexes").
+    pub fn drop_idpos(&mut self) {
+        self.idpos = None;
+    }
+
+    /// Iterates `(key, values_group)` pairs in key order.
+    pub fn iter_groups(&self) -> impl Iterator<Item = (Id, &[Id])> + '_ {
+        (0..self.num_keys()).map(move |i| (self.keys[i], self.values_at(i)))
+    }
+
+    /// Iterates all `(key, value)` pairs in `(key, value)` order.
+    pub fn iter_pairs(&self) -> impl Iterator<Item = (Id, Id)> + '_ {
+        self.iter_groups()
+            .flat_map(|(k, vs)| vs.iter().map(move |&v| (k, v)))
+    }
+
+    /// Bytes used by the arrays (excluding the optional index).
+    pub fn memory_bytes(&self) -> usize {
+        self.keys.len() * std::mem::size_of::<Id>()
+            + self.offsets.len() * 4
+            + self.values.len() * std::mem::size_of::<Id>()
+            + self.idpos.as_ref().map_or(0, |i| i.memory_bytes())
+    }
+
+    /// Verifies all structural invariants; returns a description of the
+    /// first violation. Used by tests and the snapshot loader.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.offsets.len() != self.keys.len() + 1 {
+            return Err(format!(
+                "offsets len {} != keys len {} + 1",
+                self.offsets.len(),
+                self.keys.len()
+            ));
+        }
+        if self.offsets.first() != Some(&0) {
+            return Err("offsets[0] != 0".into());
+        }
+        if *self.offsets.last().expect("non-empty offsets") as usize != self.values.len() {
+            return Err("offsets tail != values len".into());
+        }
+        for w in self.keys.windows(2) {
+            if w[0] >= w[1] {
+                return Err(format!("keys not strictly increasing at {}..{}", w[0], w[1]));
+            }
+        }
+        for w in self.offsets.windows(2) {
+            if w[0] >= w[1] {
+                return Err("empty value group (offsets not strictly increasing)".into());
+            }
+        }
+        for i in 0..self.num_keys() {
+            let g = self.values_at(i);
+            for w in g.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("group {i} not strictly increasing"));
+                }
+            }
+        }
+        if let Some(idx) = &self.idpos {
+            for (pos, &k) in self.keys.iter().enumerate() {
+                if idx.lookup(k) != Some(pos) {
+                    return Err(format!("idpos lookup({k}) != {pos}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Raw parts for snapshot encoding.
+    pub(crate) fn raw_parts(&self) -> (&[Id], &[u32], &[Id]) {
+        (&self.keys, &self.offsets, &self.values)
+    }
+
+    /// Rebuilds from raw parts, validating invariants.
+    pub(crate) fn from_raw_parts(
+        keys: Vec<Id>,
+        offsets: Vec<u32>,
+        values: Vec<Id>,
+    ) -> Result<Self, String> {
+        let r = Replica {
+            keys,
+            offsets,
+            values,
+            idpos: None,
+        };
+        r.check_invariants()?;
+        Ok(r)
+    }
+}
+
+/// Builds a [`Replica`] from `(first, second)` column pairs.
+///
+/// The input need not be sorted or deduplicated; `finish` sorts,
+/// deduplicates (RDF set semantics) and emits the CSR arrays.
+#[derive(Debug, Default)]
+pub struct ReplicaBuilder {
+    pairs: Vec<(Id, Id)>,
+}
+
+impl ReplicaBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with capacity for `n` pairs.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            pairs: Vec::with_capacity(n),
+        }
+    }
+
+    /// Adds one `(key, value)` pair.
+    #[inline]
+    pub fn push(&mut self, key: Id, value: Id) {
+        self.pairs.push((key, value));
+    }
+
+    /// Number of buffered pairs (before dedup).
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if no pairs buffered.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Sorts, deduplicates and emits the replica.
+    pub fn finish(mut self) -> Replica {
+        self.pairs.sort_unstable();
+        self.pairs.dedup();
+        Self::from_sorted_unique(self.pairs)
+    }
+
+    /// Builds directly from pairs already sorted and deduplicated
+    /// (debug-asserted).
+    pub fn from_sorted_unique(pairs: Vec<(Id, Id)>) -> Replica {
+        debug_assert!(pairs.windows(2).all(|w| w[0] < w[1]), "pairs not sorted+unique");
+        assert!(
+            pairs.len() <= u32::MAX as usize,
+            "replica exceeds u32 offset range ({} pairs)",
+            pairs.len()
+        );
+        let mut keys: Vec<Id> = Vec::new();
+        let mut offsets: Vec<u32> = vec![0];
+        let mut values: Vec<Id> = Vec::with_capacity(pairs.len());
+        for (k, v) in pairs {
+            if keys.last() != Some(&k) {
+                if !keys.is_empty() {
+                    offsets.push(values.len() as u32);
+                }
+                keys.push(k);
+            }
+            values.push(v);
+        }
+        offsets.push(values.len() as u32);
+        if keys.is_empty() {
+            // Canonical empty replica: offsets = [0].
+            offsets = vec![0];
+        }
+        let r = Replica {
+            keys,
+            offsets,
+            values,
+            idpos: None,
+        };
+        debug_assert_eq!(r.check_invariants(), Ok(()));
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact example of Figure 1: property table containing triples
+    /// 5-8, 7-8, 7-34, 13-40, 18-3, 24-9, 24-16, 24-41, 29-40, 33-22,
+    /// 45-4 (keys 5,7,13,18,24,29,33,45).
+    fn figure1() -> Replica {
+        let mut b = ReplicaBuilder::new();
+        for (k, v) in [
+            (5, 8),
+            (7, 8),
+            (7, 34),
+            (13, 40),
+            (18, 3),
+            (24, 9),
+            (24, 16),
+            (24, 41),
+            (29, 40),
+            (33, 22),
+            (45, 4),
+        ] {
+            b.push(k, v);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn figure1_example() {
+        let r = figure1();
+        assert_eq!(r.keys(), &[5, 7, 13, 18, 24, 29, 33, 45]);
+        assert_eq!(r.num_triples(), 11);
+        assert_eq!(r.values_for_key(5), &[8]);
+        assert_eq!(r.values_for_key(7), &[8, 34]);
+        assert_eq!(r.values_for_key(24), &[9, 16, 41]);
+        assert_eq!(r.values_for_key(45), &[4]);
+        assert_eq!(r.values_for_key(6), &[] as &[Id]);
+        assert_eq!(r.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn unsorted_duplicated_input() {
+        let mut b = ReplicaBuilder::new();
+        for (k, v) in [(9, 1), (3, 2), (9, 1), (3, 1), (9, 0), (3, 2)] {
+            b.push(k, v);
+        }
+        let r = b.finish();
+        assert_eq!(r.keys(), &[3, 9]);
+        assert_eq!(r.values_for_key(3), &[1, 2]);
+        assert_eq!(r.values_for_key(9), &[0, 1]);
+        assert_eq!(r.num_triples(), 4);
+    }
+
+    #[test]
+    fn empty_replica() {
+        let r = ReplicaBuilder::new().finish();
+        assert_eq!(r.num_keys(), 0);
+        assert_eq!(r.num_triples(), 0);
+        assert!(r.is_empty());
+        assert_eq!(r.values_for_key(0), &[] as &[Id]);
+        assert_eq!(r.check_invariants(), Ok(()));
+        assert_eq!(r.iter_pairs().count(), 0);
+    }
+
+    #[test]
+    fn iter_pairs_roundtrip() {
+        let r = figure1();
+        let pairs: Vec<(Id, Id)> = r.iter_pairs().collect();
+        assert_eq!(pairs.len(), 11);
+        assert!(pairs.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(pairs[0], (5, 8));
+        assert_eq!(pairs[10], (45, 4));
+    }
+
+    #[test]
+    fn idpos_integration() {
+        let mut r = figure1();
+        r.build_idpos(64, 64);
+        assert_eq!(r.check_invariants(), Ok(()));
+        assert_eq!(r.values_for_key(24), &[9, 16, 41]);
+        assert_eq!(r.values_for_key(25), &[] as &[Id]);
+        r.drop_idpos();
+        assert!(r.idpos().is_none());
+    }
+
+    #[test]
+    fn group_len_matches_values() {
+        let r = figure1();
+        for i in 0..r.num_keys() {
+            assert_eq!(r.group_len(i), r.values_at(i).len());
+        }
+    }
+
+    #[test]
+    fn raw_parts_roundtrip() {
+        let r = figure1();
+        let (k, o, v) = r.raw_parts();
+        let back = Replica::from_raw_parts(k.to_vec(), o.to_vec(), v.to_vec()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn from_raw_rejects_corruption() {
+        let r = figure1();
+        let (k, o, v) = r.raw_parts();
+        // Break key ordering.
+        let mut bad_keys = k.to_vec();
+        bad_keys.swap(0, 1);
+        assert!(Replica::from_raw_parts(bad_keys, o.to_vec(), v.to_vec()).is_err());
+        // Break offsets tail.
+        let mut bad_off = o.to_vec();
+        *bad_off.last_mut().unwrap() += 1;
+        assert!(Replica::from_raw_parts(k.to_vec(), bad_off, v.to_vec()).is_err());
+        // Break group sorting.
+        let mut bad_vals = v.to_vec();
+        bad_vals.swap(5, 6); // inside the 24-group
+        assert!(Replica::from_raw_parts(k.to_vec(), o.to_vec(), bad_vals).is_err());
+    }
+}

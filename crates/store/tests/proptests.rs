@@ -1,0 +1,82 @@
+//! Property tests: CSR construction is a faithful set-representation of
+//! arbitrary triple multisets, the ID-to-Position index agrees with
+//! binary search everywhere, and snapshots round-trip.
+
+use proptest::prelude::*;
+
+use parj_dict::Id;
+use parj_store::{IdPosIndex, Partition, SortOrder, StoreBuilder, TripleStore};
+
+proptest! {
+    /// Partition::build represents exactly the set of input pairs, in
+    /// both replicas, with all invariants intact.
+    #[test]
+    fn partition_is_faithful_set(
+        pairs in proptest::collection::vec((0u32..500, 0u32..500), 0..300)
+    ) {
+        let part = Partition::build(0, &pairs);
+        prop_assert_eq!(part.check_invariants(), Ok(()));
+        let mut expect: Vec<(Id, Id)> = pairs.clone();
+        expect.sort_unstable();
+        expect.dedup();
+        let got: Vec<(Id, Id)> = part.iter_so().collect();
+        prop_assert_eq!(got, expect.clone());
+        // Membership agrees for present and absent pairs.
+        for &(s, o) in expect.iter().take(20) {
+            prop_assert!(part.contains(s, o));
+        }
+        prop_assert!(!part.contains(501, 0));
+        // O-S replica holds the flipped pairs.
+        let mut flipped: Vec<(Id, Id)> = expect.iter().map(|&(s, o)| (o, s)).collect();
+        flipped.sort_unstable();
+        let from_os: Vec<(Id, Id)> = part.replica(SortOrder::OS).iter_pairs().collect();
+        prop_assert_eq!(from_os, flipped);
+    }
+
+    /// IdPosIndex::lookup ≡ slice::binary_search over the whole universe,
+    /// for arbitrary key sets and block intervals.
+    #[test]
+    fn idpos_equals_binary_search(
+        mut keys in proptest::collection::vec(0u32..2048, 0..200),
+        interval_pow in 0u32..4,
+        extra_universe in 0usize..100,
+    ) {
+        keys.sort_unstable();
+        keys.dedup();
+        let universe = keys.last().map_or(1, |&m| m as usize + 1) + extra_universe;
+        let interval = 64usize << interval_pow;
+        let idx = IdPosIndex::build(&keys, universe, interval);
+        for probe in 0..universe as Id {
+            prop_assert_eq!(idx.lookup(probe), keys.binary_search(&probe).ok());
+            prop_assert_eq!(idx.contains(probe), keys.binary_search(&probe).is_ok());
+        }
+        prop_assert_eq!(idx.lookup(universe as Id), None);
+    }
+
+    /// Store snapshot round-trips arbitrary triple sets exactly.
+    #[test]
+    fn snapshot_roundtrip(
+        triples in proptest::collection::vec((0u32..60, 0u32..5, 0u32..60), 0..200)
+    ) {
+        let mut b = StoreBuilder::new();
+        // Materialize dense dictionaries for the ids we use.
+        let max_r = triples.iter().map(|t| t.0.max(t.2)).max().unwrap_or(0);
+        let max_p = triples.iter().map(|t| t.1).max().unwrap_or(0);
+        for r in 0..=max_r {
+            b.dict_mut().encode_resource(&parj_dict::Term::iri(format!("r{r}")));
+        }
+        for p in 0..=max_p {
+            b.dict_mut().encode_predicate(&parj_dict::Term::iri(format!("p{p}")));
+        }
+        for &(s, p, o) in &triples {
+            b.add_encoded(parj_dict::EncodedTriple::new(s, p, o));
+        }
+        let store = b.build();
+        prop_assert_eq!(store.check_invariants(), Ok(()));
+        let back = TripleStore::from_snapshot_bytes(&store.to_snapshot_bytes()).unwrap();
+        prop_assert_eq!(back.check_invariants(), Ok(()));
+        let a: Vec<_> = store.iter_triples().collect();
+        let c: Vec<_> = back.iter_triples().collect();
+        prop_assert_eq!(a, c);
+    }
+}

@@ -1,0 +1,111 @@
+//! Build a small social graph by hand and explore it: path queries,
+//! repeated variables, predicate variables, incremental updates, and
+//! streaming-style counting — the API surface beyond the benchmark
+//! suites.
+//!
+//! ```sh
+//! cargo run --example social_graph
+//! ```
+
+use parj::{Parj, Term};
+
+fn person(name: &str) -> Term {
+    Term::iri(format!("http://social.example/{name}"))
+}
+
+fn rel(name: &str) -> Term {
+    Term::iri(format!("http://social.example/rel/{name}"))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut engine = Parj::builder().threads(2).build();
+
+    // Friendships (some mutual, one self-loop for the repeated-variable
+    // demo) and messages.
+    let friendships = [
+        ("alice", "bob"),
+        ("bob", "alice"),
+        ("bob", "carol"),
+        ("carol", "dave"),
+        ("dave", "alice"),
+        ("erin", "erin"), // erin follows themself
+        ("erin", "alice"),
+    ];
+    for (a, b) in friendships {
+        engine.add_triple(&person(a), &rel("follows"), &person(b));
+    }
+    for (author, text) in [
+        ("alice", "hello world"),
+        ("carol", "RDF is graphs all the way down"),
+        ("dave", "adaptive joins are neat"),
+    ] {
+        engine.add_triple(&person(author), &rel("posted"), &Term::literal(text));
+    }
+    println!("graph has {} triples", engine.num_triples());
+
+    // Two-hop reachability: who can alice reach through one friend?
+    let res = engine.query(
+        "PREFIX s: <http://social.example/>
+         PREFIX r: <http://social.example/rel/>
+         SELECT DISTINCT ?reached WHERE {
+             s:alice r:follows ?mid .
+             ?mid r:follows ?reached .
+         }",
+    )?;
+    println!("\nalice's two-hop reach:");
+    for row in &res.rows {
+        println!("  {}", row[0]);
+    }
+
+    // Mutual follows: the repeated-variable triangle ?a → ?b → ?a.
+    let res = engine.query(
+        "PREFIX r: <http://social.example/rel/>
+         SELECT ?a ?b WHERE { ?a r:follows ?b . ?b r:follows ?a . }",
+    )?;
+    println!("\nmutual follows (includes erin's self-loop):");
+    for row in &res.rows {
+        println!("  {} <-> {}", row[0], row[1]);
+    }
+
+    // Self-loops specifically: ?x follows ?x.
+    let (selfloops, _) = engine.query_count(
+        "PREFIX r: <http://social.example/rel/>
+         SELECT ?x WHERE { ?x r:follows ?x . }",
+    )?;
+    println!("\nself-loops: {selfloops}");
+
+    // Predicate variable: everything known about dave, over any
+    // predicate (expands to a union over the predicate partitions).
+    let (facts, _) = engine.query_count(
+        "PREFIX s: <http://social.example/>
+         SELECT ?o WHERE { s:dave ?p ?o . }",
+    )?;
+    println!("facts about dave across all predicates: {facts}");
+
+    // Incremental update: frank joins and follows everyone; the store
+    // rebuilds transparently on the next query.
+    for other in ["alice", "bob", "carol", "dave", "erin"] {
+        engine.add_triple(&person("frank"), &rel("follows"), &person(other));
+    }
+    let (count, _) = engine.query_count(
+        "PREFIX s: <http://social.example/>
+         PREFIX r: <http://social.example/rel/>
+         SELECT ?x WHERE { s:frank r:follows ?x . }",
+    )?;
+    println!("\nafter frank joined: frank follows {count} people");
+
+    // Influencers: DISTINCT + LIMIT.
+    let res = engine.query(
+        "PREFIX r: <http://social.example/rel/>
+         SELECT DISTINCT ?who WHERE { ?someone r:follows ?who . } LIMIT 3",
+    )?;
+    println!(
+        "three people with followers: {}",
+        res.rows
+            .iter()
+            .map(|r| r[0].to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    Ok(())
+}

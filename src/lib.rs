@@ -1,0 +1,37 @@
+//! # parj — Parallel Adaptive RDF Joins
+//!
+//! Facade crate for the PARJ workspace: a Rust reproduction of
+//! *"Scalable Parallelization of RDF Joins on Multicore Architectures"*
+//! (Bilidas & Koubarakis, EDBT 2019).
+//!
+//! Everything a user needs is re-exported here: the engine
+//! ([`Parj`]), the benchmark data generators ([`datagen`]), and the
+//! baseline engines ([`baseline`]) used to reproduce the paper's
+//! comparisons. See the repository README for a tour and
+//! `examples/quickstart.rs` for a two-minute introduction.
+//!
+//! ```
+//! use parj::Parj;
+//!
+//! let mut engine = Parj::builder().threads(4).build();
+//! engine.load_ntriples_str(
+//!     "<http://e/a> <http://e/knows> <http://e/b> .\n\
+//!      <http://e/b> <http://e/knows> <http://e/c> .\n",
+//! ).unwrap();
+//! let (paths, _) = engine
+//!     .query_count("SELECT ?x ?z WHERE { ?x <http://e/knows> ?y . ?y <http://e/knows> ?z }")
+//!     .unwrap();
+//! assert_eq!(paths, 1);
+//! ```
+
+pub use parj_core::*;
+
+/// Benchmark data generators (LUBM-like and WatDiv-like).
+pub mod datagen {
+    pub use parj_datagen::*;
+}
+
+/// Baseline engines and the reference evaluator.
+pub mod baseline {
+    pub use parj_baseline::*;
+}

@@ -1,0 +1,58 @@
+//! Large-scale stress test, `#[ignore]`d by default (minutes of CPU):
+//!
+//! ```sh
+//! cargo test --release --test stress -- --ignored
+//! ```
+//!
+//! Builds a LUBM-like store an order of magnitude above the normal test
+//! scales, validates all storage invariants, runs the full query suite
+//! under every probe strategy, and exercises snapshot round-tripping at
+//! size.
+
+use parj::datagen::lubm;
+use parj::{EngineConfig, Parj, ProbeStrategy, RunOverrides};
+
+#[test]
+#[ignore = "minutes of CPU; run with --ignored for release validation"]
+fn lubm_at_scale() {
+    let store = lubm::generate_store(&lubm::LubmConfig {
+        universities: 60,
+        seed: 1,
+    });
+    assert!(store.num_triples() > 800_000, "{}", store.num_triples());
+    store.check_invariants().expect("invariants at scale");
+
+    let bytes = store.to_snapshot_bytes();
+    let mut engine = Parj::from_store(store, EngineConfig::default());
+
+    // Strategy-invariance of every query at scale.
+    let mut baseline_counts = Vec::new();
+    for q in lubm::queries() {
+        let (count, stats) = engine.query_count(&q.sparql).expect("query runs");
+        assert!(stats.exec_micros < 60_000_000, "{} took too long", q.name);
+        baseline_counts.push((q.name.clone(), count));
+    }
+    for strategy in ProbeStrategy::TABLE5 {
+        for q in lubm::queries() {
+            let over = RunOverrides {
+                threads: Some(4),
+                strategy: Some(strategy),
+            };
+            let (count, _) = engine.query_count_with(&q.sparql, &over).expect("runs");
+            let expected = baseline_counts
+                .iter()
+                .find(|(n, _)| n == &q.name)
+                .expect("known query")
+                .1;
+            assert_eq!(count, expected, "{} under {strategy}", q.name);
+        }
+    }
+
+    // Snapshot round-trip at size.
+    let restored = parj::TripleStore::from_snapshot_bytes(&bytes).expect("snapshot decodes");
+    let mut restored = Parj::from_store(restored, EngineConfig::default());
+    for (name, count) in &baseline_counts {
+        let q = lubm::queries().into_iter().find(|q| &q.name == name).expect("query");
+        assert_eq!(restored.query_count(&q.sparql).unwrap().0, *count, "{name} after snapshot");
+    }
+}
