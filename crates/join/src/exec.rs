@@ -651,7 +651,7 @@ mod tests {
         fn rec(
             patterns: &[(Atom, Id, Atom)],
             triples: &[parj_dict::EncodedTriple],
-            bindings: &mut Vec<Option<Id>>,
+            bindings: &mut [Option<Id>],
             results: &mut Vec<Vec<Id>>,
         ) {
             let Some(&(s, p, o)) = patterns.first() else {
@@ -662,8 +662,8 @@ mod tests {
                 if t.p != p {
                     continue;
                 }
-                let mut local = bindings.clone();
-                let ok = |atom: Atom, id: Id, b: &mut Vec<Option<Id>>| match atom {
+                let mut local = bindings.to_vec();
+                let ok = |atom: Atom, id: Id, b: &mut [Option<Id>]| match atom {
                     Atom::Const(c) => c == id,
                     Atom::Var(v) => match b[v as usize] {
                         Some(x) => x == id,

@@ -1,0 +1,134 @@
+//! Offline vendored subset of the `bytes` crate.
+//!
+//! The build environment has no network access and no cargo registry
+//! cache, so the workspace vendors the *minimal* API surface it uses:
+//! [`Buf`] implemented for `&[u8]` and [`BufMut`] implemented for
+//! `Vec<u8>`, with little-endian integer accessors. Semantics match the
+//! upstream crate for this subset (including panics on short reads so
+//! callers' `remaining()` guards keep their meaning).
+
+/// Read access to a contiguous buffer, advancing an internal cursor.
+pub trait Buf {
+    /// Bytes left between the cursor and the end of the buffer.
+    fn remaining(&self) -> usize;
+
+    /// Returns the bytes at the cursor.
+    fn chunk(&self) -> &[u8];
+
+    /// Advances the cursor by `cnt` bytes. Panics if `cnt > remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// Copies `dst.len()` bytes into `dst`, advancing. Panics when short.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "buffer underflow");
+        *self = &self[cnt..];
+    }
+}
+
+/// Write access to a growable buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u8(7);
+        out.put_u16_le(0xBEEF);
+        out.put_u32_le(0xDEAD_BEEF);
+        out.put_u64_le(0x0123_4567_89AB_CDEF);
+        out.put_slice(b"xyz");
+        let mut buf: &[u8] = &out;
+        assert_eq!(buf.remaining(), 1 + 2 + 4 + 8 + 3);
+        assert_eq!(buf.get_u8(), 7);
+        assert_eq!(buf.get_u16_le(), 0xBEEF);
+        assert_eq!(buf.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(buf.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        let mut rest = [0u8; 3];
+        buf.copy_to_slice(&mut rest);
+        assert_eq!(&rest, b"xyz");
+        assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn advance_moves_cursor() {
+        let mut buf: &[u8] = &[1, 2, 3, 4];
+        buf.advance(2);
+        assert_eq!(buf.get_u8(), 3);
+    }
+}

@@ -1,0 +1,900 @@
+//! Offline vendored subset of `proptest`.
+//!
+//! The build environment has no network access and no registry cache,
+//! so the workspace vendors the proptest API surface its test suites
+//! use: the [`proptest!`] macro, `prop_assert*`/`prop_assume!`,
+//! [`prop_oneof!`] (weighted and unweighted), `Just`, ranges and tuples
+//! as strategies, `collection::vec`, `option::of`, and a miniature
+//! `string_regex` generator.
+//!
+//! Differences from upstream, deliberately accepted for a test-only
+//! stub: no shrinking (a failing case reports its seed instead), and
+//! regex support covers only the constructs the suite uses (character
+//! classes, groups, alternation, `?`/`*`/`+`/`{m,n}` quantifiers and
+//! the `\PC` printable class). Generation is deterministic per test
+//! name, so failures reproduce across runs; set `PROPTEST_CASES` to
+//! change the case count globally.
+
+pub mod test_runner {
+    //! Deterministic RNG, config, and the test-case error protocol.
+
+    /// What a generated case can report back to the runner.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case does not apply (`prop_assume!` failed); try another.
+        Reject(String),
+        /// The property failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Runner configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+
+        /// Effective case count (`PROPTEST_CASES` overrides).
+        pub fn effective_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(self.cases)
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// SplitMix64: tiny, fast, and plenty random for test generation.
+    #[derive(Debug, Clone)]
+    pub struct Rng {
+        state: u64,
+    }
+
+    impl Rng {
+        /// Seeds deterministically from a test name (FNV-1a).
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            Rng { state: h | 1 }
+        }
+
+        /// Seeds from an explicit value (failure reproduction).
+        pub fn from_seed(seed: u64) -> Self {
+            Rng { state: seed | 1 }
+        }
+
+        /// Current state, reported on failure so a case can be replayed.
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            // Modulo bias is irrelevant at test-generation quality.
+            self.next_u64() % bound
+        }
+
+        /// Uniform `usize` in `[lo, hi)`.
+        pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+            if hi <= lo {
+                return lo;
+            }
+            lo + self.below((hi - lo) as u64) as usize
+        }
+
+        /// Random bool.
+        pub fn bool(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::Rng;
+
+    /// A recipe for generating values of one type. Unlike upstream
+    /// there is no intermediate value tree: strategies sample directly.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+        /// Applies `f` to every generated value.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// Type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut Rng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut Rng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut Rng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut Rng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Weighted choice between boxed alternatives ([`crate::prop_oneof!`]).
+    pub struct OneOf<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> OneOf<T> {
+        /// Builds from `(weight, strategy)` arms; weights must not all
+        /// be zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs a positive total weight");
+            OneOf { arms, total }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut Rng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights sum checked in new()")
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut Rng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut Rng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo + 1) as u64;
+                    (lo + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut Rng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut Rng) -> String {
+            crate::string::generate_from_regex(self, rng)
+                .unwrap_or_else(|e| panic!("bad inline regex strategy {self:?}: {e}"))
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for primitive types.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+
+    /// Types with a canonical "anything" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an arbitrary value.
+        fn arbitrary(rng: &mut Rng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut Rng) -> bool {
+            rng.bool()
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut Rng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut Rng) -> char {
+            // Mostly ASCII with occasional multibyte, like upstream's bias.
+            match rng.below(8) {
+                0 => char::from_u32(0x80 + rng.below(0x700) as u32).unwrap_or('λ'),
+                _ => (0x20 + rng.below(0x5F) as u8) as char,
+            }
+        }
+    }
+
+    /// Strategy wrapper around [`Arbitrary`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut Rng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+
+    /// A size bound for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_excl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_excl: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange { lo: r.start, hi_excl: r.end.max(r.start + 1) }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_excl: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec(element, 0..16)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let len = rng.range(self.size.lo, self.size.hi_excl);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+
+    /// Strategy for `Option<S::Value>`.
+    pub struct OfStrategy<S>(S);
+
+    /// `proptest::option::of(inner)`: `None` about a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OfStrategy<S> {
+        OfStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OfStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut Rng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod string {
+    //! A miniature regex-driven string generator.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+
+    /// Regex compilation failure.
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "regex generator: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// One parsed regex element.
+    #[derive(Debug, Clone)]
+    enum Node {
+        Lit(char),
+        /// Inclusive char ranges; a single char is a degenerate range.
+        Class(Vec<(char, char)>),
+        /// `\PC`: any printable (non-control) char, ASCII-biased.
+        Printable,
+        /// `(alt | alt | ...)`, each alternative a sequence.
+        Group(Vec<Vec<(Node, usize, usize)>>),
+    }
+
+    /// Sequence element: node + min/max repetition (inclusive).
+    type Unit = (Node, usize, usize);
+
+    struct Parser<'a> {
+        chars: std::iter::Peekable<std::str::Chars<'a>>,
+    }
+
+    impl Parser<'_> {
+        fn parse_alternatives(&mut self, in_group: bool) -> Result<Vec<Vec<Unit>>, Error> {
+            let mut alts = vec![Vec::new()];
+            loop {
+                match self.chars.peek().copied() {
+                    None => {
+                        if in_group {
+                            return Err(Error("unclosed group".into()));
+                        }
+                        return Ok(alts);
+                    }
+                    Some(')') if in_group => {
+                        self.chars.next();
+                        return Ok(alts);
+                    }
+                    Some(')') => return Err(Error("unmatched ')'".into())),
+                    Some('|') => {
+                        self.chars.next();
+                        alts.push(Vec::new());
+                    }
+                    Some(_) => {
+                        let node = self.parse_node()?;
+                        let (lo, hi) = self.parse_quantifier()?;
+                        alts.last_mut().expect("nonempty").push((node, lo, hi));
+                    }
+                }
+            }
+        }
+
+        fn parse_node(&mut self) -> Result<Node, Error> {
+            let c = self.chars.next().expect("peeked");
+            match c {
+                '[' => self.parse_class(),
+                '(' => Ok(Node::Group(self.parse_alternatives(true)?)),
+                '.' => Ok(Node::Printable),
+                '\\' => match self.chars.next() {
+                    Some('P') => {
+                        // `\PC` — the only unicode-category escape used.
+                        match self.chars.next() {
+                            Some('C') => Ok(Node::Printable),
+                            other => Err(Error(format!("unsupported \\P{other:?}"))),
+                        }
+                    }
+                    Some('t') => Ok(Node::Lit('\t')),
+                    Some('n') => Ok(Node::Lit('\n')),
+                    Some('r') => Ok(Node::Lit('\r')),
+                    Some(c) => Ok(Node::Lit(c)),
+                    None => Err(Error("trailing backslash".into())),
+                },
+                c => Ok(Node::Lit(c)),
+            }
+        }
+
+        fn parse_class(&mut self) -> Result<Node, Error> {
+            let mut items: Vec<(char, char)> = Vec::new();
+            let mut pending: Option<char> = None;
+            loop {
+                let c = self.chars.next().ok_or(Error("unclosed class".into()))?;
+                let c = match c {
+                    ']' => {
+                        if let Some(p) = pending {
+                            items.push((p, p));
+                        }
+                        if items.is_empty() {
+                            return Err(Error("empty class".into()));
+                        }
+                        return Ok(Node::Class(items));
+                    }
+                    '\\' => match self.chars.next() {
+                        Some('t') => '\t',
+                        Some('n') => '\n',
+                        Some('r') => '\r',
+                        Some(c) => c,
+                        None => return Err(Error("trailing backslash in class".into())),
+                    },
+                    '-' if pending.is_some() => {
+                        // Range `a-z`, unless the '-' is last in the class.
+                        match self.chars.peek() {
+                            Some(']') | None => '-',
+                            Some(_) => {
+                                let hi = match self.chars.next().expect("peeked") {
+                                    '\\' => match self.chars.next() {
+                                        Some('t') => '\t',
+                                        Some('n') => '\n',
+                                        Some('r') => '\r',
+                                        Some(c) => c,
+                                        None => {
+                                            return Err(Error("trailing backslash".into()))
+                                        }
+                                    },
+                                    c => c,
+                                };
+                                let lo = pending.take().expect("checked");
+                                if lo > hi {
+                                    return Err(Error(format!("bad range {lo:?}-{hi:?}")));
+                                }
+                                items.push((lo, hi));
+                                continue;
+                            }
+                        }
+                    }
+                    c => c,
+                };
+                if let Some(p) = pending.replace(c) {
+                    items.push((p, p));
+                }
+            }
+        }
+
+        fn parse_quantifier(&mut self) -> Result<(usize, usize), Error> {
+            match self.chars.peek() {
+                Some('?') => {
+                    self.chars.next();
+                    Ok((0, 1))
+                }
+                Some('*') => {
+                    self.chars.next();
+                    Ok((0, 16))
+                }
+                Some('+') => {
+                    self.chars.next();
+                    Ok((1, 16))
+                }
+                Some('{') => {
+                    self.chars.next();
+                    let mut body = String::new();
+                    loop {
+                        match self.chars.next() {
+                            Some('}') => break,
+                            Some(c) => body.push(c),
+                            None => return Err(Error("unclosed quantifier".into())),
+                        }
+                    }
+                    let parse = |s: &str| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|_| Error(format!("bad quantifier {body:?}")))
+                    };
+                    match body.split_once(',') {
+                        None => {
+                            let n = parse(&body)?;
+                            Ok((n, n))
+                        }
+                        Some((lo, "")) => {
+                            let lo = parse(lo)?;
+                            Ok((lo, lo + 16))
+                        }
+                        Some((lo, hi)) => Ok((parse(lo)?, parse(hi)?)),
+                    }
+                }
+                _ => Ok((1, 1)),
+            }
+        }
+    }
+
+    /// Characters `\PC` / `.` draw from: printable ASCII plus a sample
+    /// of multibyte codepoints so fuzzed inputs exercise UTF-8 paths.
+    const EXOTIC: &[char] = &['é', 'λ', 'Ж', '中', '😀', '\u{2028}', 'ß', '¿'];
+
+    fn gen_char_printable(rng: &mut Rng) -> char {
+        if rng.below(8) == 0 {
+            EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+        } else {
+            (0x20 + rng.below(0x5F) as u8) as char
+        }
+    }
+
+    fn gen_class(items: &[(char, char)], rng: &mut Rng) -> char {
+        // Weight ranges by their width so e.g. `[ -~é]` is not half 'é'.
+        let total: u64 = items
+            .iter()
+            .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+            .sum();
+        let mut pick = rng.below(total);
+        for (lo, hi) in items {
+            let w = (*hi as u64) - (*lo as u64) + 1;
+            if pick < w {
+                return char::from_u32(*lo as u32 + pick as u32).unwrap_or(*lo);
+            }
+            pick -= w;
+        }
+        unreachable!("total covers all items")
+    }
+
+    fn gen_seq(seq: &[Unit], rng: &mut Rng, out: &mut String) {
+        for (node, lo, hi) in seq {
+            let reps = rng.range(*lo, *hi + 1);
+            for _ in 0..reps {
+                match node {
+                    Node::Lit(c) => out.push(*c),
+                    Node::Class(items) => out.push(gen_class(items, rng)),
+                    Node::Printable => out.push(gen_char_printable(rng)),
+                    Node::Group(alts) => {
+                        let alt = &alts[rng.below(alts.len() as u64) as usize];
+                        gen_seq(alt, rng, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A compiled regex string strategy.
+    pub struct RegexGeneratorStrategy {
+        alts: Vec<Vec<Unit>>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut Rng) -> String {
+            let mut out = String::new();
+            let alt = &self.alts[rng.below(self.alts.len() as u64) as usize];
+            gen_seq(alt, rng, &mut out);
+            out
+        }
+    }
+
+    /// Compiles `pattern` into a string strategy.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let mut p = Parser {
+            chars: pattern.chars().peekable(),
+        };
+        Ok(RegexGeneratorStrategy {
+            alts: p.parse_alternatives(false)?,
+        })
+    }
+
+    /// One-shot generation used by the `&str` strategy impl.
+    pub fn generate_from_regex(pattern: &str, rng: &mut Rng) -> Result<String, Error> {
+        Ok(string_regex(pattern)?.generate(rng))
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// `prop::collection` / `prop::option` style access.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::string;
+    }
+}
+
+/// Defines property tests: `proptest! { #[test] fn f(x in strat) {...} }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal: expands each test fn in a [`proptest!`] block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let __cases = __config.effective_cases();
+            let mut __rng = $crate::test_runner::Rng::from_name(stringify!($name));
+            let mut __passed = 0u32;
+            let mut __attempts = 0u32;
+            while __passed < __cases {
+                __attempts += 1;
+                if __attempts > __cases.saturating_mul(20) {
+                    panic!(
+                        "proptest {}: too many rejected cases ({} attempts, {} passed)",
+                        stringify!($name), __attempts, __passed
+                    );
+                }
+                let __case_seed = __rng.state();
+                $(let $pat = $crate::strategy::Strategy::generate(&$strat, &mut __rng);)+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __passed += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest {} failed at case {} (rng state {:#x}): {}",
+                            stringify!($name), __passed, __case_seed, __msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+            stringify!($left), stringify!($right), __l, __r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), __l
+        );
+    }};
+}
+
+/// Rejects the current case (does not count toward the case total).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Chooses between strategies, optionally weighted:
+/// `prop_oneof![a, b]` or `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::Rng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = Rng::from_name("ranges");
+        for _ in 0..1000 {
+            let v = (3u32..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let s = (-4i64..5).generate(&mut rng);
+            assert!((-4..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn regex_classes_and_groups() {
+        let mut rng = Rng::from_name("regex");
+        let strat = crate::string::string_regex("[a-z]{2}(-[A-Z]{2})?").unwrap();
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            assert!(s.len() == 2 || s.len() == 5, "{s:?}");
+            assert!(s.chars().take(2).all(|c| c.is_ascii_lowercase()), "{s:?}");
+            if s.len() == 5 {
+                assert_eq!(s.as_bytes()[2], b'-');
+            }
+        }
+        // `\PC*` (bare &str strategy) yields printable strings.
+        let mut seen_nonempty = false;
+        for _ in 0..50 {
+            let s = "\\PC*".generate(&mut rng);
+            seen_nonempty |= !s.is_empty();
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+        assert!(seen_nonempty);
+    }
+
+    #[test]
+    fn space_tilde_range_class() {
+        // `[ -~\t]` — range from space to tilde plus an escape.
+        let mut rng = Rng::from_name("class");
+        let strat = crate::string::string_regex("[ -~\t]{0,24}").unwrap();
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            assert!(s.len() <= 24);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c) || c == '\t'), "{s:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn macro_end_to_end(
+            xs in crate::collection::vec(0u32..100, 1..8),
+            flag in any::<bool>(),
+            opt in crate::option::of(1usize..4),
+        ) {
+            prop_assume!(!xs.is_empty());
+            prop_assert!(xs.iter().all(|&x| x < 100));
+            prop_assert_eq!(xs.len(), xs.iter().filter(|&&x| x < 100).count());
+            let _ = flag;
+            if let Some(v) = opt { prop_assert!((1..4).contains(&v)); }
+        }
+
+        #[test]
+        fn oneof_weighted(v in prop_oneof![3 => Just(1u8), 1 => Just(2u8)]) {
+            prop_assert!(v == 1 || v == 2);
+        }
+    }
+}

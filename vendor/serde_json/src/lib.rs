@@ -1,0 +1,487 @@
+//! Offline vendored subset of `serde_json`.
+//!
+//! The build environment has no network access, so the workspace
+//! vendors the small JSON surface the benchmark harness uses: an owned
+//! [`Value`] tree, an insertion-ordered [`Map`], the [`json!`] macro,
+//! and [`to_string_pretty`]. Output is valid JSON; escaping covers the
+//! control range, quotes and backslashes.
+
+use std::fmt;
+
+/// A JSON number: integers are kept exact, everything else is `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Number {
+    /// Unsigned integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Floating point.
+    Float(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::PosInt(v) => write!(f, "{v}"),
+            Number::NegInt(v) => write!(f, "{v}"),
+            Number::Float(v) if v.is_finite() => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            // JSON has no NaN/Inf; emit null like serde_json's
+            // arbitrary-precision fallback would refuse to.
+            Number::Float(_) => write!(f, "null"),
+        }
+    }
+}
+
+/// Insertion-ordered string-keyed map (matches `serde_json::Map`'s
+/// `preserve_order` behaviour, which the report writer relies on for
+/// stable output).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `value` under `key`, replacing (in place) any previous
+    /// entry with the same key; returns the previous value.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+/// An owned JSON document tree.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Numbers.
+    Number(Number),
+    /// Strings.
+    String(String),
+    /// Arrays.
+    Array(Vec<Value>),
+    /// Objects.
+    Object(Map),
+}
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self { Value::Number(Number::PosInt(v as u64)) }
+        }
+    )*};
+}
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                if v < 0 { Value::Number(Number::NegInt(v as i64)) }
+                else { Value::Number(Number::PosInt(v as u64)) }
+            }
+        }
+    )*};
+}
+from_unsigned!(u8, u16, u32, u64, usize);
+from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Number(Number::Float(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Number(Number::Float(v as f64))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::String(v.clone())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<Map> for Value {
+    fn from(v: Map) -> Self {
+        Value::Object(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+/// By-reference conversion used by the [`json!`] macro, mirroring how
+/// upstream serializes through `&T`: `json!({"k": owned_field})` must
+/// not move the field out of its struct.
+pub trait ToJson {
+    /// Converts to a [`Value`] without consuming `self`.
+    fn to_json(&self) -> Value;
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+macro_rules! to_json_via_from {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value { Value::from(*self) }
+        }
+    )*};
+}
+to_json_via_from!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool);
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for Map {
+    fn to_json(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Value {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        self.as_ref().map_or(Value::Null, ToJson::to_json)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_pretty(out: &mut String, value: &Value, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad_in);
+                write_pretty(out, item, indent + 1);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            let n = map.len();
+            for (i, (k, v)) in map.iter().enumerate() {
+                out.push_str(&pad_in);
+                escape_into(out, k);
+                out.push_str(": ");
+                write_pretty(out, v, indent + 1);
+                if i + 1 < n {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Serialization error (this subset cannot actually fail; the type
+/// exists for signature compatibility).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Pretty-prints a [`Value`] with two-space indentation.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&mut out, value, 0);
+    Ok(out)
+}
+
+/// Compact single-line serialization.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    // Pretty output re-flowed: cheap and good enough for this subset.
+    fn write_compact(out: &mut String, value: &Value) {
+        match value {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&n.to_string()),
+            Value::String(s) => escape_into(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_compact(out, item);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(out, k);
+                    out.push(':');
+                    write_compact(out, v);
+                }
+                out.push('}');
+            }
+        }
+    }
+    let mut out = String::new();
+    write_compact(&mut out, value);
+    Ok(out)
+}
+
+/// Builds a [`Value`] from JSON-ish syntax: `json!({"k": expr, ...})`,
+/// `json!([ ... ])`, or `json!(expr)` for anything `Into<Value>`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {
+        $crate::Value::Array($crate::json_items!([] $($tt)*))
+    };
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $crate::json_entries!(map; $($tt)*);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::ToJson::to_json(&$other) };
+}
+
+/// Internal: munches array items into a `vec![...]` of values.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_items {
+    ([$($acc:expr),*]) => { ::std::vec![$($acc),*] };
+    ([$($acc:expr),*] $item:expr $(, $($rest:tt)*)?) => {
+        $crate::json_items!([$($acc,)* $crate::json!($item)] $($($rest)*)?)
+    };
+}
+
+/// Internal: munches `"key": value` object entries. Values are munched
+/// as token trees until the top-level comma, so exprs containing commas
+/// inside parens/closures work, as do nested `{...}`/`[...]` literals.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_entries {
+    ($map:ident;) => {};
+    ($map:ident; $key:literal : $value:tt , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::json!($value));
+        $crate::json_entries!($map; $($rest)*);
+    };
+    ($map:ident; $key:literal : $value:tt) => {
+        $map.insert($key.to_string(), $crate::json!($value));
+    };
+    // Value made of multiple token trees (e.g. `a.b(c, d)`, `x as u64`):
+    // accumulate tts one at a time into a parenthesized expr.
+    ($map:ident; $key:literal : $($value:tt)+) => {
+        $crate::json_entries_long!($map; $key; () $($value)+);
+    };
+}
+
+/// Internal: accumulates a multi-tt value up to the top-level comma.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_entries_long {
+    ($map:ident; $key:literal; ($($acc:tt)*)) => {
+        $map.insert($key.to_string(), $crate::ToJson::to_json(&($($acc)*)));
+    };
+    ($map:ident; $key:literal; ($($acc:tt)*) , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::ToJson::to_json(&($($acc)*)));
+        $crate::json_entries!($map; $($rest)*);
+    };
+    ($map:ident; $key:literal; ($($acc:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_entries_long!($map; $key; ($($acc)* $next) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_and_array_literals() {
+        let rows = vec![json!({"a": 1, "b": 2.5}), json!({"a": 2, "b": 3.0})];
+        let v = json!({
+            "name": "test", "count": 3usize, "ok": true,
+            "maybe": Option::<f64>::None,
+            "rows": rows,
+            "nested": [1, 2, 3],
+        });
+        let text = to_string(&v).unwrap();
+        assert!(text.starts_with("{\"name\":\"test\""), "{text}");
+        assert!(text.contains("\"maybe\":null"), "{text}");
+        assert!(text.contains("\"nested\":[1,2,3]"), "{text}");
+    }
+
+    #[test]
+    fn multi_tt_values() {
+        let v = json!({
+            "cores": std::thread::available_parallelism().map_or(1, |n| n.get()),
+            "sum": 1 + 2,
+        });
+        let Value::Object(m) = &v else { panic!() };
+        assert_eq!(m.get("sum"), Some(&Value::Number(Number::PosInt(3))));
+    }
+
+    #[test]
+    fn pretty_output_is_stable() {
+        let v = json!({"k": [1], "s": "a\"b\n"});
+        let text = to_string_pretty(&v).unwrap();
+        assert_eq!(
+            text,
+            "{\n  \"k\": [\n    1\n  ],\n  \"s\": \"a\\\"b\\n\"\n}"
+        );
+    }
+
+    #[test]
+    fn map_insert_replaces_in_place() {
+        let mut m = Map::new();
+        m.insert("a".into(), json!(1));
+        m.insert("b".into(), json!(2));
+        assert_eq!(m.insert("a".into(), json!(3)), Some(json!(1)));
+        let keys: Vec<_> = m.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec!["a", "b"]);
+    }
+}
