@@ -35,10 +35,7 @@ fn bench_lubm_queries(c: &mut Criterion) {
     for name in ["LUBM2", "LUBM4", "LUBM9"] {
         let q = queries.iter().find(|q| q.name == name).expect("exists");
         for strategy in ProbeStrategy::TABLE5 {
-            let over = RunOverrides {
-                threads: Some(1),
-                strategy: Some(strategy),
-            };
+            let over = RunOverrides::threads(1).with_strategy(strategy);
             group.bench_with_input(
                 BenchmarkId::new(name, strategy.label()),
                 &q.sparql,

@@ -71,6 +71,7 @@ pub fn ablation(args: &Args) -> (Vec<Table>, serde_json::Value) {
                 threads: 1,
                 shards_per_thread: 4,
                 strategy: ProbeStrategy::AdaptiveBinary,
+                guard: None,
             };
             let mut seq = 0u64;
             let mut bin = 0u64;
@@ -78,7 +79,7 @@ pub fn ablation(args: &Args) -> (Vec<Table>, serde_json::Value) {
                 seq = 0;
                 bin = 0;
                 for plan in &plans {
-                    let (_, s) = execute_count_with(&store, plan, &opts, &thresholds);
+                    let (_, s) = execute_count_with(&store, plan, &opts, &thresholds).expect("runs");
                     seq += s.sequential_searches;
                     bin += s.binary_searches;
                 }
@@ -132,10 +133,11 @@ pub fn ablation(args: &Args) -> (Vec<Table>, serde_json::Value) {
                 threads: 1,
                 shards_per_thread: 4,
                 strategy: ProbeStrategy::AlwaysIndex,
+                guard: None,
             };
             let m = measure_ms(args.runs, || {
                 for plan in &plans {
-                    execute_count_with(&store, plan, &opts, &thresholds);
+                    execute_count_with(&store, plan, &opts, &thresholds).expect("runs");
                 }
             });
             let mib = index_bytes as f64 / (1 << 20) as f64;

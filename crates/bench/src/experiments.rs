@@ -276,10 +276,7 @@ pub fn table5(args: &Args) -> (Vec<Table>, serde_json::Value) {
         let mut rec = serde_json::Map::new();
         rec.insert("query".into(), json!(q.name));
         for (i, s) in strategies.iter().enumerate() {
-            let over = RunOverrides {
-                threads: Some(1),
-                strategy: Some(*s),
-            };
+            let over = RunOverrides::threads(1).with_strategy(*s);
             let m = measure_ms(args.runs, || {
                 engine
                     .query_count_with(&q.sparql, &over)
@@ -300,10 +297,7 @@ pub fn table5(args: &Args) -> (Vec<Table>, serde_json::Value) {
     let mut watdiv_cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
     for q in watdiv::all_queries() {
         for (i, s) in strategies.iter().enumerate() {
-            let over = RunOverrides {
-                threads: Some(1),
-                strategy: Some(*s),
-            };
+            let over = RunOverrides::threads(1).with_strategy(*s);
             let m = measure_ms(args.runs, || {
                 wengine
                     .query_count_with(&q.sparql, &over)
@@ -356,10 +350,7 @@ pub fn table6(args: &Args) -> (Vec<Table>, serde_json::Value) {
     let mut json_rows = Vec::new();
     for q in lubm::queries() {
         // Decision counts under the paper's default AdBinary strategy.
-        let over = |s| RunOverrides {
-            threads: Some(1),
-            strategy: Some(s),
-        };
+        let over = |s| RunOverrides::threads(1).with_strategy(s);
         let (_, ad) = engine
             .query_count_with(&q.sparql, &over(ProbeStrategy::AdaptiveBinary))
             .expect("run");
@@ -412,10 +403,7 @@ pub fn table6(args: &Args) -> (Vec<Table>, serde_json::Value) {
     );
     let mut wjson = Vec::new();
     for q in watdiv::basic_workload() {
-        let over = |s| RunOverrides {
-            threads: Some(1),
-            strategy: Some(s),
-        };
+        let over = |s| RunOverrides::threads(1).with_strategy(s);
         let (_, ad) = wengine
             .query_count_with(&q.sparql, &over(ProbeStrategy::AdaptiveBinary))
             .expect("run");

@@ -10,11 +10,49 @@
 //! ```
 //!
 //! Common flags: `--threads N`, `--strategy binary|adbinary|index|adindex`,
-//! `--reasoning`, `--calibrate`.
+//! `--reasoning`, `--calibrate`, `--timeout SECS`, `--max-rows N`,
+//! `--lossy` / `--max-parse-errors N`.
+//!
+//! Exit codes map failure classes so scripts can react without
+//! scraping stderr: 0 success, 1 usage/other, 2 parse error (SPARQL or
+//! RDF data), 3 unsupported query feature, 4 deadline exceeded, 5
+//! result budget exceeded, 101 internal panic.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
-use parj_core::{EngineConfig, Parj, ParjError, ProbeStrategy};
+use parj_core::{EngineConfig, OnParseError, Parj, ParjError, ProbeStrategy};
+
+/// Process exit codes per failure class (documented in `USAGE`).
+mod exit_codes {
+    pub const USAGE: u8 = 1;
+    pub const PARSE: u8 = 2;
+    pub const UNSUPPORTED: u8 = 3;
+    pub const TIMEOUT: u8 = 4;
+    pub const BUDGET: u8 = 5;
+    pub const PANIC: u8 = 101;
+}
+
+/// An error message plus the exit code its class maps to.
+type Failure = (u8, String);
+
+/// Classifies an engine error into its exit code.
+fn fail(e: ParjError) -> Failure {
+    let code = match &e {
+        ParjError::Sparql(_) | ParjError::Rio(_) => exit_codes::PARSE,
+        ParjError::Unsupported(_) => exit_codes::UNSUPPORTED,
+        ParjError::DeadlineExceeded { .. } => exit_codes::TIMEOUT,
+        ParjError::BudgetExceeded { .. } => exit_codes::BUDGET,
+        ParjError::WorkerPanicked { .. } => exit_codes::PANIC,
+        _ => exit_codes::USAGE,
+    };
+    (code, e.to_string())
+}
+
+/// A plain usage / environment error (exit code 1).
+fn usage(msg: impl Into<String>) -> Failure {
+    (exit_codes::USAGE, msg.into())
+}
 
 const USAGE: &str = "\
 parj — Parallel Adaptive RDF Joins (EDBT 2019 reproduction)
@@ -33,7 +71,15 @@ FLAGS:
   --strategy S     binary | adbinary (default) | index | adindex
   --reasoning      answer w.r.t. rdfs:subClassOf/subPropertyOf in the data
   --calibrate      run Algorithm 2's timed calibration after load
+  --timeout SECS   abort a query after this wall-clock budget (exit code 4)
+  --max-rows N     abort a query once it produces more than N rows (exit code 5)
+  --lossy          skip malformed data lines while loading (reported on stderr)
+  --max-parse-errors N   like --lossy but abort after N skipped lines
   -o PATH          output path (load/generate)
+
+EXIT CODES:
+  0 success   1 usage/other   2 parse error (SPARQL or RDF data)
+  3 unsupported query   4 timeout   5 row budget exceeded   101 worker panic
 ";
 
 struct Cli {
@@ -43,6 +89,10 @@ struct Cli {
     reasoning: bool,
     calibrate: bool,
     output: Option<String>,
+    timeout: Option<Duration>,
+    max_rows: Option<u64>,
+    lossy: bool,
+    max_parse_errors: Option<usize>,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -53,6 +103,10 @@ fn parse_cli() -> Result<Cli, String> {
         reasoning: false,
         calibrate: false,
         output: None,
+        timeout: None,
+        max_rows: None,
+        lossy: false,
+        max_parse_errors: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -76,6 +130,32 @@ fn parse_cli() -> Result<Cli, String> {
             }
             "--reasoning" => cli.reasoning = true,
             "--calibrate" => cli.calibrate = true,
+            "--timeout" => {
+                let secs: f64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--timeout needs a number of seconds")?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err("--timeout must be a non-negative number".into());
+                }
+                cli.timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "--max-rows" => {
+                cli.max_rows = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--max-rows needs a number")?,
+                )
+            }
+            "--lossy" => cli.lossy = true,
+            "--max-parse-errors" => {
+                cli.max_parse_errors = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--max-parse-errors needs a number")?,
+                );
+                cli.lossy = true;
+            }
             "-o" | "--output" => cli.output = Some(it.next().ok_or("-o needs a path")?),
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -101,11 +181,26 @@ impl Cli {
         if let Some(s) = self.strategy {
             cfg.strategy = s;
         }
+        cfg.timeout = self.timeout;
+        cfg.max_result_rows = self.max_rows;
         cfg
     }
 
+    /// The data-loading error policy selected by `--lossy` /
+    /// `--max-parse-errors`.
+    fn on_parse_error(&self) -> OnParseError {
+        if self.lossy {
+            OnParseError::Skip {
+                max_errors: self.max_parse_errors.unwrap_or(usize::MAX),
+            }
+        } else {
+            OnParseError::Abort
+        }
+    }
+
     /// Opens a store: `.parj` snapshots load directly, `.ttl` parses as
-    /// Turtle, anything else as N-Triples.
+    /// Turtle, anything else as N-Triples (honoring the `--lossy`
+    /// flags for text inputs).
     fn open(&self, path: &str) -> Result<Parj, ParjError> {
         if path.ends_with(".parj") {
             Parj::load_snapshot(path, self.engine_config())
@@ -113,11 +208,12 @@ impl Cli {
             let mut e = Parj::builder().build();
             let cfg = self.engine_config();
             // Rebuild with the requested config around the same data.
-            if path.ends_with(".ttl") || path.ends_with(".turtle") {
-                e.load_turtle_path(path)?;
+            let report = if path.ends_with(".ttl") || path.ends_with(".turtle") {
+                e.load_turtle_path_with(path, self.on_parse_error())?
             } else {
-                e.load_ntriples_path(path)?;
-            }
+                e.load_ntriples_path_with(path, self.on_parse_error())?
+            };
+            report_skips(&report);
             e.finalize();
             let store = parj_core::TripleStore::from_snapshot_bytes(
                 &e.store().to_snapshot_bytes(),
@@ -136,47 +232,64 @@ impl Cli {
     }
 }
 
-fn run() -> Result<(), String> {
-    let cli = parse_cli()?;
+/// Prints lossy-load diagnostics to stderr (nothing in strict mode).
+fn report_skips(report: &parj_core::LoadReport) {
+    if report.skipped == 0 {
+        return;
+    }
+    eprintln!("warning: skipped {} malformed statement(s):", report.skipped);
+    for e in &report.errors {
+        eprintln!("  {e}");
+    }
+    if report.skipped > report.errors.len() {
+        eprintln!("  … and {} more", report.skipped - report.errors.len());
+    }
+}
+
+fn run() -> Result<(), Failure> {
+    let cli = parse_cli().map_err(usage)?;
     let Some(command) = cli.positional.first().cloned() else {
-        return Err("missing command; try --help".into());
+        return Err(usage("missing command; try --help"));
     };
     match command.as_str() {
         "load" => {
             let [_, input] = &cli.positional[..] else {
-                return Err("usage: parj load <data.nt> -o <store.parj>".into());
+                return Err(usage("usage: parj load <data.nt> -o <store.parj>"));
             };
-            let out = cli.output.clone().ok_or("load needs -o <store.parj>")?;
+            let out = cli.output.clone().ok_or_else(|| usage("load needs -o <store.parj>"))?;
             let mut e = Parj::builder().build();
-            let n = if input.ends_with(".ttl") || input.ends_with(".turtle") {
-                e.load_turtle_path(input).map_err(|e| e.to_string())?
+            let report = if input.ends_with(".ttl") || input.ends_with(".turtle") {
+                e.load_turtle_path_with(input, cli.on_parse_error())
+                    .map_err(fail)?
             } else {
-                e.load_ntriples_path(input).map_err(|e| e.to_string())?
+                e.load_ntriples_path_with(input, cli.on_parse_error())
+                    .map_err(fail)?
             };
+            report_skips(&report);
             e.finalize();
-            e.save_snapshot(&out).map_err(|e| e.to_string())?;
+            e.save_snapshot(&out).map_err(fail)?;
             eprintln!(
-                "loaded {n} statements ({} distinct triples) -> {out}",
+                "loaded {} statements ({} distinct triples) -> {out}",
+                report.loaded,
                 e.num_triples()
             );
             Ok(())
         }
         "query" | "count" | "explain" | "profile" => {
             let [_, store_path, query_arg] = &cli.positional[..] else {
-                return Err(format!("usage: parj {command} <store> <sparql | @file>"));
+                return Err(usage(format!("usage: parj {command} <store> <sparql | @file>")));
             };
-            let query = cli.query_text(query_arg).map_err(|e| e.to_string())?;
-            let mut engine = cli.open(store_path).map_err(|e| e.to_string())?;
+            let query = cli.query_text(query_arg).map_err(|e| usage(e.to_string()))?;
+            let mut engine = cli.open(store_path).map_err(fail)?;
             match command.as_str() {
                 "explain" => {
-                    println!("{}", engine.explain(&query).map_err(|e| e.to_string())?);
+                    println!("{}", engine.explain(&query).map_err(fail)?);
                 }
                 "profile" => {
-                    println!("{}", engine.profile(&query).map_err(|e| e.to_string())?);
+                    println!("{}", engine.profile(&query).map_err(fail)?);
                 }
                 "count" => {
-                    let (count, stats) =
-                        engine.query_count(&query).map_err(|e| e.to_string())?;
+                    let (count, stats) = engine.query_count(&query).map_err(fail)?;
                     println!("{count}");
                     eprintln!(
                         "prepare {} µs, execute {} µs; {} sequential / {} binary / {} index searches",
@@ -188,7 +301,7 @@ fn run() -> Result<(), String> {
                     );
                 }
                 _ => {
-                    let result = engine.query(&query).map_err(|e| e.to_string())?;
+                    let result = engine.query(&query).map_err(fail)?;
                     print!("{}", result.to_table());
                     eprintln!(
                         "{} rows in {} µs (prepare {} µs, decode {} µs)",
@@ -203,9 +316,9 @@ fn run() -> Result<(), String> {
         }
         "stats" => {
             let [_, store_path] = &cli.positional[..] else {
-                return Err("usage: parj stats <store>".into());
+                return Err(usage("usage: parj stats <store>"));
             };
-            let mut engine = cli.open(store_path).map_err(|e| e.to_string())?;
+            let mut engine = cli.open(store_path).map_err(fail)?;
             let store = engine.store();
             println!("triples:     {}", store.num_triples());
             println!("predicates:  {}", store.num_predicates());
@@ -237,11 +350,11 @@ fn run() -> Result<(), String> {
         }
         "generate" => {
             let [_, which, scale] = &cli.positional[..] else {
-                return Err("usage: parj generate <lubm|watdiv> <scale> -o <out.nt>".into());
+                return Err(usage("usage: parj generate <lubm|watdiv> <scale> -o <out.nt>"));
             };
-            let scale: usize = scale.parse().map_err(|_| "scale must be a number")?;
-            let out = cli.output.clone().ok_or("generate needs -o <out.nt>")?;
-            let file = std::fs::File::create(&out).map_err(|e| e.to_string())?;
+            let scale: usize = scale.parse().map_err(|_| usage("scale must be a number"))?;
+            let out = cli.output.clone().ok_or_else(|| usage("generate needs -o <out.nt>"))?;
+            let file = std::fs::File::create(&out).map_err(|e| usage(e.to_string()))?;
             let mut w = std::io::BufWriter::new(file);
             use std::io::Write;
             let mut n = 0u64;
@@ -263,21 +376,21 @@ fn run() -> Result<(), String> {
                         n += 1;
                     },
                 ),
-                other => return Err(format!("unknown generator {other:?}")),
+                other => return Err(usage(format!("unknown generator {other:?}"))),
             }
             eprintln!("wrote {n} triples -> {out}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}; try --help")),
+        other => Err(usage(format!("unknown command {other:?}; try --help"))),
     }
 }
 
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+        Err((code, msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(code)
         }
     }
 }

@@ -1,7 +1,7 @@
 //! End-to-end tests of the `parj` binary: generate → load → stats /
 //! count / query / explain, over both input syntaxes.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::Command;
 
 fn parj() -> Command {
@@ -107,6 +107,137 @@ fn reasoning_flag_changes_answers() {
         .output()
         .unwrap();
     assert_eq!(String::from_utf8_lossy(&smart.stdout).trim(), "1");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Writes a small N-Triples file with three good statements.
+fn write_small_nt(dir: &Path) -> PathBuf {
+    let nt = dir.join("small.nt");
+    std::fs::write(
+        &nt,
+        "<http://e/a> <http://e/p> <http://e/b> .\n\
+         <http://e/c> <http://e/p> <http://e/d> .\n\
+         <http://e/e> <http://e/p> <http://e/f> .\n",
+    )
+    .unwrap();
+    nt
+}
+
+const ALL_PAIRS: &str = "SELECT ?x ?y WHERE { ?x <http://e/p> ?y }";
+
+#[test]
+fn exit_codes_per_failure_class() {
+    let dir = tmpdir("exit-codes");
+    let nt = write_small_nt(&dir);
+
+    // 2: SPARQL parse error.
+    let out = parj().args(["count"]).arg(&nt).arg("SELECT WHERE {").output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // 2: malformed RDF data.
+    let bad = dir.join("bad.nt");
+    std::fs::write(&bad, "<http://e/unclosed <http://e/p> <http://e/x> .\n").unwrap();
+    let out = parj().args(["count"]).arg(&bad).arg(ALL_PAIRS).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // 3: unsupported query feature (predicate projection).
+    let out = parj()
+        .args(["count"])
+        .arg(&nt)
+        .arg("SELECT ?p WHERE { ?x ?p ?o }")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // 4: deadline exceeded (a zero timeout trips before any work).
+    let out = parj()
+        .args(["count", "--timeout", "0"])
+        .arg(&nt)
+        .arg(ALL_PAIRS)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("deadline"));
+
+    // 5: row budget exceeded (3 rows against a budget of 1).
+    let out = parj()
+        .args(["count", "--max-rows", "1"])
+        .arg(&nt)
+        .arg(ALL_PAIRS)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(5), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("budget"));
+
+    // 0: the same query passes once the limits are generous.
+    let out = parj()
+        .args(["count", "--timeout", "60", "--max-rows", "1000"])
+        .arg(&nt)
+        .arg(ALL_PAIRS)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "3");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lossy_load_flags() {
+    let dir = tmpdir("lossy");
+    let nt = dir.join("mixed.nt");
+    std::fs::write(
+        &nt,
+        "<http://e/a> <http://e/p> <http://e/b> .\n\
+         garbage line one\n\
+         <http://e/c> <http://e/p> <http://e/d> .\n\
+         garbage line two\n",
+    )
+    .unwrap();
+
+    // Strict load refuses the file with a parse-error exit code.
+    let snap = dir.join("strict.parj");
+    let out = parj().args(["load"]).arg(&nt).arg("-o").arg(&snap).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 2"));
+
+    // --lossy loads the good lines and reports the skips on stderr.
+    let snap = dir.join("lossy.parj");
+    let out = parj()
+        .args(["load", "--lossy"])
+        .arg(&nt)
+        .arg("-o")
+        .arg(&snap)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let err_text = String::from_utf8_lossy(&out.stderr);
+    assert!(err_text.contains("skipped 2 malformed"), "{err_text}");
+    assert!(err_text.contains("loaded 2 statements"), "{err_text}");
+
+    let out = parj().args(["count"]).arg(&snap).arg(ALL_PAIRS).output().unwrap();
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "2");
+
+    // --max-parse-errors bounds the tolerance: 2 bad lines > 1 allowed.
+    let out = parj()
+        .args(["load", "--max-parse-errors", "1"])
+        .arg(&nt)
+        .arg("-o")
+        .arg(dir.join("capped.parj"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // Querying a text file directly honors --lossy too.
+    let out = parj()
+        .args(["count", "--lossy"])
+        .arg(&nt)
+        .arg(ALL_PAIRS)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "2");
 
     std::fs::remove_dir_all(&dir).ok();
 }

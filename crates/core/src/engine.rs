@@ -1,15 +1,17 @@
 //! The PARJ engine: configuration, lifecycle, and query execution.
 
 use std::path::Path;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parj_dict::{Id, Term};
 use parj_join::{
-    calibrate, execute, CalibrationConfig, CalibrationResult, CollectSink, CountSink, ExecOptions,
-    PhysicalPlan, ProbeStrategy, SearchStats, ThresholdTable,
+    calibrate, execute, CalibrationConfig, CalibrationResult, CancelToken, CollectSink, CountSink,
+    ExecFailure, ExecFailureKind, ExecOptions, PhysicalPlan, ProbeStrategy, QueryGuard,
+    SearchStats, ThresholdTable,
 };
 use parj_optimizer::{optimize, Stats};
-use parj_rio::NTriplesParser;
+use parj_rio::{LoadReport, NTriplesParser, OnParseError};
 use parj_sparql::parse_query;
 use parj_store::{StoreBuilder, StoreOptions, TripleStore};
 
@@ -50,6 +52,16 @@ pub struct EngineConfig {
     /// §3-suggested extension "such that very simple and selective
     /// queries could be executed with fewer resources". `0` disables.
     pub small_query_threshold: usize,
+    /// Wall-clock deadline applied to every query (measured from the
+    /// start of the run, covering prepare + execution). `None` means
+    /// unlimited. Per-run [`RunOverrides::timeout`] wins when set.
+    pub timeout: Option<Duration>,
+    /// Result-row budget applied to every query: the join aborts with
+    /// [`crate::ParjError::BudgetExceeded`] once it has *produced* more
+    /// rows than this (counted before `LIMIT`/`OFFSET` trimming, with a
+    /// bounded overshoot of up to `threads × GUARD_BATCH`). `None`
+    /// means unlimited. Per-run [`RunOverrides::max_rows`] wins.
+    pub max_result_rows: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -64,6 +76,8 @@ impl Default for EngineConfig {
             histogram_buckets: 64,
             reasoning: false,
             small_query_threshold: 2048,
+            timeout: None,
+            max_result_rows: None,
         }
     }
 }
@@ -130,6 +144,19 @@ impl ParjBuilder {
         self
     }
 
+    /// Wall-clock deadline for every query run by this engine.
+    pub fn timeout(mut self, limit: Duration) -> Self {
+        self.config.timeout = Some(limit);
+        self
+    }
+
+    /// Result-row budget for every query run by this engine (rows
+    /// produced by the join, pre-`LIMIT`).
+    pub fn max_result_rows(mut self, rows: u64) -> Self {
+        self.config.max_result_rows = Some(rows);
+        self
+    }
+
     /// Enable RDFS class/property hierarchy answering (§6 of the paper):
     /// `rdf:type`/property patterns expand into unions over
     /// sub-classes/-properties declared in the data, with solutions
@@ -150,30 +177,75 @@ impl ParjBuilder {
 }
 
 /// Per-query overrides of engine configuration — used by the benchmark
-/// harness to sweep threads and strategies without reloading data.
-#[derive(Debug, Default, Clone, Copy)]
+/// harness to sweep threads and strategies without reloading data, and
+/// by callers to attach per-run lifecycle limits (deadline, row budget,
+/// cancellation token).
+#[derive(Debug, Default, Clone)]
 pub struct RunOverrides {
     /// Override worker threads.
     pub threads: Option<usize>,
     /// Override probe strategy.
     pub strategy: Option<ProbeStrategy>,
+    /// Wall-clock deadline for this run (wins over
+    /// [`EngineConfig::timeout`]).
+    pub timeout: Option<Duration>,
+    /// Result-row budget for this run (wins over
+    /// [`EngineConfig::max_result_rows`]).
+    pub max_rows: Option<u64>,
+    /// Cancellation token polled by the workers of this run; trip it
+    /// from any thread to stop the query. See [`Parj::query_handle`].
+    pub cancel: Option<CancelToken>,
 }
 
 impl RunOverrides {
     /// Override only the thread count.
     pub fn threads(n: usize) -> Self {
-        Self {
-            threads: Some(n),
-            ..Self::default()
-        }
+        Self::default().with_threads(n)
     }
 
     /// Override only the strategy.
     pub fn strategy(s: ProbeStrategy) -> Self {
-        Self {
-            strategy: Some(s),
-            ..Self::default()
-        }
+        Self::default().with_strategy(s)
+    }
+
+    /// Override only the deadline.
+    pub fn timeout(limit: Duration) -> Self {
+        Self::default().with_timeout(limit)
+    }
+
+    /// Override only the row budget.
+    pub fn max_rows(rows: u64) -> Self {
+        Self::default().with_max_rows(rows)
+    }
+
+    /// Sets the thread count (chainable).
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Sets the probe strategy (chainable).
+    pub fn with_strategy(mut self, s: ProbeStrategy) -> Self {
+        self.strategy = Some(s);
+        self
+    }
+
+    /// Sets the wall-clock deadline (chainable).
+    pub fn with_timeout(mut self, limit: Duration) -> Self {
+        self.timeout = Some(limit);
+        self
+    }
+
+    /// Sets the result-row budget (chainable).
+    pub fn with_max_rows(mut self, rows: u64) -> Self {
+        self.max_rows = Some(rows);
+        self
+    }
+
+    /// Attaches a cancellation token (chainable).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 }
 
@@ -226,50 +298,104 @@ impl Parj {
     }
 
     /// Parses and loads N-Triples text; returns the number of statements
-    /// read.
+    /// read. Strict mode: the first malformed line aborts the load (see
+    /// [`Parj::load_ntriples_str_with`] for lossy loading).
     pub fn load_ntriples_str(&mut self, text: &str) -> Result<usize, ParjError> {
         self.load_ntriples_reader(text.as_bytes())
     }
 
-    /// Loads an N-Triples file.
+    /// [`Parj::load_ntriples_str`] under an error policy: with
+    /// [`OnParseError::Skip`], malformed lines are dropped (bounded by
+    /// `max_errors`) and the returned [`LoadReport`] records their
+    /// positioned diagnostics.
+    pub fn load_ntriples_str_with(
+        &mut self,
+        text: &str,
+        on_error: OnParseError,
+    ) -> Result<LoadReport, ParjError> {
+        self.load_ntriples_reader_with(text.as_bytes(), on_error)
+    }
+
+    /// Loads an N-Triples file (strict mode).
     pub fn load_ntriples_path(&mut self, path: impl AsRef<Path>) -> Result<usize, ParjError> {
         let file = std::fs::File::open(path)?;
         self.load_ntriples_reader(std::io::BufReader::new(file))
     }
 
-    /// Parses and loads Turtle text; returns the number of statements
-    /// read.
+    /// Loads an N-Triples file under an error policy.
+    pub fn load_ntriples_path_with(
+        &mut self,
+        path: impl AsRef<Path>,
+        on_error: OnParseError,
+    ) -> Result<LoadReport, ParjError> {
+        let file = std::fs::File::open(path)?;
+        self.load_ntriples_reader_with(std::io::BufReader::new(file), on_error)
+    }
+
+    /// Parses and loads Turtle text; returns the number of triples
+    /// read (strict mode).
     pub fn load_turtle_str(&mut self, text: &str) -> Result<usize, ParjError> {
-        let triples = parj_rio::parse_turtle_str(text)?;
+        self.load_turtle_str_with(text, OnParseError::Abort)
+            .map(|r| r.loaded)
+    }
+
+    /// [`Parj::load_turtle_str`] under an error policy: with
+    /// [`OnParseError::Skip`], malformed statements are dropped whole
+    /// and recorded in the returned [`LoadReport`].
+    pub fn load_turtle_str_with(
+        &mut self,
+        text: &str,
+        on_error: OnParseError,
+    ) -> Result<LoadReport, ParjError> {
+        let (triples, report) = parj_rio::parse_turtle_str_lossy(text, on_error)?;
         self.unfinalize();
         let staged = self.staged.as_mut().expect("unfinalize staged a builder");
-        let n = triples.len();
         for (s, p, o) in &triples {
             staged.add_term_triple(s, p, o);
         }
-        Ok(n)
+        Ok(report)
     }
 
-    /// Loads a Turtle file.
+    /// Loads a Turtle file (strict mode).
     pub fn load_turtle_path(&mut self, path: impl AsRef<Path>) -> Result<usize, ParjError> {
         let text = std::fs::read_to_string(path)?;
         self.load_turtle_str(&text)
     }
 
-    /// Loads N-Triples from any buffered reader.
+    /// Loads a Turtle file under an error policy.
+    pub fn load_turtle_path_with(
+        &mut self,
+        path: impl AsRef<Path>,
+        on_error: OnParseError,
+    ) -> Result<LoadReport, ParjError> {
+        let text = std::fs::read_to_string(path)?;
+        self.load_turtle_str_with(&text, on_error)
+    }
+
+    /// Loads N-Triples from any buffered reader (strict mode).
     pub fn load_ntriples_reader<R: std::io::BufRead>(
         &mut self,
         reader: R,
     ) -> Result<usize, ParjError> {
+        self.load_ntriples_reader_with(reader, OnParseError::Abort)
+            .map(|r| r.loaded)
+    }
+
+    /// Loads N-Triples from any buffered reader under an error policy.
+    /// Lines parsed before an abort remain staged (both modes); in skip
+    /// mode the load only aborts when `max_errors` is exceeded or on an
+    /// I/O error.
+    pub fn load_ntriples_reader_with<R: std::io::BufRead>(
+        &mut self,
+        reader: R,
+        on_error: OnParseError,
+    ) -> Result<LoadReport, ParjError> {
         self.unfinalize();
         let staged = self.staged.as_mut().expect("unfinalize staged a builder");
-        let mut n = 0usize;
-        for triple in NTriplesParser::new(reader) {
-            let (s, p, o) = triple?;
+        let report = parj_rio::drain_triples(NTriplesParser::new(reader), on_error, |(s, p, o)| {
             staged.add_term_triple(&s, &p, &o);
-            n += 1;
-        }
-        Ok(n)
+        })?;
+        Ok(report)
     }
 
     /// Builds partitions, statistics and thresholds from the staged
@@ -348,11 +474,24 @@ impl Parj {
         self.ready.as_ref().ok_or(ParjError::NotFinalized)
     }
 
+    /// Builds executor options for one query run. When any lifecycle
+    /// limit is in effect (deadline, row budget, cancel token) a single
+    /// [`QueryGuard`] is armed here and shared by every plan of the run
+    /// — union branches draw down one budget and one deadline clock.
     fn exec_options(config: &EngineConfig, over: &RunOverrides) -> ExecOptions {
+        let timeout = over.timeout.or(config.timeout);
+        let max_rows = over.max_rows.or(config.max_result_rows);
+        let guard = if timeout.is_some() || max_rows.is_some() || over.cancel.is_some() {
+            let token = over.cancel.clone().unwrap_or_default();
+            Some(Arc::new(QueryGuard::new(timeout, max_rows, token)))
+        } else {
+            None
+        };
         ExecOptions {
             threads: over.threads.unwrap_or(config.threads).max(1),
             shards_per_thread: config.shards_per_thread,
             strategy: over.strategy.unwrap_or(config.strategy),
+            guard,
         }
     }
 
@@ -362,7 +501,7 @@ impl Parj {
     fn opts_for_plan(
         config: &EngineConfig,
         ready: &Ready,
-        base: ExecOptions,
+        base: &ExecOptions,
         explicit_threads: bool,
         plan: &PhysicalPlan,
     ) -> ExecOptions {
@@ -371,12 +510,67 @@ impl Parj {
         if !explicit_threads
             && config.small_query_threshold > 0
             && base.threads > 1
-            && parj_join::driver_domain(&ready.store, plan, &base) < config.small_query_threshold
+            && parj_join::driver_domain(&ready.store, plan, base) < config.small_query_threshold
         {
-            ExecOptions { threads: 1, ..base }
+            ExecOptions {
+                threads: 1,
+                ..base.clone()
+            }
         } else {
-            base
+            base.clone()
         }
+    }
+
+    /// Folds an executor failure into a [`ParjError`] carrying
+    /// partial-progress statistics (work done before the trip).
+    fn failure_to_error(
+        failure: ExecFailure,
+        prepare_micros: u64,
+        exec_started: Instant,
+        mut search: SearchStats,
+        plans: &[PhysicalPlan],
+    ) -> ParjError {
+        search.merge(&failure.stats);
+        let partial = Box::new(QueryRunStats {
+            prepare_micros,
+            exec_micros: exec_started.elapsed().as_micros() as u64,
+            decode_micros: 0,
+            search,
+            rows: failure.rows,
+            plan: plans
+                .iter()
+                .map(PhysicalPlan::explain)
+                .collect::<Vec<_>>()
+                .join("\n---\n"),
+        });
+        match failure.kind {
+            ExecFailureKind::Cancelled => ParjError::Cancelled { partial },
+            ExecFailureKind::DeadlineExceeded { elapsed } => {
+                ParjError::DeadlineExceeded { elapsed, partial }
+            }
+            ExecFailureKind::BudgetExceeded { rows } => ParjError::BudgetExceeded { rows, partial },
+            ExecFailureKind::WorkerPanicked { message } => {
+                ParjError::WorkerPanicked { message, partial }
+            }
+        }
+    }
+
+    /// Creates a cancellation handle for a query run: a token another
+    /// thread can trip, plus overrides already carrying it.
+    ///
+    /// ```no_run
+    /// # let mut engine = parj_core::Parj::new();
+    /// let (token, over) = engine.query_handle();
+    /// std::thread::spawn(move || token.cancel());
+    /// match engine.query_count_with("SELECT ?s WHERE { ?s ?p ?o }", &over) {
+    ///     Err(parj_core::ParjError::Cancelled { .. }) => {}
+    ///     other => println!("finished first: {other:?}"),
+    /// }
+    /// ```
+    pub fn query_handle(&self) -> (CancelToken, RunOverrides) {
+        let token = CancelToken::new();
+        let over = RunOverrides::default().with_cancel(token.clone());
+        (token, over)
     }
 
     /// Parses, translates and optimizes `query` against finalized state;
@@ -461,14 +655,26 @@ impl Parj {
         let mut count = 0u64;
         let mut search = SearchStats::default();
         for plan in &plans {
-            let plan_opts = Self::opts_for_plan(&self.config, ready, opts, over.threads.is_some(), plan);
-            let (sinks, s) = execute(
+            let plan_opts =
+                Self::opts_for_plan(&self.config, ready, &opts, over.threads.is_some(), plan);
+            let (sinks, s) = match execute(
                 &ready.store,
                 plan,
                 &plan_opts,
                 &ready.thresholds,
                 CountSink::default,
-            );
+            ) {
+                Ok(r) => r,
+                Err(failure) => {
+                    return Err(Self::failure_to_error(
+                        *failure,
+                        prepare_micros,
+                        t1,
+                        std::mem::take(&mut search),
+                        &plans,
+                    ));
+                }
+            };
             count += sinks.iter().map(|s| s.count).sum::<u64>();
             search.merge(&s);
         }
@@ -520,14 +726,25 @@ impl Parj {
         let mut search = SearchStats::default();
         for (idx, plan) in plans.iter().enumerate() {
             let branch = tq.set_branch.get(idx).copied().unwrap_or(0);
-            let plan_opts = Self::opts_for_plan(config, ready, opts, explicit_threads, plan);
-            let (sinks, s) = execute(
+            let plan_opts = Self::opts_for_plan(config, ready, &opts, explicit_threads, plan);
+            let (sinks, s) = match execute(
                 &ready.store,
                 plan,
                 &plan_opts,
                 &ready.thresholds,
                 CollectSink::default,
-            );
+            ) {
+                Ok(r) => r,
+                Err(failure) => {
+                    return Err(Self::failure_to_error(
+                        *failure,
+                        prepare_micros,
+                        t1,
+                        std::mem::take(&mut search),
+                        plans,
+                    ));
+                }
+            };
             search.merge(&s);
             for sink in sinks {
                 if arity == 0 {
@@ -1048,10 +1265,7 @@ mod tests {
         let base = e.query_count(q).unwrap().0;
         for strategy in ProbeStrategy::TABLE5 {
             for threads in [1, 3, 8] {
-                let over = RunOverrides {
-                    threads: Some(threads),
-                    strategy: Some(strategy),
-                };
+                let over = RunOverrides::threads(threads).with_strategy(strategy);
                 assert_eq!(e.query_count_with(q, &over).unwrap().0, base);
             }
         }
@@ -1335,6 +1549,91 @@ mod tests {
         check.reverse();
         assert_eq!(names, check);
         assert_eq!(names.len(), 3);
+    }
+
+    #[test]
+    fn budget_exceeded_surfaces_with_partial_stats() {
+        let mut e = engine();
+        let q = "SELECT ?x WHERE { ?x <http://e/teaches> ?z }"; // 4 rows
+        match e.query_count_with(q, &RunOverrides::max_rows(2)) {
+            Err(ParjError::BudgetExceeded { rows, partial }) => {
+                assert!(rows > 2, "overshoot still exceeds the limit: {rows}");
+                assert_eq!(partial.rows, rows);
+                assert!(partial.plan.contains("scan"));
+            }
+            other => panic!("expected budget error, got {other:?}"),
+        }
+        // A budget the result fits under does not trip…
+        let (count, _) = e.query_count_with(q, &RunOverrides::max_rows(4)).unwrap();
+        assert_eq!(count, 4);
+        // …and the budget counts pre-LIMIT rows: LIMIT 1 still produces
+        // 4 join rows, so a budget of 2 trips anyway.
+        let limited = "SELECT ?x WHERE { ?x <http://e/teaches> ?z } LIMIT 1";
+        assert!(matches!(
+            e.query_count_with(limited, &RunOverrides::max_rows(2)),
+            Err(ParjError::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn engine_wide_budget_from_config() {
+        let mut e = Parj::builder().threads(2).max_result_rows(1).build();
+        e.load_ntriples_str(DATA).unwrap();
+        let q = "SELECT ?x WHERE { ?x <http://e/teaches> ?z }";
+        assert!(matches!(
+            e.query_count(q),
+            Err(ParjError::BudgetExceeded { .. })
+        ));
+        // A per-run override lifts the engine-wide cap.
+        let (count, _) = e.query_count_with(q, &RunOverrides::max_rows(100)).unwrap();
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn cancelled_token_stops_query_and_resets() {
+        let mut e = engine();
+        let q = "SELECT ?x WHERE { ?x <http://e/teaches> ?z }";
+        let (token, over) = e.query_handle();
+        token.cancel();
+        match e.query_count_with(q, &over) {
+            Err(ParjError::Cancelled { partial }) => assert_eq!(partial.rows, 0),
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+        // The engine survives and the token re-arms.
+        token.reset();
+        assert_eq!(e.query_count_with(q, &over).unwrap().0, 4);
+    }
+
+    #[test]
+    fn expired_deadline_stops_query() {
+        let mut e = engine();
+        let q = "SELECT ?x ?z ?y WHERE { ?x <http://e/teaches> ?z . ?x <http://e/worksFor> ?y }";
+        match e.query_with(q, &RunOverrides::timeout(Duration::ZERO)) {
+            Err(ParjError::DeadlineExceeded { elapsed, .. }) => {
+                assert!(elapsed >= Duration::ZERO);
+            }
+            other => panic!("expected deadline error, got {other:?}"),
+        }
+        // A generous deadline lets the same query finish.
+        let res = e
+            .query_with(q, &RunOverrides::timeout(Duration::from_secs(60)))
+            .unwrap();
+        assert_eq!(res.rows.len(), 4);
+    }
+
+    #[test]
+    fn guard_spans_union_branches() {
+        let mut e = engine();
+        // Each branch alone produces 4 rows; the shared budget of 5
+        // must trip on the second branch because rows accumulate
+        // across branches of one run.
+        let q = "SELECT ?x WHERE { \
+                 { ?x <http://e/teaches> ?z } UNION { ?x <http://e/teaches> ?z } }";
+        assert_eq!(e.query_count_with(q, &RunOverrides::max_rows(8)).unwrap().0, 8);
+        match e.query_count_with(q, &RunOverrides::max_rows(5)) {
+            Err(ParjError::BudgetExceeded { rows, .. }) => assert!(rows > 5),
+            other => panic!("expected budget error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! Engine error type.
 
 use std::fmt;
+use std::time::Duration;
+
+use crate::result::QueryRunStats;
 
 /// Anything that can go wrong between a query string and its results.
 #[derive(Debug)]
@@ -22,6 +25,40 @@ pub enum ParjError {
     /// A `&self` query path was used on an engine that has staged,
     /// un-finalized data; call [`crate::Parj::finalize`] first.
     NotFinalized,
+    /// The query was cancelled through its [`crate::CancelToken`]
+    /// before it finished.
+    Cancelled {
+        /// Progress made before the cancellation was observed.
+        partial: Box<QueryRunStats>,
+    },
+    /// The query ran past its wall-clock deadline
+    /// ([`crate::RunOverrides::timeout`] /
+    /// [`crate::EngineConfig::timeout`]).
+    DeadlineExceeded {
+        /// Time elapsed when a worker noticed the deadline.
+        elapsed: Duration,
+        /// Progress made before the deadline tripped.
+        partial: Box<QueryRunStats>,
+    },
+    /// The query produced more result rows than its budget allows
+    /// ([`crate::RunOverrides::max_rows`] /
+    /// [`crate::EngineConfig::max_result_rows`]). The budget counts
+    /// rows *produced by the join* — before `LIMIT`/`OFFSET` trimming.
+    BudgetExceeded {
+        /// Rows counted when the budget tripped (bounded overshoot of
+        /// up to `threads × GUARD_BATCH` past the limit).
+        rows: u64,
+        /// Progress made before the budget tripped.
+        partial: Box<QueryRunStats>,
+    },
+    /// A worker thread panicked mid-query. The panic was contained,
+    /// sibling workers were cancelled, and the engine remains usable.
+    WorkerPanicked {
+        /// The panic payload, when it was a string.
+        message: String,
+        /// Progress made by the workers that did not panic.
+        partial: Box<QueryRunStats>,
+    },
 }
 
 impl fmt::Display for ParjError {
@@ -37,6 +74,33 @@ impl fmt::Display for ParjError {
             ParjError::NotFinalized => {
                 write!(f, "engine not finalized; call finalize() before &self queries")
             }
+            ParjError::Cancelled { partial } => {
+                write!(f, "query cancelled after {} rows", partial.rows)
+            }
+            ParjError::DeadlineExceeded { elapsed, .. } => {
+                write!(f, "query deadline exceeded after {elapsed:.2?}")
+            }
+            ParjError::BudgetExceeded { rows, .. } => {
+                write!(f, "query result budget exceeded at {rows} rows")
+            }
+            ParjError::WorkerPanicked { message, .. } => {
+                write!(f, "query worker panicked: {message}")
+            }
+        }
+    }
+}
+
+impl ParjError {
+    /// Partial-progress statistics for failures that interrupted a
+    /// running query (`Cancelled`, `DeadlineExceeded`, `BudgetExceeded`,
+    /// `WorkerPanicked`); `None` for errors raised before execution.
+    pub fn partial_stats(&self) -> Option<&QueryRunStats> {
+        match self {
+            ParjError::Cancelled { partial }
+            | ParjError::DeadlineExceeded { partial, .. }
+            | ParjError::BudgetExceeded { partial, .. }
+            | ParjError::WorkerPanicked { partial, .. } => Some(partial),
+            _ => None,
         }
     }
 }
@@ -50,7 +114,12 @@ impl std::error::Error for ParjError {
             ParjError::Plan(e) => Some(e),
             ParjError::Snapshot(e) => Some(e),
             ParjError::Io(e) => Some(e),
-            ParjError::Unsupported(_) | ParjError::NotFinalized => None,
+            ParjError::Unsupported(_)
+            | ParjError::NotFinalized
+            | ParjError::Cancelled { .. }
+            | ParjError::DeadlineExceeded { .. }
+            | ParjError::BudgetExceeded { .. }
+            | ParjError::WorkerPanicked { .. } => None,
         }
     }
 }

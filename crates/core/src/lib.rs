@@ -63,10 +63,10 @@ pub use translate::{TranslatedQuery, Translation};
 // crate.
 pub use parj_dict::{Dictionary, EncodedTriple, Id, Term};
 pub use parj_join::{
-    CalibrationConfig, CalibrationResult, ExecOptions, PhysicalPlan, ProbeStrategy, SearchStats,
-    ThresholdTable,
+    CalibrationConfig, CalibrationResult, CancelToken, ExecOptions, GuardTrip, PhysicalPlan,
+    ProbeStrategy, QueryGuard, SearchStats, ThresholdTable, GUARD_BATCH,
 };
 pub use parj_optimizer::Stats;
-pub use parj_rio::{parse_ntriples_str, NTriplesParser};
+pub use parj_rio::{parse_ntriples_str, LoadReport, NTriplesParser, OnParseError};
 pub use parj_sparql::{parse_query, ParsedQuery, STerm, TriplePattern};
 pub use parj_store::{SortOrder, StoreOptions, TripleStore};

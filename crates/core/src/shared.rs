@@ -47,6 +47,19 @@ impl SharedParj {
             .query_count_ref(query, &RunOverrides::default())
     }
 
+    /// Full result handling with overrides, under a read lock. Pass
+    /// overrides from [`Parj::query_handle`] to make the run
+    /// cancellable from another thread (e.g. a server's connection
+    /// handler): the read lock is held for the duration, but the
+    /// cancel token stops the workers without needing the lock.
+    pub fn query_with(
+        &self,
+        query: &str,
+        over: &RunOverrides,
+    ) -> Result<QueryResult, ParjError> {
+        self.inner.read().query_ref(query, over)
+    }
+
     /// Silent-mode count with overrides, under a read lock.
     pub fn query_count_with(
         &self,

@@ -15,19 +15,22 @@
 //! value vector of that key's group (Example 3.2) — which is how highly
 //! selective queries still parallelize.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use parj_dict::Id;
 use parj_store::{Replica, TripleStore};
 
 use crate::calibrate::CalibrationResult;
+use crate::guard::{GuardTrip, QueryGuard, GUARD_BATCH};
 use crate::plan::{CompiledStep, DriverMode, DriverValue, KeyMode, PhysicalPlan, ValueMode, VarId};
 use crate::search::{adaptive_search, ProbeStrategy};
 use crate::stats::SearchStats;
 use crate::threshold::ThresholdTable;
 
 /// Execution options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Worker threads. In the paper "each worker corresponds exactly to
     /// one thread"; the optimum on their machine was 2× the core count
@@ -40,6 +43,11 @@ pub struct ExecOptions {
     pub shards_per_thread: usize,
     /// Probe strategy (Table 5's four columns).
     pub strategy: ProbeStrategy,
+    /// Lifecycle guard shared by all workers of this run (cancellation,
+    /// deadline, row budget). `None` runs unguarded — the executor still
+    /// installs a private guard internally so a panicking worker stops
+    /// its siblings.
+    pub guard: Option<Arc<QueryGuard>>,
 }
 
 impl Default for ExecOptions {
@@ -48,6 +56,7 @@ impl Default for ExecOptions {
             threads: 1,
             shards_per_thread: 4,
             strategy: ProbeStrategy::AdaptiveBinary,
+            guard: None,
         }
     }
 }
@@ -59,6 +68,96 @@ impl ExecOptions {
             threads,
             ..Self::default()
         }
+    }
+}
+
+/// Why an execution stopped before completing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecFailureKind {
+    /// The guard's cancel token was tripped externally.
+    Cancelled,
+    /// The guard's wall-clock deadline passed.
+    DeadlineExceeded {
+        /// Time elapsed since the guard was armed.
+        elapsed: std::time::Duration,
+    },
+    /// The guard's result-row budget was exhausted.
+    BudgetExceeded {
+        /// Rows counted when the budget tripped.
+        rows: u64,
+    },
+    /// A worker panicked; the panic was contained and sibling workers
+    /// were cancelled. The store is read-only during execution, so it
+    /// remains fully usable afterwards.
+    WorkerPanicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl ExecFailureKind {
+    fn from_trip(trip: GuardTrip) -> Self {
+        match trip {
+            GuardTrip::Cancelled => ExecFailureKind::Cancelled,
+            GuardTrip::DeadlineExceeded { elapsed } => ExecFailureKind::DeadlineExceeded { elapsed },
+            GuardTrip::BudgetExceeded { rows } => ExecFailureKind::BudgetExceeded { rows },
+        }
+    }
+
+    /// Panic > budget > deadline > cancel: when workers report
+    /// different trips (e.g. a panic cancels siblings, who then report
+    /// `Cancelled`), the most specific cause wins deterministically.
+    fn severity(&self) -> u8 {
+        match self {
+            ExecFailureKind::Cancelled => 0,
+            ExecFailureKind::DeadlineExceeded { .. } => 1,
+            ExecFailureKind::BudgetExceeded { .. } => 2,
+            ExecFailureKind::WorkerPanicked { .. } => 3,
+        }
+    }
+}
+
+/// An execution that stopped early, with the partial progress made.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecFailure {
+    /// What stopped the run.
+    pub kind: ExecFailureKind,
+    /// Search counters merged from the workers that returned.
+    pub stats: SearchStats,
+    /// Result rows credited to the guard before the stop (overshoots
+    /// the budget by at most `threads × GUARD_BATCH`).
+    pub rows: u64,
+}
+
+impl std::fmt::Display for ExecFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            ExecFailureKind::Cancelled => write!(f, "query cancelled after {} rows", self.rows),
+            ExecFailureKind::DeadlineExceeded { elapsed } => {
+                write!(f, "query deadline exceeded after {elapsed:.2?} ({} rows)", self.rows)
+            }
+            ExecFailureKind::BudgetExceeded { rows } => {
+                write!(f, "query result budget exceeded at {rows} rows")
+            }
+            ExecFailureKind::WorkerPanicked { message } => {
+                write!(f, "query worker panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecFailure {}
+
+/// Result of a guarded execution.
+pub type ExecResult<T> = Result<T, Box<ExecFailure>>;
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -147,7 +246,9 @@ fn group_contains(group: &[Id], value: Id, stats: &mut SearchStats) -> bool {
     group.binary_search(&value).is_ok()
 }
 
-/// Worker-local execution state; one per thread, nothing shared.
+/// Worker-local execution state; one per thread. The only shared
+/// mutable state is the lifecycle guard, polled every [`GUARD_BATCH`]
+/// bindings.
 struct Worker<'a, S> {
     ctxs: &'a [StepCtx<'a>],
     strategy: ProbeStrategy,
@@ -164,6 +265,17 @@ struct Worker<'a, S> {
     /// `step_rows[num_steps]` = result rows emitted.
     step_rows: Vec<u64>,
     sink: S,
+    /// Shared lifecycle guard (always present; unguarded runs get a
+    /// private unlimited one for panic isolation).
+    guard: &'a QueryGuard,
+    /// Bindings left before the next guard poll.
+    countdown: u32,
+    /// Rows emitted since the last poll, credited in batches.
+    pending_rows: u64,
+    /// Set when the guard tripped; loops unwind promptly once set.
+    stop: bool,
+    /// The trip that set `stop`, reported to the executor.
+    trip: Option<GuardTrip>,
 }
 
 impl<S: Sink> Worker<'_, S> {
@@ -176,8 +288,44 @@ impl<S: Sink> Worker<'_, S> {
         total
     }
 
+    /// Counts one binding against the poll batch. The hot path is a
+    /// decrement and a branch; the guard's atomics are only touched
+    /// when the batch is exhausted.
+    #[inline]
+    fn tick(&mut self) {
+        self.countdown -= 1;
+        if self.countdown == 0 {
+            self.poll_guard();
+        }
+    }
+
+    #[cold]
+    fn poll_guard(&mut self) {
+        self.countdown = GUARD_BATCH;
+        let produced = std::mem::take(&mut self.pending_rows);
+        if let Err(trip) = self.guard.poll(produced) {
+            self.trip = Some(trip);
+            self.stop = true;
+        }
+    }
+
+    /// Credits rows still pending at worker exit. Only the row budget
+    /// is enforced here: it caps result size, so it must hold even for
+    /// queries too small to ever hit a poll boundary. A deadline or
+    /// cancellation first noticed after the work finished does not
+    /// discard a complete result.
+    fn final_check(&mut self) {
+        let produced = std::mem::take(&mut self.pending_rows);
+        if let Err(trip @ GuardTrip::BudgetExceeded { .. }) = self.guard.poll(produced) {
+            if self.trip.is_none() {
+                self.trip = Some(trip);
+            }
+        }
+    }
+
     #[inline]
     fn emit(&mut self) {
+        self.pending_rows += 1;
         self.rowbuf.clear();
         for &v in self.projection {
             self.rowbuf.push(self.bindings[v as usize]);
@@ -187,6 +335,10 @@ impl<S: Sink> Worker<'_, S> {
 
     /// Runs probe steps `depth..` for the current bindings.
     fn descend(&mut self, depth: usize) {
+        if self.stop {
+            return;
+        }
+        self.tick();
         self.step_rows[depth] += 1;
         if depth == self.ctxs.len() {
             self.emit();
@@ -244,6 +396,10 @@ impl<S: Sink> Worker<'_, S> {
                 value,
             } => {
                 for pos in lo..hi {
+                    if self.stop {
+                        break;
+                    }
+                    self.tick();
                     let key = replica.key_at(pos);
                     self.bindings[bind_key as usize] = key;
                     let group = replica.values_at(pos);
@@ -271,6 +427,9 @@ impl<S: Sink> Worker<'_, S> {
             }
             ResolvedDriver::Group { group, bind_value } => {
                 for &val in &group[lo..hi] {
+                    if self.stop {
+                        break;
+                    }
                     self.bindings[bind_value as usize] = val;
                     self.descend(0);
                 }
@@ -351,6 +510,7 @@ pub fn shard_loads(
     let threads = opts.threads.max(1);
     let num_shards = (threads * opts.shards_per_thread.max(1)).max(1);
     let shard_size = domain.div_ceil(num_shards).max(1);
+    let guard = QueryGuard::unlimited();
     let mut worker = Worker {
         ctxs: &ctxs,
         strategy: opts.strategy,
@@ -361,6 +521,11 @@ pub fn shard_loads(
         step_stats: vec![SearchStats::default(); ctxs.len() + 2],
         step_rows: vec![0; ctxs.len() + 1],
         sink: CountSink::default(),
+        guard: &guard,
+        countdown: GUARD_BATCH,
+        pending_rows: 0,
+        stop: false,
+        trip: None,
     };
     let mut loads = Vec::new();
     let mut prev = 0u64;
@@ -423,6 +588,7 @@ pub fn execute_profiled(
     let Some((ctxs, driver)) = prepare_exec(store, plan, opts, thresholds) else {
         return PlanProfile::default();
     };
+    let guard = QueryGuard::unlimited();
     let mut worker = Worker {
         ctxs: &ctxs,
         strategy: opts.strategy,
@@ -433,6 +599,11 @@ pub fn execute_profiled(
         step_stats: vec![SearchStats::default(); ctxs.len() + 2],
         step_rows: vec![0; ctxs.len() + 1],
         sink: CountSink::default(),
+        guard: &guard,
+        countdown: GUARD_BATCH,
+        pending_rows: 0,
+        stop: false,
+        trip: None,
     };
     worker.run_range(&driver, 0, driver.domain());
     PlanProfile {
@@ -455,13 +626,13 @@ pub fn execute<S, F>(
     opts: &ExecOptions,
     thresholds: &ThresholdTable,
     factory: F,
-) -> (Vec<S>, SearchStats)
+) -> ExecResult<(Vec<S>, SearchStats)>
 where
     S: Sink + Send,
     F: Fn() -> S + Sync,
 {
-    let (workers, total) = execute_detailed(store, plan, opts, thresholds, factory);
-    (workers.into_iter().map(|(s, _)| s).collect(), total)
+    let (workers, total) = execute_detailed(store, plan, opts, thresholds, factory)?;
+    Ok((workers.into_iter().map(|(s, _)| s).collect(), total))
 }
 
 /// [`execute`] variant that preserves each worker's own counters.
@@ -477,13 +648,24 @@ pub fn execute_detailed<S, F>(
     opts: &ExecOptions,
     thresholds: &ThresholdTable,
     factory: F,
-) -> (Vec<(S, SearchStats)>, SearchStats)
+) -> ExecResult<(Vec<(S, SearchStats)>, SearchStats)>
 where
     S: Sink + Send,
     F: Fn() -> S + Sync,
 {
     let Some((ctxs, driver)) = prepare_exec(store, plan, opts, thresholds) else {
-        return (Vec::new(), SearchStats::default());
+        return Ok((Vec::new(), SearchStats::default()));
+    };
+
+    // Every run is guarded: callers without limits get a private
+    // unlimited guard so a panicking worker can still cancel siblings.
+    let own_guard;
+    let guard: &QueryGuard = match &opts.guard {
+        Some(g) => g,
+        None => {
+            own_guard = QueryGuard::unlimited();
+            &own_guard
+        }
     };
 
     let domain = driver.domain();
@@ -502,10 +684,22 @@ where
         step_stats: vec![SearchStats::default(); ctxs.len() + 2],
         step_rows: vec![0; ctxs.len() + 1],
         sink: factory(),
+        guard,
+        countdown: GUARD_BATCH,
+        pending_rows: 0,
+        stop: false,
+        trip: None,
     };
 
-    let run_worker = |mut w: Worker<'_, S>| -> (S, SearchStats) {
+    let run_worker = |mut w: Worker<'_, S>| -> (S, SearchStats, Option<GuardTrip>) {
+        // Check limits once up front so pre-cancelled tokens and
+        // already-expired deadlines stop even queries too small to
+        // reach a poll boundary.
+        w.poll_guard();
         loop {
+            if w.stop {
+                break;
+            }
             let shard = next_shard.fetch_add(1, Ordering::Relaxed);
             let lo = shard * shard_size;
             if lo >= domain {
@@ -514,32 +708,76 @@ where
             let hi = (lo + shard_size).min(domain);
             w.run_range(&driver, lo, hi);
         }
+        w.final_check();
         let stats = w.total_stats();
-        (w.sink, stats)
+        (w.sink, stats, w.trip)
+    };
+
+    // Each worker body runs under catch_unwind: a panic is contained,
+    // trips the shared guard so siblings stop at their next poll, and
+    // surfaces as `WorkerPanicked` instead of aborting the process.
+    // The store is read-only during execution, so it stays usable.
+    let run_caught = |w: Worker<'_, S>| {
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| run_worker(w)));
+        if result.is_err() {
+            guard.cancel();
+        }
+        result
     };
 
     let mut workers = Vec::with_capacity(threads);
     let mut total = SearchStats::default();
+    let mut worst: Option<ExecFailureKind> = None;
+    let note = |kind: ExecFailureKind, worst: &mut Option<ExecFailureKind>| {
+        if worst.as_ref().is_none_or(|w| kind.severity() > w.severity()) {
+            *worst = Some(kind);
+        }
+    };
+
+    let mut results = Vec::with_capacity(threads);
     if threads == 1 {
-        let (sink, stats) = run_worker(make_worker());
-        total.merge(&stats);
-        workers.push((sink, stats));
+        results.push(run_caught(make_worker()));
     } else {
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     let w = make_worker();
-                    scope.spawn(|| run_worker(w))
+                    scope.spawn(|| run_caught(w))
                 })
                 .collect();
             for h in handles {
-                let (sink, stats) = h.join().expect("worker panicked");
-                total.merge(&stats);
-                workers.push((sink, stats));
+                let result = h.join().expect("worker panics are caught inside the worker");
+                results.push(result);
             }
         });
     }
-    (workers, total)
+    for result in results {
+        match result {
+            Ok((sink, stats, trip)) => {
+                total.merge(&stats);
+                workers.push((sink, stats));
+                if let Some(trip) = trip {
+                    note(ExecFailureKind::from_trip(trip), &mut worst);
+                }
+            }
+            Err(payload) => {
+                note(
+                    ExecFailureKind::WorkerPanicked {
+                        message: panic_message(payload.as_ref()),
+                    },
+                    &mut worst,
+                );
+            }
+        }
+    }
+    if let Some(kind) = worst {
+        return Err(Box::new(ExecFailure {
+            kind,
+            stats: total,
+            rows: guard.rows(),
+        }));
+    }
+    Ok((workers, total))
 }
 
 /// Builds a threshold table from the paper's default calibration windows
@@ -553,7 +791,7 @@ pub fn execute_count(
     store: &TripleStore,
     plan: &PhysicalPlan,
     opts: &ExecOptions,
-) -> (u64, SearchStats) {
+) -> ExecResult<(u64, SearchStats)> {
     let thresholds = default_thresholds(store);
     execute_count_with(store, plan, opts, &thresholds)
 }
@@ -564,9 +802,9 @@ pub fn execute_count_with(
     plan: &PhysicalPlan,
     opts: &ExecOptions,
     thresholds: &ThresholdTable,
-) -> (u64, SearchStats) {
-    let (sinks, stats) = execute(store, plan, opts, thresholds, CountSink::default);
-    (sinks.iter().map(|s| s.count).sum(), stats)
+) -> ExecResult<(u64, SearchStats)> {
+    let (sinks, stats) = execute(store, plan, opts, thresholds, CountSink::default)?;
+    Ok((sinks.iter().map(|s| s.count).sum(), stats))
 }
 
 /// Materializing execution: collects all result rows (order unspecified
@@ -575,9 +813,9 @@ pub fn execute_collect(
     store: &TripleStore,
     plan: &PhysicalPlan,
     opts: &ExecOptions,
-) -> (Vec<Vec<Id>>, SearchStats) {
+) -> ExecResult<(Vec<Vec<Id>>, SearchStats)> {
     let thresholds = default_thresholds(store);
-    let (sinks, stats) = execute(store, plan, opts, &thresholds, CollectSink::default);
+    let (sinks, stats) = execute(store, plan, opts, &thresholds, CollectSink::default)?;
     let arity = plan.projection.len();
     let mut rows = Vec::new();
     for sink in sinks {
@@ -591,7 +829,7 @@ pub fn execute_collect(
             rows.push(chunk.to_vec());
         }
     }
-    (rows, stats)
+    Ok((rows, stats))
 }
 
 #[cfg(test)]
@@ -705,8 +943,9 @@ mod tests {
                     threads,
                     shards_per_thread: 3,
                     strategy,
+                    guard: None,
                 };
-                let (mut rows, _) = execute_collect(store, &plan, &opts);
+                let (mut rows, _) = execute_collect(store, &plan, &opts).expect("runs");
                 rows.sort();
                 rows.dedup();
                 assert_eq!(
@@ -866,7 +1105,7 @@ mod tests {
             vec![],
         )
         .unwrap();
-        let (count, _) = execute_count(&s, &plan, &ExecOptions::with_threads(4));
+        let (count, _) = execute_count(&s, &plan, &ExecOptions::with_threads(4)).expect("runs");
         assert_eq!(count, 1);
         // Absent triple.
         let u2 = rid(&s, "U2");
@@ -881,7 +1120,7 @@ mod tests {
             vec![],
         )
         .unwrap();
-        let (count, _) = execute_count(&s, &plan, &ExecOptions::default());
+        let (count, _) = execute_count(&s, &plan, &ExecOptions::default()).expect("runs");
         assert_eq!(count, 0);
     }
 
@@ -899,7 +1138,7 @@ mod tests {
             vec![0, 1],
         )
         .unwrap();
-        let (count, _) = execute_count(&s, &plan, &ExecOptions::default());
+        let (count, _) = execute_count(&s, &plan, &ExecOptions::default()).expect("runs");
         assert_eq!(count, 0);
     }
 
@@ -931,7 +1170,7 @@ mod tests {
             strategy: ProbeStrategy::AlwaysBinary,
             ..Default::default()
         };
-        let (_, stats) = execute_count(&s, &plan, &opts);
+        let (_, stats) = execute_count(&s, &plan, &opts).expect("runs");
         // 4 teaches tuples → 4 probes of worksFor.
         assert_eq!(stats.binary_searches, 4);
         assert_eq!(stats.sequential_searches, 0);
@@ -939,7 +1178,7 @@ mod tests {
             strategy: ProbeStrategy::AlwaysSequential,
             ..Default::default()
         };
-        let (_, stats) = execute_count(&s, &plan, &opts);
+        let (_, stats) = execute_count(&s, &plan, &opts).expect("runs");
         assert_eq!(stats.sequential_searches, 4);
         assert_eq!(stats.binary_searches, 0);
     }
@@ -968,8 +1207,10 @@ mod tests {
                 threads: 16,
                 shards_per_thread: 8,
                 strategy: ProbeStrategy::AdaptiveBinary,
+                guard: None,
             },
-        );
+        )
+        .expect("runs");
         assert_eq!(count, 4);
     }
 
@@ -1002,10 +1243,129 @@ mod tests {
             vec![0, 1],
         )
         .unwrap();
-        let (count, stats) = execute_count(&s, &plan, &ExecOptions::default());
+        let (count, stats) = execute_count(&s, &plan, &ExecOptions::default()).expect("runs");
         assert_eq!(count, 2); // ProfB/Chem, ProfC/Lit
         // 4 driver tuples → 4 probes of the constant key.
         assert_eq!(stats.total_searches(), 4);
+    }
+
+    /// Sink that panics on the first row it sees.
+    #[derive(Debug)]
+    struct PanicSink;
+
+    impl Sink for PanicSink {
+        fn push(&mut self, _row: &[Id]) {
+            panic!("sink exploded");
+        }
+    }
+
+    fn teaches_plan(s: &TripleStore) -> PhysicalPlan {
+        let teaches = pid(s, "teaches");
+        PhysicalPlan::new(
+            vec![PlanStep {
+                predicate: teaches,
+                order: SortOrder::SO,
+                key: Atom::Var(0),
+                value: Atom::Var(1),
+            }],
+            2,
+            vec![0, 1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn panicking_sink_is_contained() {
+        let s = store();
+        let plan = teaches_plan(&s);
+        for threads in [1, 4] {
+            let opts = ExecOptions::with_threads(threads);
+            let thresholds = default_thresholds(&s);
+            let err = execute(&s, &plan, &opts, &thresholds, || PanicSink)
+                .expect_err("sink panic must surface as an error");
+            match &err.kind {
+                ExecFailureKind::WorkerPanicked { message } => {
+                    assert!(message.contains("sink exploded"), "got {message:?}");
+                }
+                other => panic!("expected WorkerPanicked, got {other:?}"),
+            }
+        }
+        // The store is read-only during execution: it stays usable.
+        let (count, _) = execute_count(&s, &plan, &ExecOptions::with_threads(4)).expect("runs");
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn pre_cancelled_guard_stops_immediately() {
+        let s = store();
+        let plan = teaches_plan(&s);
+        let guard = Arc::new(QueryGuard::unlimited());
+        guard.cancel();
+        let opts = ExecOptions {
+            guard: Some(Arc::clone(&guard)),
+            ..ExecOptions::with_threads(2)
+        };
+        let err = execute_count(&s, &plan, &opts).expect_err("cancelled before start");
+        assert_eq!(err.kind, ExecFailureKind::Cancelled);
+        assert_eq!(err.rows, 0);
+    }
+
+    #[test]
+    fn row_budget_enforced_even_below_poll_batch() {
+        // The query yields 4 rows — far under GUARD_BATCH — so the
+        // budget can only be caught by the worker-exit check.
+        let s = store();
+        let plan = teaches_plan(&s);
+        let guard = Arc::new(QueryGuard::with_limits(None, Some(2)));
+        let opts = ExecOptions {
+            guard: Some(guard),
+            ..ExecOptions::default()
+        };
+        let err = execute_count(&s, &plan, &opts).expect_err("budget of 2 rows");
+        match err.kind {
+            ExecFailureKind::BudgetExceeded { rows } => assert_eq!(rows, 4),
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_stops_before_work() {
+        let s = store();
+        let plan = teaches_plan(&s);
+        let guard = Arc::new(QueryGuard::with_limits(
+            Some(std::time::Duration::ZERO),
+            None,
+        ));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let opts = ExecOptions {
+            guard: Some(guard),
+            ..ExecOptions::with_threads(2)
+        };
+        let err = execute_count(&s, &plan, &opts).expect_err("deadline already passed");
+        assert!(
+            matches!(err.kind, ExecFailureKind::DeadlineExceeded { .. }),
+            "got {:?}",
+            err.kind
+        );
+    }
+
+    #[test]
+    fn completed_query_beats_late_cancel() {
+        // Cancelling after the run finished must not matter for the
+        // next run with a fresh guard.
+        let s = store();
+        let plan = teaches_plan(&s);
+        let guard = Arc::new(QueryGuard::unlimited());
+        let opts = ExecOptions {
+            guard: Some(Arc::clone(&guard)),
+            ..ExecOptions::default()
+        };
+        let (count, _) = execute_count(&s, &plan, &opts).expect("runs");
+        assert_eq!(count, 4);
+        guard.cancel();
+        let opts = ExecOptions::default();
+        let (count, _) = execute_count(&s, &plan, &opts).expect("fresh guard unaffected");
+        assert_eq!(count, 4);
     }
 
     #[test]
@@ -1024,7 +1384,7 @@ mod tests {
             vec![],
         )
         .unwrap();
-        let (count, _) = execute_count(&s, &plan, &ExecOptions::default());
+        let (count, _) = execute_count(&s, &plan, &ExecOptions::default()).expect("runs");
         assert_eq!(count, 4);
     }
 }

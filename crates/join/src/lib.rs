@@ -46,14 +46,23 @@
 //!     3,
 //!     vec![0, 1, 2],
 //! ).unwrap();
-//! let (count, _stats) = execute_count(&store, &plan, &ExecOptions::default());
+//! let (count, _stats) = execute_count(&store, &plan, &ExecOptions::default()).unwrap();
 //! assert_eq!(count, 2);
 //! ```
+//!
+//! ## Query lifecycle
+//!
+//! Every execution can carry a [`QueryGuard`] ([`ExecOptions::guard`])
+//! enforcing cooperative cancellation, a wall-clock deadline, and a
+//! result-row budget; workers poll it every [`GUARD_BATCH`] bindings.
+//! Worker panics are contained with `catch_unwind` and surface as
+//! [`ExecFailureKind::WorkerPanicked`] instead of aborting the process.
 
 #![warn(missing_docs)]
 
 mod calibrate;
 mod exec;
+mod guard;
 mod plan;
 mod search;
 mod stats;
@@ -64,8 +73,9 @@ pub use exec::{
     driver_domain, execute, execute_collect, execute_count, execute_count_with, execute_detailed,
     execute_profiled, shard_loads, PlanProfile,
     CollectSink, CountSink,
-    ExecOptions, FnSink, Sink,
+    ExecFailure, ExecFailureKind, ExecOptions, ExecResult, FnSink, Sink,
 };
+pub use guard::{CancelToken, GuardTrip, QueryGuard, GUARD_BATCH};
 pub use plan::{Atom, PhysicalPlan, PlanError, PlanStep, VarId};
 pub use search::{adaptive_search, binary_search_cursor, sequential_search, ProbeStrategy};
 pub use stats::SearchStats;

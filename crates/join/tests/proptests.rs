@@ -139,8 +139,8 @@ proptest! {
         expected.sort_unstable();
 
         for strategy in ProbeStrategy::TABLE5 {
-            let opts = ExecOptions { threads, shards_per_thread: shards, strategy };
-            let (mut rows, _) = execute_collect(&store, &plan, &opts);
+            let opts = ExecOptions { threads, shards_per_thread: shards, strategy, guard: None };
+            let (mut rows, _) = execute_collect(&store, &plan, &opts).expect("runs");
             rows.sort_unstable();
             prop_assert_eq!(&rows, &expected, "strategy {} threads {} shards {}",
                 strategy, threads, shards);

@@ -26,11 +26,13 @@
 #![warn(missing_docs)]
 
 mod error;
+mod load;
 mod parser;
 mod turtle;
 mod writer;
 
 pub use error::{ParseError, ParseErrorKind};
+pub use load::{drain_triples, parse_ntriples_str_lossy, LoadReport, OnParseError};
 pub use parser::{parse_ntriples_str, NTriplesParser, TermTriple};
-pub use turtle::parse_turtle_str;
+pub use turtle::{parse_turtle_str, parse_turtle_str_lossy};
 pub use writer::{write_ntriples, write_triple};

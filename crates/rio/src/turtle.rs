@@ -20,6 +20,7 @@
 use parj_dict::Term;
 
 use crate::error::{ParseError, ParseErrorKind};
+use crate::load::{LoadReport, OnParseError};
 use crate::parser::TermTriple;
 
 /// `xsd` datatype IRIs for Turtle's sugared literal forms.
@@ -34,6 +35,23 @@ const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
 /// nodes get document-scoped labels; anonymous nodes get generated
 /// labels that cannot collide with parsed ones).
 pub fn parse_turtle_str(input: &str) -> Result<Vec<TermTriple>, ParseError> {
+    parse_turtle_str_lossy(input, OnParseError::Abort).map(|(t, _)| t)
+}
+
+/// [`parse_turtle_str`] with an error policy. In
+/// [`OnParseError::Skip`] mode a malformed statement is dropped whole
+/// (any triples it had already produced are rolled back), the parser
+/// resynchronizes at the next statement terminator, and the skip is
+/// recorded in the returned [`LoadReport`].
+///
+/// Recovery is best-effort: a `.` inside a malformed statement (e.g.
+/// in a decimal literal) can end resynchronization early, in which
+/// case the tail of that statement is skipped as a second malformed
+/// statement — counted against `max_errors` like any other.
+pub fn parse_turtle_str_lossy(
+    input: &str,
+    policy: OnParseError,
+) -> Result<(Vec<TermTriple>, LoadReport), ParseError> {
     let mut p = Turtle {
         chars: input.chars().collect(),
         pos: 0,
@@ -43,8 +61,31 @@ pub fn parse_turtle_str(input: &str) -> Result<Vec<TermTriple>, ParseError> {
         out: Vec::new(),
         next_anon: 0,
     };
-    p.document()?;
-    Ok(rename_anonymous(p.out))
+    let mut report = LoadReport::default();
+    loop {
+        p.skip_trivia();
+        if p.peek().is_none() {
+            break;
+        }
+        let mark = p.out.len();
+        match p.statement() {
+            Ok(()) => {}
+            Err(e) => match policy {
+                OnParseError::Abort => return Err(e),
+                OnParseError::Skip { max_errors } => {
+                    p.out.truncate(mark);
+                    let fatal = report.skipped >= max_errors;
+                    report.note_skip(e.clone());
+                    if fatal {
+                        return Err(e);
+                    }
+                    p.recover();
+                }
+            },
+        }
+    }
+    report.loaded = p.out.len();
+    Ok((rename_anonymous(p.out), report))
 }
 
 /// During parsing, anonymous nodes get `anon#N` labels — `#` cannot
@@ -523,23 +564,90 @@ impl Turtle {
         }
     }
 
-    fn document(&mut self) -> Result<(), ParseError> {
-        loop {
-            self.skip_trivia();
-            match self.peek() {
-                None => return Ok(()),
-                Some('@') => self.directive()?,
-                _ if self.keyword_ahead("prefix") || self.keyword_ahead("base") => {
-                    self.directive()?
+    /// One top-level statement: a directive or a triples block with its
+    /// terminating `.` (trivia already skipped, input not exhausted).
+    fn statement(&mut self) -> Result<(), ParseError> {
+        match self.peek() {
+            Some('@') => self.directive(),
+            _ if self.keyword_ahead("prefix") || self.keyword_ahead("base") => self.directive(),
+            _ => {
+                let subject = self.term(true)?;
+                if subject.is_literal() {
+                    return Err(self.err(ParseErrorKind::LiteralSubject));
+                }
+                self.predicate_object_list(&subject)?;
+                self.expect('.')
+            }
+        }
+    }
+
+    /// After a failed statement, resynchronize at the next statement
+    /// boundary: consume up to and including the next `.` at bracket
+    /// depth 0 outside strings and comments (or to end of input).
+    fn recover(&mut self) {
+        let mut depth = 0usize;
+        while let Some(c) = self.peek() {
+            match c {
+                '#' => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                '"' | '\'' => self.skip_string(c),
+                '[' | '(' => {
+                    depth += 1;
+                    self.bump();
+                }
+                ']' | ')' => {
+                    depth = depth.saturating_sub(1);
+                    self.bump();
+                }
+                '.' if depth == 0 => {
+                    self.bump();
+                    return;
                 }
                 _ => {
-                    let subject = self.term(true)?;
-                    if subject.is_literal() {
-                        return Err(self.err(ParseErrorKind::LiteralSubject));
-                    }
-                    self.predicate_object_list(&subject)?;
-                    self.expect('.')?;
+                    self.bump();
                 }
+            }
+        }
+    }
+
+    /// Consumes a quoted section during [`Turtle::recover`]: short or
+    /// long form delimited by `quote`, tolerating escapes. Unterminated
+    /// short strings end at the newline, long ones at end of input.
+    fn skip_string(&mut self, quote: char) {
+        self.bump(); // opening quote
+        if self.peek() == Some(quote) {
+            if self.peek2() == Some(quote) {
+                self.bump();
+                self.bump();
+                let mut run = 0;
+                while let Some(c) = self.bump() {
+                    if c == quote {
+                        run += 1;
+                        if run == 3 {
+                            return;
+                        }
+                    } else {
+                        run = 0;
+                    }
+                }
+                return;
+            }
+            self.bump(); // empty short string
+            return;
+        }
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                c if c == quote || c == '\n' => return,
+                _ => {}
             }
         }
     }

@@ -53,10 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nLUBM9 under the four probe strategies (1 thread):");
     for strategy in ProbeStrategy::TABLE5 {
-        let over = RunOverrides {
-            threads: Some(1),
-            strategy: Some(strategy),
-        };
+        let over = RunOverrides::threads(1).with_strategy(strategy);
         let (_, stats) = engine.query_count_with(&lubm9.sparql, &over)?;
         println!(
             "  {:<10} {:>8.2} ms, words touched: {}",

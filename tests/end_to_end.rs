@@ -53,10 +53,7 @@ fn consistent_count(engine: &mut Parj, sparql: &str) -> u64 {
         .0;
     for strategy in ProbeStrategy::TABLE5 {
         for threads in [1, 4] {
-            let over = RunOverrides {
-                threads: Some(threads),
-                strategy: Some(strategy),
-            };
+            let over = RunOverrides::threads(threads).with_strategy(strategy);
             let got = engine.query_count_with(sparql, &over).unwrap().0;
             assert_eq!(
                 got, base,

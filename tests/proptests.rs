@@ -168,7 +168,7 @@ proptest! {
 
         for strategy in ProbeStrategy::TABLE5 {
             for threads in [1usize, 4] {
-                let over = RunOverrides { threads: Some(threads), strategy: Some(strategy) };
+                let over = RunOverrides::threads(threads).with_strategy(strategy);
                 let (c, _) = engine.query_count_with(&sparql, &over).unwrap();
                 prop_assert_eq!(c, expected, "{} under {} x{}", sparql, strategy, threads);
             }

@@ -34,10 +34,7 @@ fn lubm_at_scale() {
     }
     for strategy in ProbeStrategy::TABLE5 {
         for q in lubm::queries() {
-            let over = RunOverrides {
-                threads: Some(4),
-                strategy: Some(strategy),
-            };
+            let over = RunOverrides::threads(4).with_strategy(strategy);
             let (count, _) = engine.query_count_with(&q.sparql, &over).expect("runs");
             let expected = baseline_counts
                 .iter()
