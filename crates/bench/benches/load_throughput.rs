@@ -1,0 +1,42 @@
+//! Criterion benchmarks for the staged parallel bulk-load pipeline:
+//! chunked N-Triples parsing, sharded two-phase dictionary encoding,
+//! and per-predicate pair routing, at a 1/2/4/8 load-thread ladder.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use parj_core::Parj;
+use parj_datagen::lubm;
+
+fn lubm_text(universities: usize) -> String {
+    let cfg = lubm::LubmConfig {
+        universities,
+        seed: lubm::LubmConfig::default().seed,
+    };
+    let mut bytes = Vec::new();
+    lubm::write_ntriples(&cfg, &mut bytes).expect("in-memory write cannot fail");
+    String::from_utf8(bytes).expect("generator emits UTF-8")
+}
+
+fn bench_bulk_load(c: &mut Criterion) {
+    let text = lubm_text(4);
+    let n = text.lines().count() as u64;
+    let mut group = c.benchmark_group("bulk_load");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("lubm4_{threads}t"), |b| {
+            b.iter(|| {
+                let mut engine = Parj::builder().load_threads(threads).build();
+                engine
+                    .load_ntriples_str(&text)
+                    .expect("generated dataset parses");
+                black_box(engine.num_triples())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bulk_load);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Measures bulk-load throughput across the load-thread ladder. See
+//! EXPERIMENTS.md.
+fn main() {
+    let args = parj_bench::Args::parse(parj_bench::default_scale("load_throughput"));
+    let (tables, json) = parj_bench::experiments::load_throughput(&args);
+    parj_bench::write_outputs(&args.out, "load_throughput", &tables, json);
+}

@@ -12,6 +12,7 @@
 //! | `table6` | Table 6 — search counts and memory-work counters, binary vs index |
 //! | `fig2`   | Figure 2 — LUBM execution time vs thread count |
 //! | `fig3`   | Figure 3 — execution time vs dataset size |
+//! | `load_throughput` | bulk-load pipeline scaling across load threads (not a paper artifact) |
 //! | `run_all`| everything above, with outputs under `results/` |
 //!
 //! Every binary accepts `--scale N` (dataset size), `--runs N`
@@ -42,6 +43,8 @@ pub fn default_scale(experiment: &str) -> usize {
         "fig2" => 10,
         "fig3" => 16, // ladder 2, 4, 8, 16
         "ablation" => 4,
+        // ~17 k triples per university: 60 ≈ a 1 M-triple load.
+        "load_throughput" => 60,
         // WatDiv scales are ~2.5 k-triple units.
         "table3" => 40,
         "table4" => 20,

@@ -68,6 +68,8 @@ USAGE:
 
 FLAGS:
   --threads N      worker threads per query (default: all cores)
+  --load-threads N worker threads for bulk loading (default: all cores;
+                   loaded store is byte-identical at any value)
   --strategy S     binary | adbinary (default) | index | adindex
   --reasoning      answer w.r.t. rdfs:subClassOf/subPropertyOf in the data
   --calibrate      run Algorithm 2's timed calibration after load
@@ -85,6 +87,7 @@ EXIT CODES:
 struct Cli {
     positional: Vec<String>,
     threads: Option<usize>,
+    load_threads: Option<usize>,
     strategy: Option<ProbeStrategy>,
     reasoning: bool,
     calibrate: bool,
@@ -99,6 +102,7 @@ fn parse_cli() -> Result<Cli, String> {
     let mut cli = Cli {
         positional: Vec::new(),
         threads: None,
+        load_threads: None,
         strategy: None,
         reasoning: false,
         calibrate: false,
@@ -116,6 +120,13 @@ fn parse_cli() -> Result<Cli, String> {
                     it.next()
                         .and_then(|v| v.parse().ok())
                         .ok_or("--threads needs a number")?,
+                )
+            }
+            "--load-threads" => {
+                cli.load_threads = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--load-threads needs a number")?,
                 )
             }
             "--strategy" => {
@@ -177,6 +188,9 @@ impl Cli {
         };
         if let Some(t) = self.threads {
             cfg.threads = t.max(1);
+        }
+        if let Some(t) = self.load_threads {
+            cfg.load_threads = t.max(1);
         }
         if let Some(s) = self.strategy {
             cfg.strategy = s;

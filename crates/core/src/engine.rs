@@ -8,7 +8,7 @@ use parj_dict::{Id, Term};
 use parj_join::{
     calibrate, execute, CalibrationConfig, CalibrationResult, CancelToken, CollectSink, CountSink,
     ExecFailure, ExecFailureKind, ExecOptions, PhysicalPlan, ProbeStrategy, QueryGuard,
-    SearchStats, ThresholdTable,
+    RowBatch, SearchStats, ThresholdTable,
 };
 use parj_optimizer::{optimize, Stats};
 use parj_rio::{LoadReport, NTriplesParser, OnParseError};
@@ -27,6 +27,11 @@ pub struct EngineConfig {
     /// Worker threads per query. The paper's optimum was 2× physical
     /// cores (hyper-threading); default: `available_parallelism`.
     pub threads: usize,
+    /// Worker threads for bulk loads (chunked parsing + sharded
+    /// dictionary encode + pair routing). The loaded dictionary and
+    /// store are byte-identical at any value; default:
+    /// `available_parallelism`.
+    pub load_threads: usize,
     /// Driver shards per thread (load-balancing granularity).
     pub shards_per_thread: usize,
     /// Probe strategy; PARJ's default is the adaptive binary/sequential
@@ -68,6 +73,7 @@ impl Default for EngineConfig {
     fn default() -> Self {
         Self {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            load_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             shards_per_thread: 4,
             strategy: ProbeStrategy::AdaptiveBinary,
             store: StoreOptions::default(),
@@ -92,6 +98,13 @@ impl ParjBuilder {
     /// Worker threads per query.
     pub fn threads(mut self, n: usize) -> Self {
         self.config.threads = n.max(1);
+        self
+    }
+
+    /// Worker threads for bulk loads. Results are byte-identical at
+    /// any value — this tunes speed only.
+    pub fn load_threads(mut self, n: usize) -> Self {
+        self.config.load_threads = n.max(1);
         self
     }
 
@@ -299,27 +312,37 @@ impl Parj {
 
     /// Parses and loads N-Triples text; returns the number of statements
     /// read. Strict mode: the first malformed line aborts the load (see
-    /// [`Parj::load_ntriples_str_with`] for lossy loading).
+    /// [`Parj::load_ntriples_str_with`] for lossy loading). Runs the
+    /// parallel load pipeline on [`EngineConfig::load_threads`] workers;
+    /// the result is identical at any thread count.
     pub fn load_ntriples_str(&mut self, text: &str) -> Result<usize, ParjError> {
-        self.load_ntriples_reader(text.as_bytes())
+        self.load_ntriples_str_with(text, OnParseError::Abort)
+            .map(|r| r.loaded)
     }
 
     /// [`Parj::load_ntriples_str`] under an error policy: with
     /// [`OnParseError::Skip`], malformed lines are dropped (bounded by
     /// `max_errors`) and the returned [`LoadReport`] records their
-    /// positioned diagnostics.
+    /// positioned diagnostics. Lines parsed before an abort remain
+    /// staged, exactly as in the serial reader path.
     pub fn load_ntriples_str_with(
         &mut self,
         text: &str,
         on_error: OnParseError,
     ) -> Result<LoadReport, ParjError> {
-        self.load_ntriples_reader_with(text.as_bytes(), on_error)
+        self.unfinalize();
+        let staged = self.staged.as_mut().expect("unfinalize staged a builder");
+        let report =
+            crate::loader::load_ntriples_text(staged, text, on_error, self.config.load_threads)?;
+        Ok(report)
     }
 
-    /// Loads an N-Triples file (strict mode).
+    /// Loads an N-Triples file (strict mode) through the parallel load
+    /// pipeline (the file is read into memory; use
+    /// [`Parj::load_ntriples_reader`] to stream serially instead).
     pub fn load_ntriples_path(&mut self, path: impl AsRef<Path>) -> Result<usize, ParjError> {
-        let file = std::fs::File::open(path)?;
-        self.load_ntriples_reader(std::io::BufReader::new(file))
+        let text = std::fs::read_to_string(path)?;
+        self.load_ntriples_str(&text)
     }
 
     /// Loads an N-Triples file under an error policy.
@@ -328,8 +351,8 @@ impl Parj {
         path: impl AsRef<Path>,
         on_error: OnParseError,
     ) -> Result<LoadReport, ParjError> {
-        let file = std::fs::File::open(path)?;
-        self.load_ntriples_reader_with(std::io::BufReader::new(file), on_error)
+        let text = std::fs::read_to_string(path)?;
+        self.load_ntriples_str_with(&text, on_error)
     }
 
     /// Parses and loads Turtle text; returns the number of triples
@@ -347,12 +370,11 @@ impl Parj {
         text: &str,
         on_error: OnParseError,
     ) -> Result<LoadReport, ParjError> {
-        let (triples, report) = parj_rio::parse_turtle_str_lossy(text, on_error)?;
+        let (parts, report) =
+            crate::loader::parse_turtle_text(text, on_error, self.config.load_threads)?;
         self.unfinalize();
         let staged = self.staged.as_mut().expect("unfinalize staged a builder");
-        for (s, p, o) in &triples {
-            staged.add_term_triple(s, p, o);
-        }
+        staged.add_triples_parallel(parts, self.config.load_threads);
         Ok(report)
     }
 
@@ -372,7 +394,9 @@ impl Parj {
         self.load_turtle_str_with(&text, on_error)
     }
 
-    /// Loads N-Triples from any buffered reader (strict mode).
+    /// Loads N-Triples from any buffered reader (strict mode). Streams
+    /// serially; prefer the `str`/`path` variants for large inputs —
+    /// they run the parallel load pipeline.
     pub fn load_ntriples_reader<R: std::io::BufRead>(
         &mut self,
         reader: R,
@@ -720,9 +744,12 @@ impl Parj {
         let t1 = Instant::now();
         // Rows grouped per UNION branch: hierarchy dedup must not merge
         // duplicate solutions coming from *different* branches (those
-        // are legitimate SPARQL multiset results).
+        // are legitimate SPARQL multiset results). Worker sink buffers
+        // are already flat and row-aligned; they are concatenated into
+        // per-branch batches wholesale, never exploded per row.
         let n_branches = tq.set_branch.iter().copied().max().map_or(1, |m| m + 1);
-        let mut branch_rows: Vec<Vec<Vec<Id>>> = vec![Vec::new(); n_branches];
+        let mut branch_rows: Vec<RowBatch> =
+            (0..n_branches).map(|_| RowBatch::new(arity)).collect();
         let mut search = SearchStats::default();
         for (idx, plan) in plans.iter().enumerate() {
             let branch = tq.set_branch.get(idx).copied().unwrap_or(0);
@@ -746,12 +773,9 @@ impl Parj {
                 }
             };
             search.merge(&s);
-            for sink in sinks {
-                if arity == 0 {
-                    continue;
-                }
-                for chunk in sink.data.chunks_exact(arity) {
-                    branch_rows[branch].push(chunk.to_vec());
+            if arity != 0 {
+                for sink in &sinks {
+                    branch_rows[branch].extend_flat(&sink.data);
                 }
             }
         }
@@ -765,7 +789,16 @@ impl Parj {
                 rows.dedup();
             }
         }
-        let mut rows: Vec<Vec<Id>> = branch_rows.into_iter().flatten().collect();
+        let mut rows = {
+            let mut it = branch_rows.into_iter();
+            let mut merged = it.next().unwrap_or_else(|| RowBatch::new(arity));
+            for b in it {
+                if !b.is_empty() {
+                    merged.extend_flat(b.data());
+                }
+            }
+            merged
+        };
         if !tq.order_by.is_empty() {
             // Column index of an ordering key within the row layout.
             let col_of = |v: parj_join::VarId| -> usize {
@@ -798,15 +831,14 @@ impl Parj {
             });
         }
         if tq.full_rows {
-            rows = rows
-                .into_iter()
-                .map(|row| {
-                    tq.projection
-                        .iter()
-                        .map(|&v| row[v as usize])
-                        .collect::<Vec<Id>>()
-                })
-                .collect();
+            let mut proj = RowBatch::new(tq.projection.len());
+            let mut scratch = Vec::with_capacity(tq.projection.len());
+            for row in rows.rows() {
+                scratch.clear();
+                scratch.extend(tq.projection.iter().map(|&v| row[v as usize]));
+                proj.push(&scratch);
+            }
+            rows = proj;
         }
         if tq.distinct {
             if tq.order_by.is_empty() {
@@ -816,15 +848,11 @@ impl Parj {
                 // Preserve the requested ordering: keep first
                 // occurrences.
                 let mut seen = std::collections::HashSet::new();
-                rows.retain(|r| seen.insert(r.clone()));
+                rows.retain(|r| seen.insert(r.to_vec()));
             }
         }
         if let Some(off) = tq.offset {
-            if off >= rows.len() {
-                rows.clear();
-            } else {
-                rows.drain(..off);
-            }
+            rows.drop_front(off);
         }
         if let Some(l) = tq.limit {
             rows.truncate(l);
@@ -832,7 +860,7 @@ impl Parj {
         let decode_micros = t2.elapsed().as_micros() as u64;
         let n = rows.len() as u64;
         Ok((
-            rows,
+            rows.into_rows(),
             QueryRunStats {
                 prepare_micros,
                 exec_micros,

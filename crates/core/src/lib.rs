@@ -48,6 +48,7 @@
 mod engine;
 mod hierarchy;
 mod error;
+mod loader;
 mod result;
 mod shared;
 mod translate;

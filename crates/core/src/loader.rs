@@ -1,0 +1,138 @@
+//! The staged parallel bulk-load pipeline.
+//!
+//! Wires the three parallel stages together for [`crate::Parj`]'s
+//! text-based load APIs:
+//!
+//! ```text
+//!  input text ──► chunk split ──► parse ×N ──► policy drain ──► encode+route ×N
+//!                 (statement      (parj-rio     (serial, exact    (StoreBuilder::
+//!                  boundaries)     chunks)       LoadReport)       add_triples_parallel)
+//! ```
+//!
+//! Every stage is deterministic in its *output*: chunk boundaries and
+//! thread counts only change scheduling, never the dictionary, the
+//! store, or the `LoadReport` — the serial path and the parallel path
+//! at any thread count produce byte-identical results.
+//!
+//! For N-Triples the equivalence is by construction: lines parse
+//! independently, and the per-line results are re-assembled in
+//! document order through the same [`drain_triples`] policy machinery
+//! the serial reader path uses, so error positions and lossy skip
+//! counts are exact. For Turtle the chunked path only handles
+//! documents it can parse strictly; any split or parse failure falls
+//! back to the serial parser, which remains the single source of
+//! truth for error positions and lossy recovery.
+
+use parj_rio::{drain_triples, LoadReport, OnParseError, ParseError, TermTriple};
+use parj_store::StoreBuilder;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Chunks cut per worker thread: enough slack that an uneven chunk
+/// (comment-heavy region, long literals) cannot stall the whole load.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Runs `f(0..n)` on `threads` workers drawing indexes from a shared
+/// counter; results come back in index order.
+fn par_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, threads: usize, f: F) -> Vec<T> {
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(n, || None);
+    let slot_ptrs: Vec<Mutex<&mut Option<T>>> = slots.iter_mut().map(Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(i);
+                **slot_ptrs[i].lock().expect("chunk slot lock") = Some(out);
+            });
+        }
+    });
+    drop(slot_ptrs);
+    slots.into_iter().map(|s| s.expect("chunk computed")).collect()
+}
+
+/// Splits an already-drained triple list into even chunks for the
+/// parallel encode+route stage. Chunk count does not affect the
+/// result, only load balance.
+fn even_chunks(triples: Vec<TermTriple>, threads: usize) -> Vec<Vec<TermTriple>> {
+    if triples.is_empty() {
+        return Vec::new();
+    }
+    let per = triples.len().div_ceil(threads * CHUNKS_PER_THREAD);
+    let mut chunks = Vec::new();
+    let mut it = triples.into_iter();
+    loop {
+        let chunk: Vec<TermTriple> = it.by_ref().take(per).collect();
+        if chunk.is_empty() {
+            return chunks;
+        }
+        chunks.push(chunk);
+    }
+}
+
+/// Parses and stages N-Triples text on `threads` workers under
+/// `policy`. Statements drained before an abort remain staged, like
+/// the serial reader path; the returned report (and any error) is
+/// exactly what the serial path would produce.
+pub(crate) fn load_ntriples_text(
+    staged: &mut StoreBuilder,
+    text: &str,
+    policy: OnParseError,
+    threads: usize,
+) -> Result<LoadReport, ParseError> {
+    let threads = threads.max(1);
+    let chunks = parj_rio::split_ntriples(text, threads * CHUNKS_PER_THREAD);
+    let parsed = par_map(chunks.len(), threads, |i| {
+        parj_rio::parse_ntriples_chunk(text, &chunks[i])
+    });
+    // Serial policy drain in document order: loaded/skipped counts and
+    // abort decisions are identical to the serial path by construction.
+    let mut triples = Vec::new();
+    let result = drain_triples(parsed.into_iter().flatten(), policy, |t| triples.push(t));
+    staged.add_triples_parallel(even_chunks(triples, threads), threads);
+    result
+}
+
+/// Parses Turtle text on `threads` workers, returning chunked triples
+/// ready for [`StoreBuilder::add_triples_parallel`] plus the load
+/// report. Clean documents take the chunked strict path; anything the
+/// splitter or a chunk parser rejects is re-parsed serially under
+/// `policy`, so errors and lossy recovery match the serial parser
+/// exactly. On `Err` nothing should be staged (the serial Turtle path
+/// stages nothing on abort).
+pub(crate) fn parse_turtle_text(
+    text: &str,
+    policy: OnParseError,
+    threads: usize,
+) -> Result<(Vec<Vec<TermTriple>>, LoadReport), ParseError> {
+    let threads = threads.max(1);
+    if let Some(parts) = try_parallel_turtle(text, threads) {
+        let report = LoadReport {
+            loaded: parts.iter().map(Vec::len).sum(),
+            ..LoadReport::default()
+        };
+        return Ok((parts, report));
+    }
+    let (triples, report) = parj_rio::parse_turtle_str_lossy(text, policy)?;
+    Ok((even_chunks(triples, threads), report))
+}
+
+fn try_parallel_turtle(text: &str, threads: usize) -> Option<Vec<Vec<TermTriple>>> {
+    let chunks = parj_rio::split_turtle(text, threads * CHUNKS_PER_THREAD)?;
+    let parsed = par_map(chunks.len(), threads, |i| {
+        parj_rio::parse_turtle_chunk(text, &chunks[i])
+    });
+    let mut parts = Vec::with_capacity(parsed.len());
+    for r in parsed {
+        parts.push(r.ok()?);
+    }
+    Some(parj_rio::finish_turtle_chunks(parts))
+}

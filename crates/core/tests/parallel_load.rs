@@ -1,0 +1,270 @@
+//! Loader determinism: the parallel bulk-load pipeline must produce a
+//! store and dictionary **byte-identical** to the serial path at every
+//! thread count, for strict and lossy policies, on clean and malformed
+//! inputs — including exact `LoadReport` skip counts and error
+//! positions.
+
+use proptest::prelude::*;
+
+use parj_core::{LoadReport, OnParseError, Parj, ParjError};
+
+const THREADS: [usize; 4] = [1, 2, 4, 9];
+
+/// Loads `text` under `policy` at the given thread count and returns
+/// the load outcome plus the finalized store's snapshot bytes (which
+/// embed the dictionary, so one comparison covers both).
+fn load_nt(
+    text: &str,
+    policy: OnParseError,
+    threads: usize,
+) -> (Result<LoadReport, String>, Vec<u8>) {
+    let mut engine = Parj::builder().load_threads(threads).build();
+    let outcome = engine
+        .load_ntriples_str_with(text, policy)
+        .map_err(|e| e.to_string());
+    (outcome, engine.store().to_snapshot_bytes())
+}
+
+fn load_ttl(
+    text: &str,
+    policy: OnParseError,
+    threads: usize,
+) -> (Result<LoadReport, String>, Vec<u8>) {
+    let mut engine = Parj::builder().load_threads(threads).build();
+    let outcome = engine
+        .load_turtle_str_with(text, policy)
+        .map_err(|e| e.to_string());
+    (outcome, engine.store().to_snapshot_bytes())
+}
+
+/// A load outcome: the report (or stringified error) plus the
+/// finalized store's snapshot bytes.
+type LoadOutcome = (Result<LoadReport, String>, Vec<u8>);
+
+/// Asserts every thread count reproduces the thread-count-1 outcome
+/// exactly: same report (loaded, skipped, error positions) or same
+/// error, and the same snapshot bytes.
+fn assert_thread_invariant(
+    text: &str,
+    policy: OnParseError,
+    load: fn(&str, OnParseError, usize) -> LoadOutcome,
+) {
+    let (base_outcome, base_bytes) = load(text, policy, 1);
+    for threads in THREADS {
+        let (outcome, bytes) = load(text, policy, threads);
+        assert_eq!(outcome, base_outcome, "outcome diverged at {threads} threads");
+        assert_eq!(bytes, base_bytes, "store bytes diverged at {threads} threads");
+    }
+}
+
+fn lossy() -> OnParseError {
+    OnParseError::Skip { max_errors: usize::MAX }
+}
+
+/// Builds an N-Triples document from a recipe: `Ok` entries become
+/// valid triples over small subject/predicate/object universes (dense
+/// enough that cross-chunk duplicate terms are common), `Err` entries
+/// become malformed lines of a few distinct shapes.
+fn nt_doc(recipe: &[Result<(u8, u8, u8), u8>]) -> String {
+    let mut doc = String::new();
+    for entry in recipe {
+        match entry {
+            Ok((s, p, o)) => {
+                doc.push_str(&format!(
+                    "<http://e/s{}> <http://e/p{}> <http://e/o{}> .\n",
+                    s % 23,
+                    p % 5,
+                    o % 29
+                ));
+            }
+            Err(kind) => doc.push_str(match kind % 4 {
+                0 => "<http://e/s1> <http://e/p1> .\n", // missing object
+                1 => "this is not a triple\n",
+                2 => "<http://e/s1> <http://e/p1> \"unterminated .\n",
+                _ => "<http://e/s1> <http://e/p1> <http://e/o1>\n", // missing dot
+            }),
+        }
+    }
+    doc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random mixes of valid and malformed lines load identically at
+    /// every thread count, under both policies.
+    #[test]
+    fn ntriples_load_is_thread_invariant(
+        recipe in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()).prop_map(
+                |(sel, s, p, o)| if sel % 5 == 0 { Err(sel) } else { Ok((s, p, o)) },
+            ),
+            0..120,
+        ),
+    ) {
+        let doc = nt_doc(&recipe);
+        assert_thread_invariant(&doc, OnParseError::Abort, load_nt);
+        assert_thread_invariant(&doc, lossy(), load_nt);
+    }
+}
+
+#[test]
+fn clean_ntriples_reports_and_bytes_match() {
+    // Enough triples that every thread count actually splits.
+    let doc: String = (0..500)
+        .map(|i| {
+            format!(
+                "<http://e/s{}> <http://e/p{}> <http://e/o{}> .\n",
+                i % 37,
+                i % 7,
+                i % 53
+            )
+        })
+        .collect();
+    let (outcome, base) = load_nt(&doc, OnParseError::Abort, 1);
+    assert_eq!(outcome.unwrap().loaded, 500);
+    assert_thread_invariant(&doc, OnParseError::Abort, load_nt);
+    assert_thread_invariant(&doc, lossy(), load_nt);
+    // And the parallel Turtle path agrees with N-Triples on shared
+    // syntax (N-Triples is a Turtle subset).
+    let (ttl_outcome, ttl_bytes) = load_ttl(&doc, OnParseError::Abort, 4);
+    assert_eq!(ttl_outcome.unwrap().loaded, 500);
+    assert_eq!(ttl_bytes, base);
+}
+
+#[test]
+fn lossy_skip_counts_are_exact_at_any_thread_count() {
+    let mut doc = String::new();
+    for i in 0..300 {
+        if i % 7 == 3 {
+            doc.push_str("not a triple at all\n");
+        } else {
+            doc.push_str(&format!("<http://e/s{i}> <http://e/p> <http://e/o{i}> .\n"));
+        }
+    }
+    let (outcome, _) = load_nt(&doc, lossy(), 1);
+    let report = outcome.unwrap();
+    assert_eq!(report.skipped, 43); // i in 0..300 with i % 7 == 3
+    assert_eq!(report.loaded, 257);
+    // Recorded error positions must reference document lines, capped
+    // at MAX_RECORDED_ERRORS.
+    assert_eq!(report.errors.len(), LoadReport::MAX_RECORDED_ERRORS.min(43));
+    assert_eq!(report.errors[0].line, 4);
+    assert_eq!(report.errors[1].line, 11);
+    assert_thread_invariant(&doc, lossy(), load_nt);
+}
+
+#[test]
+fn strict_abort_position_is_exact_at_any_thread_count() {
+    let mut doc = String::new();
+    for i in 0..200 {
+        doc.push_str(&format!("<http://e/s{i}> <http://e/p> <http://e/o> .\n"));
+    }
+    doc.push_str("<http://e/bad> <http://e/p> broken\n");
+    for i in 0..50 {
+        doc.push_str(&format!("<http://e/t{i}> <http://e/p> <http://e/o> .\n"));
+    }
+    let (outcome, _) = load_nt(&doc, OnParseError::Abort, 1);
+    let msg = outcome.unwrap_err();
+    assert!(msg.contains("201"), "abort error should cite line 201: {msg}");
+    assert_thread_invariant(&doc, OnParseError::Abort, load_nt);
+}
+
+#[test]
+fn bounded_skip_budget_is_thread_invariant() {
+    // 10 bad lines but a budget of 3: the load aborts on the 4th bad
+    // line at every thread count, with identical staged state.
+    let mut doc = String::new();
+    for i in 0..100 {
+        if i % 10 == 5 {
+            doc.push_str("garbage\n");
+        } else {
+            doc.push_str(&format!("<http://e/s{i}> <http://e/p> <http://e/o> .\n"));
+        }
+    }
+    assert_thread_invariant(&doc, OnParseError::Skip { max_errors: 3 }, load_nt);
+}
+
+#[test]
+fn turtle_load_is_thread_invariant() {
+    // Prefixed names, literals with dots, anonymous nodes, and a
+    // mid-document prefix redefinition — everything the chunked strict
+    // path handles, plus constructs near its boundary rules.
+    let doc = r#"
+@prefix ex: <http://example.org/> .
+ex:a ex:p ex:b .
+ex:a ex:weight "3.25" .
+ex:b ex:note "a dot . inside" .
+_:x ex:p ex:a .
+[ ] ex:p ex:b .
+@prefix ex: <http://other.org/> .
+ex:a ex:p ex:c .
+ex:c ex:height "1.5e3" .
+"#;
+    assert_thread_invariant(doc, OnParseError::Abort, load_ttl);
+    assert_thread_invariant(doc, lossy(), load_ttl);
+}
+
+#[test]
+fn malformed_turtle_is_thread_invariant() {
+    // The splitter hands this to the serial parser (directive the
+    // chunked path rejects + a syntax error): strict aborts with the
+    // serial error, lossy recovers — identically at every thread count.
+    let doc = "@prefix ex: <http://e/> .\nex:a ex:p ex:b .\nex:a ex:p garbage }\nex:b ex:p ex:c .\n";
+    assert_thread_invariant(doc, OnParseError::Abort, load_ttl);
+    assert_thread_invariant(doc, lossy(), load_ttl);
+}
+
+#[test]
+fn incremental_loads_compose_across_thread_counts() {
+    // A second load over an engine that already holds terms must see
+    // the existing dictionary (TermRef::Known path) and still be
+    // thread-invariant.
+    let first: String = (0..80)
+        .map(|i| format!("<http://e/s{}> <http://e/p> <http://e/o{}> .\n", i % 11, i % 13))
+        .collect();
+    let second: String = (0..80)
+        .map(|i| format!("<http://e/s{}> <http://e/q> <http://e/o{}> .\n", i % 17, i % 7))
+        .collect();
+    let run = |threads: usize| -> Vec<u8> {
+        let mut engine = Parj::builder().load_threads(threads).build();
+        engine.load_ntriples_str(&first).unwrap();
+        engine.load_ntriples_str(&second).unwrap();
+        engine.store().to_snapshot_bytes()
+    };
+    let base = run(1);
+    for threads in THREADS {
+        assert_eq!(run(threads), base, "incremental load diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn queries_agree_after_parallel_load() {
+    // End-to-end sanity: a join over a parallel-loaded store returns
+    // the same rows as over a serially-loaded one.
+    let doc: String = (0..60)
+        .map(|i| {
+            format!(
+                "<http://e/s{}> <http://e/teaches> <http://e/c{}> .\n<http://e/s{}> <http://e/worksFor> <http://e/u{}> .\n",
+                i % 9,
+                i % 5,
+                i % 9,
+                i % 3
+            )
+        })
+        .collect();
+    let query = "SELECT ?x ?y WHERE { ?x <http://e/teaches> ?z . ?x <http://e/worksFor> ?y . }";
+    let run = |threads: usize| -> Result<Vec<Vec<u32>>, ParjError> {
+        let mut engine = Parj::builder().load_threads(threads).build();
+        engine.load_ntriples_str(&doc)?;
+        engine.finalize();
+        let (mut rows, _) = engine.query_ids(query)?;
+        rows.sort_unstable();
+        Ok(rows)
+    };
+    let base = run(1).unwrap();
+    assert!(!base.is_empty());
+    for threads in THREADS {
+        assert_eq!(run(threads).unwrap(), base);
+    }
+}

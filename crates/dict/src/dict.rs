@@ -54,6 +54,14 @@ impl Namespace {
         if let Some(id) = self.find(hash, key) {
             return id;
         }
+        self.insert_new(hash, key)
+    }
+
+    /// Appends `key` (known to be absent) to the arena and index. The
+    /// caller must have verified absence — `hash` must be
+    /// `fx_hash_bytes(key)` and `find(hash, key)` must be `None` —
+    /// otherwise the same term would get two ids.
+    pub(crate) fn insert_new(&mut self, hash: u64, key: &str) -> Id {
         let id = self.arena.push(key) as Id;
         match self.index.entry(hash) {
             std::collections::hash_map::Entry::Vacant(v) => {
@@ -73,6 +81,14 @@ impl Namespace {
     /// Looks up `key` without inserting.
     pub fn get_key(&self, key: &str) -> Option<Id> {
         self.find(fx_hash_bytes(key.as_bytes()), key)
+    }
+
+    /// [`Namespace::get_key`] with the hash supplied by the caller, for
+    /// batch pipelines that hash once and probe many times. `hash` must
+    /// equal `fx_hash_bytes(key.as_bytes())`.
+    pub fn get_key_hashed(&self, hash: u64, key: &str) -> Option<Id> {
+        debug_assert_eq!(hash, fx_hash_bytes(key.as_bytes()));
+        self.find(hash, key)
     }
 
     /// Returns the canonical key for `id`.
@@ -262,6 +278,22 @@ impl Dictionary {
             resources,
             predicates,
         })
+    }
+
+    pub(crate) fn resources_ns(&self) -> &Namespace {
+        &self.resources
+    }
+
+    pub(crate) fn resources_ns_mut(&mut self) -> &mut Namespace {
+        &mut self.resources
+    }
+
+    pub(crate) fn predicates_ns(&self) -> &Namespace {
+        &self.predicates
+    }
+
+    pub(crate) fn predicates_ns_mut(&mut self) -> &mut Namespace {
+        &mut self.predicates
     }
 
     /// Iterates `(id, term)` over all resources in id order.

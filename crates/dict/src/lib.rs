@@ -50,11 +50,13 @@
 mod arena;
 mod dict;
 mod hash;
+mod sharded;
 mod term;
 
 pub use arena::StringArena;
 pub use dict::{Dictionary, Namespace};
 pub use hash::{fx_hash_bytes, FxBuildHasher, FxHasher};
+pub use sharded::TermBatch;
 pub use term::{Term, TermParseError};
 
 /// Dense integer identifier for a dictionary-encoded RDF term.

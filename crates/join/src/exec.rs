@@ -808,25 +808,24 @@ pub fn execute_count_with(
 }
 
 /// Materializing execution: collects all result rows (order unspecified
-/// across workers).
+/// across workers) into one flat [`RowBatch`] — worker sink buffers are
+/// concatenated wholesale, never exploded into per-row allocations.
+///
+/// Zero-arity plans (pure existence) yield an empty batch: each push
+/// contributes nothing to the flat data, so use [`execute_count`] for
+/// those plans.
 pub fn execute_collect(
     store: &TripleStore,
     plan: &PhysicalPlan,
     opts: &ExecOptions,
-) -> ExecResult<(Vec<Vec<Id>>, SearchStats)> {
+) -> ExecResult<(crate::RowBatch, SearchStats)> {
     let thresholds = default_thresholds(store);
     let (sinks, stats) = execute(store, plan, opts, &thresholds, CollectSink::default)?;
     let arity = plan.projection.len();
-    let mut rows = Vec::new();
-    for sink in sinks {
-        if arity == 0 {
-            // Zero-arity rows (pure existence): each push contributed
-            // nothing to data; counts are not recoverable here, so use
-            // execute_count for those plans.
-            continue;
-        }
-        for chunk in sink.data.chunks_exact(arity) {
-            rows.push(chunk.to_vec());
+    let mut rows = crate::RowBatch::new(arity);
+    if arity != 0 {
+        for sink in &sinks {
+            rows.extend_flat(&sink.data);
         }
     }
     Ok((rows, stats))
@@ -945,11 +944,12 @@ mod tests {
                     strategy,
                     guard: None,
                 };
-                let (mut rows, _) = execute_collect(store, &plan, &opts).expect("runs");
-                rows.sort();
-                rows.dedup();
+                let (mut batch, _) = execute_collect(store, &plan, &opts).expect("runs");
+                batch.sort_unstable();
+                batch.dedup();
                 assert_eq!(
-                    rows, expected,
+                    batch.into_rows(),
+                    expected,
                     "strategy {strategy} threads {threads} disagreed with oracle"
                 );
             }

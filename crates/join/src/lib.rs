@@ -64,6 +64,7 @@ mod calibrate;
 mod exec;
 mod guard;
 mod plan;
+mod rows;
 mod search;
 mod stats;
 mod threshold;
@@ -77,6 +78,7 @@ pub use exec::{
 };
 pub use guard::{CancelToken, GuardTrip, QueryGuard, GUARD_BATCH};
 pub use plan::{Atom, PhysicalPlan, PlanError, PlanStep, VarId};
+pub use rows::RowBatch;
 pub use search::{adaptive_search, binary_search_cursor, sequential_search, ProbeStrategy};
 pub use stats::SearchStats;
 pub use threshold::{ReplicaThresholds, ThresholdTable};

@@ -1,0 +1,248 @@
+//! Flat row-major result batches.
+//!
+//! The executor's workers already materialize results into flat
+//! per-worker buffers ([`crate::CollectSink`]); a [`RowBatch`] keeps
+//! that layout — one contiguous `Vec<Id>` plus the row arity — through
+//! merging and post-processing instead of exploding into a
+//! `Vec<Vec<Id>>` (one heap allocation per row). Rows are viewed as
+//! `&[Id]` slices; sorting and dedup permute the flat buffer in place
+//! of row-granular moves.
+
+use parj_dict::Id;
+use std::cmp::Ordering;
+
+/// A batch of fixed-arity result rows stored row-major in one flat
+/// buffer.
+///
+/// A batch of arity `a` holding `n` rows stores exactly `n * a` ids;
+/// row `i` is `data[i * a .. (i + 1) * a]`. Arity 0 batches hold no
+/// data and report zero rows — use the counting APIs for pure
+/// existence results.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RowBatch {
+    arity: usize,
+    data: Vec<Id>,
+}
+
+impl RowBatch {
+    /// An empty batch of the given row arity.
+    pub fn new(arity: usize) -> Self {
+        RowBatch { arity, data: Vec::new() }
+    }
+
+    /// Wraps an existing flat buffer. `data.len()` must be a multiple
+    /// of `arity` (for `arity == 0`, `data` must be empty).
+    pub fn from_parts(arity: usize, data: Vec<Id>) -> Self {
+        if arity == 0 {
+            assert!(data.is_empty(), "arity-0 batch cannot carry data");
+        } else {
+            assert_eq!(data.len() % arity, 0, "flat buffer misaligned with arity");
+        }
+        RowBatch { arity, data }
+    }
+
+    /// Ids per row.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len().checked_div(self.arity).unwrap_or(0)
+    }
+
+    /// True when the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row `i` as a slice of `arity` ids.
+    pub fn row(&self, i: usize) -> &[Id] {
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Iterates over the rows as slices.
+    pub fn rows(&self) -> impl Iterator<Item = &[Id]> {
+        // `chunks_exact(0)` panics, so route arity 0 to an empty iter
+        // via a full-buffer chunk size (the buffer is empty anyway).
+        self.data.chunks_exact(self.arity.max(1))
+    }
+
+    /// Appends one row. `row.len()` must equal the batch arity.
+    pub fn push(&mut self, row: &[Id]) {
+        debug_assert_eq!(row.len(), self.arity);
+        self.data.extend_from_slice(row);
+    }
+
+    /// Appends a flat, already row-aligned buffer (e.g. a worker
+    /// sink's output) without touching individual rows.
+    pub fn extend_flat(&mut self, data: &[Id]) {
+        debug_assert!(self.arity != 0 && data.len().is_multiple_of(self.arity));
+        self.data.extend_from_slice(data);
+    }
+
+    /// The underlying flat buffer.
+    pub fn data(&self) -> &[Id] {
+        &self.data
+    }
+
+    /// Consumes the batch, returning the flat buffer.
+    pub fn into_data(self) -> Vec<Id> {
+        self.data
+    }
+
+    /// Materializes one `Vec<Id>` per row (the legacy interchange
+    /// shape; allocates per row — keep processing flat where possible).
+    pub fn into_rows(self) -> Vec<Vec<Id>> {
+        if self.arity == 0 {
+            return Vec::new();
+        }
+        self.data.chunks_exact(self.arity).map(<[Id]>::to_vec).collect()
+    }
+
+    /// Sorts the rows with a caller-supplied comparator by permuting
+    /// the flat buffer through a sorted index (no per-row allocation).
+    /// The sort is stable so equal rows keep their arrival order.
+    pub fn sort_by<F: FnMut(&[Id], &[Id]) -> Ordering>(&mut self, mut cmp: F) {
+        if self.arity == 0 || self.len() <= 1 {
+            return;
+        }
+        let mut order: Vec<u32> = (0..self.len() as u32).collect();
+        order.sort_by(|&i, &j| cmp(self.row(i as usize), self.row(j as usize)));
+        let mut out = Vec::with_capacity(self.data.len());
+        for i in order {
+            out.extend_from_slice(self.row(i as usize));
+        }
+        self.data = out;
+    }
+
+    /// Sorts the rows lexicographically.
+    pub fn sort_unstable(&mut self) {
+        self.sort_by(<[Id]>::cmp);
+    }
+
+    /// Removes consecutive duplicate rows in place (sort first for
+    /// global dedup).
+    pub fn dedup(&mut self) {
+        let a = self.arity;
+        if a == 0 || self.len() <= 1 {
+            return;
+        }
+        let mut kept = a; // row 0 always stays
+        for i in 1..self.len() {
+            let (head, tail) = self.data.split_at_mut(i * a);
+            if head[kept - a..kept] != tail[..a] {
+                if kept != i * a {
+                    head[kept..kept + a].copy_from_slice(&tail[..a]);
+                }
+                kept += a;
+            }
+        }
+        self.data.truncate(kept);
+    }
+
+    /// Keeps only the rows for which `keep` returns true, preserving
+    /// order.
+    pub fn retain<F: FnMut(&[Id]) -> bool>(&mut self, mut keep: F) {
+        let a = self.arity;
+        if a == 0 {
+            return;
+        }
+        let mut kept = 0;
+        for i in 0..self.len() {
+            let (head, tail) = self.data.split_at_mut(i * a);
+            if keep(&tail[..a]) {
+                if kept != i * a {
+                    head[kept..kept + a].copy_from_slice(&tail[..a]);
+                }
+                kept += a;
+            }
+        }
+        self.data.truncate(kept);
+    }
+
+    /// Drops the first `n` rows.
+    pub fn drop_front(&mut self, n: usize) {
+        let cut = (n * self.arity).min(self.data.len());
+        self.data.drain(..cut);
+    }
+
+    /// Keeps at most the first `n` rows.
+    pub fn truncate(&mut self, n: usize) {
+        let keep = n.saturating_mul(self.arity).min(self.data.len());
+        self.data.truncate(keep);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(rows: &[[Id; 2]]) -> RowBatch {
+        let mut b = RowBatch::new(2);
+        for r in rows {
+            b.push(r);
+        }
+        b
+    }
+
+    #[test]
+    fn layout_and_views() {
+        let b = batch(&[[1, 2], [3, 4], [5, 6]]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.arity(), 2);
+        assert_eq!(b.row(1), &[3, 4]);
+        assert_eq!(b.rows().collect::<Vec<_>>(), vec![&[1, 2][..], &[3, 4], &[5, 6]]);
+        assert_eq!(b.clone().into_rows(), vec![vec![1, 2], vec![3, 4], vec![5, 6]]);
+        assert_eq!(b.data(), &[1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn sort_dedup_matches_nested_vecs() {
+        let rows = [[3, 1], [1, 2], [3, 1], [0, 9], [1, 2], [3, 0]];
+        let mut b = batch(&rows);
+        b.sort_unstable();
+        b.dedup();
+        let mut expected: Vec<Vec<Id>> = rows.iter().map(|r| r.to_vec()).collect();
+        expected.sort();
+        expected.dedup();
+        assert_eq!(b.into_rows(), expected);
+    }
+
+    #[test]
+    fn retain_offset_limit() {
+        let mut b = batch(&[[1, 1], [2, 2], [3, 3], [4, 4], [5, 5]]);
+        b.retain(|r| r[0] != 3);
+        assert_eq!(b.len(), 4);
+        b.drop_front(1);
+        b.truncate(2);
+        assert_eq!(b.into_rows(), vec![vec![2, 2], vec![4, 4]]);
+    }
+
+    #[test]
+    fn zero_arity_is_inert() {
+        let mut b = RowBatch::new(0);
+        assert_eq!(b.len(), 0);
+        assert!(b.is_empty());
+        assert_eq!(b.rows().count(), 0);
+        b.sort_unstable();
+        b.dedup();
+        b.truncate(0);
+        assert!(b.clone().into_rows().is_empty());
+    }
+
+    #[test]
+    fn stable_sort_keeps_arrival_order_of_ties() {
+        // Compare on the first column only; second column records
+        // arrival order.
+        let mut b = batch(&[[2, 0], [1, 1], [2, 2], [1, 3]]);
+        b.sort_by(|x, y| x[0].cmp(&y[0]));
+        assert_eq!(b.into_rows(), vec![vec![1, 1], vec![1, 3], vec![2, 0], vec![2, 2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_from_parts_panics() {
+        let _ = RowBatch::from_parts(2, vec![1, 2, 3]);
+    }
+}

@@ -57,6 +57,14 @@ impl std::fmt::Display for ProbeStrategy {
     }
 }
 
+/// Steps in one direction before sequential search switches to
+/// galloping (exponential) probes. Algorithm 1 only picks sequential
+/// search when the predicted distance is inside the calibrated window,
+/// so almost all scans finish within a handful of steps; the few that
+/// run long (skewed data breaking the §4.1 uniform-gap assumption)
+/// degrade to O(log gap) instead of O(gap).
+const GALLOP_AFTER: usize = 8;
+
 /// Sequential search for `value` starting at `*cursor`, scanning in
 /// whichever direction the sort order dictates ("continuing from the
 /// position that the cursor has been left from a previous search").
@@ -66,6 +74,13 @@ impl std::fmt::Display for ProbeStrategy {
 /// probe, so the next nearby probe stays cheap (Algorithm 1: "the
 /// cursor_position is updated each time for both successful and
 /// unsuccessful searches").
+///
+/// After [`GALLOP_AFTER`] consecutive steps the scan switches to
+/// galloping: exponentially growing jumps bracket the target, then a
+/// binary search inside the bracket finishes in O(log gap). Hit
+/// results and the cursor's resting position are identical to the
+/// plain scan; gallop and bracket probes are counted as
+/// `sequential_steps`.
 #[inline]
 pub fn sequential_search(
     arr: &[Id],
@@ -80,19 +95,29 @@ pub fn sequential_search(
     stats.sequential_searches += 1;
     stats.sequential_steps += 1; // the element under the cursor
     if arr[i] < value {
+        let mut steps = 0usize;
         while arr[i] < value {
             if i + 1 == arr.len() {
                 *cursor = i;
                 return None;
             }
+            steps += 1;
+            if steps > GALLOP_AFTER {
+                return gallop_forward(arr, value, i, cursor, stats);
+            }
             i += 1;
             stats.sequential_steps += 1;
         }
     } else {
+        let mut steps = 0usize;
         while arr[i] > value {
             if i == 0 {
                 *cursor = 0;
                 return None;
+            }
+            steps += 1;
+            if steps > GALLOP_AFTER {
+                return gallop_backward(arr, value, i, cursor, stats);
             }
             i -= 1;
             stats.sequential_steps += 1;
@@ -100,6 +125,92 @@ pub fn sequential_search(
     }
     *cursor = i;
     (arr[i] == value).then_some(i)
+}
+
+/// Galloping tail of a forward scan: `arr[from] < value` and `from` is
+/// not the last index. Finds the first element `>= value` — exactly
+/// where the plain scan would stop — in O(log gap).
+#[cold]
+fn gallop_forward(
+    arr: &[Id],
+    value: Id,
+    from: usize,
+    cursor: &mut usize,
+    stats: &mut SearchStats,
+) -> Option<usize> {
+    let last = arr.len() - 1;
+    let mut lo = from; // invariant: arr[lo] < value
+    let mut jump = 1usize;
+    let hi = loop {
+        let cand = lo.saturating_add(jump).min(last);
+        stats.sequential_steps += 1;
+        if arr[cand] >= value {
+            break cand;
+        }
+        if cand == last {
+            // Ran off the end: like the plain scan, rest on the last
+            // element.
+            *cursor = last;
+            return None;
+        }
+        lo = cand;
+        jump <<= 1;
+    };
+    // Binary search the bracket (lo, hi] for the first element >= value.
+    let (mut l, mut h) = (lo + 1, hi);
+    while l < h {
+        let mid = l + (h - l) / 2;
+        stats.sequential_steps += 1;
+        if arr[mid] < value {
+            l = mid + 1;
+        } else {
+            h = mid;
+        }
+    }
+    *cursor = l;
+    (arr[l] == value).then_some(l)
+}
+
+/// Galloping tail of a backward scan: `arr[from] > value` and
+/// `from > 0`. Finds the last element `<= value` (or index 0) —
+/// exactly where the plain scan would stop — in O(log gap).
+#[cold]
+fn gallop_backward(
+    arr: &[Id],
+    value: Id,
+    from: usize,
+    cursor: &mut usize,
+    stats: &mut SearchStats,
+) -> Option<usize> {
+    let mut hi = from; // invariant: arr[hi] > value
+    let mut jump = 1usize;
+    let lo = loop {
+        let cand = hi.saturating_sub(jump);
+        stats.sequential_steps += 1;
+        if arr[cand] <= value {
+            break cand;
+        }
+        if cand == 0 {
+            // Ran off the start: like the plain scan, rest on index 0.
+            *cursor = 0;
+            return None;
+        }
+        hi = cand;
+        jump <<= 1;
+    };
+    // Binary search the bracket [lo, hi) for the last element <= value.
+    let (mut l, mut h) = (lo, hi - 1);
+    while l < h {
+        let mid = l + (h - l).div_ceil(2);
+        stats.sequential_steps += 1;
+        if arr[mid] > value {
+            h = mid - 1;
+        } else {
+            l = mid;
+        }
+    }
+    *cursor = l;
+    (arr[l] == value).then_some(l)
 }
 
 /// Whole-array binary search, updating the cursor to the last examined
@@ -335,6 +446,73 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Plain linear-scan oracle for the cursor's resting position:
+    /// exactly what `sequential_search` did before galloping.
+    fn linear_oracle(arr: &[Id], value: Id, cursor: usize) -> (Option<usize>, usize) {
+        let mut i = cursor.min(arr.len() - 1);
+        if arr[i] < value {
+            while arr[i] < value {
+                if i + 1 == arr.len() {
+                    return (None, i);
+                }
+                i += 1;
+            }
+        } else {
+            while arr[i] > value {
+                if i == 0 {
+                    return (None, 0);
+                }
+                i -= 1;
+            }
+        }
+        ((arr[i] == value).then_some(i), i)
+    }
+
+    #[test]
+    fn galloping_matches_linear_scan() {
+        // Long gaps force the gallop path (distance >> GALLOP_AFTER);
+        // result AND cursor rest must match the plain scan exactly.
+        let a: Vec<Id> = (0..2000).map(|i| i * 3 + (i % 3)).collect();
+        for start in [0usize, 1, 500, 1337, 1999] {
+            for probe in (0..6100u32).step_by(13) {
+                let (want, want_cursor) = linear_oracle(&a, probe, start);
+                let mut stats = SearchStats::new();
+                let mut cursor = start;
+                let got = sequential_search(&a, probe, &mut cursor, &mut stats);
+                assert_eq!(got, want, "probe {probe} from {start}");
+                assert_eq!(cursor, want_cursor, "probe {probe} from {start}");
+            }
+        }
+    }
+
+    #[test]
+    fn galloping_is_logarithmic_in_gap() {
+        let a: Vec<Id> = (0..1_000_000).collect();
+        let mut stats = SearchStats::new();
+        let mut cursor = 0;
+        assert_eq!(
+            sequential_search(&a, 999_999, &mut cursor, &mut stats),
+            Some(999_999)
+        );
+        assert_eq!(cursor, 999_999);
+        // A plain scan would take ~1M steps; galloping takes
+        // GALLOP_AFTER + O(log gap).
+        assert!(
+            stats.sequential_steps < 64,
+            "steps {}",
+            stats.sequential_steps
+        );
+        // Backward across the whole array.
+        let mut stats = SearchStats::new();
+        assert_eq!(sequential_search(&a, 0, &mut cursor, &mut stats), Some(0));
+        assert_eq!(cursor, 0);
+        assert!(
+            stats.sequential_steps < 64,
+            "steps {}",
+            stats.sequential_steps
+        );
     }
 
     #[test]

@@ -140,9 +140,9 @@ proptest! {
 
         for strategy in ProbeStrategy::TABLE5 {
             let opts = ExecOptions { threads, shards_per_thread: shards, strategy, guard: None };
-            let (mut rows, _) = execute_collect(&store, &plan, &opts).expect("runs");
-            rows.sort_unstable();
-            prop_assert_eq!(&rows, &expected, "strategy {} threads {} shards {}",
+            let (mut batch, _) = execute_collect(&store, &plan, &opts).expect("runs");
+            batch.sort_unstable();
+            prop_assert_eq!(&batch.into_rows(), &expected, "strategy {} threads {} shards {}",
                 strategy, threads, shards);
         }
     }

@@ -1,0 +1,573 @@
+//! Statement-boundary chunking for the parallel bulk loader.
+//!
+//! Parsing dominates load time, so the loader cuts the input into
+//! chunks that N workers parse independently. The cut points must fall
+//! on *statement* boundaries or the workers would see torn statements:
+//!
+//! * **N-Triples** is line-oriented — any line boundary is a statement
+//!   boundary, so [`split_ntriples`] just picks line breaks near even
+//!   byte offsets and records the 1-based first line of each chunk so
+//!   per-chunk error positions stay document-exact.
+//! * **Turtle** needs a real scan: [`split_turtle`] runs a lightweight
+//!   boundary scanner (a byte-level twin of the parser's resync
+//!   scanner) that tracks strings, long strings, IRIs, comments and
+//!   bracket depth, and cuts after a `.` at depth 0. A dot followed by
+//!   a name-continuation byte is *not* a terminator — exactly the
+//!   parser's `name`/`number` rule, so `3.25` and dotted local names
+//!   never produce false boundaries. `@prefix`/`PREFIX` directives are
+//!   parsed by the scanner itself (they mutate document-global state)
+//!   and each chunk carries a snapshot of the prefix map in force at
+//!   its start.
+//!
+//! The scanner is deliberately fallible: anything it cannot split with
+//! confidence returns `None`, and a chunk that fails to parse makes
+//! the loader fall back to the serial parser — which is the single
+//! source of truth for error positions and lossy-recovery semantics.
+//! Chunk boundaries therefore never change *what* is loaded, only how
+//! much of the work runs in parallel.
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use crate::error::ParseError;
+use crate::parser::TermTriple;
+
+/// One chunk of an N-Triples document: a byte range that starts and
+/// ends on line boundaries.
+#[derive(Debug, Clone)]
+pub struct NtChunk {
+    /// Byte range of the chunk within the input.
+    pub range: Range<usize>,
+    /// 1-based document line number of the chunk's first line.
+    pub first_line: usize,
+}
+
+/// Cuts `input` into roughly `target_chunks` chunks at line
+/// boundaries. Chunk boundaries never affect parse results — lines are
+/// independent — so the count only steers parallelism granularity.
+pub fn split_ntriples(input: &str, target_chunks: usize) -> Vec<NtChunk> {
+    let bytes = input.as_bytes();
+    let target = (bytes.len() / target_chunks.max(1)).max(1);
+    let mut chunks = Vec::new();
+    let (mut start, mut start_line, mut line) = (0usize, 1usize, 1usize);
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            line += 1;
+            if i + 1 - start >= target {
+                chunks.push(NtChunk {
+                    range: start..i + 1,
+                    first_line: start_line,
+                });
+                start = i + 1;
+                start_line = line;
+            }
+        }
+    }
+    if start < bytes.len() {
+        chunks.push(NtChunk {
+            range: start..bytes.len(),
+            first_line: start_line,
+        });
+    }
+    chunks
+}
+
+/// Parses one N-Triples chunk, returning a result per statement line
+/// (blank and comment lines are dropped). Error positions carry
+/// document-global line numbers. Concatenating the outputs of all
+/// chunks in order is exactly the serial parse of the document.
+pub fn parse_ntriples_chunk(
+    input: &str,
+    chunk: &NtChunk,
+) -> Vec<Result<TermTriple, ParseError>> {
+    input[chunk.range.clone()]
+        .lines()
+        .enumerate()
+        .filter_map(|(i, l)| crate::parser::parse_line(l, chunk.first_line + i).transpose())
+        .collect()
+}
+
+/// One chunk of a Turtle document: a run of whole triples statements
+/// (never directives) plus the document state needed to parse it in
+/// isolation.
+#[derive(Debug, Clone)]
+pub struct TurtleChunk {
+    range: Range<usize>,
+    line: usize,
+    col: usize,
+    prefixes: HashMap<String, String>,
+}
+
+impl TurtleChunk {
+    /// Byte range of the chunk within the input.
+    pub fn range(&self) -> Range<usize> {
+        self.range.clone()
+    }
+}
+
+/// Scans `input` and cuts it into roughly `target_chunks` chunks at
+/// top-level statement terminators, parsing `@prefix`/`PREFIX`
+/// directives along the way (each chunk snapshots the prefix map in
+/// force at its start). Returns `None` when the document cannot be
+/// split with confidence (malformed directive, unsupported syntax) —
+/// the caller should parse serially instead.
+pub fn split_turtle(input: &str, target_chunks: usize) -> Option<Vec<TurtleChunk>> {
+    let target = (input.len() / target_chunks.max(1)).max(1);
+    let mut sc = Scanner::new(input);
+    let mut prefixes: HashMap<String, String> = HashMap::new();
+    let mut chunks = Vec::new();
+    let mut cur: Option<(usize, usize, usize)> = None;
+    loop {
+        sc.skip_trivia();
+        let Some(b) = sc.peek() else { break };
+        if b == b'@' || sc.keyword_ahead("prefix") || sc.keyword_ahead("base") {
+            if let Some((start, line, col)) = cur.take() {
+                chunks.push(TurtleChunk {
+                    range: start..sc.pos,
+                    line,
+                    col,
+                    prefixes: prefixes.clone(),
+                });
+            }
+            sc.directive(&mut prefixes)?;
+        } else {
+            let (start, _, _) = *cur.get_or_insert((sc.pos, sc.line, sc.col));
+            sc.skip_statement();
+            if sc.pos - start >= target {
+                let (start, line, col) = cur.take().expect("open chunk");
+                chunks.push(TurtleChunk {
+                    range: start..sc.pos,
+                    line,
+                    col,
+                    prefixes: prefixes.clone(),
+                });
+            }
+        }
+    }
+    if let Some((start, line, col)) = cur.take() {
+        chunks.push(TurtleChunk {
+            range: start..input.len(),
+            line,
+            col,
+            prefixes,
+        });
+    }
+    Some(chunks)
+}
+
+/// Strictly parses one Turtle chunk. Returns the chunk's triples (with
+/// chunk-local `anon#N` blank labels) and its anonymous-node count;
+/// feed all chunks to [`finish_turtle_chunks`] to restore the
+/// document-global labels. Error positions are document-global. Any
+/// error means the caller should fall back to the serial parser.
+pub fn parse_turtle_chunk(
+    input: &str,
+    chunk: &TurtleChunk,
+) -> Result<(Vec<TermTriple>, usize), ParseError> {
+    crate::turtle::parse_chunk_raw(
+        &input[chunk.range.clone()],
+        chunk.prefixes.clone(),
+        chunk.line,
+        chunk.col,
+    )
+}
+
+/// Merges per-chunk parse results: renumbers chunk-local anonymous
+/// blank nodes into one document-global sequence (prefix sums over the
+/// per-chunk counts, reproducing the serial parser's numbering) and
+/// applies the same collision-avoiding rename as the serial parser.
+/// The chunk structure is preserved so downstream encoding can stay
+/// parallel; concatenating the returned chunks equals the serial parse.
+pub fn finish_turtle_chunks(parts: Vec<(Vec<TermTriple>, usize)>) -> Vec<Vec<TermTriple>> {
+    use parj_dict::Term;
+    let mut chunks: Vec<Vec<TermTriple>> = Vec::with_capacity(parts.len());
+    let mut offset = 0usize;
+    for (mut triples, anon_count) in parts {
+        if offset > 0 && anon_count > 0 {
+            let renumber = |t: &mut Term| {
+                if let Term::BlankNode(label) = t {
+                    if let Some(n) = label.strip_prefix("anon#") {
+                        if let Ok(k) = n.parse::<usize>() {
+                            *label = format!("anon#{}", k + offset);
+                        }
+                    }
+                }
+            };
+            for (s, _, o) in &mut triples {
+                renumber(s);
+                renumber(o);
+            }
+        }
+        offset += anon_count;
+        chunks.push(triples);
+    }
+    crate::turtle::rename_anonymous_slices(&mut chunks);
+    chunks
+}
+
+/// Byte-level boundary scanner: tracks position, 1-based line and
+/// char-based column (matching the parser's error positions) while
+/// skipping over the token classes that can contain `.` bytes.
+struct Scanner<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            text,
+            bytes: text.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xC0 != 0x80 {
+            // Count characters, not UTF-8 continuation bytes.
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'#') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn keyword_ahead(&self, kw: &str) -> bool {
+        let mut i = self.pos;
+        for k in kw.bytes() {
+            match self.bytes.get(i) {
+                Some(&b) if b.eq_ignore_ascii_case(&k) => i += 1,
+                _ => return false,
+            }
+        }
+        // Must not continue as a name (non-ASCII treated as continuing).
+        !matches!(self.bytes.get(i),
+            Some(&b) if b.is_ascii_alphanumeric() || b == b'_' || b == b':' || b >= 0x80)
+    }
+
+    /// A name token (prefix label in a directive): ASCII alnum, `_`,
+    /// `-`, plus any non-ASCII character.
+    fn name(&mut self) -> &'a str {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b >= 0x80 {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        &self.text[start..self.pos]
+    }
+
+    fn expect(&mut self, b: u8) -> Option<()> {
+        self.skip_trivia();
+        (self.bump() == Some(b)).then_some(())
+    }
+
+    fn unicode_escape(&mut self, kind: u8) -> Option<char> {
+        let n = if kind == b'u' { 4 } else { 8 };
+        let mut code = 0u32;
+        for _ in 0..n {
+            let d = (self.bump()? as char).to_digit(16)?;
+            code = code * 16 + d;
+        }
+        char::from_u32(code)
+    }
+
+    /// An IRI body after `<`, decoding `\u`/`\U` escapes like the
+    /// parser does.
+    fn iri_ref(&mut self) -> Option<String> {
+        let mut buf: Vec<u8> = Vec::new();
+        loop {
+            match self.bump() {
+                None => return None,
+                Some(b'>') => return String::from_utf8(buf).ok(),
+                Some(b) if b.is_ascii_whitespace() => return None,
+                Some(b'\\') => match self.bump() {
+                    Some(k @ (b'u' | b'U')) => {
+                        let c = self.unicode_escape(k)?;
+                        buf.extend_from_slice(c.encode_utf8(&mut [0; 4]).as_bytes());
+                    }
+                    _ => return None,
+                },
+                Some(b) => buf.push(b),
+            }
+        }
+    }
+
+    /// Parses one `@prefix`/`PREFIX` directive into `prefixes`;
+    /// `@base` and anything unexpected return `None` so the serial
+    /// parser can produce the canonical error.
+    fn directive(&mut self, prefixes: &mut HashMap<String, String>) -> Option<()> {
+        let at_form = self.peek() == Some(b'@');
+        if at_form {
+            self.bump();
+        }
+        if !self.name().eq_ignore_ascii_case("prefix") {
+            return None;
+        }
+        self.skip_trivia();
+        let prefix = self.name().to_string();
+        self.expect(b':')?;
+        self.skip_trivia();
+        if self.bump() != Some(b'<') {
+            return None;
+        }
+        let iri = self.iri_ref()?;
+        prefixes.insert(prefix, iri);
+        if at_form {
+            self.expect(b'.')?;
+        }
+        Some(())
+    }
+
+    /// Skips one triples statement: up to and including the
+    /// terminating `.` at bracket depth 0 outside strings, IRIs and
+    /// comments. A dot followed by a name-continuation byte is part of
+    /// a prefixed name or numeric literal, never a terminator — the
+    /// same rule the parser's `name(allow_dot)`/`number` productions
+    /// apply. Stops silently at end of input (the chunk parser then
+    /// reports the missing terminator).
+    fn skip_statement(&mut self) {
+        let mut depth = 0usize;
+        while let Some(b) = self.peek() {
+            match b {
+                b'#' => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                b'"' | b'\'' => self.skip_string(b),
+                b'<' => self.skip_iri(),
+                b'[' | b'(' => {
+                    depth += 1;
+                    self.bump();
+                }
+                b']' | b')' => {
+                    depth = depth.saturating_sub(1);
+                    self.bump();
+                }
+                b'.' if depth == 0 => {
+                    self.bump();
+                    let name_continues = matches!(self.peek(),
+                        Some(n) if n.is_ascii_alphanumeric() || n == b'_' || n >= 0x80);
+                    if !name_continues {
+                        return;
+                    }
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Skips `<…>`; stops (without consuming) at whitespace, which the
+    /// parser rejects inside IRIs.
+    fn skip_iri(&mut self) {
+        self.bump();
+        while let Some(b) = self.peek() {
+            match b {
+                b'>' => {
+                    self.bump();
+                    return;
+                }
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b if b.is_ascii_whitespace() => return,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Skips a string literal with the *parser's* tokenization (short
+    /// strings run past raw newlines until the closing quote, matching
+    /// `string_body`), so boundaries on parseable documents are exact.
+    fn skip_string(&mut self, quote: u8) {
+        self.bump();
+        if self.peek() == Some(quote) {
+            if self.peek_at(1) == Some(quote) {
+                // Long string: ends at three closing quotes.
+                self.bump();
+                self.bump();
+                while let Some(b) = self.bump() {
+                    if b == b'\\' {
+                        self.bump();
+                    } else if b == quote
+                        && self.peek() == Some(quote)
+                        && self.peek_at(1) == Some(quote)
+                    {
+                        self.bump();
+                        self.bump();
+                        return;
+                    }
+                }
+                return;
+            }
+            self.bump(); // empty short string
+            return;
+        }
+        while let Some(b) = self.bump() {
+            match b {
+                b'\\' => {
+                    self.bump();
+                }
+                b if b == quote => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_ntriples_str;
+    use crate::turtle::parse_turtle_str;
+
+    const NT: &str = "<http://e/a> <http://e/p> <http://e/b> .\n\
+                      # a comment line\n\
+                      \n\
+                      <http://e/c> <http://e/p> \"lit . with dot\" .\n\
+                      <http://e/d> <http://e/p> <http://e/e> . # trailing\n\
+                      <http://e/f> <http://e/p> \"x\"@en .\n";
+
+    #[test]
+    fn ntriples_chunks_reassemble_to_serial_parse() {
+        let serial = parse_ntriples_str(NT).unwrap();
+        for n in [1, 2, 3, 5, 100] {
+            let chunks = split_ntriples(NT, n);
+            assert_eq!(
+                chunks.iter().map(|c| c.range.len()).sum::<usize>(),
+                NT.len(),
+                "chunks must partition the input"
+            );
+            let got: Vec<_> = chunks
+                .iter()
+                .flat_map(|c| parse_ntriples_chunk(NT, c))
+                .map(Result::unwrap)
+                .collect();
+            assert_eq!(got, serial, "{n} chunks");
+        }
+    }
+
+    #[test]
+    fn ntriples_chunk_errors_keep_document_lines() {
+        let doc = "<http://e/a> <http://e/p> <http://e/b> .\n\
+                   garbage here\n\
+                   <http://e/c> <http://e/p> <http://e/d> .\n\
+                   also garbage\n";
+        let chunks = split_ntriples(doc, 4);
+        let errors: Vec<usize> = chunks
+            .iter()
+            .flat_map(|c| parse_ntriples_chunk(doc, c))
+            .filter_map(|r| r.err().map(|e| e.line))
+            .collect();
+        assert_eq!(errors, vec![2, 4]);
+    }
+
+    const TTL: &str = "@prefix e: <http://e/> . # header\n\
+        e:s e:p e:o1 , e:o2 ;\n   e:q 3.25 , 1.5e3 .\n\
+        e:a.b e:p \"string with . dots\" .\n\
+        _:b1 e:knows [ e:name 'anon . one' ; e:age 3 ] .\n\
+        PREFIX f: <http://f/>\n\
+        f:x a f:C ; e:p \"\"\"long\n. with . dots\n\"\"\" .\n\
+        [] f:p f:o .\n\
+        f:y f:p <http://e/i.r.i> .\n";
+
+    fn chunked_turtle(doc: &str, n: usize) -> Vec<TermTriple> {
+        let chunks = split_turtle(doc, n).expect("splittable");
+        let parts: Vec<(Vec<TermTriple>, usize)> = chunks
+            .iter()
+            .map(|c| parse_turtle_chunk(doc, c).expect("chunk parses"))
+            .collect();
+        finish_turtle_chunks(parts).into_iter().flatten().collect()
+    }
+
+    #[test]
+    fn turtle_chunks_reassemble_to_serial_parse() {
+        let serial = parse_turtle_str(TTL).unwrap();
+        for n in [1, 2, 3, 7, 100] {
+            assert_eq!(chunked_turtle(TTL, n), serial, "{n} chunks");
+        }
+    }
+
+    #[test]
+    fn turtle_anonymous_numbering_is_global() {
+        // Anonymous nodes in separate chunks must not collide and must
+        // match the serial parser's numbering even at max chunking.
+        let doc = "@prefix e: <http://e/> .\n\
+                   [] e:p e:a .\n[] e:p e:b .\n[] e:p e:c .\n\
+                   _:genid0 e:p [ e:q e:r ] .\n";
+        let serial = parse_turtle_str(doc).unwrap();
+        assert_eq!(chunked_turtle(doc, 100), serial);
+    }
+
+    #[test]
+    fn turtle_prefix_redefinition_respects_chunk_snapshots() {
+        let doc = "@prefix e: <http://one/> .\ne:x e:p e:y .\n\
+                   @prefix e: <http://two/> .\ne:x e:p e:y .\n";
+        let serial = parse_turtle_str(doc).unwrap();
+        for n in [1, 2, 100] {
+            assert_eq!(chunked_turtle(doc, n), serial, "{n} chunks");
+        }
+        assert_ne!(serial[0], serial[1]);
+    }
+
+    #[test]
+    fn turtle_splitter_declines_unsupported_directives() {
+        assert!(split_turtle("@base <http://e/> .\n", 2).is_none());
+        assert!(split_turtle("@prefix e <oops> .\n", 2).is_none());
+    }
+
+    #[test]
+    fn turtle_malformed_chunk_reports_parse_error() {
+        // The splitter happily cuts this, but the chunk parser must
+        // fail (undeclared prefix) so the loader can fall back.
+        let doc = "u:x u:p u:o .\n";
+        let chunks = split_turtle(doc, 1).unwrap();
+        assert!(chunks.iter().any(|c| parse_turtle_chunk(doc, c).is_err()));
+    }
+}

@@ -25,12 +25,17 @@
 
 #![warn(missing_docs)]
 
+mod chunk;
 mod error;
 mod load;
 mod parser;
 mod turtle;
 mod writer;
 
+pub use chunk::{
+    finish_turtle_chunks, parse_ntriples_chunk, parse_turtle_chunk, split_ntriples,
+    split_turtle, NtChunk, TurtleChunk,
+};
 pub use error::{ParseError, ParseErrorKind};
 pub use load::{drain_triples, parse_ntriples_str_lossy, LoadReport, OnParseError};
 pub use parser::{parse_ntriples_str, NTriplesParser, TermTriple};

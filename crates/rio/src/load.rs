@@ -27,7 +27,7 @@ pub enum OnParseError {
 }
 
 /// Outcome of a (possibly lossy) bulk load.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LoadReport {
     /// Statements successfully parsed and loaded.
     pub loaded: usize,

@@ -94,11 +94,19 @@ pub fn parse_turtle_str_lossy(
 /// to avoid every document label, so the output serializes cleanly in
 /// any RDF syntax.
 fn rename_anonymous(mut triples: Vec<TermTriple>) -> Vec<TermTriple> {
+    rename_anonymous_slices(std::slice::from_mut(&mut triples));
+    triples
+}
+
+/// [`rename_anonymous`] over a document split into chunks: the prefix
+/// is chosen against the labels of *all* chunks, so the result equals
+/// renaming the concatenation.
+pub(crate) fn rename_anonymous_slices(chunks: &mut [Vec<TermTriple>]) {
     let mut has_generated = false;
     let mut prefix = String::from("genid");
     loop {
         let mut clash = false;
-        for (s, _, o) in &triples {
+        for (s, _, o) in chunks.iter().flatten() {
             for t in [s, o] {
                 if let Term::BlankNode(label) = t {
                     if label.contains('#') {
@@ -115,7 +123,7 @@ fn rename_anonymous(mut triples: Vec<TermTriple>) -> Vec<TermTriple> {
         prefix.push('x');
     }
     if !has_generated {
-        return triples;
+        return;
     }
     let rename = |t: &mut Term| {
         if let Term::BlankNode(label) = t {
@@ -124,11 +132,49 @@ fn rename_anonymous(mut triples: Vec<TermTriple>) -> Vec<TermTriple> {
             }
         }
     };
-    for (s, _, o) in &mut triples {
+    for (s, _, o) in chunks.iter_mut().flatten() {
         rename(s);
         rename(o);
     }
-    triples
+}
+
+/// Strictly parses one chunk of a Turtle document for the parallel
+/// loader: a run of triples statements (no directives — the splitter
+/// keeps those out) starting at document position `line`/`col`, with
+/// the prefix map in force at the chunk start. Returns the chunk's
+/// triples with *raw* chunk-local `anon#N` labels plus the number of
+/// anonymous nodes allocated; [`rename_anonymous_slices`] plus the
+/// renumbering in [`crate::chunk::finish_turtle_chunks`] restore the
+/// document-global labels.
+pub(crate) fn parse_chunk_raw(
+    input: &str,
+    prefixes: std::collections::HashMap<String, String>,
+    line: usize,
+    col: usize,
+) -> Result<(Vec<TermTriple>, usize), ParseError> {
+    let mut p = Turtle {
+        chars: input.chars().collect(),
+        pos: 0,
+        line,
+        col,
+        prefixes,
+        out: Vec::new(),
+        next_anon: 0,
+    };
+    loop {
+        p.skip_trivia();
+        if p.peek().is_none() {
+            break;
+        }
+        if p.peek() == Some('@') || p.keyword_ahead("prefix") || p.keyword_ahead("base") {
+            // The splitter cuts directives out of chunks; seeing one
+            // here means the boundary scan disagreed with the parser.
+            // Fail the chunk so the loader falls back to serial parsing.
+            return Err(p.err_msg("directive inside parallel chunk"));
+        }
+        p.statement()?;
+    }
+    Ok((p.out, p.next_anon))
 }
 
 struct Turtle {

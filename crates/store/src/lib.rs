@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 mod idpos;
+mod parallel;
 mod partition;
 mod replica;
 mod snapshot;

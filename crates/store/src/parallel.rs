@@ -1,0 +1,290 @@
+//! Parallel triple staging: fused dictionary encode + per-predicate
+//! pair routing for the bulk loader.
+//!
+//! [`StoreBuilder::add_triples_parallel`] stages parsed triples on N
+//! workers while producing *exactly* the builder state a serial
+//! [`StoreBuilder::add_term_triple`] loop over the same triples in
+//! document order would — same dictionary bytes, same built store:
+//!
+//! 1. **Collect** (parallel per chunk): canonicalize every term, probe
+//!    the existing dictionary, and record each triple as three
+//!    [`TermRef`]s — a known id, or an index into the chunk's
+//!    deduplicated novel-term batch.
+//! 2. **Assign** ([`parj_dict::Namespace::extend_batches`]): the
+//!    sharded two-phase encode appends the novel terms in document
+//!    first-occurrence order, so ids are independent of thread count.
+//! 3. **Route** (parallel per chunk): resolve the refs and push
+//!    `(subject, object)` pairs into worker-local per-predicate
+//!    buffers, merged into the builder by concatenation. Pair order
+//!    within a predicate varies with scheduling, but the replica build
+//!    sorts and dedups every partition, so the finished store is still
+//!    byte-identical at any thread count.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use parj_dict::{fx_hash_bytes, FxBuildHasher, Id, Namespace, Term, TermBatch};
+
+use crate::store::StoreBuilder;
+
+/// Shard count for the two-phase dictionary encode. Power of two
+/// (required for mask routing), comfortably above typical core counts
+/// so every worker finds a free shard, small enough that the per-shard
+/// hash maps stay cheap on tiny loads.
+const DICT_SHARDS: usize = 32;
+
+/// A term occurrence after the collect phase.
+#[derive(Debug, Clone, Copy)]
+enum TermRef {
+    /// Already interned before this staging call.
+    Known(Id),
+    /// Novel: index into the chunk's candidate batch.
+    Novel(u32),
+}
+
+type RefTriple = (TermRef, TermRef, TermRef);
+
+/// Per-chunk dedup helper: canonical key → `TermRef`, probing the
+/// shared namespace first and the chunk-local batch second.
+struct Collector<'a> {
+    ns: &'a Namespace,
+    batch: TermBatch,
+    dedup: HashMap<u64, Vec<u32>, FxBuildHasher>,
+}
+
+impl<'a> Collector<'a> {
+    fn new(ns: &'a Namespace) -> Self {
+        Self {
+            ns,
+            batch: TermBatch::new(),
+            dedup: HashMap::default(),
+        }
+    }
+
+    fn collect(&mut self, term: &Term) -> TermRef {
+        let key = term.canonical_key();
+        let hash = fx_hash_bytes(key.as_bytes());
+        if let Some(id) = self.ns.get_key_hashed(hash, &key) {
+            return TermRef::Known(id);
+        }
+        if let Some(cands) = self.dedup.get(&hash) {
+            for &i in cands {
+                if self.batch.key(i as usize) == key {
+                    return TermRef::Novel(i);
+                }
+            }
+        }
+        let i = self.batch.push(hash, key);
+        self.dedup.entry(hash).or_default().push(i);
+        TermRef::Novel(i)
+    }
+}
+
+fn collect_chunk(
+    resources: &Namespace,
+    predicates: &Namespace,
+    chunk: &[(Term, Term, Term)],
+) -> (TermBatch, TermBatch, Vec<RefTriple>) {
+    let mut res = Collector::new(resources);
+    let mut pred = Collector::new(predicates);
+    let mut refs = Vec::with_capacity(chunk.len());
+    for (s, p, o) in chunk {
+        refs.push((res.collect(s), pred.collect(p), res.collect(o)));
+    }
+    (res.batch, pred.batch, refs)
+}
+
+fn resolve(r: TermRef, ids: &[Id]) -> Id {
+    match r {
+        TermRef::Known(id) => id,
+        TermRef::Novel(i) => ids[i as usize],
+    }
+}
+
+impl StoreBuilder {
+    /// Stages `chunks` of parsed triples on `threads` workers. The
+    /// chunks must be consecutive slices of the input in document
+    /// order; the resulting dictionary and built store are identical
+    /// to serially adding every triple in that order, for any
+    /// `threads` and any chunk boundaries.
+    pub fn add_triples_parallel(&mut self, chunks: Vec<Vec<(Term, Term, Term)>>, threads: usize) {
+        let threads = threads.max(1);
+        let n_chunks = chunks.len();
+        if n_chunks == 0 {
+            return;
+        }
+        let (dict, by_pred) = self.parts_mut();
+
+        // Phase 1: collect novel terms per chunk against the current
+        // dictionary (read-only, embarrassingly parallel).
+        let collected: Vec<(TermBatch, TermBatch, Vec<RefTriple>)> =
+            if threads <= 1 || n_chunks <= 1 {
+                chunks
+                    .iter()
+                    .map(|c| {
+                        collect_chunk(dict.resource_namespace(), dict.predicate_namespace(), c)
+                    })
+                    .collect()
+            } else {
+                let resources = dict.resource_namespace();
+                let predicates = dict.predicate_namespace();
+                let next = AtomicUsize::new(0);
+                let mut slots: Vec<Option<(TermBatch, TermBatch, Vec<RefTriple>)>> = Vec::new();
+                slots.resize_with(n_chunks, || None);
+                let slot_ptrs: Vec<Mutex<&mut Option<_>>> =
+                    slots.iter_mut().map(Mutex::new).collect();
+                std::thread::scope(|scope| {
+                    for _ in 0..threads.min(n_chunks) {
+                        scope.spawn(|| loop {
+                            let c = next.fetch_add(1, Ordering::Relaxed);
+                            if c >= n_chunks {
+                                break;
+                            }
+                            let out = collect_chunk(resources, predicates, &chunks[c]);
+                            **slot_ptrs[c].lock().expect("collect slot lock") = Some(out);
+                        });
+                    }
+                });
+                drop(slot_ptrs);
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("every chunk collected"))
+                    .collect()
+            };
+        drop(chunks);
+        let mut res_batches = Vec::with_capacity(n_chunks);
+        let mut pred_batches = Vec::with_capacity(n_chunks);
+        let mut ref_triples = Vec::with_capacity(n_chunks);
+        for (r, p, t) in collected {
+            res_batches.push(r);
+            pred_batches.push(p);
+            ref_triples.push(t);
+        }
+
+        // Phase 2: deterministic id assignment (document order).
+        let res_ids = dict.extend_resources(&res_batches, DICT_SHARDS, threads);
+        let pred_ids = dict.extend_predicates(&pred_batches, DICT_SHARDS, threads);
+        let n_preds = dict.num_predicates();
+        if by_pred.len() < n_preds {
+            by_pred.resize_with(n_preds, Vec::new);
+        }
+
+        // Phase 3: resolve refs and route pairs per predicate.
+        if threads <= 1 || n_chunks <= 1 {
+            for (c, refs) in ref_triples.iter().enumerate() {
+                for &(s, p, o) in refs {
+                    let p = resolve(p, &pred_ids[c]);
+                    by_pred[p as usize]
+                        .push((resolve(s, &res_ids[c]), resolve(o, &res_ids[c])));
+                }
+            }
+        } else {
+            // One per-predicate pair table per worker.
+            type WorkerTable = Vec<Vec<(Id, Id)>>;
+            let next = AtomicUsize::new(0);
+            let tables: Mutex<Vec<WorkerTable>> = Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for _ in 0..threads.min(n_chunks) {
+                    scope.spawn(|| {
+                        let mut local: Vec<Vec<(Id, Id)>> = vec![Vec::new(); n_preds];
+                        loop {
+                            let c = next.fetch_add(1, Ordering::Relaxed);
+                            if c >= n_chunks {
+                                break;
+                            }
+                            for &(s, p, o) in &ref_triples[c] {
+                                let p = resolve(p, &pred_ids[c]);
+                                local[p as usize]
+                                    .push((resolve(s, &res_ids[c]), resolve(o, &res_ids[c])));
+                            }
+                        }
+                        tables.lock().expect("route table lock").push(local);
+                    });
+                }
+            });
+            for local in tables.into_inner().expect("route tables") {
+                for (p, mut pairs) in local.into_iter().enumerate() {
+                    by_pred[p].append(&mut pairs);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triples(n: usize) -> Vec<(Term, Term, Term)> {
+        (0..n)
+            .map(|i| {
+                (
+                    Term::iri(format!("http://e/s{}", i % 23)),
+                    Term::iri(format!("http://e/p{}", i % 5)),
+                    if i % 3 == 0 {
+                        Term::literal(format!("v{}", i % 17))
+                    } else {
+                        Term::iri(format!("http://e/s{}", (i + 7) % 31))
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn serial_build(data: &[(Term, Term, Term)]) -> (Vec<u8>, Vec<u8>) {
+        let mut b = StoreBuilder::new();
+        for (s, p, o) in data {
+            b.add_term_triple(s, p, o);
+        }
+        let mut dict_bytes = Vec::new();
+        b.dict().encode_into(&mut dict_bytes);
+        (dict_bytes, b.build().to_snapshot_bytes())
+    }
+
+    #[test]
+    fn parallel_staging_matches_serial_byte_for_byte() {
+        let data = triples(400);
+        let (serial_dict, serial_store) = serial_build(&data);
+        for threads in [1, 2, 4, 9] {
+            for n_chunks in [1, 3, 8] {
+                let per = data.len().div_ceil(n_chunks);
+                let chunks: Vec<Vec<_>> = data.chunks(per).map(<[_]>::to_vec).collect();
+                let mut b = StoreBuilder::new();
+                b.add_triples_parallel(chunks, threads);
+                let mut dict_bytes = Vec::new();
+                b.dict().encode_into(&mut dict_bytes);
+                assert_eq!(dict_bytes, serial_dict, "dict, {threads} threads");
+                assert_eq!(
+                    b.build().to_snapshot_bytes(),
+                    serial_store,
+                    "store, {threads} threads / {n_chunks} chunks"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_staging_sees_existing_terms() {
+        let data = triples(100);
+        let (first, second) = data.split_at(50);
+        let (serial_dict, serial_store) = serial_build(&data);
+        let mut b = StoreBuilder::new();
+        for (s, p, o) in first {
+            b.add_term_triple(s, p, o);
+        }
+        b.add_triples_parallel(vec![second[..20].to_vec(), second[20..].to_vec()], 4);
+        let mut dict_bytes = Vec::new();
+        b.dict().encode_into(&mut dict_bytes);
+        assert_eq!(dict_bytes, serial_dict);
+        assert_eq!(b.build().to_snapshot_bytes(), serial_store);
+    }
+
+    #[test]
+    fn empty_chunks_are_harmless() {
+        let mut b = StoreBuilder::new();
+        b.add_triples_parallel(Vec::new(), 4);
+        b.add_triples_parallel(vec![Vec::new(), Vec::new()], 4);
+        assert!(b.is_empty());
+    }
+}

@@ -84,6 +84,12 @@ impl StoreBuilder {
         EncodedTriple::new(s, p, o)
     }
 
+    /// Split borrow for the parallel staging path (`parallel.rs`):
+    /// phase 1 reads the dictionary while phase 3 fills `by_pred`.
+    pub(crate) fn parts_mut(&mut self) -> (&mut Dictionary, &mut Vec<Vec<(Id, Id)>>) {
+        (&mut self.dict, &mut self.by_pred)
+    }
+
     /// Adds an already-encoded triple. The predicate id must have been
     /// produced by this builder's dictionary.
     pub fn add_encoded(&mut self, t: EncodedTriple) {
