@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use parj_core::{EngineConfig, Parj, ProbeStrategy, RunOverrides};
+use parj_core::{EngineConfig, Parj, ProbeStrategy};
 use parj_datagen::{lubm, watdiv};
 
 fn lubm_engine() -> Parj {
@@ -35,12 +35,22 @@ fn bench_lubm_queries(c: &mut Criterion) {
     for name in ["LUBM2", "LUBM4", "LUBM9"] {
         let q = queries.iter().find(|q| q.name == name).expect("exists");
         for strategy in ProbeStrategy::TABLE5 {
-            let over = RunOverrides::threads(1).with_strategy(strategy);
             group.bench_with_input(
                 BenchmarkId::new(name, strategy.label()),
                 &q.sparql,
                 |b, sparql| {
-                    b.iter(|| black_box(engine.query_count_with(sparql, &over).expect("runs")));
+                    b.iter(|| {
+                        black_box(
+                            engine
+                                .request(sparql)
+                                .threads(1)
+                                .strategy(strategy)
+                                .count_only()
+                                .run()
+                                .expect("runs")
+                                .count,
+                        )
+                    });
                 },
             );
         }
@@ -56,9 +66,18 @@ fn bench_watdiv_queries(c: &mut Criterion) {
         .filter(|q| matches!(q.name.as_str(), "S1" | "C3" | "IL-3-7" | "ML-2-7"))
         .collect();
     for q in &picks {
-        let over = RunOverrides::threads(1);
         group.bench_function(&q.name, |b| {
-            b.iter(|| black_box(engine.query_count_with(&q.sparql, &over).expect("runs")));
+            b.iter(|| {
+                black_box(
+                    engine
+                        .request(&q.sparql)
+                        .threads(1)
+                        .count_only()
+                        .run()
+                        .expect("runs")
+                        .count,
+                )
+            });
         });
     }
     group.finish();

@@ -67,12 +67,10 @@ pub fn ablation(args: &Args) -> (Vec<Table>, serde_json::Value) {
                 iterations_index: 0,
             };
             let thresholds = ThresholdTable::from_calibration(&store, &cal);
-            let opts = ExecOptions {
-                threads: 1,
-                shards_per_thread: 4,
-                strategy: ProbeStrategy::AdaptiveBinary,
-                guard: None,
-            };
+            let opts = ExecOptions::builder()
+                .strategy(ProbeStrategy::AdaptiveBinary)
+                .build()
+                .expect("valid options");
             let mut seq = 0u64;
             let mut bin = 0u64;
             let m = measure_ms(args.runs, || {
@@ -129,12 +127,10 @@ pub fn ablation(args: &Args) -> (Vec<Table>, serde_json::Value) {
                 })
                 .collect();
             let thresholds = ThresholdTable::from_calibration(&store, &CalibrationResult::paper_defaults());
-            let opts = ExecOptions {
-                threads: 1,
-                shards_per_thread: 4,
-                strategy: ProbeStrategy::AlwaysIndex,
-                guard: None,
-            };
+            let opts = ExecOptions::builder()
+                .strategy(ProbeStrategy::AlwaysIndex)
+                .build()
+                .expect("valid options");
             let m = measure_ms(args.runs, || {
                 for plan in &plans {
                     execute_count_with(&store, plan, &opts, &thresholds).expect("runs");
@@ -173,7 +169,13 @@ pub fn ablation(args: &Args) -> (Vec<Table>, serde_json::Value) {
             let over = RunOverrides::threads(args.threads);
             let mut count = 0;
             let m = measure_ms(args.runs, || {
-                count = engine.query_count_with(&lubm9.sparql, &over).expect("runs").0;
+                count = engine
+                    .request(&lubm9.sparql)
+                    .threads(args.threads)
+                    .count_only()
+                    .run()
+                    .expect("runs")
+                    .count;
             });
             let loads = engine.shard_loads(&lubm9.sparql, &over).expect("runs");
             let loads = &loads[0];
@@ -213,7 +215,7 @@ pub fn ablation(args: &Args) -> (Vec<Table>, serde_json::Value) {
             );
             let m = measure_ms(args.runs, || {
                 for q in &queries {
-                    engine.query_count(&q.sparql).expect("runs");
+                    engine.request(&q.sparql).count_only().run().expect("runs");
                 }
             });
             t.row(format!("{buckets} buckets"), vec![fmt_ms(m.avg_ms)]);

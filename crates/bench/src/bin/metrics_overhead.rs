@@ -1,0 +1,6 @@
+//! Measures the observability registry's recording overhead. See EXPERIMENTS.md.
+fn main() {
+    let args = parj_bench::Args::parse(parj_bench::default_scale("metrics_overhead"));
+    let (tables, json) = parj_bench::experiments::metrics_overhead(&args);
+    parj_bench::write_outputs(&args.out, "metrics_overhead", &tables, json);
+}

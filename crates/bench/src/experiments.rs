@@ -16,13 +16,15 @@ use crate::timing::{avg, geomean, measure_ms};
 
 /// Measures PARJ silent-mode execution for one query.
 fn parj_ms(engine: &mut Parj, sparql: &str, threads: usize, runs: usize) -> (f64, u64) {
-    let over = RunOverrides::threads(threads);
     let mut count = 0;
     let m = measure_ms(runs, || {
         count = engine
-            .query_count_with(sparql, &over)
+            .request(sparql)
+            .threads(threads)
+            .count_only()
+            .run()
             .expect("benchmark query must run")
-            .0;
+            .count;
     });
     (m.avg_ms, count)
 }
@@ -169,11 +171,12 @@ pub fn table2(args: &Args) -> (Vec<Table>, serde_json::Value) {
     );
     let mut full_rows = Vec::new();
     for q in &queries {
-        let over = RunOverrides::threads(args.threads);
         let (t_silent, n) = parj_ms(&mut engine, &q.sparql, args.threads, args.runs);
         let m = measure_ms(args.runs, || {
             engine
-                .query_with(&q.sparql, &over)
+                .request(&q.sparql)
+                .threads(args.threads)
+                .run()
                 .expect("benchmark query must run");
         });
         full.row(
@@ -276,10 +279,13 @@ pub fn table5(args: &Args) -> (Vec<Table>, serde_json::Value) {
         let mut rec = serde_json::Map::new();
         rec.insert("query".into(), json!(q.name));
         for (i, s) in strategies.iter().enumerate() {
-            let over = RunOverrides::threads(1).with_strategy(*s);
             let m = measure_ms(args.runs, || {
                 engine
-                    .query_count_with(&q.sparql, &over)
+                    .request(&q.sparql)
+                    .threads(1)
+                    .strategy(*s)
+                    .count_only()
+                    .run()
                     .expect("benchmark query must run");
             });
             lubm_cols[i].push(m.avg_ms);
@@ -297,10 +303,13 @@ pub fn table5(args: &Args) -> (Vec<Table>, serde_json::Value) {
     let mut watdiv_cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
     for q in watdiv::all_queries() {
         for (i, s) in strategies.iter().enumerate() {
-            let over = RunOverrides::threads(1).with_strategy(*s);
             let m = measure_ms(args.runs, || {
                 wengine
-                    .query_count_with(&q.sparql, &over)
+                    .request(&q.sparql)
+                    .threads(1)
+                    .strategy(*s)
+                    .count_only()
+                    .run()
                     .expect("benchmark query must run");
             });
             watdiv_cols[i].push(m.avg_ms);
@@ -349,18 +358,21 @@ pub fn table6(args: &Args) -> (Vec<Table>, serde_json::Value) {
     );
     let mut json_rows = Vec::new();
     for q in lubm::queries() {
+        let mut run = |s| {
+            engine
+                .request(&q.sparql)
+                .threads(1)
+                .strategy(s)
+                .count_only()
+                .run()
+                .expect("run")
+                .stats
+        };
         // Decision counts under the paper's default AdBinary strategy.
-        let over = |s| RunOverrides::threads(1).with_strategy(s);
-        let (_, ad) = engine
-            .query_count_with(&q.sparql, &over(ProbeStrategy::AdaptiveBinary))
-            .expect("run");
+        let ad = run(ProbeStrategy::AdaptiveBinary);
         // Memory work under forced binary vs forced index.
-        let (_, bin) = engine
-            .query_count_with(&q.sparql, &over(ProbeStrategy::AlwaysBinary))
-            .expect("run");
-        let (_, idx) = engine
-            .query_count_with(&q.sparql, &over(ProbeStrategy::AlwaysIndex))
-            .expect("run");
+        let bin = run(ProbeStrategy::AlwaysBinary);
+        let idx = run(ProbeStrategy::AlwaysIndex);
         let bin_words = bin.search.words_touched();
         let idx_words = idx.search.words_touched();
         let ratio = if bin_words > 0 {
@@ -403,16 +415,19 @@ pub fn table6(args: &Args) -> (Vec<Table>, serde_json::Value) {
     );
     let mut wjson = Vec::new();
     for q in watdiv::basic_workload() {
-        let over = |s| RunOverrides::threads(1).with_strategy(s);
-        let (_, ad) = wengine
-            .query_count_with(&q.sparql, &over(ProbeStrategy::AdaptiveBinary))
-            .expect("run");
-        let (_, bin) = wengine
-            .query_count_with(&q.sparql, &over(ProbeStrategy::AlwaysBinary))
-            .expect("run");
-        let (_, idx) = wengine
-            .query_count_with(&q.sparql, &over(ProbeStrategy::AlwaysIndex))
-            .expect("run");
+        let mut run = |s| {
+            wengine
+                .request(&q.sparql)
+                .threads(1)
+                .strategy(s)
+                .count_only()
+                .run()
+                .expect("run")
+                .stats
+        };
+        let ad = run(ProbeStrategy::AdaptiveBinary);
+        let bin = run(ProbeStrategy::AlwaysBinary);
+        let idx = run(ProbeStrategy::AlwaysIndex);
         wtable.row(
             &q.name,
             vec![
@@ -554,6 +569,56 @@ pub fn fig3(args: &Args) -> (Vec<Table>, serde_json::Value) {
         json!({
             "experiment": "fig3", "dataset": "lubm", "scales": scales,
             "threads": args.threads, "runs": args.runs, "rows": json_rows,
+        }),
+    )
+}
+
+/// Metrics-recording overhead: the same silent-mode LUBM workload with
+/// the observability registry enabled (the default) and disabled
+/// (`record_metrics: false`), reporting the relative difference. The
+/// registry records with relaxed atomics on the per-query finalize
+/// path, so the target envelope is ≤ 2 % on the workload total.
+pub fn metrics_overhead(args: &Args) -> (Vec<Table>, serde_json::Value) {
+    let mut engine_on = lubm_engine(args.scale, args.engine_config());
+    let mut cfg_off = args.engine_config();
+    cfg_off.record_metrics = false;
+    let mut engine_off = lubm_engine(args.scale, cfg_off);
+
+    let mut table = Table::new(
+        format!(
+            "Metrics-recording overhead — LUBM U={}, {} threads, silent mode",
+            args.scale, args.threads
+        ),
+        &["metrics on (ms)", "metrics off (ms)", "overhead"],
+    );
+    let mut json_rows = Vec::new();
+    let (mut sum_on, mut sum_off) = (0.0f64, 0.0f64);
+    for q in lubm::queries() {
+        let (t_on, n_on) = parj_ms(&mut engine_on, &q.sparql, args.threads, args.runs);
+        let (t_off, n_off) = parj_ms(&mut engine_off, &q.sparql, args.threads, args.runs);
+        assert_eq!(n_on, n_off, "{}: metrics recording changed results", q.name);
+        sum_on += t_on;
+        sum_off += t_off;
+        let pct = if t_off > 0.0 { (t_on / t_off - 1.0) * 100.0 } else { 0.0 };
+        table.row(
+            &q.name,
+            vec![fmt_ms(t_on), fmt_ms(t_off), format!("{pct:+.1}%")],
+        );
+        json_rows.push(json!({
+            "query": q.name, "on_ms": t_on, "off_ms": t_off, "overhead_pct": pct,
+        }));
+    }
+    let agg = if sum_off > 0.0 { (sum_on / sum_off - 1.0) * 100.0 } else { 0.0 };
+    table.row(
+        "**Workload total**",
+        vec![fmt_ms(sum_on), fmt_ms(sum_off), format!("{agg:+.1}%")],
+    );
+    (
+        vec![table],
+        json!({
+            "experiment": "metrics_overhead", "dataset": "lubm",
+            "scale": args.scale, "threads": args.threads, "runs": args.runs,
+            "rows": json_rows, "workload_overhead_pct": agg,
         }),
     )
 }

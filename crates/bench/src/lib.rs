@@ -13,6 +13,7 @@
 //! | `fig2`   | Figure 2 — LUBM execution time vs thread count |
 //! | `fig3`   | Figure 3 — execution time vs dataset size |
 //! | `load_throughput` | bulk-load pipeline scaling across load threads (not a paper artifact) |
+//! | `metrics_overhead` | observability-registry recording cost, on vs off (not a paper artifact) |
 //! | `run_all`| everything above, with outputs under `results/` |
 //!
 //! Every binary accepts `--scale N` (dataset size), `--runs N`
@@ -45,6 +46,7 @@ pub fn default_scale(experiment: &str) -> usize {
         "ablation" => 4,
         // ~17 k triples per university: 60 ≈ a 1 M-triple load.
         "load_throughput" => 60,
+        "metrics_overhead" => 6,
         // WatDiv scales are ~2.5 k-triple units.
         "table3" => 40,
         "table4" => 20,

@@ -126,7 +126,7 @@ mod tests {
         let mut e = lubm_engine(1, EngineConfig::default());
         assert!(e.num_triples() > 1000);
         let q = &lubm::queries()[4]; // LUBM5, selective
-        assert!(e.query_count(&q.sparql).unwrap().0 > 0);
+        assert!(e.request(&q.sparql).count_only().run().unwrap().count > 0);
 
         let mut w = watdiv_engine(1, EngineConfig::default());
         assert!(w.num_triples() > 1000);

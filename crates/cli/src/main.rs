@@ -11,7 +11,9 @@
 //!
 //! Common flags: `--threads N`, `--strategy binary|adbinary|index|adindex`,
 //! `--reasoning`, `--calibrate`, `--timeout SECS`, `--max-rows N`,
-//! `--lossy` / `--max-parse-errors N`.
+//! `--lossy` / `--max-parse-errors N`. `--stats` prints an
+//! `EXPLAIN ANALYZE`-style per-query report to stderr; `parj stats
+//! --prometheus|--json` exposes the engine metrics registry.
 //!
 //! Exit codes map failure classes so scripts can react without
 //! scraping stderr: 0 success, 1 usage/other, 2 parse error (SPARQL or
@@ -63,11 +65,15 @@ USAGE:
   parj count <store.parj|data.nt> <sparql | @query.rq> [flags]
   parj explain <store.parj|data.nt> <sparql | @query.rq> [flags]
   parj profile <store.parj|data.nt> <sparql | @query.rq> [flags]
-  parj stats <store.parj|data.nt>
+  parj stats <store.parj|data.nt> [--prometheus | --json]
   parj generate <lubm|watdiv> <scale> -o <out.nt>
 
 FLAGS:
   --threads N      worker threads per query (default: all cores)
+  --stats          print a per-query EXPLAIN ANALYZE report to stderr
+                   (query/count): annotated plan, phase timings, search mix
+  --prometheus     (stats) expose the metrics registry as Prometheus text
+  --json           (stats) expose the metrics registry as JSON
   --load-threads N worker threads for bulk loading (default: all cores;
                    loaded store is byte-identical at any value)
   --strategy S     binary | adbinary (default) | index | adindex
@@ -96,6 +102,9 @@ struct Cli {
     max_rows: Option<u64>,
     lossy: bool,
     max_parse_errors: Option<usize>,
+    show_stats: bool,
+    prometheus: bool,
+    json: bool,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -111,6 +120,9 @@ fn parse_cli() -> Result<Cli, String> {
         max_rows: None,
         lossy: false,
         max_parse_errors: None,
+        show_stats: false,
+        prometheus: false,
+        json: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -159,6 +171,9 @@ fn parse_cli() -> Result<Cli, String> {
                 )
             }
             "--lossy" => cli.lossy = true,
+            "--stats" => cli.show_stats = true,
+            "--prometheus" => cli.prometheus = true,
+            "--json" => cli.json = true,
             "--max-parse-errors" => {
                 cli.max_parse_errors = Some(
                     it.next()
@@ -303,27 +318,46 @@ fn run() -> Result<(), Failure> {
                     println!("{}", engine.profile(&query).map_err(fail)?);
                 }
                 "count" => {
-                    let (count, stats) = engine.query_count(&query).map_err(fail)?;
-                    println!("{count}");
-                    eprintln!(
-                        "prepare {} µs, execute {} µs; {} sequential / {} binary / {} index searches",
-                        stats.prepare_micros,
-                        stats.exec_micros,
-                        stats.search.sequential_searches,
-                        stats.search.binary_searches,
-                        stats.search.index_lookups,
-                    );
+                    let out = engine
+                        .request(&query)
+                        .count_only()
+                        .explain(cli.show_stats)
+                        .run()
+                        .map_err(fail)?;
+                    println!("{}", out.count);
+                    if cli.show_stats {
+                        eprint!("{}", out.report());
+                    } else {
+                        eprintln!(
+                            "prepare {} µs, execute {} µs; {} sequential / {} binary / {} index searches",
+                            out.stats.prepare_micros,
+                            out.stats.exec_micros,
+                            out.stats.search.sequential_searches,
+                            out.stats.search.binary_searches,
+                            out.stats.search.index_lookups,
+                        );
+                    }
                 }
                 _ => {
-                    let result = engine.query(&query).map_err(fail)?;
-                    print!("{}", result.to_table());
-                    eprintln!(
-                        "{} rows in {} µs (prepare {} µs, decode {} µs)",
-                        result.rows.len(),
-                        result.stats.total_micros(),
-                        result.stats.prepare_micros,
-                        result.stats.decode_micros,
-                    );
+                    let out = engine
+                        .request(&query)
+                        .explain(cli.show_stats)
+                        .run()
+                        .map_err(fail)?;
+                    let rows = out.rows.as_ref().map_or(0, Vec::len);
+                    let stats = out.stats.clone();
+                    print!("{}", out.clone().into_result().to_table());
+                    if cli.show_stats {
+                        eprint!("{}", out.report());
+                    } else {
+                        eprintln!(
+                            "{} rows in {} µs (prepare {} µs, decode {} µs)",
+                            rows,
+                            stats.total_micros(),
+                            stats.prepare_micros,
+                            stats.decode_micros,
+                        );
+                    }
                 }
             }
             Ok(())
@@ -333,6 +367,15 @@ fn run() -> Result<(), Failure> {
                 return Err(usage("usage: parj stats <store>"));
             };
             let mut engine = cli.open(store_path).map_err(fail)?;
+            if cli.prometheus || cli.json {
+                let snap = engine.metrics_snapshot();
+                if cli.prometheus {
+                    print!("{}", snap.to_prometheus());
+                } else {
+                    println!("{}", snap.to_json());
+                }
+                return Ok(());
+            }
             let store = engine.store();
             println!("triples:     {}", store.num_triples());
             println!("predicates:  {}", store.num_predicates());

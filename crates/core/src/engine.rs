@@ -10,6 +10,7 @@ use parj_join::{
     ExecFailure, ExecFailureKind, ExecOptions, PhysicalPlan, ProbeStrategy, QueryGuard,
     RowBatch, SearchStats, ThresholdTable,
 };
+use parj_obs::{EngineMetrics, MetricsSnapshot, QueryOutcomeClass, QueryPhase, SearchTotals};
 use parj_optimizer::{optimize, Stats};
 use parj_rio::{LoadReport, NTriplesParser, OnParseError};
 use parj_sparql::parse_query;
@@ -17,7 +18,8 @@ use parj_store::{StoreBuilder, StoreOptions, TripleStore};
 
 use crate::error::ParjError;
 use crate::hierarchy::Hierarchy;
-use crate::result::{QueryResult, QueryRunStats};
+use crate::request::{QueryOutcome, RunMode, RunSpec};
+use crate::result::{PhaseTimings, QueryResult, QueryRunStats};
 use crate::translate::{translate, Translation};
 
 /// Engine configuration (fixed at build; per-query aspects can be
@@ -67,6 +69,11 @@ pub struct EngineConfig {
     /// bounded overshoot of up to `threads × GUARD_BATCH`). `None`
     /// means unlimited. Per-run [`RunOverrides::max_rows`] wins.
     pub max_result_rows: Option<u64>,
+    /// Feed the engine's [`EngineMetrics`] registry from query runs,
+    /// loads and store rebuilds. When `false` the executor carries no
+    /// recorder and the hot path is untouched. Default: `true` (the
+    /// registry is lock-light — atomic counters only).
+    pub record_metrics: bool,
 }
 
 impl Default for EngineConfig {
@@ -84,6 +91,7 @@ impl Default for EngineConfig {
             small_query_threshold: 2048,
             timeout: None,
             max_result_rows: None,
+            record_metrics: true,
         }
     }
 }
@@ -170,6 +178,13 @@ impl ParjBuilder {
         self
     }
 
+    /// Feed the engine's metrics registry (on by default; see
+    /// [`EngineConfig::record_metrics`]).
+    pub fn record_metrics(mut self, on: bool) -> Self {
+        self.config.record_metrics = on;
+        self
+    }
+
     /// Enable RDFS class/property hierarchy answering (§6 of the paper):
     /// `rdf:type`/property patterns expand into unions over
     /// sub-classes/-properties declared in the data, with solutions
@@ -185,6 +200,7 @@ impl ParjBuilder {
             config: self.config,
             staged: Some(StoreBuilder::new()),
             ready: None,
+            metrics: Arc::new(EngineMetrics::new()),
         }
     }
 }
@@ -280,6 +296,7 @@ pub struct Parj {
     config: EngineConfig,
     staged: Option<StoreBuilder>,
     ready: Option<Ready>,
+    metrics: Arc<EngineMetrics>,
 }
 
 impl Parj {
@@ -331,9 +348,11 @@ impl Parj {
         on_error: OnParseError,
     ) -> Result<LoadReport, ParjError> {
         self.unfinalize();
+        let t0 = Instant::now();
         let staged = self.staged.as_mut().expect("unfinalize staged a builder");
         let report =
             crate::loader::load_ntriples_text(staged, text, on_error, self.config.load_threads)?;
+        self.record_load(&report, t0, text.len());
         Ok(report)
     }
 
@@ -370,11 +389,13 @@ impl Parj {
         text: &str,
         on_error: OnParseError,
     ) -> Result<LoadReport, ParjError> {
+        let t0 = Instant::now();
         let (parts, report) =
             crate::loader::parse_turtle_text(text, on_error, self.config.load_threads)?;
         self.unfinalize();
         let staged = self.staged.as_mut().expect("unfinalize staged a builder");
         staged.add_triples_parallel(parts, self.config.load_threads);
+        self.record_load(&report, t0, text.len());
         Ok(report)
     }
 
@@ -415,11 +436,28 @@ impl Parj {
         on_error: OnParseError,
     ) -> Result<LoadReport, ParjError> {
         self.unfinalize();
+        let t0 = Instant::now();
         let staged = self.staged.as_mut().expect("unfinalize staged a builder");
         let report = parj_rio::drain_triples(NTriplesParser::new(reader), on_error, |(s, p, o)| {
             staged.add_term_triple(&s, &p, &o);
         })?;
+        // Input size is unknown for a streaming reader; only the
+        // statement counters advance.
+        self.record_load(&report, t0, 0);
         Ok(report)
+    }
+
+    /// Feeds one successful load into the metrics registry.
+    fn record_load(&self, report: &LoadReport, started: Instant, bytes: usize) {
+        if !self.config.record_metrics {
+            return;
+        }
+        self.metrics.record_load(
+            report.loaded as u64,
+            report.skipped as u64,
+            started.elapsed().as_micros() as u64,
+            bytes as u64,
+        );
     }
 
     /// Builds partitions, statistics and thresholds from the staged
@@ -444,6 +482,47 @@ impl Parj {
             calibration,
             hierarchy,
         });
+        self.publish_store_gauges();
+    }
+
+    /// Refreshes the memory-footprint gauges from the finalized store
+    /// (store size, per-predicate replica bytes, dictionary sections).
+    fn publish_store_gauges(&self) {
+        if !self.config.record_metrics {
+            return;
+        }
+        let Some(ready) = self.ready.as_ref() else {
+            return;
+        };
+        let store = &ready.store;
+        let dict = store.dict();
+        let per_predicate = store.partitions().iter().map(|p| {
+            let label = dict
+                .decode_predicate(p.predicate())
+                .map_or_else(|_| format!("#{}", p.predicate()), |t| t.to_string());
+            (label, p.memory_bytes() as u64)
+        });
+        self.metrics.set_store_memory(
+            store.num_triples() as u64,
+            store.partitions_memory_bytes() as u64,
+            per_predicate,
+            dict.resources_memory_bytes() as u64,
+            dict.predicates_memory_bytes() as u64,
+        );
+    }
+
+    /// The engine's metrics registry. It is owned by the engine, lives
+    /// for its whole lifetime, and accumulates across queries; clone
+    /// the `Arc` to scrape from another thread.
+    pub fn metrics(&self) -> Arc<EngineMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// A point-in-time snapshot of every metric family, ready for
+    /// Prometheus-text ([`MetricsSnapshot::to_prometheus`]) or JSON
+    /// ([`MetricsSnapshot::to_json`]) exposition.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// True once finalized (and not re-opened by later loads).
@@ -498,11 +577,18 @@ impl Parj {
         self.ready.as_ref().ok_or(ParjError::NotFinalized)
     }
 
-    /// Builds executor options for one query run. When any lifecycle
-    /// limit is in effect (deadline, row budget, cancel token) a single
-    /// [`QueryGuard`] is armed here and shared by every plan of the run
-    /// — union branches draw down one budget and one deadline clock.
-    fn exec_options(config: &EngineConfig, over: &RunOverrides) -> ExecOptions {
+    /// Builds executor options for one query run through the validating
+    /// [`ExecOptions::builder`] — an override of zero threads is
+    /// rejected as [`ParjError::InvalidOptions`] instead of being
+    /// silently clamped. When any lifecycle limit is in effect
+    /// (deadline, row budget, cancel token) a single [`QueryGuard`] is
+    /// armed here and shared by every plan of the run — union branches
+    /// draw down one budget and one deadline clock.
+    fn exec_options(
+        config: &EngineConfig,
+        over: &RunOverrides,
+        recorder: Option<Arc<dyn parj_join::Recorder>>,
+    ) -> Result<ExecOptions, ParjError> {
         let timeout = over.timeout.or(config.timeout);
         let max_rows = over.max_rows.or(config.max_result_rows);
         let guard = if timeout.is_some() || max_rows.is_some() || over.cancel.is_some() {
@@ -511,12 +597,14 @@ impl Parj {
         } else {
             None
         };
-        ExecOptions {
-            threads: over.threads.unwrap_or(config.threads).max(1),
-            shards_per_thread: config.shards_per_thread,
-            strategy: over.strategy.unwrap_or(config.strategy),
-            guard,
-        }
+        ExecOptions::builder()
+            .threads(over.threads.unwrap_or(config.threads))
+            .shards_per_thread(config.shards_per_thread)
+            .strategy(over.strategy.unwrap_or(config.strategy))
+            .guard(guard)
+            .recorder(recorder)
+            .build()
+            .map_err(|e| ParjError::InvalidOptions(e.to_string()))
     }
 
     /// §3's small-query extension: a plan driving a tiny domain runs on
@@ -549,14 +637,15 @@ impl Parj {
     /// partial-progress statistics (work done before the trip).
     fn failure_to_error(
         failure: ExecFailure,
-        prepare_micros: u64,
+        phases: PhaseTimings,
         exec_started: Instant,
         mut search: SearchStats,
         plans: &[PhysicalPlan],
     ) -> ParjError {
         search.merge(&failure.stats);
         let partial = Box::new(QueryRunStats {
-            prepare_micros,
+            prepare_micros: phases.total(),
+            phases,
             exec_micros: exec_started.elapsed().as_micros() as u64,
             decode_micros: 0,
             search,
@@ -586,7 +675,12 @@ impl Parj {
     /// # let mut engine = parj_core::Parj::new();
     /// let (token, over) = engine.query_handle();
     /// std::thread::spawn(move || token.cancel());
-    /// match engine.query_count_with("SELECT ?s WHERE { ?s ?p ?o }", &over) {
+    /// let run = engine
+    ///     .request("SELECT ?s WHERE { ?s ?p ?o }")
+    ///     .overrides(&over)
+    ///     .count_only()
+    ///     .run();
+    /// match run {
     ///     Err(parj_core::ParjError::Cancelled { .. }) => {}
     ///     other => println!("finished first: {other:?}"),
     /// }
@@ -598,16 +692,23 @@ impl Parj {
     }
 
     /// Parses, translates and optimizes `query` against finalized state;
-    /// returns the plans (one per union expansion) plus translation
-    /// metadata.
+    /// returns the plans (one per union expansion), translation
+    /// metadata, and per-phase wall timings.
     fn prepare_on(
         ready: &Ready,
         query: &str,
-    ) -> Result<(Prepared, Vec<String>, Option<usize>), ParjError> {
+    ) -> Result<(Prepared, Vec<String>, Option<usize>, PhaseTimings), ParjError> {
+        let mut phases = PhaseTimings::default();
+        let t = Instant::now();
         let parsed = parse_query(query)?;
-        match translate(&parsed, ready.store.dict(), ready.hierarchy.as_ref())? {
-            Translation::Empty { proj_names, limit } => Ok((None, proj_names, limit)),
+        phases.parse_micros = t.elapsed().as_micros() as u64;
+        let t = Instant::now();
+        let translated = translate(&parsed, ready.store.dict(), ready.hierarchy.as_ref())?;
+        phases.translate_micros = t.elapsed().as_micros() as u64;
+        match translated {
+            Translation::Empty { proj_names, limit } => Ok((None, proj_names, limit, phases)),
             Translation::Run(tq) => {
+                let t = Instant::now();
                 // Hierarchy expansions union alternative derivations of
                 // the same solutions; dedup needs the *full* binding row,
                 // so plans then project every variable.
@@ -620,11 +721,247 @@ impl Parj {
                 for set in &tq.pattern_sets {
                     plans.push(optimize(&ready.stats, set, tq.num_vars, plan_proj.clone())?);
                 }
+                phases.optimize_micros = t.elapsed().as_micros() as u64;
                 let names = tq.proj_names.clone();
                 let limit = tq.limit;
-                Ok((Some((tq, plans)), names, limit))
+                Ok((Some((tq, plans)), names, limit, phases))
             }
         }
+    }
+
+    /// Unified execution path behind [`Parj::request`]: records
+    /// lifecycle metrics around the inner run regardless of how it
+    /// ends.
+    pub(crate) fn run_request(
+        &self,
+        query: &str,
+        spec: &RunSpec,
+    ) -> Result<QueryOutcome, ParjError> {
+        let metrics = self.config.record_metrics.then_some(&*self.metrics);
+        if let Some(m) = metrics {
+            m.query_started();
+        }
+        // Decrements the in-flight gauge on every exit, panics included.
+        struct Inflight<'a>(Option<&'a EngineMetrics>);
+        impl Drop for Inflight<'_> {
+            fn drop(&mut self) {
+                if let Some(m) = self.0 {
+                    m.query_finished();
+                }
+            }
+        }
+        let _inflight = Inflight(metrics);
+        let t0 = Instant::now();
+        let result = self.run_request_inner(query, spec);
+        if let Some(m) = metrics {
+            let total_micros = t0.elapsed().as_micros() as u64;
+            let (class, stats) = match &result {
+                Ok(out) => (QueryOutcomeClass::Ok, Some(&out.stats)),
+                Err(e) => (Self::outcome_class(e), e.partial_stats()),
+            };
+            let empty = QueryRunStats::default();
+            let stats = stats.unwrap_or(&empty);
+            let phases = [
+                (QueryPhase::Parse, stats.phases.parse_micros),
+                (QueryPhase::Translate, stats.phases.translate_micros),
+                (QueryPhase::Optimize, stats.phases.optimize_micros),
+                (QueryPhase::Execute, stats.exec_micros),
+                (QueryPhase::Decode, stats.decode_micros),
+            ];
+            m.record_query(
+                class,
+                &phases,
+                total_micros,
+                stats.rows,
+                &Self::search_totals(&stats.search),
+            );
+        }
+        result
+    }
+
+    /// Maps a run error onto its metrics outcome class.
+    fn outcome_class(e: &ParjError) -> QueryOutcomeClass {
+        match e {
+            ParjError::Cancelled { .. } => QueryOutcomeClass::Cancelled,
+            ParjError::DeadlineExceeded { .. } => QueryOutcomeClass::Timeout,
+            ParjError::BudgetExceeded { .. } => QueryOutcomeClass::Budget,
+            ParjError::WorkerPanicked { .. } => QueryOutcomeClass::Panicked,
+            _ => QueryOutcomeClass::Error,
+        }
+    }
+
+    /// Converts merged worker counters to the registry's totals shape.
+    fn search_totals(s: &SearchStats) -> SearchTotals {
+        SearchTotals {
+            sequential: s.sequential_searches,
+            binary: s.binary_searches,
+            index: s.index_lookups,
+            sequential_steps: s.sequential_steps,
+            binary_steps: s.binary_steps,
+            index_words: s.index_words,
+            group_probes: s.group_probes,
+        }
+    }
+
+    fn run_request_inner(
+        &self,
+        query: &str,
+        spec: &RunSpec,
+    ) -> Result<QueryOutcome, ParjError> {
+        let ready = self.ready_or_err()?;
+        let over = &spec.over;
+        // One recorder per run: fed by every plan's executor exit, both
+        // into the metrics registry and (under `explain`) a profile
+        // capture. Skipped entirely when neither consumer exists.
+        let recorder = if self.config.record_metrics || spec.explain {
+            Some(Arc::new(RunRecorder {
+                metrics: self
+                    .config
+                    .record_metrics
+                    .then(|| Arc::clone(&self.metrics)),
+                profiles: spec.explain.then(Default::default),
+            }))
+        } else {
+            None
+        };
+        let opts = Self::exec_options(
+            &self.config,
+            over,
+            recorder
+                .clone()
+                .map(|r| r as Arc<dyn parj_join::Recorder>),
+        )?;
+        let (prepared, names, limit, phases) = Self::prepare_on(ready, query)?;
+        let prepare_micros = phases.total();
+        let Some((tq, plans)) = prepared else {
+            let stats = QueryRunStats {
+                prepare_micros,
+                phases,
+                plan: "<empty: constant absent from data>".into(),
+                ..Default::default()
+            };
+            return Ok(QueryOutcome {
+                vars: names,
+                count: 0,
+                rows: matches!(spec.mode, RunMode::Rows).then(Vec::new),
+                ids: matches!(spec.mode, RunMode::Ids).then(Vec::new),
+                stats,
+                profile: spec
+                    .explain
+                    .then(|| "<empty: constant absent from data>".to_string()),
+            });
+        };
+        let explicit_threads = over.threads.is_some();
+        let mut outcome = if matches!(spec.mode, RunMode::Count)
+            && !tq.distinct
+            && !tq.dedup_full
+        {
+            // Silent mode (the paper's primary measurement): count
+            // without materialization.
+            let offset = tq.offset.unwrap_or(0) as u64;
+            let t1 = Instant::now();
+            let mut count = 0u64;
+            let mut search = SearchStats::default();
+            for plan in &plans {
+                let plan_opts =
+                    Self::opts_for_plan(&self.config, ready, &opts, explicit_threads, plan);
+                let (sinks, s) = match execute(
+                    &ready.store,
+                    plan,
+                    &plan_opts,
+                    &ready.thresholds,
+                    CountSink::default,
+                ) {
+                    Ok(r) => r,
+                    Err(failure) => {
+                        return Err(Self::failure_to_error(
+                            *failure,
+                            phases,
+                            t1,
+                            std::mem::take(&mut search),
+                            &plans,
+                        ));
+                    }
+                };
+                count += sinks.iter().map(|s| s.count).sum::<u64>();
+                search.merge(&s);
+            }
+            let exec_micros = t1.elapsed().as_micros() as u64;
+            // OFFSET/LIMIT arithmetic (ordering does not change a count).
+            count = count.saturating_sub(offset);
+            if let Some(l) = limit {
+                count = count.min(l as u64);
+            }
+            QueryOutcome {
+                vars: names,
+                count,
+                rows: None,
+                ids: None,
+                stats: QueryRunStats {
+                    prepare_micros,
+                    phases,
+                    exec_micros,
+                    decode_micros: 0,
+                    search,
+                    rows: count,
+                    plan: plans
+                        .iter()
+                        .map(PhysicalPlan::explain)
+                        .collect::<Vec<_>>()
+                        .join("\n---\n"),
+                },
+                profile: None,
+            }
+        } else {
+            let (id_rows, mut stats) = Self::run_ids_on(
+                &self.config,
+                ready,
+                opts,
+                explicit_threads,
+                &tq,
+                &plans,
+                phases,
+            )?;
+            let count = id_rows.len() as u64;
+            let (rows, ids) = match spec.mode {
+                RunMode::Count => (None, None),
+                RunMode::Ids => (None, Some(id_rows)),
+                RunMode::Rows => {
+                    // Full result handling: decode ids to terms.
+                    let t2 = Instant::now();
+                    let dict = ready.store.dict();
+                    let mut rows = Vec::with_capacity(id_rows.len());
+                    for id_row in id_rows {
+                        let mut row = Vec::with_capacity(id_row.len());
+                        for id in id_row {
+                            row.push(
+                                dict.decode_resource(id)
+                                    .expect("engine-produced ids are valid"),
+                            );
+                        }
+                        rows.push(row);
+                    }
+                    stats.decode_micros += t2.elapsed().as_micros() as u64;
+                    (Some(rows), None)
+                }
+            };
+            QueryOutcome {
+                vars: names,
+                count,
+                rows,
+                ids,
+                stats,
+                profile: None,
+            }
+        };
+        if spec.explain {
+            let profiles = recorder
+                .as_ref()
+                .and_then(|r| r.profiles.as_ref())
+                .map_or_else(Vec::new, |p| std::mem::take(&mut p.lock()));
+            outcome.profile = Some(Self::render_annotated(&plans, &profiles));
+        }
+        Ok(outcome)
     }
 
     /// Silent-mode execution (the paper's primary measurement): count
@@ -632,97 +969,30 @@ impl Parj {
     ///
     /// `DISTINCT` queries still require materializing ids to
     /// deduplicate; `LIMIT` caps the reported count.
+    #[deprecated(note = "use `engine.request(query).count_only().run()`")]
     pub fn query_count(&mut self, query: &str) -> Result<(u64, QueryRunStats), ParjError> {
-        self.query_count_with(query, &RunOverrides::default())
+        self.request(query).count_only().run().map(QueryOutcome::into_count)
     }
 
     /// [`Parj::query_count`] with per-run overrides.
+    #[deprecated(note = "use `engine.request(query).overrides(over).count_only().run()`")]
     pub fn query_count_with(
         &mut self,
         query: &str,
         over: &RunOverrides,
     ) -> Result<(u64, QueryRunStats), ParjError> {
-        self.finalize();
-        self.query_count_ref(query, over)
+        self.request(query).overrides(over).count_only().run().map(QueryOutcome::into_count)
     }
 
     /// `&self` variant of [`Parj::query_count_with`]: requires a
     /// finalized engine (see [`crate::SharedParj`] for concurrent use).
+    #[deprecated(note = "use `engine.request_ref(query).overrides(over).count_only().run()`")]
     pub fn query_count_ref(
         &self,
         query: &str,
         over: &RunOverrides,
     ) -> Result<(u64, QueryRunStats), ParjError> {
-        let ready = self.ready_or_err()?;
-        let opts = Self::exec_options(&self.config, over);
-        let t0 = Instant::now();
-        let (prepared, _names, limit) = Self::prepare_on(ready, query)?;
-        let prepare_micros = t0.elapsed().as_micros() as u64;
-        let Some((tq, plans)) = prepared else {
-            return Ok((
-                0,
-                QueryRunStats {
-                    prepare_micros,
-                    plan: "<empty: constant absent from data>".into(),
-                    ..Default::default()
-                },
-            ));
-        };
-        if tq.distinct || tq.dedup_full {
-            // DISTINCT and hierarchy dedup force materialization; reuse
-            // the id path.
-            let (rows, stats) = Self::run_ids_on(&self.config, ready, opts, over.threads.is_some(), &tq, &plans, prepare_micros)?;
-            return Ok((rows.len() as u64, stats));
-        }
-        let offset = tq.offset.unwrap_or(0) as u64;
-        let t1 = Instant::now();
-        let mut count = 0u64;
-        let mut search = SearchStats::default();
-        for plan in &plans {
-            let plan_opts =
-                Self::opts_for_plan(&self.config, ready, &opts, over.threads.is_some(), plan);
-            let (sinks, s) = match execute(
-                &ready.store,
-                plan,
-                &plan_opts,
-                &ready.thresholds,
-                CountSink::default,
-            ) {
-                Ok(r) => r,
-                Err(failure) => {
-                    return Err(Self::failure_to_error(
-                        *failure,
-                        prepare_micros,
-                        t1,
-                        std::mem::take(&mut search),
-                        &plans,
-                    ));
-                }
-            };
-            count += sinks.iter().map(|s| s.count).sum::<u64>();
-            search.merge(&s);
-        }
-        let exec_micros = t1.elapsed().as_micros() as u64;
-        // OFFSET/LIMIT arithmetic (ordering does not change a count).
-        count = count.saturating_sub(offset);
-        if let Some(l) = limit {
-            count = count.min(l as u64);
-        }
-        Ok((
-            count,
-            QueryRunStats {
-                prepare_micros,
-                exec_micros,
-                decode_micros: 0,
-                search,
-                rows: count,
-                plan: plans
-                    .iter()
-                    .map(PhysicalPlan::explain)
-                    .collect::<Vec<_>>()
-                    .join("\n---\n"),
-            },
-        ))
+        self.request_ref(query).overrides(over).count_only().run().map(QueryOutcome::into_count)
     }
 
     fn run_ids_on(
@@ -732,7 +1002,7 @@ impl Parj {
         explicit_threads: bool,
         tq: &crate::translate::TranslatedQuery,
         plans: &[PhysicalPlan],
-        prepare_micros: u64,
+        phases: PhaseTimings,
     ) -> Result<(Vec<Vec<Id>>, QueryRunStats), ParjError> {
         // Full-width plans (hierarchy dedup / ORDER BY a non-projected
         // variable) carry every binding; see prepare.
@@ -765,7 +1035,7 @@ impl Parj {
                 Err(failure) => {
                     return Err(Self::failure_to_error(
                         *failure,
-                        prepare_micros,
+                        phases,
                         t1,
                         std::mem::take(&mut search),
                         plans,
@@ -862,7 +1132,8 @@ impl Parj {
         Ok((
             rows.into_rows(),
             QueryRunStats {
-                prepare_micros,
+                prepare_micros: phases.total(),
+                phases,
                 exec_micros,
                 decode_micros,
                 search,
@@ -893,11 +1164,11 @@ impl Parj {
     ) -> Result<Vec<Vec<u64>>, ParjError> {
         self.finalize();
         let ready = self.ready_or_err()?;
-        let (prepared, _, _) = Self::prepare_on(ready, query)?;
+        let (prepared, _, _, _) = Self::prepare_on(ready, query)?;
         let Some((_tq, plans)) = prepared else {
             return Ok(Vec::new());
         };
-        let opts = Self::exec_options(&self.config, over);
+        let opts = Self::exec_options(&self.config, over, None)?;
         Ok(plans
             .iter()
             .map(|plan| parj_join::shard_loads(&ready.store, plan, &opts, &ready.thresholds))
@@ -905,111 +1176,63 @@ impl Parj {
     }
 
     /// Materialized execution returning dictionary ids (no term decode).
+    #[deprecated(note = "use `engine.request(query).ids_only().run()`")]
     pub fn query_ids(&mut self, query: &str) -> Result<(Vec<Vec<Id>>, QueryRunStats), ParjError> {
-        self.query_ids_with(query, &RunOverrides::default())
+        self.request(query).ids_only().run().map(QueryOutcome::into_ids)
     }
 
     /// [`Parj::query_ids`] with overrides.
+    #[deprecated(note = "use `engine.request(query).overrides(over).ids_only().run()`")]
     pub fn query_ids_with(
         &mut self,
         query: &str,
         over: &RunOverrides,
     ) -> Result<(Vec<Vec<Id>>, QueryRunStats), ParjError> {
-        self.finalize();
-        self.query_ids_ref(query, over)
+        self.request(query).overrides(over).ids_only().run().map(QueryOutcome::into_ids)
     }
 
     /// `&self` variant of [`Parj::query_ids_with`] (finalized engines).
+    #[deprecated(note = "use `engine.request_ref(query).overrides(over).ids_only().run()`")]
     pub fn query_ids_ref(
         &self,
         query: &str,
         over: &RunOverrides,
     ) -> Result<(Vec<Vec<Id>>, QueryRunStats), ParjError> {
-        let ready = self.ready_or_err()?;
-        let opts = Self::exec_options(&self.config, over);
-        let t0 = Instant::now();
-        let (prepared, _names, _limit) = Self::prepare_on(ready, query)?;
-        let prepare_micros = t0.elapsed().as_micros() as u64;
-        match prepared {
-            None => Ok((
-                Vec::new(),
-                QueryRunStats {
-                    prepare_micros,
-                    plan: "<empty: constant absent from data>".into(),
-                    ..Default::default()
-                },
-            )),
-            Some((tq, plans)) => Self::run_ids_on(&self.config, ready, opts, over.threads.is_some(), &tq, &plans, prepare_micros),
-        }
+        self.request_ref(query).overrides(over).ids_only().run().map(QueryOutcome::into_ids)
     }
 
     /// Full result handling (the paper's non-silent mode): rows decoded
     /// through the dictionary into terms.
+    #[deprecated(note = "use `engine.request(query).run()`")]
     pub fn query(&mut self, query: &str) -> Result<QueryResult, ParjError> {
-        self.query_with(query, &RunOverrides::default())
+        self.request(query).run().map(QueryOutcome::into_result)
     }
 
     /// [`Parj::query`] with overrides.
+    #[deprecated(note = "use `engine.request(query).overrides(over).run()`")]
     pub fn query_with(
         &mut self,
         query: &str,
         over: &RunOverrides,
     ) -> Result<QueryResult, ParjError> {
-        self.finalize();
-        self.query_ref(query, over)
+        self.request(query).overrides(over).run().map(QueryOutcome::into_result)
     }
 
     /// `&self` variant of [`Parj::query_with`] (finalized engines).
+    #[deprecated(note = "use `engine.request_ref(query).overrides(over).run()`")]
     pub fn query_ref(
         &self,
         query: &str,
         over: &RunOverrides,
     ) -> Result<QueryResult, ParjError> {
-        let ready = self.ready_or_err()?;
-        let opts = Self::exec_options(&self.config, over);
-        let t0 = Instant::now();
-        let (prepared, proj_names, _limit) = Self::prepare_on(ready, query)?;
-        let prepare_micros = t0.elapsed().as_micros() as u64;
-        let Some((tq, plans)) = prepared else {
-            return Ok(QueryResult {
-                vars: proj_names,
-                rows: Vec::new(),
-                stats: QueryRunStats {
-                    prepare_micros,
-                    plan: "<empty: constant absent from data>".into(),
-                    ..Default::default()
-                },
-            });
-        };
-        let (id_rows, mut stats) = Self::run_ids_on(&self.config, ready, opts, over.threads.is_some(), &tq, &plans, prepare_micros)?;
-        let t2 = Instant::now();
-        let mut rows = Vec::with_capacity(id_rows.len());
-        for id_row in id_rows {
-            let mut row = Vec::with_capacity(id_row.len());
-            for id in id_row {
-                row.push(
-                    ready
-                        .store
-                        .dict()
-                        .decode_resource(id)
-                        .expect("engine-produced ids are valid"),
-                );
-            }
-            rows.push(row);
-        }
-        stats.decode_micros += t2.elapsed().as_micros() as u64;
-        Ok(QueryResult {
-            vars: tq.proj_names.clone(),
-            rows,
-            stats,
-        })
+        self.request_ref(query).overrides(over).run().map(QueryOutcome::into_result)
     }
 
     /// Renders the optimized plan(s) for a query without executing it.
     pub fn explain(&mut self, query: &str) -> Result<String, ParjError> {
         self.finalize();
         let ready = self.ready_or_err()?;
-        let (prepared, _, _) = Self::prepare_on(ready, query)?;
+        let (prepared, _, _, _) = Self::prepare_on(ready, query)?;
         Ok(match prepared {
             None => "<empty: constant absent from data>".to_string(),
             Some((_, plans)) => plans
@@ -1023,25 +1246,45 @@ impl Parj {
     /// Executes the query single-threaded and renders an annotated plan:
     /// per pipeline stage, the tuples that entered it and the search
     /// decisions it made — the `EXPLAIN ANALYZE` counterpart of
-    /// [`Parj::explain`].
+    /// [`Parj::explain`]. For the same report from a real parallel run,
+    /// use `engine.request(query).explain(true).run()`.
     pub fn profile(&mut self, query: &str) -> Result<String, ParjError> {
-        use std::fmt::Write;
         self.finalize();
         let ready = self.ready_or_err()?;
-        let (prepared, _, _) = Self::prepare_on(ready, query)?;
+        let (prepared, _, _, _) = Self::prepare_on(ready, query)?;
         let Some((_tq, plans)) = prepared else {
             return Ok("<empty: constant absent from data>".to_string());
         };
         let opts = ExecOptions {
             threads: 1,
-            ..Self::exec_options(&self.config, &RunOverrides::default())
+            ..Self::exec_options(&self.config, &RunOverrides::default(), None)?
         };
+        let profiles: Vec<CapturedProfile> = plans
+            .iter()
+            .map(|plan| {
+                let prof =
+                    parj_join::execute_profiled(&ready.store, plan, &opts, &ready.thresholds);
+                CapturedProfile {
+                    rows: prof.rows,
+                    step_search: prof.step_search,
+                    driver: prof.driver,
+                }
+            })
+            .collect();
+        Ok(Self::render_annotated(&plans, &profiles))
+    }
+
+    /// Renders the annotated-plan report shared by [`Parj::profile`] and
+    /// the request API's `explain(true)` mode.
+    fn render_annotated(plans: &[PhysicalPlan], profiles: &[CapturedProfile]) -> String {
+        use std::fmt::Write;
+        let fallback = CapturedProfile::default();
         let mut out = String::new();
         for (pi, plan) in plans.iter().enumerate() {
             if plans.len() > 1 {
                 writeln!(out, "-- union branch plan {pi} --").expect("write");
             }
-            let prof = parj_join::execute_profiled(&ready.store, plan, &opts, &ready.thresholds);
+            let prof = profiles.get(pi).unwrap_or(&fallback);
             for (si, line) in plan.explain().lines().enumerate() {
                 match si.checked_sub(1).and_then(|probe| prof.step_search.get(probe)) {
                     None if si == 0 => {
@@ -1071,13 +1314,17 @@ impl Parj {
                     }
                     None => {
                         // Projection line.
-                        writeln!(out, "{line}   = {} result rows", prof.results())
-                            .expect("write");
+                        writeln!(
+                            out,
+                            "{line}   = {} result rows",
+                            prof.rows.last().copied().unwrap_or(0)
+                        )
+                        .expect("write");
                     }
                 }
             }
         }
-        Ok(out)
+        out
     }
 
     /// Saves a snapshot of the finalized store.
@@ -1095,25 +1342,7 @@ impl Parj {
         config: EngineConfig,
     ) -> Result<Parj, ParjError> {
         let store = TripleStore::load_snapshot(path)?;
-        let stats = Stats::build_with_buckets(&store, config.histogram_buckets);
-        let calibration = if config.calibrate {
-            calibrate(&store, &config.calibration)
-        } else {
-            CalibrationResult::paper_defaults()
-        };
-        let thresholds = ThresholdTable::from_calibration(&store, &calibration);
-        let hierarchy = config.reasoning.then(|| Hierarchy::extract(&store));
-        Ok(Parj {
-            config,
-            staged: None,
-            ready: Some(Ready {
-                store,
-                stats,
-                thresholds,
-                calibration,
-                hierarchy,
-            }),
-        })
+        Ok(Self::from_store(store, config))
     }
 
     /// Manually constructs an engine around an existing store (used by
@@ -1127,7 +1356,7 @@ impl Parj {
         };
         let thresholds = ThresholdTable::from_calibration(&store, &calibration);
         let hierarchy = config.reasoning.then(|| Hierarchy::extract(&store));
-        Parj {
+        let engine = Parj {
             config,
             staged: None,
             ready: Some(Ready {
@@ -1137,6 +1366,54 @@ impl Parj {
                 calibration,
                 hierarchy,
             }),
+            metrics: Arc::new(EngineMetrics::new()),
+        };
+        engine.publish_store_gauges();
+        engine
+    }
+}
+
+/// Per-plan step counters captured for the annotated-plan report
+/// (mirrors [`parj_join::PlanProfile`], but buildable from an
+/// [`parj_join::ExecRecord`] of a parallel run).
+#[derive(Default)]
+struct CapturedProfile {
+    rows: Vec<u64>,
+    step_search: Vec<SearchStats>,
+    driver: SearchStats,
+}
+
+/// Bridges the executor's once-per-run [`parj_join::Recorder`] callback
+/// into the engine: plan-level metrics (probe volume, shard-load
+/// imbalance) and, under `explain`, a profile capture per plan.
+struct RunRecorder {
+    metrics: Option<Arc<EngineMetrics>>,
+    profiles: Option<parking_lot::Mutex<Vec<CapturedProfile>>>,
+}
+
+impl parj_join::Recorder for RunRecorder {
+    fn record_exec(&self, r: &parj_join::ExecRecord<'_>) {
+        if let Some(m) = &self.metrics {
+            // Tuples that entered probe steps (everything but the
+            // final result count).
+            let probe_rows: u64 = r.step_rows[..r.step_rows.len().saturating_sub(1)]
+                .iter()
+                .sum();
+            // Load imbalance ×1000: max worker load over the ideal
+            // per-worker share; 1000 = perfectly balanced.
+            let max = r.worker_units.iter().copied().max().unwrap_or(0);
+            let total: u64 = r.worker_units.iter().sum();
+            let imbalance = (max * r.worker_units.len() as u64 * 1000)
+                .checked_div(total)
+                .unwrap_or(1000);
+            m.record_plan_exec(probe_rows, imbalance);
+        }
+        if let Some(p) = &self.profiles {
+            p.lock().push(CapturedProfile {
+                rows: r.step_rows.to_vec(),
+                step_search: r.step_search.to_vec(),
+                driver: r.driver_search,
+            });
         }
     }
 }
@@ -1182,12 +1459,22 @@ mod tests {
         e
     }
 
+    fn run_query(e: &mut Parj, q: &str) -> Result<QueryResult, ParjError> {
+        e.request(q).run().map(QueryOutcome::into_result)
+    }
+
+    fn run_count(e: &mut Parj, q: &str) -> Result<(u64, QueryRunStats), ParjError> {
+        e.request(q).count_only().run().map(QueryOutcome::into_count)
+    }
+
     #[test]
     fn end_to_end_example_31() {
         let mut e = engine();
-        let res = e
-            .query("SELECT ?x ?z ?y WHERE { ?x <http://e/teaches> ?z . ?x <http://e/worksFor> ?y }")
-            .unwrap();
+        let res = run_query(
+            &mut e,
+            "SELECT ?x ?z ?y WHERE { ?x <http://e/teaches> ?z . ?x <http://e/worksFor> ?y }",
+        )
+        .unwrap();
         assert_eq!(res.vars, vec!["x", "z", "y"]);
         assert_eq!(res.rows.len(), 4);
         assert!(res
@@ -1199,11 +1486,11 @@ mod tests {
     #[test]
     fn end_to_end_example_32_filter() {
         let mut e = engine();
-        let (count, stats) = e
-            .query_count(
-                "SELECT ?x ?z WHERE { ?x <http://e/teaches> ?z . ?x <http://e/worksFor> <http://e/U2> }",
-            )
-            .unwrap();
+        let (count, stats) = run_count(
+            &mut e,
+            "SELECT ?x ?z WHERE { ?x <http://e/teaches> ?z . ?x <http://e/worksFor> <http://e/U2> }",
+        )
+        .unwrap();
         assert_eq!(count, 2);
         assert!(stats.plan.contains("scan"));
     }
@@ -1212,22 +1499,19 @@ mod tests {
     fn silent_vs_full_agree() {
         let mut e = engine();
         let q = "SELECT ?x ?y WHERE { ?x <http://e/worksFor> ?y }";
-        let (count, _) = e.query_count(q).unwrap();
-        let full = e.query(q).unwrap();
+        let (count, _) = run_count(&mut e, q).unwrap();
+        let full = run_query(&mut e, q).unwrap();
         assert_eq!(count, full.rows.len() as u64);
     }
 
     #[test]
     fn missing_constant_empty() {
         let mut e = engine();
-        let (count, stats) = e
-            .query_count("SELECT ?x WHERE { ?x <http://e/teaches> <http://e/Nope> }")
-            .unwrap();
+        let (count, stats) =
+            run_count(&mut e, "SELECT ?x WHERE { ?x <http://e/teaches> <http://e/Nope> }").unwrap();
         assert_eq!(count, 0);
         assert!(stats.plan.contains("empty"));
-        let res = e
-            .query("SELECT ?x WHERE { ?x <http://e/nopred> ?y }")
-            .unwrap();
+        let res = run_query(&mut e, "SELECT ?x WHERE { ?x <http://e/nopred> ?y }").unwrap();
         assert!(res.is_empty());
         assert_eq!(res.vars, vec!["x"]);
     }
@@ -1237,28 +1521,26 @@ mod tests {
         let mut e = engine();
         // Professors teaching anything: 3 distinct, 4 rows raw.
         let q = "SELECT ?x WHERE { ?x <http://e/teaches> ?z }";
-        let (raw, _) = e.query_count(q).unwrap();
+        let (raw, _) = run_count(&mut e, q).unwrap();
         assert_eq!(raw, 4);
         let q = "SELECT DISTINCT ?x WHERE { ?x <http://e/teaches> ?z }";
-        let (distinct, _) = e.query_count(q).unwrap();
+        let (distinct, _) = run_count(&mut e, q).unwrap();
         assert_eq!(distinct, 3);
         let q = "SELECT ?x WHERE { ?x <http://e/teaches> ?z } LIMIT 2";
-        let (limited, _) = e.query_count(q).unwrap();
+        let (limited, _) = run_count(&mut e, q).unwrap();
         assert_eq!(limited, 2);
-        let (rows, _) = e.query_ids(q).unwrap();
+        let (rows, _) = e.request(q).ids_only().run().map(QueryOutcome::into_ids).unwrap();
         assert_eq!(rows.len(), 2);
     }
 
     #[test]
     fn ask_query() {
         let mut e = engine();
-        let (yes, _) = e
-            .query_count("ASK { <http://e/ProfA> <http://e/worksFor> <http://e/U1> }")
-            .unwrap();
+        let (yes, _) =
+            run_count(&mut e, "ASK { <http://e/ProfA> <http://e/worksFor> <http://e/U1> }").unwrap();
         assert_eq!(yes, 1);
-        let (no, _) = e
-            .query_count("ASK { <http://e/ProfA> <http://e/worksFor> <http://e/U2> }")
-            .unwrap();
+        let (no, _) =
+            run_count(&mut e, "ASK { <http://e/ProfA> <http://e/worksFor> <http://e/U2> }").unwrap();
         assert_eq!(no, 0);
     }
 
@@ -1267,22 +1549,18 @@ mod tests {
         let mut e = engine();
         // Everything about ProfA over any predicate: 2 teaches +
         // 1 worksFor + 1 name = 4 triples.
-        let (count, _) = e
-            .query_count("SELECT ?o WHERE { <http://e/ProfA> ?p ?o }")
-            .unwrap();
+        let (count, _) = run_count(&mut e, "SELECT ?o WHERE { <http://e/ProfA> ?p ?o }").unwrap();
         assert_eq!(count, 4);
     }
 
     #[test]
     fn literals_in_queries() {
         let mut e = engine();
-        let (count, _) = e
-            .query_count(r#"SELECT ?x WHERE { ?x <http://e/name> "Alice" }"#)
-            .unwrap();
+        let (count, _) =
+            run_count(&mut e, r#"SELECT ?x WHERE { ?x <http://e/name> "Alice" }"#).unwrap();
         assert_eq!(count, 1);
-        let (count, _) = e
-            .query_count(r#"SELECT ?x WHERE { ?x <http://e/name> "Bob" }"#)
-            .unwrap();
+        let (count, _) =
+            run_count(&mut e, r#"SELECT ?x WHERE { ?x <http://e/name> "Bob" }"#).unwrap();
         assert_eq!(count, 0);
     }
 
@@ -1290,13 +1568,34 @@ mod tests {
     fn overrides_thread_and_strategy() {
         let mut e = engine();
         let q = "SELECT ?x ?z WHERE { ?x <http://e/teaches> ?z . ?x <http://e/worksFor> ?y }";
-        let base = e.query_count(q).unwrap().0;
+        let base = run_count(&mut e, q).unwrap().0;
         for strategy in ProbeStrategy::TABLE5 {
             for threads in [1, 3, 8] {
-                let over = RunOverrides::threads(threads).with_strategy(strategy);
-                assert_eq!(e.query_count_with(q, &over).unwrap().0, base);
+                let got = e
+                    .request(q)
+                    .threads(threads)
+                    .strategy(strategy)
+                    .count_only()
+                    .run()
+                    .unwrap()
+                    .count;
+                assert_eq!(got, base);
             }
         }
+    }
+
+    #[test]
+    fn request_builder_zero_threads_rejected() {
+        let mut e = engine();
+        let q = "SELECT ?x WHERE { ?x <http://e/teaches> ?z }";
+        match e.request(q).threads(0).count_only().run() {
+            Err(ParjError::InvalidOptions(msg)) => {
+                assert!(msg.contains("thread"), "{msg}");
+            }
+            other => panic!("expected InvalidOptions, got {other:?}"),
+        }
+        // The engine is unharmed afterwards.
+        assert_eq!(run_count(&mut e, q).unwrap().0, 4);
     }
 
     #[test]
@@ -1308,9 +1607,7 @@ mod tests {
             &Term::iri("http://e/worksFor"),
             &Term::iri("http://e/U1"),
         );
-        let (count, _) = e
-            .query_count("SELECT ?x WHERE { ?x <http://e/worksFor> ?u }")
-            .unwrap();
+        let (count, _) = run_count(&mut e, "SELECT ?x WHERE { ?x <http://e/worksFor> ?u }").unwrap();
         assert_eq!(count, 4);
         assert_eq!(e.num_triples(), 9);
     }
@@ -1324,7 +1621,10 @@ mod tests {
         e.save_snapshot(&path).unwrap();
         let mut back = Parj::load_snapshot(&path, EngineConfig::default()).unwrap();
         let q = "SELECT ?x ?y WHERE { ?x <http://e/worksFor> ?y }";
-        assert_eq!(back.query_count(q).unwrap().0, e.query_count(q).unwrap().0);
+        assert_eq!(
+            run_count(&mut back, q).unwrap().0,
+            run_count(&mut e, q).unwrap().0
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -1358,9 +1658,101 @@ mod tests {
     }
 
     #[test]
+    fn request_explain_attaches_annotated_plan() {
+        let mut e = engine();
+        let out = e
+            .request("SELECT ?x ?z WHERE { ?x <http://e/teaches> ?z . ?x <http://e/worksFor> <http://e/U2> }")
+            .explain(true)
+            .run()
+            .unwrap();
+        assert_eq!(out.count, 2);
+        let profile = out.profile.as_deref().expect("explain attaches a profile");
+        assert!(profile.contains("probes ("), "{profile}");
+        assert!(profile.contains("= 2 result rows"), "{profile}");
+        // The full report stitches the annotated plan and the phase
+        // summary together.
+        let report = out.report();
+        assert!(report.contains("probes ("), "{report}");
+        assert!(report.contains("phases: parse"), "{report}");
+        // Without explain, no profile is attached.
+        let out = e
+            .request("SELECT ?x WHERE { ?x <http://e/teaches> ?z }")
+            .run()
+            .unwrap();
+        assert!(out.profile.is_none());
+    }
+
+    #[test]
+    fn request_records_phase_timings() {
+        let mut e = engine();
+        let out = e
+            .request("SELECT ?x ?y WHERE { ?x <http://e/teaches> ?z . ?x <http://e/worksFor> ?y }")
+            .run()
+            .unwrap();
+        assert_eq!(out.count, 4);
+        assert_eq!(out.stats.prepare_micros, out.stats.phases.total());
+        let report = out.report();
+        assert!(report.contains("phases: parse"), "{report}");
+        assert!(report.contains("rows: 4"), "{report}");
+        assert!(report.contains("searches:"), "{report}");
+    }
+
+    #[test]
+    fn metrics_populated_after_queries() {
+        let mut e = engine();
+        let q = "SELECT ?x WHERE { ?x <http://e/teaches> ?z }";
+        assert_eq!(e.request(q).count_only().run().unwrap().count, 4);
+        assert!(matches!(
+            e.request(q).max_rows(2).count_only().run(),
+            Err(ParjError::BudgetExceeded { .. })
+        ));
+        let snap = e.metrics_snapshot();
+        assert!(
+            snap.families.len() >= 12,
+            "expected >= 12 metric families, got {}",
+            snap.families.len()
+        );
+        assert_eq!(snap.value("parj_queries_total", &[("outcome", "ok")]), Some(1));
+        assert_eq!(snap.value("parj_queries_total", &[("outcome", "budget")]), Some(1));
+        assert_eq!(snap.value("parj_queries_inflight", &[]), Some(0));
+        assert_eq!(snap.value("parj_store_triples", &[]), Some(8));
+        assert_eq!(
+            snap.value("parj_load_statements_total", &[("result", "loaded")]),
+            Some(8)
+        );
+        assert!(snap.value("parj_result_rows_total", &[]).unwrap() >= 4);
+        // Per-predicate memory gauges carry decoded labels.
+        assert!(snap
+            .value("parj_store_replica_bytes", &[("predicate", "<http://e/teaches>")])
+            .is_some_and(|v| v > 0));
+        // Exposition renders both formats.
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("parj_queries_total"), "{prom}");
+        assert!(prom.contains("outcome=\"ok\""), "{prom}");
+        let json = snap.to_json();
+        assert!(json.contains("parj_queries_total"), "{json}");
+    }
+
+    #[test]
+    fn record_metrics_off_leaves_registry_zeroed() {
+        let mut e = Parj::builder().threads(1).record_metrics(false).build();
+        e.load_ntriples_str(DATA).unwrap();
+        e.finalize();
+        let (count, _) = run_count(&mut e, "SELECT ?x WHERE { ?x <http://e/teaches> ?z }").unwrap();
+        assert_eq!(count, 4);
+        let snap = e.metrics_snapshot();
+        assert_eq!(snap.value("parj_queries_total", &[("outcome", "ok")]), Some(0));
+        assert_eq!(snap.value("parj_store_triples", &[]), Some(0));
+        assert_eq!(
+            snap.value("parj_load_statements_total", &[("result", "loaded")]),
+            Some(0)
+        );
+    }
+
+    #[test]
     fn query_on_empty_engine() {
         let mut e = Parj::new();
-        let res = e.query("SELECT ?s WHERE { ?s ?p ?o }").unwrap();
+        let res = run_query(&mut e, "SELECT ?s WHERE { ?s ?p ?o }").unwrap();
         assert!(res.is_empty());
     }
 
@@ -1390,13 +1782,13 @@ mod tests {
         let q = "SELECT ?x WHERE { ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://e/Person> }";
         // Without reasoning only the direct assertion matches.
         let mut plain = reasoning_engine(false);
-        assert_eq!(plain.query_count(q).unwrap().0, 1); // carol
+        assert_eq!(run_count(&mut plain, q).unwrap().0, 1); // carol
         // With reasoning: alice (GradStudent ⊑ Student ⊑ Person), bob
         // (Prof ⊑ Person), carol — and alice only ONCE although she is
         // typed under two subclasses (entailment dedup).
         let mut smart = reasoning_engine(true);
-        assert_eq!(smart.query_count(q).unwrap().0, 3);
-        let res = smart.query(q).unwrap();
+        assert_eq!(run_count(&mut smart, q).unwrap().0, 3);
+        let res = run_query(&mut smart, q).unwrap();
         let mut names: Vec<String> = res.rows.iter().map(|r| r[0].to_string()).collect();
         names.sort();
         assert_eq!(
@@ -1409,10 +1801,10 @@ mod tests {
     fn reasoning_subproperty_union() {
         let q = "SELECT ?a ?b WHERE { ?a <http://e/knows> ?b }";
         let mut plain = reasoning_engine(false);
-        assert_eq!(plain.query_count(q).unwrap().0, 1); // bob knows carol
+        assert_eq!(run_count(&mut plain, q).unwrap().0, 1); // bob knows carol
         let mut smart = reasoning_engine(true);
         // advisor ⊑ knows adds alice→bob.
-        assert_eq!(smart.query_count(q).unwrap().0, 2);
+        assert_eq!(run_count(&mut smart, q).unwrap().0, 2);
     }
 
     #[test]
@@ -1446,8 +1838,8 @@ mod tests {
             "SELECT ?a ?b WHERE { ?a <http://e/knows> ?b }",
             "SELECT ?a ?c WHERE { ?a <http://e/knows> ?b . ?b <http://e/knows> ?c }",
         ] {
-            let (expect, _) = materialized.query_count(q).unwrap();
-            let (got, _) = smart.query_count(q).unwrap();
+            let (expect, _) = run_count(&mut materialized, q).unwrap();
+            let (got, _) = run_count(&mut smart, q).unwrap();
             assert_eq!(got, expect, "{q}");
         }
     }
@@ -1456,11 +1848,13 @@ mod tests {
     fn reasoning_preserves_limit_and_threads() {
         let mut smart = reasoning_engine(true);
         let q = "SELECT ?x WHERE { ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://e/Person> } LIMIT 2";
-        assert_eq!(smart.query_count(q).unwrap().0, 2);
+        assert_eq!(run_count(&mut smart, q).unwrap().0, 2);
         for threads in [1, 4] {
-            let over = RunOverrides::threads(threads);
             let q = "SELECT ?x WHERE { ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://e/Person> }";
-            assert_eq!(smart.query_count_with(q, &over).unwrap().0, 3);
+            assert_eq!(
+                smart.request(q).threads(threads).count_only().run().unwrap().count,
+                3
+            );
         }
     }
 
@@ -1470,36 +1864,36 @@ mod tests {
         // teaches ∪ worksFor: 4 + 3 rows, multiset semantics.
         let q = "SELECT ?x ?y WHERE { \
                  { ?x <http://e/teaches> ?y } UNION { ?x <http://e/worksFor> ?y } }";
-        let (count, _) = e.query_count(q).unwrap();
+        let (count, _) = run_count(&mut e, q).unwrap();
         assert_eq!(count, 7);
-        let res = e.query(q).unwrap();
+        let res = run_query(&mut e, q).unwrap();
         assert_eq!(res.rows.len(), 7);
 
         // Overlapping branches keep duplicates (multiset union)…
         let q = "SELECT ?x WHERE { \
                  { ?x <http://e/teaches> ?z } UNION { ?x <http://e/teaches> ?z } }";
-        assert_eq!(e.query_count(q).unwrap().0, 8);
+        assert_eq!(run_count(&mut e, q).unwrap().0, 8);
         // …unless DISTINCT.
         let q = "SELECT DISTINCT ?x WHERE { \
                  { ?x <http://e/teaches> ?z } UNION { ?x <http://e/teaches> ?z } }";
-        assert_eq!(e.query_count(q).unwrap().0, 3);
+        assert_eq!(run_count(&mut e, q).unwrap().0, 3);
 
         // A branch with a missing constant contributes nothing; the
         // other still answers.
         let q = "SELECT ?x WHERE { \
                  { ?x <http://e/teaches> <http://e/Nope> } UNION { ?x <http://e/worksFor> <http://e/U2> } }";
-        assert_eq!(e.query_count(q).unwrap().0, 2);
+        assert_eq!(run_count(&mut e, q).unwrap().0, 2);
 
         // A projected variable unbound in one branch is rejected.
         let q = "SELECT ?y WHERE { \
                  { ?x <http://e/teaches> ?y } UNION { ?x <http://e/worksFor> ?z } }";
-        assert!(matches!(e.query(q), Err(ParjError::Unsupported(_))));
+        assert!(matches!(run_query(&mut e, q), Err(ParjError::Unsupported(_))));
 
         // Joins inside branches work.
         let q = "SELECT ?x ?c WHERE { \
                  { ?x <http://e/teaches> ?c . ?x <http://e/worksFor> <http://e/U1> } \
                  UNION { ?x <http://e/teaches> ?c . ?x <http://e/worksFor> <http://e/U2> } }";
-        assert_eq!(e.query_count(q).unwrap().0, 4);
+        assert_eq!(run_count(&mut e, q).unwrap().0, 4);
     }
 
     #[test]
@@ -1512,15 +1906,14 @@ mod tests {
             { ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://e/Person> } \
             UNION \
             { ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://e/Person> } }";
-        assert_eq!(smart.query_count(person).unwrap().0, 6); // 3 + 3
+        assert_eq!(run_count(&mut smart, person).unwrap().0, 6); // 3 + 3
     }
 
     #[test]
     fn order_by_and_offset() {
         let mut e = engine();
         // Professors ordered by IRI ascending.
-        let res = e
-            .query("SELECT ?x WHERE { ?x <http://e/worksFor> ?u } ORDER BY ?x")
+        let res = run_query(&mut e, "SELECT ?x WHERE { ?x <http://e/worksFor> ?u } ORDER BY ?x")
             .unwrap();
         let names: Vec<String> = res.rows.iter().map(|r| r[0].to_string()).collect();
         let mut sorted = names.clone();
@@ -1529,26 +1922,34 @@ mod tests {
         assert_eq!(names.len(), 3);
 
         // DESC reverses.
-        let res = e
-            .query("SELECT ?x WHERE { ?x <http://e/worksFor> ?u } ORDER BY DESC(?x)")
-            .unwrap();
+        let res = run_query(
+            &mut e,
+            "SELECT ?x WHERE { ?x <http://e/worksFor> ?u } ORDER BY DESC(?x)",
+        )
+        .unwrap();
         let desc: Vec<String> = res.rows.iter().map(|r| r[0].to_string()).collect();
         assert_eq!(desc, sorted.iter().rev().cloned().collect::<Vec<_>>());
 
         // ORDER BY a non-projected variable forces full-width rows.
-        let res = e
-            .query("SELECT ?x WHERE { ?x <http://e/worksFor> ?u } ORDER BY ?u ?x")
-            .unwrap();
+        let res = run_query(
+            &mut e,
+            "SELECT ?x WHERE { ?x <http://e/worksFor> ?u } ORDER BY ?u ?x",
+        )
+        .unwrap();
         assert_eq!(res.rows.len(), 3);
         assert_eq!(res.vars, vec!["x"]);
 
         // OFFSET slices after ordering; pagination covers everything.
-        let page1 = e
-            .query("SELECT ?x WHERE { ?x <http://e/worksFor> ?u } ORDER BY ?x LIMIT 2")
-            .unwrap();
-        let page2 = e
-            .query("SELECT ?x WHERE { ?x <http://e/worksFor> ?u } ORDER BY ?x OFFSET 2 LIMIT 2")
-            .unwrap();
+        let page1 = run_query(
+            &mut e,
+            "SELECT ?x WHERE { ?x <http://e/worksFor> ?u } ORDER BY ?x LIMIT 2",
+        )
+        .unwrap();
+        let page2 = run_query(
+            &mut e,
+            "SELECT ?x WHERE { ?x <http://e/worksFor> ?u } ORDER BY ?x OFFSET 2 LIMIT 2",
+        )
+        .unwrap();
         assert_eq!(page1.rows.len(), 2);
         assert_eq!(page2.rows.len(), 1);
         let mut all: Vec<String> = page1
@@ -1562,15 +1963,16 @@ mod tests {
         assert_eq!(all.len(), 3);
 
         // Silent-mode count honors OFFSET without materializing.
-        let (count, _) = e
-            .query_count("SELECT ?x WHERE { ?x <http://e/teaches> ?z } OFFSET 3")
-            .unwrap();
+        let (count, _) =
+            run_count(&mut e, "SELECT ?x WHERE { ?x <http://e/teaches> ?z } OFFSET 3").unwrap();
         assert_eq!(count, 1); // 4 teaching rows - 3
 
         // DISTINCT preserves requested order.
-        let res = e
-            .query("SELECT DISTINCT ?x WHERE { ?x <http://e/teaches> ?z } ORDER BY DESC(?x)")
-            .unwrap();
+        let res = run_query(
+            &mut e,
+            "SELECT DISTINCT ?x WHERE { ?x <http://e/teaches> ?z } ORDER BY DESC(?x)",
+        )
+        .unwrap();
         let names: Vec<String> = res.rows.iter().map(|r| r[0].to_string()).collect();
         let mut check = names.clone();
         check.sort();
@@ -1583,7 +1985,7 @@ mod tests {
     fn budget_exceeded_surfaces_with_partial_stats() {
         let mut e = engine();
         let q = "SELECT ?x WHERE { ?x <http://e/teaches> ?z }"; // 4 rows
-        match e.query_count_with(q, &RunOverrides::max_rows(2)) {
+        match e.request(q).max_rows(2).count_only().run() {
             Err(ParjError::BudgetExceeded { rows, partial }) => {
                 assert!(rows > 2, "overshoot still exceeds the limit: {rows}");
                 assert_eq!(partial.rows, rows);
@@ -1592,13 +1994,13 @@ mod tests {
             other => panic!("expected budget error, got {other:?}"),
         }
         // A budget the result fits under does not trip…
-        let (count, _) = e.query_count_with(q, &RunOverrides::max_rows(4)).unwrap();
+        let count = e.request(q).max_rows(4).count_only().run().unwrap().count;
         assert_eq!(count, 4);
         // …and the budget counts pre-LIMIT rows: LIMIT 1 still produces
         // 4 join rows, so a budget of 2 trips anyway.
         let limited = "SELECT ?x WHERE { ?x <http://e/teaches> ?z } LIMIT 1";
         assert!(matches!(
-            e.query_count_with(limited, &RunOverrides::max_rows(2)),
+            e.request(limited).max_rows(2).count_only().run(),
             Err(ParjError::BudgetExceeded { .. })
         ));
     }
@@ -1609,11 +2011,11 @@ mod tests {
         e.load_ntriples_str(DATA).unwrap();
         let q = "SELECT ?x WHERE { ?x <http://e/teaches> ?z }";
         assert!(matches!(
-            e.query_count(q),
+            run_count(&mut e, q),
             Err(ParjError::BudgetExceeded { .. })
         ));
         // A per-run override lifts the engine-wide cap.
-        let (count, _) = e.query_count_with(q, &RunOverrides::max_rows(100)).unwrap();
+        let count = e.request(q).max_rows(100).count_only().run().unwrap().count;
         assert_eq!(count, 4);
     }
 
@@ -1623,30 +2025,31 @@ mod tests {
         let q = "SELECT ?x WHERE { ?x <http://e/teaches> ?z }";
         let (token, over) = e.query_handle();
         token.cancel();
-        match e.query_count_with(q, &over) {
+        match e.request(q).overrides(&over).count_only().run() {
             Err(ParjError::Cancelled { partial }) => assert_eq!(partial.rows, 0),
             other => panic!("expected cancellation, got {other:?}"),
         }
         // The engine survives and the token re-arms.
         token.reset();
-        assert_eq!(e.query_count_with(q, &over).unwrap().0, 4);
+        assert_eq!(
+            e.request(q).overrides(&over).count_only().run().unwrap().count,
+            4
+        );
     }
 
     #[test]
     fn expired_deadline_stops_query() {
         let mut e = engine();
         let q = "SELECT ?x ?z ?y WHERE { ?x <http://e/teaches> ?z . ?x <http://e/worksFor> ?y }";
-        match e.query_with(q, &RunOverrides::timeout(Duration::ZERO)) {
+        match e.request(q).timeout(Duration::ZERO).run() {
             Err(ParjError::DeadlineExceeded { elapsed, .. }) => {
                 assert!(elapsed >= Duration::ZERO);
             }
             other => panic!("expected deadline error, got {other:?}"),
         }
         // A generous deadline lets the same query finish.
-        let res = e
-            .query_with(q, &RunOverrides::timeout(Duration::from_secs(60)))
-            .unwrap();
-        assert_eq!(res.rows.len(), 4);
+        let out = e.request(q).timeout(Duration::from_secs(60)).run().unwrap();
+        assert_eq!(out.rows.unwrap().len(), 4);
     }
 
     #[test]
@@ -1657,8 +2060,8 @@ mod tests {
         // across branches of one run.
         let q = "SELECT ?x WHERE { \
                  { ?x <http://e/teaches> ?z } UNION { ?x <http://e/teaches> ?z } }";
-        assert_eq!(e.query_count_with(q, &RunOverrides::max_rows(8)).unwrap().0, 8);
-        match e.query_count_with(q, &RunOverrides::max_rows(5)) {
+        assert_eq!(e.request(q).max_rows(8).count_only().run().unwrap().count, 8);
+        match e.request(q).max_rows(5).count_only().run() {
             Err(ParjError::BudgetExceeded { rows, .. }) => assert!(rows > 5),
             other => panic!("expected budget error, got {other:?}"),
         }
@@ -1668,11 +2071,11 @@ mod tests {
     fn sparql_errors_surface() {
         let mut e = engine();
         assert!(matches!(
-            e.query("SELECT ?x WHERE { OPTIONAL { ?x ?p ?o } }"),
+            run_query(&mut e, "SELECT ?x WHERE { OPTIONAL { ?x ?p ?o } }"),
             Err(ParjError::Sparql(_))
         ));
         assert!(matches!(
-            e.query("SELECT ?p WHERE { ?x ?p ?o }"),
+            run_query(&mut e, "SELECT ?p WHERE { ?x ?p ?o }"),
             Err(ParjError::Unsupported(_))
         ));
     }

@@ -25,6 +25,10 @@ pub enum ParjError {
     /// A `&self` query path was used on an engine that has staged,
     /// un-finalized data; call [`crate::Parj::finalize`] first.
     NotFinalized,
+    /// Execution options were invalid — e.g. a per-run thread override
+    /// of zero. Raised at option construction instead of silently
+    /// clamping.
+    InvalidOptions(String),
     /// The query was cancelled through its [`crate::CancelToken`]
     /// before it finished.
     Cancelled {
@@ -74,6 +78,7 @@ impl fmt::Display for ParjError {
             ParjError::NotFinalized => {
                 write!(f, "engine not finalized; call finalize() before &self queries")
             }
+            ParjError::InvalidOptions(m) => write!(f, "invalid execution options: {m}"),
             ParjError::Cancelled { partial } => {
                 write!(f, "query cancelled after {} rows", partial.rows)
             }
@@ -116,6 +121,7 @@ impl std::error::Error for ParjError {
             ParjError::Io(e) => Some(e),
             ParjError::Unsupported(_)
             | ParjError::NotFinalized
+            | ParjError::InvalidOptions(_)
             | ParjError::Cancelled { .. }
             | ParjError::DeadlineExceeded { .. }
             | ParjError::BudgetExceeded { .. }

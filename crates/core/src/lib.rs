@@ -22,9 +22,11 @@
 //! 3. [`Parj::finalize`] — builds partitions, statistics, and runs the
 //!    calibration of Algorithm 2 (or adopts the paper's default
 //!    windows);
-//! 4. query: [`Parj::query`] (full result handling: decoded terms),
-//!    [`Parj::query_ids`] (materialized ids), or [`Parj::query_count`]
-//!    (the paper's "silent mode").
+//! 4. query through [`Parj::request`]: decoded rows by default,
+//!    [`QueryRequest::ids_only`] for materialized ids,
+//!    [`QueryRequest::count_only`] for the paper's "silent mode" —
+//!    with per-run deadline / row-budget / cancellation / thread
+//!    knobs on the same builder.
 //!
 //! ```
 //! use parj_core::Parj;
@@ -37,11 +39,22 @@
 //!     <http://e/ProfB> <http://e/worksFor> <http://e/U2> .
 //! "#).unwrap();
 //! engine.finalize();
-//! let res = engine.query(
+//! let outcome = engine.request(
 //!     "SELECT ?x ?y WHERE { ?x <http://e/teaches> ?z . ?x <http://e/worksFor> ?y . }"
-//! ).unwrap();
-//! assert_eq!(res.rows.len(), 2);
+//! ).run().unwrap();
+//! assert_eq!(outcome.count, 2);
+//! assert_eq!(outcome.rows.unwrap().len(), 2);
 //! ```
+//!
+//! ## Observability
+//!
+//! Every engine owns a lock-light [`EngineMetrics`] registry
+//! ([`Parj::metrics`]): query outcomes and phase timings, executor
+//! internals (search-kind mix, probe volume, shard-load imbalance),
+//! load-pipeline throughput, and store/dictionary memory gauges.
+//! [`Parj::metrics_snapshot`] yields Prometheus-text or JSON
+//! exposition; `request(..).explain(true)` attaches a per-query
+//! `EXPLAIN ANALYZE` report to the outcome.
 
 #![warn(missing_docs)]
 
@@ -49,6 +62,7 @@ mod engine;
 mod hierarchy;
 mod error;
 mod loader;
+mod request;
 mod result;
 mod shared;
 mod translate;
@@ -56,9 +70,16 @@ mod translate;
 pub use engine::{EngineConfig, Parj, ParjBuilder, RunOverrides};
 pub use error::ParjError;
 pub use hierarchy::{Hierarchy, RDFS_SUBCLASSOF, RDFS_SUBPROPERTYOF, RDF_TYPE};
-pub use result::{QueryResult, QueryRunStats};
+pub use request::{QueryOutcome, QueryRequest};
+pub use result::{PhaseTimings, QueryResult, QueryRunStats};
 pub use shared::SharedParj;
 pub use translate::{TranslatedQuery, Translation};
+
+// Observability vocabulary (the `parj-obs` substrate).
+pub use parj_obs::{
+    EngineMetrics, FamilySnapshot, MetricKind, MetricsSnapshot, QueryOutcomeClass, QueryPhase,
+    Sample, SampleValue,
+};
 
 // Re-export the workspace vocabulary so downstream users need only this
 // crate.

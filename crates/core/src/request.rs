@@ -1,0 +1,267 @@
+//! The unified query API: one builder replacing the nine `query*`
+//! method variants that accreted on [`Parj`] (and four on
+//! [`SharedParj`]).
+//!
+//! Every axis the old methods hard-coded is a builder knob here:
+//!
+//! * **result shape** — decoded rows (default), dictionary ids
+//!   ([`QueryRequest::ids_only`]), or a silent-mode count
+//!   ([`QueryRequest::count_only`], the paper's primary measurement);
+//! * **lifecycle limits** — [`QueryRequest::timeout`],
+//!   [`QueryRequest::max_rows`], [`QueryRequest::cancel`];
+//! * **execution overrides** — [`QueryRequest::threads`],
+//!   [`QueryRequest::strategy`], or a whole [`RunOverrides`] via
+//!   [`QueryRequest::overrides`];
+//! * **introspection** — [`QueryRequest::explain`] attaches an
+//!   `EXPLAIN ANALYZE`-style annotated plan from the *actual* parallel
+//!   run to the outcome.
+//!
+//! ```
+//! use parj_core::Parj;
+//! use std::time::Duration;
+//!
+//! let mut engine = Parj::new();
+//! engine.load_ntriples_str(
+//!     "<http://e/a> <http://e/p> <http://e/b> .",
+//! ).unwrap();
+//! let outcome = engine
+//!     .request("SELECT ?x ?y WHERE { ?x <http://e/p> ?y }")
+//!     .timeout(Duration::from_secs(5))
+//!     .max_rows(10_000)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(outcome.count, 1);
+//! ```
+
+use std::time::Duration;
+
+use parj_dict::{Id, Term};
+use parj_join::{CancelToken, ProbeStrategy};
+
+use crate::engine::{Parj, RunOverrides};
+use crate::error::ParjError;
+use crate::result::{QueryResult, QueryRunStats};
+use crate::shared::SharedParj;
+
+/// Result shape a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RunMode {
+    /// Silent mode: count only (no materialization unless forced by
+    /// `DISTINCT`/entailment dedup).
+    Count,
+    /// Materialized dictionary ids, no term decode.
+    Ids,
+    /// Fully decoded term rows.
+    Rows,
+}
+
+/// Everything the engine needs to run one request (the builder's
+/// resolved state, minus the target borrow).
+pub(crate) struct RunSpec {
+    pub(crate) over: RunOverrides,
+    pub(crate) mode: RunMode,
+    pub(crate) explain: bool,
+}
+
+/// What a query request may borrow while it runs.
+enum Target<'e> {
+    /// Exclusive engine access: finalizes lazily before running.
+    Mut(&'e mut Parj),
+    /// Shared engine access: requires an already-finalized engine.
+    Ref(&'e Parj),
+    /// A [`SharedParj`] handle: runs under its read lock.
+    Shared(&'e SharedParj),
+}
+
+/// A configured query, ready to [`run`](QueryRequest::run). Built by
+/// [`Parj::request`], [`Parj::request_ref`] or [`SharedParj::request`].
+pub struct QueryRequest<'e> {
+    target: Target<'e>,
+    query: String,
+    spec: RunSpec,
+}
+
+impl<'e> QueryRequest<'e> {
+    fn new(target: Target<'e>, query: &str) -> Self {
+        QueryRequest {
+            target,
+            query: query.to_string(),
+            spec: RunSpec {
+                over: RunOverrides::default(),
+                mode: RunMode::Rows,
+                explain: false,
+            },
+        }
+    }
+
+    /// Wall-clock deadline for this run (wins over
+    /// [`crate::EngineConfig::timeout`]).
+    pub fn timeout(mut self, limit: Duration) -> Self {
+        self.spec.over.timeout = Some(limit);
+        self
+    }
+
+    /// Result-row budget: the join aborts with
+    /// [`ParjError::BudgetExceeded`] once it has produced more rows
+    /// (counted pre-`LIMIT`, with bounded overshoot).
+    pub fn max_rows(mut self, rows: u64) -> Self {
+        self.spec.over.max_rows = Some(rows);
+        self
+    }
+
+    /// Attaches a cancellation token; trip it from any thread to stop
+    /// the run.
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.spec.over.cancel = Some(token);
+        self
+    }
+
+    /// Overrides the worker thread count for this run. Zero is
+    /// rejected at [`run`](QueryRequest::run) with
+    /// [`ParjError::InvalidOptions`].
+    pub fn threads(mut self, n: usize) -> Self {
+        self.spec.over.threads = Some(n);
+        self
+    }
+
+    /// Overrides the probe strategy for this run.
+    pub fn strategy(mut self, s: ProbeStrategy) -> Self {
+        self.spec.over.strategy = Some(s);
+        self
+    }
+
+    /// Replaces *all* per-run overrides with `over` (any
+    /// `timeout`/`max_rows`/`cancel`/`threads`/`strategy` set earlier
+    /// on this builder is discarded; knobs chained afterwards apply on
+    /// top).
+    pub fn overrides(mut self, over: &RunOverrides) -> Self {
+        self.spec.over = over.clone();
+        self
+    }
+
+    /// Request only the result count (the paper's silent mode).
+    pub fn count_only(mut self) -> Self {
+        self.spec.mode = RunMode::Count;
+        self
+    }
+
+    /// Request materialized dictionary ids without term decoding.
+    pub fn ids_only(mut self) -> Self {
+        self.spec.mode = RunMode::Ids;
+        self
+    }
+
+    /// Attach an `EXPLAIN ANALYZE`-style annotated plan — per pipeline
+    /// stage, the tuples that entered it and the search decisions it
+    /// made, aggregated over all workers of the real parallel run — to
+    /// [`QueryOutcome::profile`].
+    pub fn explain(mut self, on: bool) -> Self {
+        self.spec.explain = on;
+        self
+    }
+
+    /// Executes the request.
+    pub fn run(self) -> Result<QueryOutcome, ParjError> {
+        match self.target {
+            Target::Mut(engine) => {
+                engine.finalize();
+                engine.run_request(&self.query, &self.spec)
+            }
+            Target::Ref(engine) => engine.run_request(&self.query, &self.spec),
+            Target::Shared(shared) => {
+                shared.with_read(|engine| engine.run_request(&self.query, &self.spec))
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for QueryRequest<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryRequest")
+            .field("query", &self.query)
+            .field("mode", &self.spec.mode)
+            .field("explain", &self.spec.explain)
+            .field("overrides", &self.spec.over)
+            .finish()
+    }
+}
+
+/// The result of one [`QueryRequest::run`]. Which of `rows`/`ids` is
+/// populated depends on the requested shape; `count` and `stats` are
+/// always set.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Projected variable names, in output order.
+    pub vars: Vec<String>,
+    /// Result rows (post `DISTINCT`/`OFFSET`/`LIMIT`).
+    pub count: u64,
+    /// Decoded term rows — `Some` for the default (rows) shape.
+    pub rows: Option<Vec<Vec<Term>>>,
+    /// Dictionary-id rows — `Some` under [`QueryRequest::ids_only`].
+    pub ids: Option<Vec<Vec<Id>>>,
+    /// Timing, counters and the executed plan text.
+    pub stats: QueryRunStats,
+    /// Annotated-plan report — `Some` under
+    /// [`QueryRequest::explain`]`(true)`.
+    pub profile: Option<String>,
+}
+
+impl QueryOutcome {
+    /// Converts to the legacy [`QueryResult`] shape (empty rows unless
+    /// the request asked for decoded rows).
+    pub fn into_result(self) -> QueryResult {
+        QueryResult {
+            vars: self.vars,
+            rows: self.rows.unwrap_or_default(),
+            stats: self.stats,
+        }
+    }
+
+    /// Converts to the legacy `(count, stats)` pair.
+    pub fn into_count(self) -> (u64, QueryRunStats) {
+        (self.count, self.stats)
+    }
+
+    /// Converts to the legacy `(id rows, stats)` pair (empty unless
+    /// the request asked for ids).
+    pub fn into_ids(self) -> (Vec<Vec<Id>>, QueryRunStats) {
+        (self.ids.unwrap_or_default(), self.stats)
+    }
+
+    /// The full run report: the annotated plan (when requested) plus
+    /// the phase/search summary from [`QueryRunStats::report`].
+    pub fn report(&self) -> String {
+        match &self.profile {
+            Some(p) => format!("{p}{}", self.stats.report()),
+            None => self.stats.report(),
+        }
+    }
+}
+
+impl Parj {
+    /// Starts a query request with exclusive engine access; staged data
+    /// is finalized when the request runs.
+    ///
+    /// This is the single entry point replacing `query`, `query_with`,
+    /// `query_count`, `query_count_with`, `query_ids` and
+    /// `query_ids_with`.
+    pub fn request<'e>(&'e mut self, query: &str) -> QueryRequest<'e> {
+        QueryRequest::new(Target::Mut(self), query)
+    }
+
+    /// Starts a query request on a shared engine reference. The engine
+    /// must already be finalized or the run fails with
+    /// [`ParjError::NotFinalized`] (see [`SharedParj`] for lock-managed
+    /// concurrent use).
+    pub fn request_ref<'e>(&'e self, query: &str) -> QueryRequest<'e> {
+        QueryRequest::new(Target::Ref(self), query)
+    }
+}
+
+impl SharedParj {
+    /// Starts a query request that runs under this handle's read lock —
+    /// any number of callers run concurrently.
+    pub fn request<'e>(&'e self, query: &str) -> QueryRequest<'e> {
+        QueryRequest::new(Target::Shared(self), query)
+    }
+}

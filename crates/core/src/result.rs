@@ -3,6 +3,26 @@
 use parj_dict::Term;
 use parj_join::SearchStats;
 
+/// Per-phase breakdown of the prepare pipeline (the component the
+/// paper notes "cannot be avoided in multi-threaded execution").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// SPARQL lex + parse wall time, microseconds.
+    pub parse_micros: u64,
+    /// Translation (dictionary lookups, hierarchy expansion) wall
+    /// time, microseconds.
+    pub translate_micros: u64,
+    /// Join-order optimization wall time, microseconds.
+    pub optimize_micros: u64,
+}
+
+impl PhaseTimings {
+    /// Sum of all prepare phases, microseconds.
+    pub fn total(&self) -> u64 {
+        self.parse_micros + self.translate_micros + self.optimize_micros
+    }
+}
+
 /// Timing and counter record for one query run.
 ///
 /// `prepare_micros` covers parsing, translation and optimization — the
@@ -12,8 +32,11 @@ use parj_join::SearchStats;
 /// tables report in silent mode.
 #[derive(Debug, Clone, Default)]
 pub struct QueryRunStats {
-    /// Parse + translate + optimize wall time, microseconds.
+    /// Parse + translate + optimize wall time, microseconds
+    /// (equals `phases.total()`).
     pub prepare_micros: u64,
+    /// Per-phase breakdown of `prepare_micros`.
+    pub phases: PhaseTimings,
     /// Join execution wall time, microseconds.
     pub exec_micros: u64,
     /// Result decode / aggregation wall time, microseconds (zero in
@@ -31,6 +54,36 @@ impl QueryRunStats {
     /// Total wall time in microseconds.
     pub fn total_micros(&self) -> u64 {
         self.prepare_micros + self.exec_micros + self.decode_micros
+    }
+
+    /// Renders a compact `EXPLAIN ANALYZE`-style run summary: phase
+    /// timings, result rows, and the search-kind mix.
+    pub fn report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "phases: parse {}µs | translate {}µs | optimize {}µs | execute {}µs | decode {}µs  (total {}µs)",
+            self.phases.parse_micros,
+            self.phases.translate_micros,
+            self.phases.optimize_micros,
+            self.exec_micros,
+            self.decode_micros,
+            self.total_micros(),
+        )
+        .expect("write");
+        writeln!(out, "rows: {}", self.rows).expect("write");
+        writeln!(
+            out,
+            "searches: {} sequential / {} binary / {} index ({} group checks, {} words touched)",
+            self.search.sequential_searches,
+            self.search.binary_searches,
+            self.search.index_lookups,
+            self.search.group_probes,
+            self.search.words_touched(),
+        )
+        .expect("write");
+        out
     }
 }
 

@@ -1,20 +1,22 @@
 //! A thread-safe engine handle for serving workloads.
 //!
-//! [`Parj`]'s query methods take `&mut self` because they finalize
-//! lazily (and rebuild after updates). A server embedding the engine
-//! wants the opposite shape: many reader threads issuing queries
-//! concurrently, occasional writers loading data. [`SharedParj`] wraps
-//! a finalized engine in a `parking_lot::RwLock` with query paths that
-//! take `&self` under a read lock — multiple queries proceed truly in
+//! [`Parj::request`] takes `&mut self` because engines finalize lazily
+//! (and rebuild after updates). A server embedding the engine wants the
+//! opposite shape: many reader threads issuing queries concurrently,
+//! occasional writers loading data. [`SharedParj`] wraps a finalized
+//! engine in a `parking_lot::RwLock` with a [`SharedParj::request`]
+//! path that runs under a read lock — multiple queries proceed truly in
 //! parallel (the store itself is immutable and PARJ's workers need no
 //! synchronization; the lock only fences out rebuilds).
 
 use parking_lot::RwLock;
 
 use parj_dict::Term;
+use parj_obs::MetricsSnapshot;
 
 use crate::engine::{Parj, RunOverrides};
 use crate::error::ParjError;
+use crate::request::QueryOutcome;
 use crate::result::{QueryResult, QueryRunStats};
 
 /// Thread-safe, shareable engine handle. Cheap to share by reference
@@ -34,17 +36,23 @@ impl SharedParj {
         }
     }
 
+    /// Runs `f` against the engine under the read lock (the request
+    /// API's shared execution path).
+    pub(crate) fn with_read<R>(&self, f: impl FnOnce(&Parj) -> R) -> R {
+        f(&self.inner.read())
+    }
+
     /// Full result handling under a read lock: any number of callers
     /// run concurrently.
+    #[deprecated(note = "use `shared.request(query).run()`")]
     pub fn query(&self, query: &str) -> Result<QueryResult, ParjError> {
-        self.inner.read().query_ref(query, &RunOverrides::default())
+        self.request(query).run().map(QueryOutcome::into_result)
     }
 
     /// Silent-mode count under a read lock.
+    #[deprecated(note = "use `shared.request(query).count_only().run()`")]
     pub fn query_count(&self, query: &str) -> Result<(u64, QueryRunStats), ParjError> {
-        self.inner
-            .read()
-            .query_count_ref(query, &RunOverrides::default())
+        self.request(query).count_only().run().map(QueryOutcome::into_count)
     }
 
     /// Full result handling with overrides, under a read lock. Pass
@@ -52,30 +60,49 @@ impl SharedParj {
     /// cancellable from another thread (e.g. a server's connection
     /// handler): the read lock is held for the duration, but the
     /// cancel token stops the workers without needing the lock.
+    #[deprecated(note = "use `shared.request(query).overrides(over).run()`")]
     pub fn query_with(
         &self,
         query: &str,
         over: &RunOverrides,
     ) -> Result<QueryResult, ParjError> {
-        self.inner.read().query_ref(query, over)
+        self.request(query).overrides(over).run().map(QueryOutcome::into_result)
     }
 
     /// Silent-mode count with overrides, under a read lock.
+    #[deprecated(note = "use `shared.request(query).overrides(over).count_only().run()`")]
     pub fn query_count_with(
         &self,
         query: &str,
         over: &RunOverrides,
     ) -> Result<(u64, QueryRunStats), ParjError> {
-        self.inner.read().query_count_ref(query, over)
+        self.request(query).overrides(over).count_only().run().map(QueryOutcome::into_count)
     }
 
     /// Applies updates (triple additions) under the write lock; the
-    /// store rebuilds once on the next query.
+    /// store rebuilds before the lock is released so readers never
+    /// observe an un-finalized engine — even when `f` panics
+    /// mid-update (the rebuild runs during unwinding; without it, one
+    /// panicking closure would poison every later query with
+    /// [`ParjError::NotFinalized`]).
     pub fn update<R>(&self, f: impl FnOnce(&mut Parj) -> R) -> R {
         let mut guard = self.inner.write();
-        let r = f(&mut guard);
-        guard.finalize();
-        r
+        struct FinalizeOnDrop<'a>(&'a mut Parj);
+        impl Drop for FinalizeOnDrop<'_> {
+            fn drop(&mut self) {
+                self.0.finalize();
+            }
+        }
+        let fin = FinalizeOnDrop(&mut guard);
+        f(&mut *fin.0)
+        // `fin` drops here (normal return *and* unwind), finalizing
+        // before the write lock is released.
+    }
+
+    /// A point-in-time snapshot of the wrapped engine's metrics
+    /// registry (read lock; concurrent with queries).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.inner.read().metrics_snapshot()
     }
 
     /// Adds a triple (convenience for [`SharedParj::update`]).
@@ -109,6 +136,10 @@ mod tests {
         e
     }
 
+    fn count(shared: &SharedParj, q: &str) -> u64 {
+        shared.request(q).count_only().run().unwrap().count
+    }
+
     #[test]
     fn concurrent_queries() {
         let shared = Arc::new(SharedParj::new(engine()));
@@ -117,7 +148,7 @@ mod tests {
             .map(|_| {
                 let s = Arc::clone(&shared);
                 let q = q.to_string();
-                std::thread::spawn(move || s.query_count(&q).unwrap().0)
+                std::thread::spawn(move || s.request(&q).count_only().run().unwrap().count)
             })
             .collect();
         for h in handles {
@@ -129,15 +160,37 @@ mod tests {
     fn interleaved_updates_and_queries() {
         let shared = SharedParj::new(engine());
         let q = "SELECT ?x WHERE { ?x <http://e/p> ?y }";
-        assert_eq!(shared.query_count(q).unwrap().0, 2);
+        assert_eq!(count(&shared, q), 2);
         shared.add_triple(
             &Term::iri("http://e/c"),
             &Term::iri("http://e/p"),
             &Term::iri("http://e/a"),
         );
-        assert_eq!(shared.query_count(q).unwrap().0, 3);
+        assert_eq!(count(&shared, q), 3);
         assert_eq!(shared.num_triples(), 3);
         let inner = shared.into_inner();
         assert!(inner.is_finalized());
+    }
+
+    #[test]
+    fn update_panic_leaves_engine_finalized() {
+        let shared = SharedParj::new(engine());
+        let q = "SELECT ?x WHERE { ?x <http://e/p> ?y }";
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shared.update(|e| {
+                e.add_triple(
+                    &Term::iri("http://e/c"),
+                    &Term::iri("http://e/p"),
+                    &Term::iri("http://e/a"),
+                );
+                panic!("boom mid-update");
+            })
+        }));
+        assert!(panicked.is_err());
+        // The half-applied update was finalized during unwinding:
+        // queries keep working (and see the added triple) instead of
+        // failing with NotFinalized forever after.
+        assert_eq!(count(&shared, q), 3);
+        assert_eq!(shared.num_triples(), 3);
     }
 }

@@ -1,0 +1,288 @@
+//! Every deprecated `query*` shim must stay byte-for-byte equivalent
+//! to the [`parj_core::QueryRequest`] chain its deprecation note points
+//! at — same rows, same counts, same search counters, same plan text,
+//! and the same error classes on the resilience paths. Only wall-clock
+//! fields (the various `*_micros`) are allowed to differ between the
+//! two runs.
+
+#![allow(deprecated)]
+
+use std::time::Duration;
+
+use parj_core::{
+    CancelToken, Parj, ParjError, ProbeStrategy, QueryRunStats, RunOverrides, SharedParj,
+};
+
+const DATA: &str = "\
+<http://e/ProfA> <http://e/teaches>  <http://e/Math> .\n\
+<http://e/ProfB> <http://e/teaches>  <http://e/Chem> .\n\
+<http://e/ProfC> <http://e/teaches>  <http://e/Lit> .\n\
+<http://e/ProfA> <http://e/teaches>  <http://e/Phys> .\n\
+<http://e/ProfA> <http://e/worksFor> <http://e/Uni1> .\n\
+<http://e/ProfB> <http://e/worksFor> <http://e/Uni2> .\n\
+<http://e/ProfC> <http://e/worksFor> <http://e/Uni2> .\n\
+<http://e/ProfA> <http://e/name>     \"Alice\"@en .\n";
+
+const JOIN: &str = "SELECT ?prof ?course ?employer WHERE { \
+     ?prof <http://e/teaches> ?course . \
+     ?prof <http://e/worksFor> ?employer . }";
+
+const SELECTIVE: &str = "SELECT ?prof ?course WHERE { \
+     ?prof <http://e/teaches> ?course . \
+     ?prof <http://e/worksFor> <http://e/Uni2> . }";
+
+fn engine() -> Parj {
+    // Single worker: the search counters and shard mix are then exactly
+    // reproducible, so the equivalence checks can be byte-precise.
+    let mut e = Parj::builder().threads(1).build();
+    e.load_ntriples_str(DATA).expect("load");
+    e.finalize();
+    e
+}
+
+/// Everything in the stats except wall-clock timings must match.
+fn assert_stats_eq(shim: &QueryRunStats, req: &QueryRunStats, what: &str) {
+    assert_eq!(shim.rows, req.rows, "{what}: rows");
+    assert_eq!(shim.search, req.search, "{what}: search counters");
+    assert_eq!(shim.plan, req.plan, "{what}: plan text");
+}
+
+#[test]
+fn query_count_matches_request() {
+    let mut e = engine();
+    let (count, stats) = e.query_count(JOIN).expect("shim");
+    let out = e.request(JOIN).count_only().run().expect("request");
+    assert_eq!(count, out.count);
+    assert_eq!(count, 4);
+    assert_stats_eq(&stats, &out.stats, "query_count");
+}
+
+#[test]
+fn query_count_with_matches_request() {
+    let mut e = engine();
+    for strategy in ProbeStrategy::TABLE5 {
+        let over = RunOverrides::threads(1).with_strategy(strategy);
+        let (count, stats) = e.query_count_with(SELECTIVE, &over).expect("shim");
+        let out = e
+            .request(SELECTIVE)
+            .overrides(&over)
+            .count_only()
+            .run()
+            .expect("request");
+        assert_eq!(count, out.count, "{strategy}");
+        assert_eq!(count, 2, "{strategy}");
+        assert_stats_eq(&stats, &out.stats, "query_count_with");
+    }
+}
+
+#[test]
+fn query_count_ref_matches_request_ref() {
+    let mut e = engine();
+    e.finalize();
+    let over = RunOverrides::threads(1);
+    let (count, stats) = e.query_count_ref(JOIN, &over).expect("shim");
+    let out = e
+        .request_ref(JOIN)
+        .overrides(&over)
+        .count_only()
+        .run()
+        .expect("request");
+    assert_eq!(count, out.count);
+    assert_stats_eq(&stats, &out.stats, "query_count_ref");
+}
+
+#[test]
+fn query_ids_matches_request() {
+    let mut e = engine();
+    let (ids, stats) = e.query_ids(JOIN).expect("shim");
+    let (req_ids, req_stats) = e
+        .request(JOIN)
+        .ids_only()
+        .run()
+        .expect("request")
+        .into_ids();
+    assert_eq!(ids, req_ids);
+    assert_eq!(ids.len(), 4);
+    assert_stats_eq(&stats, &req_stats, "query_ids");
+}
+
+#[test]
+fn query_ids_with_matches_request() {
+    let mut e = engine();
+    let over = RunOverrides::threads(1).with_strategy(ProbeStrategy::AlwaysBinary);
+    let (ids, stats) = e.query_ids_with(SELECTIVE, &over).expect("shim");
+    let (req_ids, req_stats) = e
+        .request(SELECTIVE)
+        .overrides(&over)
+        .ids_only()
+        .run()
+        .expect("request")
+        .into_ids();
+    assert_eq!(ids, req_ids);
+    assert_stats_eq(&stats, &req_stats, "query_ids_with");
+}
+
+#[test]
+fn query_ids_ref_matches_request_ref() {
+    let mut e = engine();
+    e.finalize();
+    let over = RunOverrides::threads(1);
+    let (ids, stats) = e.query_ids_ref(JOIN, &over).expect("shim");
+    let (req_ids, req_stats) = e
+        .request_ref(JOIN)
+        .overrides(&over)
+        .ids_only()
+        .run()
+        .expect("request")
+        .into_ids();
+    assert_eq!(ids, req_ids);
+    assert_stats_eq(&stats, &req_stats, "query_ids_ref");
+}
+
+#[test]
+fn query_matches_request() {
+    let mut e = engine();
+    let shim = e.query(JOIN).expect("shim");
+    let req = e.request(JOIN).run().expect("request").into_result();
+    assert_eq!(shim.vars, req.vars);
+    assert_eq!(shim.rows, req.rows);
+    assert_eq!(shim.rows.len(), 4);
+    assert_stats_eq(&shim.stats, &req.stats, "query");
+}
+
+#[test]
+fn query_with_matches_request() {
+    let mut e = engine();
+    let over = RunOverrides::threads(1).with_strategy(ProbeStrategy::AlwaysIndex);
+    let shim = e.query_with(SELECTIVE, &over).expect("shim");
+    let req = e
+        .request(SELECTIVE)
+        .overrides(&over)
+        .run()
+        .expect("request")
+        .into_result();
+    assert_eq!(shim.vars, req.vars);
+    assert_eq!(shim.rows, req.rows);
+    assert_stats_eq(&shim.stats, &req.stats, "query_with");
+}
+
+#[test]
+fn query_ref_matches_request_ref() {
+    let mut e = engine();
+    e.finalize();
+    let over = RunOverrides::threads(1);
+    let shim = e.query_ref(JOIN, &over).expect("shim");
+    let req = e
+        .request_ref(JOIN)
+        .overrides(&over)
+        .run()
+        .expect("request")
+        .into_result();
+    assert_eq!(shim.vars, req.vars);
+    assert_eq!(shim.rows, req.rows);
+    assert_stats_eq(&shim.stats, &req.stats, "query_ref");
+}
+
+#[test]
+fn timeout_override_equivalent_on_success_path() {
+    let mut e = engine();
+    let over = RunOverrides::timeout(Duration::from_secs(300)).with_threads(1);
+    let (count, stats) = e.query_count_with(JOIN, &over).expect("shim");
+    let out = e
+        .request(JOIN)
+        .timeout(Duration::from_secs(300))
+        .threads(1)
+        .count_only()
+        .run()
+        .expect("request");
+    assert_eq!(count, out.count);
+    assert_stats_eq(&stats, &out.stats, "generous timeout");
+}
+
+#[test]
+fn row_budget_trips_identically() {
+    let mut e = engine();
+    let over = RunOverrides::max_rows(1).with_threads(1);
+    let shim = e.query_count_with(JOIN, &over);
+    let req = e.request(JOIN).max_rows(1).threads(1).count_only().run();
+    match (shim, req) {
+        (
+            Err(ParjError::BudgetExceeded { rows: a, .. }),
+            Err(ParjError::BudgetExceeded { rows: b, .. }),
+        ) => assert_eq!(a, b),
+        (s, r) => panic!("expected BudgetExceeded from both, got {s:?} / {r:?}"),
+    }
+}
+
+#[test]
+fn pre_cancelled_token_trips_identically() {
+    let mut e = engine();
+    let token = CancelToken::new();
+    token.cancel();
+    let over = RunOverrides::threads(1).with_cancel(token.clone());
+    let shim = e.query_count_with(JOIN, &over);
+    let req = e
+        .request(JOIN)
+        .cancel(token.clone())
+        .threads(1)
+        .count_only()
+        .run();
+    assert!(
+        matches!(shim, Err(ParjError::Cancelled { .. })),
+        "shim: {shim:?}"
+    );
+    assert!(
+        matches!(req, Err(ParjError::Cancelled { .. })),
+        "request: {req:?}"
+    );
+}
+
+#[test]
+fn shared_query_matches_request() {
+    let shared = SharedParj::new(engine());
+    let shim = shared.query(JOIN).expect("shim");
+    let req = shared.request(JOIN).run().expect("request").into_result();
+    assert_eq!(shim.vars, req.vars);
+    assert_eq!(shim.rows, req.rows);
+    assert_stats_eq(&shim.stats, &req.stats, "shared query");
+}
+
+#[test]
+fn shared_query_count_matches_request() {
+    let shared = SharedParj::new(engine());
+    let (count, stats) = shared.query_count(JOIN).expect("shim");
+    let out = shared.request(JOIN).count_only().run().expect("request");
+    assert_eq!(count, out.count);
+    assert_stats_eq(&stats, &out.stats, "shared query_count");
+}
+
+#[test]
+fn shared_query_with_matches_request() {
+    let shared = SharedParj::new(engine());
+    let over = RunOverrides::threads(1).with_strategy(ProbeStrategy::AlwaysBinary);
+    let shim = shared.query_with(SELECTIVE, &over).expect("shim");
+    let req = shared
+        .request(SELECTIVE)
+        .overrides(&over)
+        .run()
+        .expect("request")
+        .into_result();
+    assert_eq!(shim.vars, req.vars);
+    assert_eq!(shim.rows, req.rows);
+    assert_stats_eq(&shim.stats, &req.stats, "shared query_with");
+}
+
+#[test]
+fn shared_query_count_with_matches_request() {
+    let shared = SharedParj::new(engine());
+    let over = RunOverrides::threads(1).with_strategy(ProbeStrategy::AdaptiveIndex);
+    let (count, stats) = shared.query_count_with(SELECTIVE, &over).expect("shim");
+    let out = shared
+        .request(SELECTIVE)
+        .overrides(&over)
+        .count_only()
+        .run()
+        .expect("request");
+    assert_eq!(count, out.count);
+    assert_stats_eq(&stats, &out.stats, "shared query_count_with");
+}

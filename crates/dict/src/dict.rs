@@ -228,6 +228,17 @@ impl Dictionary {
         self.resources.memory_bytes() + self.predicates.memory_bytes()
     }
 
+    /// Approximate heap bytes of the resource arena + index alone
+    /// (memory-accounting breakdown; see [`Dictionary::memory_bytes`]).
+    pub fn resources_memory_bytes(&self) -> usize {
+        self.resources.memory_bytes()
+    }
+
+    /// Approximate heap bytes of the predicate arena + index alone.
+    pub fn predicates_memory_bytes(&self) -> usize {
+        self.predicates.memory_bytes()
+    }
+
     /// Serializes the dictionary into `out` (length-prefixed arenas; the
     /// hash indexes are rebuilt on decode).
     pub fn encode_into(&self, out: &mut Vec<u8>) {

@@ -29,17 +29,78 @@ use crate::search::{adaptive_search, ProbeStrategy};
 use crate::stats::SearchStats;
 use crate::threshold::ThresholdTable;
 
+/// Aggregated internals of one plan execution, handed to a
+/// [`Recorder`] after the workers finish. Plain borrowed data: the
+/// recorder decides what to keep, the executor allocates nothing extra
+/// for runs without one.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecRecord<'a> {
+    /// Result rows emitted (summed across workers).
+    pub result_rows: u64,
+    /// `step_rows[d]` = binding tuples entering probe step `d`;
+    /// `step_rows[num_probe_steps]` = result rows emitted.
+    pub step_rows: &'a [u64],
+    /// Search counters per probe step (parallel to the plan's probe
+    /// steps), merged across workers.
+    pub step_search: &'a [SearchStats],
+    /// Driver-side counters (group membership checks of Example 3.2
+    /// style drivers).
+    pub driver_search: SearchStats,
+    /// All counters merged — probe steps plus driver.
+    pub total_search: SearchStats,
+    /// Work units per worker (rows emitted + array words touched):
+    /// the load-balance signal of the shard distribution. Empty when
+    /// the run failed before workers reported.
+    pub worker_units: &'a [u64],
+}
+
+/// Receives per-execution internals (once per [`execute`] call, after
+/// the join completes or fails). Implementations must be cheap and
+/// lock-light: the engine's metrics registry is the intended consumer.
+///
+/// This is the executor's entire observability surface — when
+/// [`ExecOptions::recorder`] is `None`, the only residual cost is
+/// moving per-worker vectors the worker loop already maintains.
+pub trait Recorder: Send + Sync {
+    /// Called once per plan execution with the aggregated internals.
+    fn record_exec(&self, record: &ExecRecord<'_>);
+}
+
+/// Why an [`ExecOptionsBuilder`] rejected its inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecOptionsError {
+    /// `threads` was zero — the executor needs at least one worker.
+    ZeroThreads,
+    /// `shards_per_thread` was zero — the driver cannot be split into
+    /// zero shards.
+    ZeroShardsPerThread,
+}
+
+impl std::fmt::Display for ExecOptionsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecOptionsError::ZeroThreads => write!(f, "threads must be at least 1"),
+            ExecOptionsError::ZeroShardsPerThread => {
+                write!(f, "shards_per_thread must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecOptionsError {}
+
 /// Execution options.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ExecOptions {
     /// Worker threads. In the paper "each worker corresponds exactly to
     /// one thread"; the optimum on their machine was 2× the core count
-    /// (hyper-threading, §5.1).
+    /// (hyper-threading, §5.1). Must be ≥ 1; use [`ExecOptions::builder`]
+    /// to get that checked at construction.
     pub threads: usize,
     /// Shards per thread (over-subscription). More shards smooth load
     /// imbalance between skewed key ranges at the cost of slightly more
     /// cursor restarts; the driver is split into
-    /// `threads × shards_per_thread` contiguous ranges.
+    /// `threads × shards_per_thread` contiguous ranges. Must be ≥ 1.
     pub shards_per_thread: usize,
     /// Probe strategy (Table 5's four columns).
     pub strategy: ProbeStrategy,
@@ -48,6 +109,21 @@ pub struct ExecOptions {
     /// installs a private guard internally so a panicking worker stops
     /// its siblings.
     pub guard: Option<Arc<QueryGuard>>,
+    /// Observer for per-execution internals; `None` skips all recording
+    /// work beyond moving vectors the workers maintain anyway.
+    pub recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl std::fmt::Debug for ExecOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecOptions")
+            .field("threads", &self.threads)
+            .field("shards_per_thread", &self.shards_per_thread)
+            .field("strategy", &self.strategy)
+            .field("guard", &self.guard)
+            .field("recorder", &self.recorder.as_ref().map(|_| "Recorder"))
+            .finish()
+    }
 }
 
 impl Default for ExecOptions {
@@ -57,6 +133,7 @@ impl Default for ExecOptions {
             shards_per_thread: 4,
             strategy: ProbeStrategy::AdaptiveBinary,
             guard: None,
+            recorder: None,
         }
     }
 }
@@ -68,6 +145,70 @@ impl ExecOptions {
             threads,
             ..Self::default()
         }
+    }
+
+    /// A builder that validates sizes at construction instead of the
+    /// executor clamping them at use sites.
+    pub fn builder() -> ExecOptionsBuilder {
+        ExecOptionsBuilder {
+            opts: ExecOptions::default(),
+        }
+    }
+
+    /// Checks the invariants [`ExecOptionsBuilder::build`] enforces.
+    pub fn validate(&self) -> Result<(), ExecOptionsError> {
+        if self.threads == 0 {
+            return Err(ExecOptionsError::ZeroThreads);
+        }
+        if self.shards_per_thread == 0 {
+            return Err(ExecOptionsError::ZeroShardsPerThread);
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`ExecOptions`] with validation at [`ExecOptionsBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct ExecOptionsBuilder {
+    opts: ExecOptions,
+}
+
+impl ExecOptionsBuilder {
+    /// Sets the worker thread count (validated ≥ 1 at build).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.opts.threads = threads;
+        self
+    }
+
+    /// Sets the shards-per-thread over-subscription (validated ≥ 1 at
+    /// build).
+    pub fn shards_per_thread(mut self, shards: usize) -> Self {
+        self.opts.shards_per_thread = shards;
+        self
+    }
+
+    /// Sets the probe strategy.
+    pub fn strategy(mut self, strategy: ProbeStrategy) -> Self {
+        self.opts.strategy = strategy;
+        self
+    }
+
+    /// Attaches a lifecycle guard.
+    pub fn guard(mut self, guard: Option<Arc<QueryGuard>>) -> Self {
+        self.opts.guard = guard;
+        self
+    }
+
+    /// Attaches a per-execution recorder.
+    pub fn recorder(mut self, recorder: Option<Arc<dyn Recorder>>) -> Self {
+        self.opts.recorder = recorder;
+        self
+    }
+
+    /// Validates and returns the options.
+    pub fn build(self) -> Result<ExecOptions, ExecOptionsError> {
+        self.opts.validate()?;
+        Ok(self.opts)
     }
 }
 
@@ -503,12 +644,13 @@ pub fn shard_loads(
     opts: &ExecOptions,
     thresholds: &ThresholdTable,
 ) -> Vec<u64> {
+    opts.validate().expect("invalid ExecOptions: construct via ExecOptions::builder()");
     let Some((ctxs, driver)) = prepare_exec(store, plan, opts, thresholds) else {
         return Vec::new();
     };
     let domain = driver.domain();
-    let threads = opts.threads.max(1);
-    let num_shards = (threads * opts.shards_per_thread.max(1)).max(1);
+    let threads = opts.threads;
+    let num_shards = threads * opts.shards_per_thread;
     let shard_size = domain.div_ceil(num_shards).max(1);
     let guard = QueryGuard::unlimited();
     let mut worker = Worker {
@@ -653,7 +795,18 @@ where
     S: Sink + Send,
     F: Fn() -> S + Sync,
 {
+    opts.validate().expect("invalid ExecOptions: construct via ExecOptions::builder()");
     let Some((ctxs, driver)) = prepare_exec(store, plan, opts, thresholds) else {
+        if let Some(rec) = &opts.recorder {
+            rec.record_exec(&ExecRecord {
+                result_rows: 0,
+                step_rows: &[],
+                step_search: &[],
+                driver_search: SearchStats::default(),
+                total_search: SearchStats::default(),
+                worker_units: &[],
+            });
+        }
         return Ok((Vec::new(), SearchStats::default()));
     };
 
@@ -669,8 +822,8 @@ where
     };
 
     let domain = driver.domain();
-    let threads = opts.threads.max(1);
-    let num_shards = (threads * opts.shards_per_thread.max(1)).max(1);
+    let threads = opts.threads;
+    let num_shards = threads * opts.shards_per_thread;
     let shard_size = domain.div_ceil(num_shards).max(1);
     let next_shard = AtomicUsize::new(0);
 
@@ -691,7 +844,7 @@ where
         trip: None,
     };
 
-    let run_worker = |mut w: Worker<'_, S>| -> (S, SearchStats, Option<GuardTrip>) {
+    let run_worker = |mut w: Worker<'_, S>| -> WorkerOutput<S> {
         // Check limits once up front so pre-cancelled tokens and
         // already-expired deadlines stop even queries too small to
         // reach a poll boundary.
@@ -710,7 +863,13 @@ where
         }
         w.final_check();
         let stats = w.total_stats();
-        (w.sink, stats, w.trip)
+        WorkerOutput {
+            sink: w.sink,
+            stats,
+            trip: w.trip,
+            step_stats: w.step_stats,
+            step_rows: w.step_rows,
+        }
     };
 
     // Each worker body runs under catch_unwind: a panic is contained,
@@ -734,6 +893,14 @@ where
         }
     };
 
+    // Aggregates for the recorder, built only when one is attached —
+    // runs without a recorder pay nothing here.
+    let recording = opts.recorder.is_some();
+    let mut agg_step_stats =
+        vec![SearchStats::default(); if recording { ctxs.len() + 2 } else { 0 }];
+    let mut agg_step_rows = vec![0u64; if recording { ctxs.len() + 1 } else { 0 }];
+    let mut worker_units: Vec<u64> = Vec::new();
+
     let mut results = Vec::with_capacity(threads);
     if threads == 1 {
         results.push(run_caught(make_worker()));
@@ -753,12 +920,22 @@ where
     }
     for result in results {
         match result {
-            Ok((sink, stats, trip)) => {
-                total.merge(&stats);
-                workers.push((sink, stats));
-                if let Some(trip) = trip {
+            Ok(out) => {
+                total.merge(&out.stats);
+                if let Some(trip) = out.trip {
                     note(ExecFailureKind::from_trip(trip), &mut worst);
                 }
+                if recording {
+                    for (agg, s) in agg_step_stats.iter_mut().zip(&out.step_stats) {
+                        agg.merge(s);
+                    }
+                    for (agg, r) in agg_step_rows.iter_mut().zip(&out.step_rows) {
+                        *agg += r;
+                    }
+                    let rows = out.step_rows.last().copied().unwrap_or(0);
+                    worker_units.push(rows + out.stats.words_touched());
+                }
+                workers.push((out.sink, out.stats));
             }
             Err(payload) => {
                 note(
@@ -770,6 +947,18 @@ where
             }
         }
     }
+    if let Some(rec) = &opts.recorder {
+        // Recorded on success *and* failure: partial progress is what
+        // the outcome counters need to explain a timeout or budget trip.
+        rec.record_exec(&ExecRecord {
+            result_rows: agg_step_rows.last().copied().unwrap_or(0),
+            step_rows: &agg_step_rows,
+            step_search: &agg_step_stats[..ctxs.len()],
+            driver_search: agg_step_stats[ctxs.len() + 1],
+            total_search: total,
+            worker_units: &worker_units,
+        });
+    }
     if let Some(kind) = worst {
         return Err(Box::new(ExecFailure {
             kind,
@@ -778,6 +967,15 @@ where
         }));
     }
     Ok((workers, total))
+}
+
+/// Everything a finished worker hands back to the coordinator.
+struct WorkerOutput<S> {
+    sink: S,
+    stats: SearchStats,
+    trip: Option<GuardTrip>,
+    step_stats: Vec<SearchStats>,
+    step_rows: Vec<u64>,
 }
 
 /// Builds a threshold table from the paper's default calibration windows
@@ -808,7 +1006,7 @@ pub fn execute_count_with(
 }
 
 /// Materializing execution: collects all result rows (order unspecified
-/// across workers) into one flat [`RowBatch`] — worker sink buffers are
+/// across workers) into one flat [`crate::RowBatch`] — worker sink buffers are
 /// concatenated wholesale, never exploded into per-row allocations.
 ///
 /// Zero-arity plans (pure existence) yield an empty batch: each push
@@ -943,6 +1141,7 @@ mod tests {
                     shards_per_thread: 3,
                     strategy,
                     guard: None,
+                    recorder: None,
                 };
                 let (mut batch, _) = execute_collect(store, &plan, &opts).expect("runs");
                 batch.sort_unstable();
@@ -1208,6 +1407,7 @@ mod tests {
                 shards_per_thread: 8,
                 strategy: ProbeStrategy::AdaptiveBinary,
                 guard: None,
+                recorder: None,
             },
         )
         .expect("runs");
@@ -1366,6 +1566,112 @@ mod tests {
         let opts = ExecOptions::default();
         let (count, _) = execute_count(&s, &plan, &opts).expect("fresh guard unaffected");
         assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn builder_validates_sizes() {
+        assert_eq!(
+            ExecOptions::builder().threads(0).build().unwrap_err(),
+            ExecOptionsError::ZeroThreads
+        );
+        assert_eq!(
+            ExecOptions::builder().shards_per_thread(0).build().unwrap_err(),
+            ExecOptionsError::ZeroShardsPerThread
+        );
+        let opts = ExecOptions::builder()
+            .threads(3)
+            .shards_per_thread(2)
+            .strategy(ProbeStrategy::AlwaysBinary)
+            .build()
+            .expect("valid");
+        assert_eq!(opts.threads, 3);
+        assert_eq!(opts.shards_per_thread, 2);
+        assert_eq!(opts.strategy, ProbeStrategy::AlwaysBinary);
+    }
+
+    /// Owned copy of an [`ExecRecord`]: (result_rows, step_rows,
+    /// step_search, total_search, worker_units).
+    type OwnedRecord = (u64, Vec<u64>, Vec<SearchStats>, SearchStats, Vec<u64>);
+
+    /// Captures the one record an execution emits, as owned data.
+    #[derive(Default)]
+    struct CaptureRecorder {
+        seen: std::sync::Mutex<Vec<OwnedRecord>>,
+    }
+
+    impl Recorder for CaptureRecorder {
+        fn record_exec(&self, r: &ExecRecord<'_>) {
+            self.seen.lock().unwrap().push((
+                r.result_rows,
+                r.step_rows.to_vec(),
+                r.step_search.to_vec(),
+                r.total_search,
+                r.worker_units.to_vec(),
+            ));
+        }
+    }
+
+    #[test]
+    fn recorder_sees_aggregated_internals() {
+        // ?x teaches ?c . ?x worksFor ?u — 4 driver tuples, 3 results.
+        let s = store();
+        let teaches = pid(&s, "teaches");
+        let works = pid(&s, "worksFor");
+        let plan = PhysicalPlan::new(
+            vec![
+                PlanStep {
+                    predicate: teaches,
+                    order: SortOrder::SO,
+                    key: Atom::Var(0),
+                    value: Atom::Var(1),
+                },
+                PlanStep {
+                    predicate: works,
+                    order: SortOrder::SO,
+                    key: Atom::Var(0),
+                    value: Atom::Var(2),
+                },
+            ],
+            3,
+            vec![0, 1, 2],
+        )
+        .unwrap();
+        for threads in [1usize, 4] {
+            let rec = Arc::new(CaptureRecorder::default());
+            let opts = ExecOptions::builder()
+                .threads(threads)
+                .recorder(Some(Arc::clone(&rec) as Arc<dyn Recorder>))
+                .build()
+                .unwrap();
+            let (count, total) = execute_count(&s, &plan, &opts).expect("runs");
+            assert_eq!(count, 4);
+            let seen = rec.seen.lock().unwrap();
+            assert_eq!(seen.len(), 1, "exactly one record per execution");
+            let (rows, step_rows, step_search, rec_total, units) = &seen[0];
+            assert_eq!(*rows, 4);
+            // One probe step: step_rows = [driver tuples, results].
+            assert_eq!(step_rows, &vec![4, 4]);
+            assert_eq!(step_search.len(), 1);
+            assert_eq!(*rec_total, total);
+            assert_eq!(units.len(), threads);
+            let unit_sum: u64 = units.iter().sum();
+            assert_eq!(unit_sum, 4 + total.words_touched());
+        }
+    }
+
+    #[test]
+    fn recorder_fires_on_failed_runs_too() {
+        let s = store();
+        let plan = teaches_plan(&s);
+        let rec = Arc::new(CaptureRecorder::default());
+        let guard = Arc::new(QueryGuard::with_limits(None, Some(2)));
+        let opts = ExecOptions::builder()
+            .guard(Some(guard))
+            .recorder(Some(Arc::clone(&rec) as Arc<dyn Recorder>))
+            .build()
+            .unwrap();
+        execute_count(&s, &plan, &opts).expect_err("budget of 2 rows");
+        assert_eq!(rec.seen.lock().unwrap().len(), 1);
     }
 
     #[test]

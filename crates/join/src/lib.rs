@@ -74,7 +74,8 @@ pub use exec::{
     driver_domain, execute, execute_collect, execute_count, execute_count_with, execute_detailed,
     execute_profiled, shard_loads, PlanProfile,
     CollectSink, CountSink,
-    ExecFailure, ExecFailureKind, ExecOptions, ExecResult, FnSink, Sink,
+    ExecFailure, ExecFailureKind, ExecOptions, ExecOptionsBuilder, ExecOptionsError, ExecRecord,
+    ExecResult, FnSink, Recorder, Sink,
 };
 pub use guard::{CancelToken, GuardTrip, QueryGuard, GUARD_BATCH};
 pub use plan::{Atom, PhysicalPlan, PlanError, PlanStep, VarId};

@@ -75,7 +75,7 @@ const GALLOP_AFTER: usize = 8;
 /// cursor_position is updated each time for both successful and
 /// unsuccessful searches").
 ///
-/// After [`GALLOP_AFTER`] consecutive steps the scan switches to
+/// After `GALLOP_AFTER` consecutive steps the scan switches to
 /// galloping: exponentially growing jumps bracket the target, then a
 /// binary search inside the bracket finishes in O(log gap). Hit
 /// results and the cursor's resting position are identical to the

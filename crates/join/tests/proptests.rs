@@ -139,7 +139,12 @@ proptest! {
         expected.sort_unstable();
 
         for strategy in ProbeStrategy::TABLE5 {
-            let opts = ExecOptions { threads, shards_per_thread: shards, strategy, guard: None };
+            let opts = ExecOptions::builder()
+                .threads(threads)
+                .shards_per_thread(shards)
+                .strategy(strategy)
+                .build()
+                .expect("valid options");
             let (mut batch, _) = execute_collect(&store, &plan, &opts).expect("runs");
             batch.sort_unstable();
             prop_assert_eq!(&batch.into_rows(), &expected, "strategy {} threads {} shards {}",

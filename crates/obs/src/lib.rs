@@ -1,0 +1,33 @@
+//! Lock-light observability for the PARJ engine.
+//!
+//! This crate is the metrics substrate behind the engine's
+//! `EXPLAIN ANALYZE` reports, the CLI `stats` subcommand, and any
+//! scrape endpoint a serving process wants to mount. It has three
+//! layers, all dependency-free:
+//!
+//! * [`metrics`] — atomic primitives ([`Counter`], [`Gauge`],
+//!   [`Histogram`], [`GaugeVec`]). Hot-path recording is one relaxed
+//!   `fetch_add`; no locks, no allocation.
+//! * [`registry`] — [`EngineMetrics`], the typed registry of every
+//!   family the engine records: query outcomes and phase timings,
+//!   executor search mix and shard imbalance, load-pipeline totals,
+//!   and store/dictionary memory gauges.
+//! * [`snapshot`] — [`MetricsSnapshot`], a plain-data capture with
+//!   Prometheus text ([`MetricsSnapshot::to_prometheus`]) and JSON
+//!   ([`MetricsSnapshot::to_json`]) exposition.
+//!
+//! The engine crates depend on this one; this crate depends on
+//! nothing, so the executor's `Recorder` trait can be satisfied by an
+//! adapter without dragging exposition code into the join hot loop.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod registry;
+pub mod snapshot;
+
+pub use metrics::{Counter, Gauge, GaugeVec, Histogram};
+pub use registry::{EngineMetrics, QueryOutcomeClass, QueryPhase, SearchKind, SearchTotals};
+pub use snapshot::{
+    FamilySnapshot, HistogramSnapshot, MetricKind, MetricsSnapshot, Sample, SampleValue,
+};

@@ -1,0 +1,235 @@
+//! Lock-light metric primitives.
+//!
+//! Everything on the query hot path is a plain `AtomicU64` touched with
+//! `Relaxed` ordering: one `fetch_add` per event, no locks, no
+//! allocation. The only lock in the crate guards *label creation* in
+//! [`GaugeVec`], which happens on the (rare, already write-locked)
+//! store-finalize path — never while a query runs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (bytes resident, queries
+/// in flight).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to the gauge.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n` from the gauge (saturating at zero on underflow
+    /// races, which only redistribute a transiently-wrong in-flight
+    /// count — never corrupt it permanently).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over `u64` observations with fixed upper bounds.
+///
+/// Buckets are *non-cumulative* internally; the snapshot accumulates
+/// them into the Prometheus convention (`le` buckets plus `+Inf`).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// One slot per bound plus the overflow (`+Inf`) slot.
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending upper bounds.
+    pub fn new(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative `(upper_bound, count)` pairs in Prometheus `le`
+    /// convention; the final entry is the `+Inf` bucket.
+    pub fn cumulative_buckets(&self) -> Vec<(Option<u64>, u64)> {
+        let mut acc = 0;
+        let mut out = Vec::with_capacity(self.buckets.len());
+        for (i, b) in self.buckets.iter().enumerate() {
+            acc += b.load(Ordering::Relaxed);
+            out.push((self.bounds.get(i).copied(), acc));
+        }
+        out
+    }
+}
+
+/// A family of gauges keyed by one label value, grown on demand.
+///
+/// Insertion takes the write lock; it happens only on the store
+/// finalize path. Reads (exposition) take the read lock.
+#[derive(Debug, Default)]
+pub struct GaugeVec {
+    values: RwLock<std::collections::BTreeMap<String, u64>>,
+}
+
+impl GaugeVec {
+    /// An empty family.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge for `label` to `v`, creating it if absent.
+    pub fn set(&self, label: &str, v: u64) {
+        self.values
+            .write()
+            .expect("gauge vec lock")
+            .insert(label.to_string(), v);
+    }
+
+    /// Replaces the entire family in one critical section (used when a
+    /// store rebuild invalidates every previous label).
+    pub fn replace(&self, entries: impl IntoIterator<Item = (String, u64)>) {
+        let mut map = self.values.write().expect("gauge vec lock");
+        map.clear();
+        map.extend(entries);
+    }
+
+    /// Current `(label, value)` pairs in label order.
+    pub fn get_all(&self) -> Vec<(String, u64)> {
+        self.values
+            .read()
+            .expect("gauge vec lock")
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(10);
+        g.add(5);
+        g.sub(3);
+        assert_eq!(g.get(), 12);
+    }
+
+    #[test]
+    fn histogram_buckets_accumulate() {
+        let h = Histogram::new(&[10, 100]);
+        for v in [1, 5, 50, 500] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 556);
+        assert_eq!(
+            h.cumulative_buckets(),
+            vec![(Some(10), 2), (Some(100), 3), (None, 4)]
+        );
+    }
+
+    #[test]
+    fn gauge_vec_replace_resets_labels() {
+        let v = GaugeVec::new();
+        v.set("a", 1);
+        v.set("b", 2);
+        v.replace([("c".to_string(), 3)]);
+        assert_eq!(v.get_all(), vec![("c".to_string(), 3)]);
+    }
+
+    #[test]
+    fn concurrent_counter_is_exact() {
+        let c = std::sync::Arc::new(Counter::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+}

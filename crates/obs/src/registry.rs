@@ -1,0 +1,516 @@
+//! The engine-wide metric registry.
+//!
+//! [`EngineMetrics`] owns one instance of every metric family the PARJ
+//! engine records. Families with a fixed label set (query outcomes,
+//! phases, search kinds) are plain arrays of atomics indexed by enum —
+//! recording is a single relaxed `fetch_add` with no hashing and no
+//! locking. Families whose labels depend on the data (per-predicate
+//! replica bytes) use [`GaugeVec`], whose lock is only taken on the
+//! store-finalize path.
+
+use crate::metrics::{Counter, Gauge, GaugeVec, Histogram};
+use crate::snapshot::{
+    FamilySnapshot, HistogramSnapshot, MetricKind, MetricsSnapshot, Sample, SampleValue,
+};
+
+/// How a query run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryOutcomeClass {
+    /// Completed and returned results.
+    Ok,
+    /// Rejected before or during preparation (parse, translation,
+    /// optimization, configuration).
+    Error,
+    /// Stopped by its wall-clock deadline.
+    Timeout,
+    /// Stopped by its result-row budget.
+    Budget,
+    /// Stopped by its cancellation token.
+    Cancelled,
+    /// A worker panicked (contained; the engine survived).
+    Panicked,
+}
+
+impl QueryOutcomeClass {
+    /// Stable label values for exposition.
+    pub const ALL: [QueryOutcomeClass; 6] = [
+        QueryOutcomeClass::Ok,
+        QueryOutcomeClass::Error,
+        QueryOutcomeClass::Timeout,
+        QueryOutcomeClass::Budget,
+        QueryOutcomeClass::Cancelled,
+        QueryOutcomeClass::Panicked,
+    ];
+
+    /// The label value rendered for this class.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QueryOutcomeClass::Ok => "ok",
+            QueryOutcomeClass::Error => "error",
+            QueryOutcomeClass::Timeout => "timeout",
+            QueryOutcomeClass::Budget => "budget",
+            QueryOutcomeClass::Cancelled => "cancelled",
+            QueryOutcomeClass::Panicked => "panicked",
+        }
+    }
+}
+
+/// A query-lifecycle phase, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryPhase {
+    /// SPARQL parsing.
+    Parse,
+    /// Dictionary translation of the parsed query.
+    Translate,
+    /// Statistics-driven join ordering.
+    Optimize,
+    /// Parallel join execution.
+    Execute,
+    /// Result decode / ordering / aggregation.
+    Decode,
+}
+
+impl QueryPhase {
+    /// Phases in pipeline order.
+    pub const ALL: [QueryPhase; 5] = [
+        QueryPhase::Parse,
+        QueryPhase::Translate,
+        QueryPhase::Optimize,
+        QueryPhase::Execute,
+        QueryPhase::Decode,
+    ];
+
+    /// The label value rendered for this phase.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QueryPhase::Parse => "parse",
+            QueryPhase::Translate => "translate",
+            QueryPhase::Optimize => "optimize",
+            QueryPhase::Execute => "execute",
+            QueryPhase::Decode => "decode",
+        }
+    }
+}
+
+/// A search operation kind of the adaptive probe (Algorithm 1 plus the
+/// ID-to-Position index of §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchKind {
+    /// Sequential search from the per-step cursor (includes galloping).
+    Sequential,
+    /// Whole-array binary search.
+    Binary,
+    /// ID-to-Position index lookup.
+    Index,
+}
+
+impl SearchKind {
+    /// All kinds, in exposition order.
+    pub const ALL: [SearchKind; 3] =
+        [SearchKind::Sequential, SearchKind::Binary, SearchKind::Index];
+
+    /// The label value rendered for this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SearchKind::Sequential => "sequential",
+            SearchKind::Binary => "binary",
+            SearchKind::Index => "index",
+        }
+    }
+}
+
+/// Search-mix totals for one query, already summed across workers.
+/// Plain data so recorders stay decoupled from the executor's types.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchTotals {
+    /// Sequential searches chosen.
+    pub sequential: u64,
+    /// Binary searches chosen.
+    pub binary: u64,
+    /// ID-to-Position lookups chosen.
+    pub index: u64,
+    /// Array words touched by sequential searches.
+    pub sequential_steps: u64,
+    /// Array words touched by binary searches.
+    pub binary_steps: u64,
+    /// Bitmap/anchor words touched by index lookups.
+    pub index_words: u64,
+    /// Group membership probes (second-column checks).
+    pub group_probes: u64,
+}
+
+/// Histogram bounds for query durations, in microseconds.
+const DURATION_BOUNDS: [u64; 7] = [100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, 60_000_000];
+/// Histogram bounds for result rows per query.
+const ROWS_BOUNDS: [u64; 7] = [1, 10, 100, 1_000, 10_000, 100_000, 1_000_000];
+/// Histogram bounds for the shard-load imbalance factor ×1000
+/// (1000 = perfectly balanced).
+const IMBALANCE_BOUNDS: [u64; 7] = [1_000, 1_100, 1_250, 1_500, 2_000, 4_000, 8_000];
+
+/// Every metric family the engine records. One instance is shared
+/// (behind an `Arc`) by an engine, its [`SharedParj`]-style wrappers,
+/// and any exposition endpoint.
+///
+/// [`SharedParj`]: https://docs.rs/parj-core
+#[derive(Debug)]
+pub struct EngineMetrics {
+    // -- query lifecycle --------------------------------------------------
+    /// `parj_queries_total{outcome}`.
+    queries_total: [Counter; 6],
+    /// `parj_queries_inflight`.
+    queries_inflight: Gauge,
+    /// `parj_query_phase_micros_total{phase}`.
+    phase_micros: [Counter; 5],
+    /// `parj_query_duration_micros` histogram.
+    query_duration: Histogram,
+    /// `parj_query_rows` histogram.
+    query_rows: Histogram,
+    /// `parj_result_rows_total`.
+    result_rows_total: Counter,
+    // -- executor internals -----------------------------------------------
+    /// `parj_searches_total{kind}`.
+    searches_total: [Counter; 3],
+    /// `parj_search_words_total{kind}`.
+    search_words_total: [Counter; 3],
+    /// `parj_group_probes_total`.
+    group_probes_total: Counter,
+    /// `parj_probe_rows_total`.
+    probe_rows_total: Counter,
+    /// `parj_shard_imbalance_x1000` histogram.
+    shard_imbalance: Histogram,
+    // -- load pipeline -----------------------------------------------------
+    /// `parj_load_statements_total{result}` (loaded / skipped).
+    load_statements: [Counter; 2],
+    /// `parj_load_micros_total`.
+    load_micros_total: Counter,
+    /// `parj_load_bytes_total`.
+    load_bytes_total: Counter,
+    // -- store / dictionary memory ----------------------------------------
+    /// `parj_store_triples`.
+    store_triples: Gauge,
+    /// `parj_store_partition_bytes`.
+    store_partition_bytes: Gauge,
+    /// `parj_store_replica_bytes{predicate}`.
+    replica_bytes: GaugeVec,
+    /// `parj_dict_bytes{section}` (resources / predicates).
+    dict_bytes: [Gauge; 2],
+}
+
+impl Default for EngineMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineMetrics {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        EngineMetrics {
+            queries_total: Default::default(),
+            queries_inflight: Gauge::new(),
+            phase_micros: Default::default(),
+            query_duration: Histogram::new(&DURATION_BOUNDS),
+            query_rows: Histogram::new(&ROWS_BOUNDS),
+            result_rows_total: Counter::new(),
+            searches_total: Default::default(),
+            search_words_total: Default::default(),
+            group_probes_total: Counter::new(),
+            probe_rows_total: Counter::new(),
+            shard_imbalance: Histogram::new(&IMBALANCE_BOUNDS),
+            load_statements: Default::default(),
+            load_micros_total: Counter::new(),
+            load_bytes_total: Counter::new(),
+            store_triples: Gauge::new(),
+            store_partition_bytes: Gauge::new(),
+            replica_bytes: GaugeVec::new(),
+            dict_bytes: Default::default(),
+        }
+    }
+
+    /// Marks a query as started; pair with [`EngineMetrics::query_finished`].
+    pub fn query_started(&self) {
+        self.queries_inflight.add(1);
+    }
+
+    /// Marks a query as finished (any outcome).
+    pub fn query_finished(&self) {
+        self.queries_inflight.sub(1);
+    }
+
+    /// Records one completed query run: its outcome class, per-phase
+    /// wall times (µs), total wall time, result rows, and the merged
+    /// search mix of its workers (partial progress for failed runs).
+    pub fn record_query(
+        &self,
+        outcome: QueryOutcomeClass,
+        phases: &[(QueryPhase, u64)],
+        total_micros: u64,
+        rows: u64,
+        search: &SearchTotals,
+    ) {
+        self.queries_total[outcome as usize].inc();
+        for &(phase, micros) in phases {
+            self.phase_micros[phase as usize].add(micros);
+        }
+        self.query_duration.observe(total_micros);
+        self.query_rows.observe(rows);
+        self.result_rows_total.add(rows);
+        self.searches_total[SearchKind::Sequential as usize].add(search.sequential);
+        self.searches_total[SearchKind::Binary as usize].add(search.binary);
+        self.searches_total[SearchKind::Index as usize].add(search.index);
+        self.search_words_total[SearchKind::Sequential as usize].add(search.sequential_steps);
+        self.search_words_total[SearchKind::Binary as usize].add(search.binary_steps);
+        self.search_words_total[SearchKind::Index as usize].add(search.index_words);
+        self.group_probes_total.add(search.group_probes);
+    }
+
+    /// Records one plan execution's internals: binding tuples that
+    /// entered probe steps, and the shard-load imbalance factor ×1000
+    /// (`max_worker_units × workers / total_units`; 1000 = balanced).
+    pub fn record_plan_exec(&self, probe_rows: u64, imbalance_x1000: u64) {
+        self.probe_rows_total.add(probe_rows);
+        self.shard_imbalance.observe(imbalance_x1000);
+    }
+
+    /// Records one bulk-load: statements kept, statements skipped
+    /// (lossy mode), wall time, and input bytes.
+    pub fn record_load(&self, loaded: u64, skipped: u64, micros: u64, bytes: u64) {
+        self.load_statements[0].add(loaded);
+        self.load_statements[1].add(skipped);
+        self.load_micros_total.add(micros);
+        self.load_bytes_total.add(bytes);
+    }
+
+    /// Replaces the store/dictionary memory gauges after a (re)build:
+    /// resident triples, total partition bytes, per-predicate replica
+    /// bytes, and dictionary arena bytes split by section.
+    pub fn set_store_memory(
+        &self,
+        triples: u64,
+        partition_bytes: u64,
+        per_predicate_bytes: impl IntoIterator<Item = (String, u64)>,
+        dict_resource_bytes: u64,
+        dict_predicate_bytes: u64,
+    ) {
+        self.store_triples.set(triples);
+        self.store_partition_bytes.set(partition_bytes);
+        self.replica_bytes.replace(per_predicate_bytes);
+        self.dict_bytes[0].set(dict_resource_bytes);
+        self.dict_bytes[1].set(dict_predicate_bytes);
+    }
+
+    /// Captures every family. Cheap (relaxed loads) and safe to call
+    /// while queries are recording.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counter_fam = |name: &str, help: &str, samples: Vec<Sample>| FamilySnapshot {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind: MetricKind::Counter,
+            samples,
+        };
+        let gauge_fam = |name: &str, help: &str, samples: Vec<Sample>| FamilySnapshot {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind: MetricKind::Gauge,
+            samples,
+        };
+        let hist_fam = |name: &str, help: &str, h: &Histogram| FamilySnapshot {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind: MetricKind::Histogram,
+            samples: vec![Sample {
+                labels: Vec::new(),
+                value: SampleValue::Histogram(HistogramSnapshot {
+                    buckets: h.cumulative_buckets(),
+                    sum: h.sum(),
+                    count: h.count(),
+                }),
+            }],
+        };
+        let plain = |v: u64| Sample {
+            labels: Vec::new(),
+            value: SampleValue::Integer(v),
+        };
+        let labelled = |k: &str, v: &str, value: u64| Sample {
+            labels: vec![(k.to_string(), v.to_string())],
+            value: SampleValue::Integer(value),
+        };
+
+        MetricsSnapshot {
+            families: vec![
+                counter_fam(
+                    "parj_queries_total",
+                    "Queries run, by outcome class.",
+                    QueryOutcomeClass::ALL
+                        .iter()
+                        .map(|&c| {
+                            labelled("outcome", c.as_str(), self.queries_total[c as usize].get())
+                        })
+                        .collect(),
+                ),
+                gauge_fam(
+                    "parj_queries_inflight",
+                    "Queries currently executing.",
+                    vec![plain(self.queries_inflight.get())],
+                ),
+                counter_fam(
+                    "parj_query_phase_micros_total",
+                    "Wall time spent per query phase, microseconds.",
+                    QueryPhase::ALL
+                        .iter()
+                        .map(|&p| labelled("phase", p.as_str(), self.phase_micros[p as usize].get()))
+                        .collect(),
+                ),
+                hist_fam(
+                    "parj_query_duration_micros",
+                    "Total wall time per query, microseconds.",
+                    &self.query_duration,
+                ),
+                hist_fam(
+                    "parj_query_rows",
+                    "Result rows per query.",
+                    &self.query_rows,
+                ),
+                counter_fam(
+                    "parj_result_rows_total",
+                    "Result rows produced across all queries.",
+                    vec![plain(self.result_rows_total.get())],
+                ),
+                counter_fam(
+                    "parj_searches_total",
+                    "Probe searches by kind (the adaptive mix of Algorithm 1).",
+                    SearchKind::ALL
+                        .iter()
+                        .map(|&k| labelled("kind", k.as_str(), self.searches_total[k as usize].get()))
+                        .collect(),
+                ),
+                counter_fam(
+                    "parj_search_words_total",
+                    "Array words touched by probe searches, by kind.",
+                    SearchKind::ALL
+                        .iter()
+                        .map(|&k| {
+                            labelled("kind", k.as_str(), self.search_words_total[k as usize].get())
+                        })
+                        .collect(),
+                ),
+                counter_fam(
+                    "parj_group_probes_total",
+                    "Membership checks inside value groups.",
+                    vec![plain(self.group_probes_total.get())],
+                ),
+                counter_fam(
+                    "parj_probe_rows_total",
+                    "Binding tuples that entered probe steps.",
+                    vec![plain(self.probe_rows_total.get())],
+                ),
+                hist_fam(
+                    "parj_shard_imbalance_x1000",
+                    "Shard-load imbalance factor per plan execution, x1000 (1000 = balanced).",
+                    &self.shard_imbalance,
+                ),
+                counter_fam(
+                    "parj_load_statements_total",
+                    "Statements processed by bulk loads, by result.",
+                    vec![
+                        labelled("result", "loaded", self.load_statements[0].get()),
+                        labelled("result", "skipped", self.load_statements[1].get()),
+                    ],
+                ),
+                counter_fam(
+                    "parj_load_micros_total",
+                    "Wall time spent in bulk loads, microseconds.",
+                    vec![plain(self.load_micros_total.get())],
+                ),
+                counter_fam(
+                    "parj_load_bytes_total",
+                    "Input bytes consumed by bulk loads.",
+                    vec![plain(self.load_bytes_total.get())],
+                ),
+                gauge_fam(
+                    "parj_store_triples",
+                    "Triples resident in the finalized store.",
+                    vec![plain(self.store_triples.get())],
+                ),
+                gauge_fam(
+                    "parj_store_partition_bytes",
+                    "Bytes held by vertical partitions (both replica orders).",
+                    vec![plain(self.store_partition_bytes.get())],
+                ),
+                gauge_fam(
+                    "parj_store_replica_bytes",
+                    "Bytes held by the partition of each predicate.",
+                    self.replica_bytes
+                        .get_all()
+                        .into_iter()
+                        .map(|(pred, v)| labelled("predicate", &pred, v))
+                        .collect(),
+                ),
+                gauge_fam(
+                    "parj_dict_bytes",
+                    "Dictionary arena bytes, by section.",
+                    vec![
+                        labelled("section", "resources", self.dict_bytes[0].get()),
+                        labelled("section", "predicates", self.dict_bytes[1].get()),
+                    ],
+                ),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_lists_every_family_once() {
+        let m = EngineMetrics::new();
+        let snap = m.snapshot();
+        let mut names: Vec<_> = snap.families.iter().map(|f| f.name.clone()).collect();
+        let total = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), total, "duplicate family names");
+        assert!(total >= 12, "expected >= 12 families, got {total}");
+    }
+
+    #[test]
+    fn record_query_feeds_families() {
+        let m = EngineMetrics::new();
+        m.record_query(
+            QueryOutcomeClass::Ok,
+            &[(QueryPhase::Parse, 10), (QueryPhase::Execute, 200)],
+            250,
+            42,
+            &SearchTotals {
+                sequential: 5,
+                binary: 3,
+                index: 1,
+                ..SearchTotals::default()
+            },
+        );
+        let snap = m.snapshot();
+        assert_eq!(snap.value("parj_queries_total", &[("outcome", "ok")]), Some(1));
+        assert_eq!(
+            snap.value("parj_query_phase_micros_total", &[("phase", "execute")]),
+            Some(200)
+        );
+        assert_eq!(snap.value("parj_result_rows_total", &[]), Some(42));
+        assert_eq!(snap.value("parj_searches_total", &[("kind", "sequential")]), Some(5));
+    }
+
+    #[test]
+    fn store_memory_replaces_predicate_labels() {
+        let m = EngineMetrics::new();
+        m.set_store_memory(10, 800, [("p1".to_string(), 500)], 300, 40);
+        m.set_store_memory(12, 900, [("p2".to_string(), 600)], 310, 41);
+        let snap = m.snapshot();
+        assert_eq!(snap.value("parj_store_replica_bytes", &[("predicate", "p1")]), None);
+        assert_eq!(
+            snap.value("parj_store_replica_bytes", &[("predicate", "p2")]),
+            Some(600)
+        );
+        assert_eq!(snap.value("parj_store_triples", &[]), Some(12));
+    }
+}

@@ -39,7 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("-- {} queries --", q.group);
             last_group = q.group.clone();
         }
-        let (count, stats) = engine.query_count(&q.sparql)?;
+        let out = engine.request(&q.sparql).count_only().run()?;
+        let (count, stats) = (out.count, out.stats);
         println!(
             "  {:<4} {:>9} results {:>9.2} ms  (prepare {:>6.2} ms)",
             q.name,
@@ -56,8 +57,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .zip(watdiv::incremental_linear(3).iter())
     {
-        let (ca, _) = engine.query_count(&a.sparql)?;
-        let (cb, _) = engine.query_count(&b.sparql)?;
+        let ca = engine.request(&a.sparql).count_only().run()?.count;
+        let cb = engine.request(&b.sparql).count_only().run()?.count;
         println!("{:<9} {:>12} | {:<9} {:>12}", a.name, ca, b.name, cb);
     }
 
@@ -67,7 +68,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .into_iter()
         .find(|q| q.name == "S1")
         .expect("S1 exists");
-    let (count, stats) = engine.query_count(&s1.sparql)?;
+    let out = engine.request(&s1.sparql).count_only().run()?;
+    let (count, stats) = (out.count, out.stats);
     println!(
         "\nS1 (9-pattern star): {count} results; prepare {} µs vs execute {} µs",
         stats.prepare_micros, stats.exec_micros
@@ -79,7 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .into_iter()
         .find(|q| q.name == "C3")
         .expect("C3 exists");
-    let (pairs, _) = engine.query_count(&c3.sparql)?;
+    let pairs = engine.request(&c3.sparql).count_only().run()?.count;
     println!("friends who like the same product (C3): {pairs} bindings");
     Ok(())
 }

@@ -32,36 +32,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Example 3.1 of the paper: who teaches what, and where do they
     //    work?
-    let result = engine.query(
-        "PREFIX u: <http://uni.example/>
-         SELECT ?prof ?course ?employer WHERE {
-             ?prof u:teaches ?course .
-             ?prof u:worksFor ?employer .
-         }",
-    )?;
+    let result = engine
+        .request(
+            "PREFIX u: <http://uni.example/>
+             SELECT ?prof ?course ?employer WHERE {
+                 ?prof u:teaches ?course .
+                 ?prof u:worksFor ?employer .
+             }",
+        )
+        .run()?
+        .into_result();
     println!("\n?prof ?course ?employer:");
     print!("{}", result.to_table());
 
     // 4. Example 3.2: constant object — the optimizer drives the plan
-    //    from the selective pattern using the O-S replica.
+    //    from the selective pattern using the O-S replica. Silent mode
+    //    (`count_only`) is the paper's primary measurement;
+    //    `explain(true)` attaches an EXPLAIN ANALYZE-style report from
+    //    the actual parallel run.
     let query = "PREFIX u: <http://uni.example/>
          SELECT ?prof ?course WHERE {
              ?prof u:teaches ?course .
              ?prof u:worksFor u:University2 .
          }";
-    println!("\nplan for the University2 query:\n{}", engine.explain(query)?);
-    let (count, stats) = engine.query_count(query)?;
+    let outcome = engine.request(query).count_only().explain(true).run()?;
     println!(
-        "silent mode: {count} results in {} µs ({} sequential / {} binary searches)",
-        stats.exec_micros, stats.search.sequential_searches, stats.search.binary_searches
+        "\nsilent mode: {} results in {} µs",
+        outcome.count, outcome.stats.exec_micros
+    );
+    println!("{}", outcome.report());
+
+    // 5. ASK, DISTINCT, LIMIT and literals all work; per-run knobs
+    //    (timeout, max_rows, threads) chain on the same builder.
+    let exists = engine
+        .request("ASK { ?x <http://uni.example/name> \"Alice\"@en }")
+        .count_only()
+        .run()?
+        .count;
+    println!("is anyone named Alice? {}", exists == 1);
+
+    // 6. Every run feeds the engine-wide metrics registry.
+    let snap = engine.metrics_snapshot();
+    println!(
+        "queries so far: {:?}; store triples: {:?}",
+        snap.value("parj_queries_total", &[("outcome", "ok")]),
+        snap.value("parj_store_triples", &[]),
     );
 
-    // 5. ASK, DISTINCT, LIMIT and literals all work.
-    let (exists, _) =
-        engine.query_count("ASK { ?x <http://uni.example/name> \"Alice\"@en }")?;
-    println!("\nis anyone named Alice? {}", exists == 1);
-
-    // 6. Persist and reload.
+    // 7. Persist and reload.
     let path = std::env::temp_dir().join("parj-quickstart.snapshot");
     engine.save_snapshot(&path)?;
     let mut restored = Parj::load_snapshot(&path, parj::EngineConfig::default())?;

@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Plain engine: only direct assertions match.
     let mut plain = Parj::builder().build();
     plain.load_ntriples_str(DATA)?;
-    let (direct, _) = plain.query_count(animals_q)?;
+    let direct = plain.request(animals_q).count_only().run()?.count;
     println!("without reasoning: {direct} direct Animal instances");
     assert_eq!(direct, 0); // nothing is typed Animal directly
 
@@ -50,12 +50,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "store still holds {} triples (nothing materialized)",
         smart.num_triples()
     );
-    let animals = smart.query(animals_q)?;
+    let animals = smart.request(animals_q).run()?.into_result();
     println!("with reasoning: {} animals:", animals.rows.len());
     for row in &animals.rows {
         println!("  {}", row[0]);
     }
-    let children = smart.query(children_q)?;
+    let children = smart.request(children_q).run()?.into_result();
     println!("\nchild edges (hasPuppy ⊑ hasChild): {}", children.rows.len());
     for row in &children.rows {
         println!("  {} -> {}", row[0], row[1]);
@@ -69,7 +69,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let handles: Vec<_> = (0..4)
         .map(|_| {
             let s = std::sync::Arc::clone(&shared);
-            std::thread::spawn(move || s.query_count("SELECT ?x WHERE { ?x a <http://zoo/Mammal> }").unwrap().0)
+            std::thread::spawn(move || {
+                s.request("SELECT ?x WHERE { ?x a <http://zoo/Mammal> }")
+                    .count_only()
+                    .run()
+                    .unwrap()
+                    .count
+            })
         })
         .collect();
     for h in handles {

@@ -44,42 +44,56 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("graph has {} triples", engine.num_triples());
 
     // Two-hop reachability: who can alice reach through one friend?
-    let res = engine.query(
-        "PREFIX s: <http://social.example/>
-         PREFIX r: <http://social.example/rel/>
-         SELECT DISTINCT ?reached WHERE {
-             s:alice r:follows ?mid .
-             ?mid r:follows ?reached .
-         }",
-    )?;
+    let res = engine
+        .request(
+            "PREFIX s: <http://social.example/>
+             PREFIX r: <http://social.example/rel/>
+             SELECT DISTINCT ?reached WHERE {
+                 s:alice r:follows ?mid .
+                 ?mid r:follows ?reached .
+             }",
+        )
+        .run()?
+        .into_result();
     println!("\nalice's two-hop reach:");
     for row in &res.rows {
         println!("  {}", row[0]);
     }
 
     // Mutual follows: the repeated-variable triangle ?a → ?b → ?a.
-    let res = engine.query(
-        "PREFIX r: <http://social.example/rel/>
-         SELECT ?a ?b WHERE { ?a r:follows ?b . ?b r:follows ?a . }",
-    )?;
+    let res = engine
+        .request(
+            "PREFIX r: <http://social.example/rel/>
+             SELECT ?a ?b WHERE { ?a r:follows ?b . ?b r:follows ?a . }",
+        )
+        .run()?
+        .into_result();
     println!("\nmutual follows (includes erin's self-loop):");
     for row in &res.rows {
         println!("  {} <-> {}", row[0], row[1]);
     }
 
     // Self-loops specifically: ?x follows ?x.
-    let (selfloops, _) = engine.query_count(
-        "PREFIX r: <http://social.example/rel/>
-         SELECT ?x WHERE { ?x r:follows ?x . }",
-    )?;
+    let selfloops = engine
+        .request(
+            "PREFIX r: <http://social.example/rel/>
+             SELECT ?x WHERE { ?x r:follows ?x . }",
+        )
+        .count_only()
+        .run()?
+        .count;
     println!("\nself-loops: {selfloops}");
 
     // Predicate variable: everything known about dave, over any
     // predicate (expands to a union over the predicate partitions).
-    let (facts, _) = engine.query_count(
-        "PREFIX s: <http://social.example/>
-         SELECT ?o WHERE { s:dave ?p ?o . }",
-    )?;
+    let facts = engine
+        .request(
+            "PREFIX s: <http://social.example/>
+             SELECT ?o WHERE { s:dave ?p ?o . }",
+        )
+        .count_only()
+        .run()?
+        .count;
     println!("facts about dave across all predicates: {facts}");
 
     // Incremental update: frank joins and follows everyone; the store
@@ -87,18 +101,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for other in ["alice", "bob", "carol", "dave", "erin"] {
         engine.add_triple(&person("frank"), &rel("follows"), &person(other));
     }
-    let (count, _) = engine.query_count(
-        "PREFIX s: <http://social.example/>
-         PREFIX r: <http://social.example/rel/>
-         SELECT ?x WHERE { s:frank r:follows ?x . }",
-    )?;
+    let count = engine
+        .request(
+            "PREFIX s: <http://social.example/>
+             PREFIX r: <http://social.example/rel/>
+             SELECT ?x WHERE { s:frank r:follows ?x . }",
+        )
+        .count_only()
+        .run()?
+        .count;
     println!("\nafter frank joined: frank follows {count} people");
 
     // Influencers: DISTINCT + LIMIT.
-    let res = engine.query(
-        "PREFIX r: <http://social.example/rel/>
-         SELECT DISTINCT ?who WHERE { ?someone r:follows ?who . } LIMIT 3",
-    )?;
+    let res = engine
+        .request(
+            "PREFIX r: <http://social.example/rel/>
+             SELECT DISTINCT ?who WHERE { ?someone r:follows ?who . } LIMIT 3",
+        )
+        .run()?
+        .into_result();
     println!(
         "three people with followers: {}",
         res.rows

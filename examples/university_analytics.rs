@@ -36,7 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Run the whole benchmark suite in silent mode.
     println!("\n{:<8} {:>10} {:>10} {:>12} {:>12}", "query", "results", "ms", "#sequential", "#binary");
     for q in lubm::queries() {
-        let (count, stats) = engine.query_count(&q.sparql)?;
+        let out = engine.request(&q.sparql).count_only().run()?;
+        let (count, stats) = (out.count, out.stats);
         println!(
             "{:<8} {:>10} {:>10.2} {:>12} {:>12}",
             q.name,
@@ -53,8 +54,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nLUBM9 under the four probe strategies (1 thread):");
     for strategy in ProbeStrategy::TABLE5 {
-        let over = RunOverrides::threads(1).with_strategy(strategy);
-        let (_, stats) = engine.query_count_with(&lubm9.sparql, &over)?;
+        let stats = engine
+            .request(&lubm9.sparql)
+            .threads(1)
+            .strategy(strategy)
+            .count_only()
+            .run()?
+            .stats;
         println!(
             "  {:<10} {:>8.2} ms, words touched: {}",
             strategy.label(),
@@ -75,7 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Full result handling: decode the selective star query's rows.
     let lubm4 = lubm::queries().into_iter().nth(3).expect("LUBM4");
-    let full = engine.query(&lubm4.sparql)?;
+    let full = engine.request(&lubm4.sparql).run()?.into_result();
     println!(
         "\nLUBM4 (faculty of u0/d0): {} people; first row:",
         full.rows.len()

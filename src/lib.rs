@@ -18,10 +18,12 @@
 //!     "<http://e/a> <http://e/knows> <http://e/b> .\n\
 //!      <http://e/b> <http://e/knows> <http://e/c> .\n",
 //! ).unwrap();
-//! let (paths, _) = engine
-//!     .query_count("SELECT ?x ?z WHERE { ?x <http://e/knows> ?y . ?y <http://e/knows> ?z }")
+//! let outcome = engine
+//!     .request("SELECT ?x ?z WHERE { ?x <http://e/knows> ?y . ?y <http://e/knows> ?z }")
+//!     .count_only()
+//!     .run()
 //!     .unwrap();
-//! assert_eq!(paths, 1);
+//! assert_eq!(outcome.count, 1);
 //! ```
 
 pub use parj_core::*;

@@ -5,7 +5,7 @@
 
 use parj::baseline::{reference_eval, BaselineEngine, HashJoinEngine, MergeJoinEngine};
 use parj::datagen::{lubm, watdiv};
-use parj::{parse_query, Parj, ProbeStrategy, RunOverrides, STerm};
+use parj::{parse_query, Parj, ProbeStrategy, STerm};
 
 /// Translates a SPARQL query into encoded patterns the baselines and
 /// the oracle understand (no predicate variables, constants must
@@ -48,13 +48,22 @@ fn encode_patterns(
 /// all counts agree; returns the count.
 fn consistent_count(engine: &mut Parj, sparql: &str) -> u64 {
     let base = engine
-        .query_count_with(sparql, &RunOverrides::threads(1))
+        .request(sparql)
+        .threads(1)
+        .count_only()
+        .run()
         .unwrap()
-        .0;
+        .count;
     for strategy in ProbeStrategy::TABLE5 {
         for threads in [1, 4] {
-            let over = RunOverrides::threads(threads).with_strategy(strategy);
-            let got = engine.query_count_with(sparql, &over).unwrap().0;
+            let got = engine
+                .request(sparql)
+                .threads(threads)
+                .strategy(strategy)
+                .count_only()
+                .run()
+                .unwrap()
+                .count;
             assert_eq!(
                 got, base,
                 "{sparql}\nstrategy {strategy} threads {threads}: {got} vs {base}"
@@ -105,7 +114,7 @@ fn lubm_selectivity_profile() {
     let mut engine = Parj::from_store(store, parj::EngineConfig::default());
     let mut counts = std::collections::HashMap::new();
     for q in lubm::queries() {
-        let (c, _) = engine.query_count(&q.sparql).unwrap();
+        let c = engine.request(&q.sparql).count_only().run().unwrap().count;
         counts.insert(q.name.clone(), c);
     }
     // Non-selective / complex queries produce substantial results.
@@ -142,7 +151,8 @@ fn watdiv_queries_consistent_and_match_oracle() {
 fn watdiv_workload_selectivity_classes() {
     let store = watdiv::generate_store(&watdiv::WatDivConfig { scale: 2, seed: 5 });
     let mut engine = Parj::from_store(store, parj::EngineConfig::default());
-    let count = |e: &mut Parj, sparql: &str| e.query_count(sparql).unwrap().0;
+    let count =
+        |e: &mut Parj, sparql: &str| e.request(sparql).count_only().run().unwrap().count;
 
     // IL-3 (unanchored friendOf chains) must dwarf IL-1/IL-2 (anchored)
     // and grow with length — that contrast is Table 4's entire point.
@@ -194,8 +204,8 @@ fn full_result_handling_agrees_with_silent_mode() {
     });
     let mut engine = Parj::from_store(store, parj::EngineConfig::default());
     for q in lubm::queries().iter().take(6) {
-        let (count, _) = engine.query_count(&q.sparql).unwrap();
-        let full = engine.query(&q.sparql).unwrap();
+        let count = engine.request(&q.sparql).count_only().run().unwrap().count;
+        let full = engine.request(&q.sparql).run().unwrap().into_result();
         assert_eq!(count, full.rows.len() as u64, "{}", q.name);
         // Every decoded row has the projection's arity.
         for row in &full.rows {
@@ -215,8 +225,8 @@ fn snapshot_roundtrip_preserves_query_results() {
     let mut restored = Parj::load_snapshot(&path, parj::EngineConfig::default()).unwrap();
     for q in watdiv::basic_workload() {
         assert_eq!(
-            engine.query_count(&q.sparql).unwrap().0,
-            restored.query_count(&q.sparql).unwrap().0,
+            engine.request(&q.sparql).count_only().run().unwrap().count,
+            restored.request(&q.sparql).count_only().run().unwrap().count,
             "{} after snapshot",
             q.name
         );
@@ -242,8 +252,8 @@ fn ntriples_roundtrip_through_engine() {
     assert_eq!(via_text.num_triples(), via_gen.num_triples());
     for q in lubm::queries() {
         assert_eq!(
-            via_text.query_count(&q.sparql).unwrap().0,
-            via_gen.query_count(&q.sparql).unwrap().0,
+            via_text.request(&q.sparql).count_only().run().unwrap().count,
+            via_gen.request(&q.sparql).count_only().run().unwrap().count,
             "{}",
             q.name
         );

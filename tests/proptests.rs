@@ -7,7 +7,7 @@
 use proptest::prelude::*;
 
 use parj::baseline::{reference_eval, BaselineEngine, HashJoinEngine, MergeJoinEngine};
-use parj::{EngineConfig, Parj, ParjError, ProbeStrategy, RunOverrides, Term};
+use parj::{EngineConfig, Parj, ParjError, ProbeStrategy, Term};
 
 const RESOURCES: u32 = 20;
 const PREDICATES: u32 = 4;
@@ -154,9 +154,9 @@ proptest! {
         let expected_rows = reference_eval(engine.store(), &patterns, num_vars);
         let expected = expected_rows.len() as u64;
 
-        let result = engine.query_count(&sparql);
+        let result = engine.request(&sparql).count_only().run();
         let count = match result {
-            Ok((c, _)) => c,
+            Ok(out) => out.count,
             Err(ParjError::Optimize(parj_optimizer::OptimizeError::Disconnected)) => {
                 // Left-deep pipelines reject pure cartesian products;
                 // the oracle would enumerate them. Skip.
@@ -168,8 +168,14 @@ proptest! {
 
         for strategy in ProbeStrategy::TABLE5 {
             for threads in [1usize, 4] {
-                let over = RunOverrides::threads(threads).with_strategy(strategy);
-                let (c, _) = engine.query_count_with(&sparql, &over).unwrap();
+                let c = engine
+                    .request(&sparql)
+                    .threads(threads)
+                    .strategy(strategy)
+                    .count_only()
+                    .run()
+                    .unwrap()
+                    .count;
                 prop_assert_eq!(c, expected, "{} under {} x{}", sparql, strategy, threads);
             }
         }
@@ -181,7 +187,13 @@ proptest! {
         // Row-level multiset equality (projection = all vars in first-
         // occurrence order, matching the oracle's binding layout).
         if num_vars > 0 {
-            let (mut rows, _) = engine.query_ids(&sparql).unwrap();
+            let mut rows = engine
+                .request(&sparql)
+                .ids_only()
+                .run()
+                .map(parj::QueryOutcome::into_ids)
+                .unwrap()
+                .0;
             rows.sort_unstable();
             let mut oracle_rows = expected_rows;
             oracle_rows.sort_unstable();
@@ -193,8 +205,8 @@ proptest! {
     #[test]
     fn snapshot_faithful(case in arb_case()) {
         let (mut engine, sparql, _, _) = build(&case);
-        let count = match engine.query_count(&sparql) {
-            Ok((c, _)) => c,
+        let count = match engine.request(&sparql).count_only().run() {
+            Ok(out) => out.count,
             Err(_) => return Ok(()),
         };
         let bytes = {
@@ -203,6 +215,7 @@ proptest! {
         };
         let store = parj::TripleStore::from_snapshot_bytes(&bytes).unwrap();
         let mut restored = Parj::from_store(store, EngineConfig::default());
-        prop_assert_eq!(restored.query_count(&sparql).unwrap().0, count);
+        let restored_count = restored.request(&sparql).count_only().run().unwrap().count;
+        prop_assert_eq!(restored_count, count);
     }
 }

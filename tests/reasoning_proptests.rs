@@ -113,14 +113,14 @@ proptest! {
         // solution counts — which is exactly what reasoning mode returns.
         for c in 0..CLASSES {
             let q = format!("SELECT ?x WHERE {{ ?x <{RDF_TYPE}> <http://t/C{c}> }}");
-            let (got, _) = smart.query_count(&q).unwrap();
-            let (expect, _) = mat.query_count(&q).unwrap();
+            let got = smart.request(&q).count_only().run().unwrap().count;
+            let expect = mat.request(&q).count_only().run().unwrap().count;
             prop_assert_eq!(got, expect, "type query C{}", c);
         }
         for p in 0..PROPS {
             let q = format!("SELECT ?a ?b WHERE {{ ?a <{}> ?b }}", prop(p));
-            let (got, _) = smart.query_count(&q).unwrap();
-            let (expect, _) = mat.query_count(&q).unwrap();
+            let got = smart.request(&q).count_only().run().unwrap().count;
+            let expect = mat.request(&q).count_only().run().unwrap().count;
             prop_assert_eq!(got, expect, "property query p{}", p);
         }
         // A join mixing both expansions.
@@ -128,8 +128,8 @@ proptest! {
             "SELECT ?a ?b WHERE {{ ?a <{}> ?b . ?b <{RDF_TYPE}> <http://t/C0> }}",
             prop(0)
         );
-        let (got, _) = smart.query_count(&q).unwrap();
-        let (expect, _) = mat.query_count(&q).unwrap();
+        let got = smart.request(&q).count_only().run().unwrap().count;
+        let expect = mat.request(&q).count_only().run().unwrap().count;
         prop_assert_eq!(got, expect, "join query");
     }
 }

@@ -7,7 +7,7 @@
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
-use parj::{CancelToken, Parj, ParjError, RunOverrides, SharedParj, Term};
+use parj::{CancelToken, Parj, ParjError, SharedParj, Term};
 
 /// `N` subjects × `K` values per predicate → the two-pattern join below
 /// produces `N × K²` rows (≈216M): seconds of work, so every abort path
@@ -41,7 +41,6 @@ fn big_engine() -> &'static SharedParj {
 fn cancel_from_another_thread_within_bounded_time() {
     let engine = big_engine();
     let token = CancelToken::new();
-    let over = RunOverrides::default().with_cancel(token.clone());
     let canceller = {
         let token = token.clone();
         std::thread::spawn(move || {
@@ -50,7 +49,7 @@ fn cancel_from_another_thread_within_bounded_time() {
         })
     };
     let t0 = Instant::now();
-    let res = engine.query_count_with(QUERY, &over);
+    let res = engine.request(QUERY).cancel(token.clone()).count_only().run();
     let elapsed = t0.elapsed();
     canceller.join().unwrap();
     match res {
@@ -60,9 +59,13 @@ fn cancel_from_another_thread_within_bounded_time() {
     assert!(elapsed < BOUND, "cancel took {elapsed:?}");
     // The shared engine survives; the token re-arms for another run.
     token.reset();
-    let (k, _) = engine
-        .query_count_with("SELECT ?y WHERE { <http://e/s0> <http://e/p> ?y }", &over)
-        .unwrap();
+    let k = engine
+        .request("SELECT ?y WHERE { <http://e/s0> <http://e/p> ?y }")
+        .cancel(token.clone())
+        .count_only()
+        .run()
+        .unwrap()
+        .count;
     assert_eq!(k as usize, K);
 }
 
@@ -71,7 +74,7 @@ fn deadline_stops_runaway_join() {
     let engine = big_engine();
     let limit = Duration::from_millis(30);
     let t0 = Instant::now();
-    let res = engine.query_count_with(QUERY, &RunOverrides::timeout(limit));
+    let res = engine.request(QUERY).timeout(limit).count_only().run();
     let wall = t0.elapsed();
     match res {
         Err(ParjError::DeadlineExceeded { elapsed, partial }) => {
@@ -87,7 +90,7 @@ fn deadline_stops_runaway_join() {
 fn row_budget_stops_runaway_join() {
     let engine = big_engine();
     let t0 = Instant::now();
-    let res = engine.query_count_with(QUERY, &RunOverrides::max_rows(10_000));
+    let res = engine.request(QUERY).max_rows(10_000).count_only().run();
     let wall = t0.elapsed();
     match res {
         Err(ParjError::BudgetExceeded { rows, partial }) => {
@@ -114,11 +117,11 @@ fn full_result_path_honors_the_guard() {
     let engine = big_engine();
     // The materializing path (CollectSink + decode) fails the same way
     // silent mode does — no partial result rows leak out.
-    match engine.query_with(QUERY, &RunOverrides::max_rows(5_000)) {
+    match engine.request(QUERY).max_rows(5_000).run() {
         Err(ParjError::BudgetExceeded { rows, .. }) => assert!(rows > 5_000),
         other => panic!(
             "expected budget error from the full-result path, got rows={:?}",
-            other.map(|r| r.rows.len())
+            other.map(|r| r.rows.map(|rows| rows.len()))
         ),
     }
 }
@@ -127,9 +130,15 @@ fn full_result_path_honors_the_guard() {
 fn generous_limits_do_not_disturb_results() {
     let engine = big_engine();
     let bounded = "SELECT ?y WHERE { <http://e/s1> <http://e/p> ?y }";
-    let strict_free = engine.query_count(bounded).unwrap().0;
-    let over = RunOverrides::timeout(Duration::from_secs(300)).with_max_rows(u64::MAX);
-    let guarded = engine.query_count_with(bounded, &over).unwrap().0;
+    let strict_free = engine.request(bounded).count_only().run().unwrap().count;
+    let guarded = engine
+        .request(bounded)
+        .timeout(Duration::from_secs(300))
+        .max_rows(u64::MAX)
+        .count_only()
+        .run()
+        .unwrap()
+        .count;
     assert_eq!(strict_free, guarded);
     assert_eq!(guarded as usize, K);
 }

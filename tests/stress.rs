@@ -10,7 +10,7 @@
 //! size.
 
 use parj::datagen::lubm;
-use parj::{EngineConfig, Parj, ProbeStrategy, RunOverrides};
+use parj::{EngineConfig, Parj, ProbeStrategy};
 
 #[test]
 #[ignore = "minutes of CPU; run with --ignored for release validation"]
@@ -28,14 +28,20 @@ fn lubm_at_scale() {
     // Strategy-invariance of every query at scale.
     let mut baseline_counts = Vec::new();
     for q in lubm::queries() {
-        let (count, stats) = engine.query_count(&q.sparql).expect("query runs");
-        assert!(stats.exec_micros < 60_000_000, "{} took too long", q.name);
-        baseline_counts.push((q.name.clone(), count));
+        let out = engine.request(&q.sparql).count_only().run().expect("query runs");
+        assert!(out.stats.exec_micros < 60_000_000, "{} took too long", q.name);
+        baseline_counts.push((q.name.clone(), out.count));
     }
     for strategy in ProbeStrategy::TABLE5 {
         for q in lubm::queries() {
-            let over = RunOverrides::threads(4).with_strategy(strategy);
-            let (count, _) = engine.query_count_with(&q.sparql, &over).expect("runs");
+            let count = engine
+                .request(&q.sparql)
+                .threads(4)
+                .strategy(strategy)
+                .count_only()
+                .run()
+                .expect("runs")
+                .count;
             let expected = baseline_counts
                 .iter()
                 .find(|(n, _)| n == &q.name)
@@ -50,6 +56,7 @@ fn lubm_at_scale() {
     let mut restored = Parj::from_store(restored, EngineConfig::default());
     for (name, count) in &baseline_counts {
         let q = lubm::queries().into_iter().find(|q| &q.name == name).expect("query");
-        assert_eq!(restored.query_count(&q.sparql).unwrap().0, *count, "{name} after snapshot");
+        let restored_count = restored.request(&q.sparql).count_only().run().unwrap().count;
+        assert_eq!(restored_count, *count, "{name} after snapshot");
     }
 }
