@@ -1,0 +1,712 @@
+//! # parj-audit — deep structural invariant auditing
+//!
+//! The engine's hot paths *assume* the physical data structures are
+//! well-formed: replicas are CSR arrays with strictly increasing keys
+//! and per-group values, the S-O and O-S replicas of a partition hold
+//! the same triple multiset, every stored id decodes through the
+//! dictionary, and snapshots round-trip byte-for-byte. Loading a
+//! snapshot validates each replica *structurally* (linear cost — enough
+//! to keep every later array access in bounds); the cross-structure
+//! checks cost `O(n log n)` and live here, run on demand:
+//!
+//! * [`audit_store`] — CSR shape, ID-to-Position lookup consistency,
+//!   replica-pair triple-multiset equality, id ranges against the
+//!   dictionary universe, partition/predicate alignment;
+//! * [`audit_dictionary`] — id↔key bijectivity, term decode validity,
+//!   encode/decode byte stability;
+//! * [`audit_snapshot_roundtrip`] — serialize → load → re-serialize
+//!   byte equality;
+//! * [`audit_plan`] — plan-shape validation against a store (the
+//!   [`PhysicalPlan`] fields are public, so a plan mutated after
+//!   construction can drift out of shape);
+//! * [`audit_all`] — all of the above.
+//!
+//! Every violation carries machine-readable coordinates (predicate,
+//! replica order, position) so a corrupt store can be localized without
+//! a debugger. The CLI surfaces this as `parj audit <snapshot>`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use parj_dict::{Dictionary, Id};
+use parj_join::{Atom, PhysicalPlan};
+use parj_store::{Replica, SortOrder, TripleStore};
+
+/// Where in the physical layout a violation was found.
+///
+/// Fields are filled from the outside in: a dictionary violation has
+/// only `position`, a replica violation has `predicate`, `order` and
+/// usually `position`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Coordinates {
+    /// Predicate id of the offending partition.
+    pub predicate: Option<Id>,
+    /// Which replica of the partition.
+    pub order: Option<SortOrder>,
+    /// Key position, row index, or id — whichever the check names;
+    /// the message spells out which.
+    pub position: Option<usize>,
+}
+
+impl std::fmt::Display for Coordinates {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut wrote = false;
+        if let Some(p) = self.predicate {
+            write!(f, "pred {p}")?;
+            wrote = true;
+        }
+        if let Some(o) = self.order {
+            if wrote {
+                write!(f, " ")?;
+            }
+            write!(f, "{o}")?;
+            wrote = true;
+        }
+        if let Some(pos) = self.position {
+            if wrote {
+                write!(f, " ")?;
+            }
+            write!(f, "@{pos}")?;
+            wrote = true;
+        }
+        if !wrote {
+            write!(f, "store")?;
+        }
+        Ok(())
+    }
+}
+
+/// One failed invariant, with coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable machine-readable check name (e.g. `csr.keys_sorted`).
+    pub check: &'static str,
+    /// Where the violation sits.
+    pub at: Coordinates,
+    /// Human-readable description of the mismatch.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}: {}", self.check, self.at, self.message)
+    }
+}
+
+/// Outcome of an audit run: checks performed and violations found.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Number of individual invariant checks evaluated.
+    pub checks_run: u64,
+    /// Every violation found, in discovery order.
+    pub violations: Vec<Violation>,
+}
+
+impl AuditReport {
+    /// True when no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: AuditReport) {
+        self.checks_run += other.checks_run;
+        self.violations.extend(other.violations);
+    }
+
+    fn tick(&mut self) {
+        self.checks_run += 1;
+    }
+
+    fn fail(&mut self, check: &'static str, at: Coordinates, message: String) {
+        self.violations.push(Violation { check, at, message });
+    }
+}
+
+impl std::fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_clean() {
+            write!(f, "audit clean: {} checks passed", self.checks_run)
+        } else {
+            writeln!(
+                f,
+                "audit FAILED: {} violation(s) in {} checks",
+                self.violations.len(),
+                self.checks_run
+            )?;
+            for v in &self.violations {
+                writeln!(f, "  {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn coords(predicate: Id, order: SortOrder, position: usize) -> Coordinates {
+    Coordinates {
+        predicate: Some(predicate),
+        order: Some(order),
+        position: Some(position),
+    }
+}
+
+/// Audits one replica: CSR shape, group sortedness, id ranges against
+/// the dictionary universe, and ID-to-Position lookup consistency.
+fn audit_replica(
+    report: &mut AuditReport,
+    predicate: Id,
+    order: SortOrder,
+    r: &Replica,
+    universe: usize,
+) {
+    let keys = r.keys();
+    let offsets = r.offsets();
+    let values = r.values();
+
+    report.tick();
+    if offsets.len() != keys.len() + 1 && !(keys.is_empty() && offsets.len() == 1) {
+        report.fail(
+            "csr.offsets_len",
+            coords(predicate, order, offsets.len()),
+            format!("offsets len {} != keys len {} + 1", offsets.len(), keys.len()),
+        );
+        // The CSR frame is broken; positional checks below would index
+        // out of bounds, so stop at this replica.
+        return;
+    }
+    report.tick();
+    if offsets.first() != Some(&0) {
+        report.fail(
+            "csr.offsets_head",
+            coords(predicate, order, 0),
+            format!("offsets[0] = {:?}, expected 0", offsets.first()),
+        );
+    }
+    report.tick();
+    if let Some(&tail) = offsets.last() {
+        if tail as usize != values.len() {
+            report.fail(
+                "csr.offsets_tail",
+                coords(predicate, order, offsets.len() - 1),
+                format!("offsets tail {tail} != values len {}", values.len()),
+            );
+            return;
+        }
+    }
+    report.tick();
+    for (i, w) in keys.windows(2).enumerate() {
+        if w[0] >= w[1] {
+            report.fail(
+                "csr.keys_sorted",
+                coords(predicate, order, i + 1),
+                format!("keys[{}]={} !< keys[{}]={}", i, w[0], i + 1, w[1]),
+            );
+            break;
+        }
+    }
+    report.tick();
+    for (i, w) in offsets.windows(2).enumerate() {
+        if w[0] >= w[1] {
+            report.fail(
+                "csr.offsets_monotone",
+                coords(predicate, order, i + 1),
+                format!("offsets[{}]={} !< offsets[{}]={} (empty group)", i, w[0], i + 1, w[1]),
+            );
+            return;
+        }
+    }
+    report.tick();
+    'groups: for g in 0..r.num_keys() {
+        for (j, w) in r.values_at(g).windows(2).enumerate() {
+            if w[0] >= w[1] {
+                report.fail(
+                    "csr.group_sorted",
+                    coords(predicate, order, g),
+                    format!("group {g} values[{}]={} !< values[{}]={}", j, w[0], j + 1, w[1]),
+                );
+                break 'groups;
+            }
+        }
+    }
+
+    // Id ranges: keys are sorted so the last bounds them all; values
+    // need a full scan (group sortedness only bounds within a group).
+    report.tick();
+    if let Some(&k) = keys.last() {
+        if k as usize >= universe {
+            report.fail(
+                "ids.key_range",
+                coords(predicate, order, keys.len() - 1),
+                format!("key {k} outside dictionary universe {universe}"),
+            );
+        }
+    }
+    report.tick();
+    if let Some((row, &v)) = values
+        .iter()
+        .enumerate()
+        .find(|&(_, &v)| v as usize >= universe)
+    {
+        report.fail(
+            "ids.value_range",
+            coords(predicate, order, row),
+            format!("value {v} at row {row} outside dictionary universe {universe}"),
+        );
+    }
+
+    // ID-to-Position: every key must look up to its own position, and
+    // a sample of absent ids must miss.
+    if let Some(idx) = r.idpos() {
+        report.tick();
+        for (pos, &k) in keys.iter().enumerate() {
+            if idx.lookup(k) != Some(pos) {
+                report.fail(
+                    "idpos.lookup",
+                    coords(predicate, order, pos),
+                    format!("idpos lookup({k}) = {:?}, expected Some({pos})", idx.lookup(k)),
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// Audits every partition of a store plus store-level alignment:
+/// partitions indexed by predicate id, the partition count matching the
+/// dictionary, per-partition SO/OS multiset agreement, and the cached
+/// triple count.
+pub fn audit_store(store: &TripleStore) -> AuditReport {
+    let mut report = AuditReport::default();
+    let universe = store.dict().num_resources();
+
+    report.tick();
+    if store.num_predicates() != store.dict().num_predicates() {
+        report.fail(
+            "store.partition_count",
+            Coordinates::default(),
+            format!(
+                "{} partitions but {} dictionary predicates",
+                store.num_predicates(),
+                store.dict().num_predicates()
+            ),
+        );
+    }
+
+    let mut counted = 0usize;
+    for (idx, part) in store.partitions().iter().enumerate() {
+        report.tick();
+        if part.predicate() as usize != idx {
+            report.fail(
+                "store.partition_alignment",
+                Coordinates {
+                    predicate: Some(part.predicate()),
+                    order: None,
+                    position: Some(idx),
+                },
+                format!("partition {idx} stores predicate {}", part.predicate()),
+            );
+        }
+        let pred = part.predicate();
+        let so = part.replica(SortOrder::SO);
+        let os = part.replica(SortOrder::OS);
+        audit_replica(&mut report, pred, SortOrder::SO, so, universe);
+        audit_replica(&mut report, pred, SortOrder::OS, os, universe);
+
+        // Replica-pair agreement: same cardinality, same triple multiset.
+        report.tick();
+        if so.num_triples() != os.num_triples() {
+            report.fail(
+                "pair.cardinality",
+                Coordinates {
+                    predicate: Some(pred),
+                    order: None,
+                    position: None,
+                },
+                format!("SO has {} triples, OS has {}", so.num_triples(), os.num_triples()),
+            );
+        } else {
+            report.tick();
+            let mut from_so: Vec<(Id, Id)> = so.iter_pairs().collect();
+            let mut from_os: Vec<(Id, Id)> = os.iter_pairs().map(|(o, s)| (s, o)).collect();
+            from_so.sort_unstable();
+            from_os.sort_unstable();
+            if let Some(row) = (0..from_so.len()).find(|&i| from_so[i] != from_os[i]) {
+                report.fail(
+                    "pair.multiset",
+                    Coordinates {
+                        predicate: Some(pred),
+                        order: None,
+                        position: Some(row),
+                    },
+                    format!(
+                        "replicas disagree at sorted row {row}: SO has {:?}, OS has {:?}",
+                        from_so[row], from_os[row]
+                    ),
+                );
+            }
+        }
+        counted += part.num_triples();
+    }
+
+    report.tick();
+    if counted != store.num_triples() {
+        report.fail(
+            "store.triple_count",
+            Coordinates::default(),
+            format!("store reports {} triples, partitions hold {counted}", store.num_triples()),
+        );
+    }
+    report
+}
+
+/// Audits a dictionary: dense id coverage, id↔key bijectivity, term
+/// decode validity, and encode/decode byte stability.
+pub fn audit_dictionary(dict: &Dictionary) -> AuditReport {
+    let mut report = AuditReport::default();
+
+    // Resources: every id decodes, and its key maps back to the id.
+    report.tick();
+    for (id, term) in dict.resources() {
+        match dict.resource_id(&term) {
+            Some(back) if back == id => {}
+            other => {
+                report.fail(
+                    "dict.resource_bijective",
+                    Coordinates {
+                        position: Some(id as usize),
+                        ..Coordinates::default()
+                    },
+                    format!("resource id {id} decodes to {term:?} but maps back to {other:?}"),
+                );
+                break;
+            }
+        }
+    }
+    report.tick();
+    if let Some(id) = (0..dict.num_resources() as Id).find(|&id| dict.decode_resource(id).is_err())
+    {
+        report.fail(
+            "dict.resource_decodes",
+            Coordinates {
+                position: Some(id as usize),
+                ..Coordinates::default()
+            },
+            format!("resource id {id} fails to decode: {:?}", dict.decode_resource(id).err()),
+        );
+    }
+
+    // Predicates: same two checks on the second namespace.
+    report.tick();
+    for (id, term) in dict.predicates() {
+        match dict.predicate_id(&term) {
+            Some(back) if back == id => {}
+            other => {
+                report.fail(
+                    "dict.predicate_bijective",
+                    Coordinates {
+                        position: Some(id as usize),
+                        ..Coordinates::default()
+                    },
+                    format!("predicate id {id} decodes to {term:?} but maps back to {other:?}"),
+                );
+                break;
+            }
+        }
+    }
+    report.tick();
+    if let Some(id) = (0..dict.num_predicates() as Id).find(|&id| dict.decode_predicate(id).is_err())
+    {
+        report.fail(
+            "dict.predicate_decodes",
+            Coordinates {
+                position: Some(id as usize),
+                ..Coordinates::default()
+            },
+            format!("predicate id {id} fails to decode: {:?}", dict.decode_predicate(id).err()),
+        );
+    }
+
+    // Byte stability: encode → decode → encode is the identity on
+    // bytes (snapshots depend on this for deterministic output).
+    report.tick();
+    let mut first = Vec::new();
+    dict.encode_into(&mut first);
+    match Dictionary::decode_from(&mut first.as_slice()) {
+        Ok(back) => {
+            let mut second = Vec::new();
+            back.encode_into(&mut second);
+            if first != second {
+                report.fail(
+                    "dict.byte_stable",
+                    Coordinates::default(),
+                    format!(
+                        "re-encoded dictionary differs: {} vs {} bytes",
+                        first.len(),
+                        second.len()
+                    ),
+                );
+            }
+        }
+        Err(e) => {
+            report.fail(
+                "dict.byte_stable",
+                Coordinates::default(),
+                format!("dictionary does not decode from its own encoding: {e}"),
+            );
+        }
+    }
+    report
+}
+
+/// Audits snapshot round-trip stability: serialize → load → serialize
+/// must reproduce the bytes exactly.
+pub fn audit_snapshot_roundtrip(store: &TripleStore) -> AuditReport {
+    let mut report = AuditReport::default();
+    report.tick();
+    let first = store.to_snapshot_bytes();
+    match TripleStore::from_snapshot_bytes(&first) {
+        Ok(back) => {
+            let second = back.to_snapshot_bytes();
+            if first != second {
+                let at = first
+                    .iter()
+                    .zip(second.iter())
+                    .position(|(a, b)| a != b)
+                    .unwrap_or_else(|| first.len().min(second.len()));
+                report.fail(
+                    "snapshot.byte_stable",
+                    Coordinates {
+                        position: Some(at),
+                        ..Coordinates::default()
+                    },
+                    format!(
+                        "re-serialized snapshot diverges at byte {at} ({} vs {} bytes)",
+                        first.len(),
+                        second.len()
+                    ),
+                );
+            }
+        }
+        Err(e) => {
+            report.fail(
+                "snapshot.loads",
+                Coordinates::default(),
+                format!("store does not load from its own snapshot: {e}"),
+            );
+        }
+    }
+    report
+}
+
+/// Audits a physical plan's shape against a store. [`PhysicalPlan`]
+/// validates on construction, but its fields are public — a plan
+/// assembled or mutated by hand can reference missing predicates,
+/// out-of-range variables, or probe keys no earlier step binds.
+pub fn audit_plan(plan: &PhysicalPlan, store: &TripleStore) -> AuditReport {
+    let mut report = AuditReport::default();
+    report.tick();
+    if plan.steps.is_empty() {
+        report.fail(
+            "plan.nonempty",
+            Coordinates::default(),
+            "plan has no steps".to_string(),
+        );
+        return report;
+    }
+    let universe = store.dict().num_resources();
+    let mut bound = vec![false; plan.num_vars];
+    for (i, step) in plan.steps.iter().enumerate() {
+        report.tick();
+        if store.partition(step.predicate).is_none() {
+            report.fail(
+                "plan.predicate_exists",
+                Coordinates {
+                    predicate: Some(step.predicate),
+                    order: Some(step.order),
+                    position: Some(i),
+                },
+                format!("step {i} names predicate {} with no partition", step.predicate),
+            );
+        }
+        for (which, atom) in [("key", step.key), ("value", step.value)] {
+            report.tick();
+            match atom {
+                Atom::Var(v) => {
+                    if v as usize >= plan.num_vars {
+                        report.fail(
+                            "plan.var_range",
+                            Coordinates {
+                                predicate: Some(step.predicate),
+                                order: Some(step.order),
+                                position: Some(i),
+                            },
+                            format!("step {i} {which} ?{v} >= num_vars {}", plan.num_vars),
+                        );
+                    } else if which == "key" && i > 0 && !bound[v as usize] {
+                        report.fail(
+                            "plan.key_bound",
+                            Coordinates {
+                                predicate: Some(step.predicate),
+                                order: Some(step.order),
+                                position: Some(i),
+                            },
+                            format!("step {i} probes unbound ?{v}"),
+                        );
+                    }
+                }
+                Atom::Const(c) => {
+                    if c as usize >= universe {
+                        report.fail(
+                            "plan.const_range",
+                            Coordinates {
+                                predicate: Some(step.predicate),
+                                order: Some(step.order),
+                                position: Some(i),
+                            },
+                            format!("step {i} {which} constant {c} outside universe {universe}"),
+                        );
+                    }
+                }
+            }
+        }
+        for atom in [step.key, step.value] {
+            if let Atom::Var(v) = atom {
+                if (v as usize) < plan.num_vars {
+                    bound[v as usize] = true;
+                }
+            }
+        }
+    }
+    for &v in &plan.projection {
+        report.tick();
+        if v as usize >= plan.num_vars || !bound[v as usize] {
+            report.fail(
+                "plan.projection_bound",
+                Coordinates {
+                    position: Some(v as usize),
+                    ..Coordinates::default()
+                },
+                format!("projection ?{v} is out of range or never bound"),
+            );
+        }
+    }
+    report
+}
+
+/// Runs every audit — store structure, dictionary, snapshot round-trip.
+pub fn audit_all(store: &TripleStore) -> AuditReport {
+    let mut report = audit_store(store);
+    report.merge(audit_dictionary(store.dict()));
+    report.merge(audit_snapshot_roundtrip(store));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parj_dict::Term;
+    use parj_join::PlanStep;
+    use parj_store::StoreBuilder;
+
+    fn store() -> TripleStore {
+        let mut b = StoreBuilder::new();
+        for i in 0..40u32 {
+            b.add_term_triple(
+                &Term::iri(format!("http://e/s{}", i % 7)),
+                &Term::iri(format!("http://e/p{}", i % 3)),
+                &Term::iri(format!("http://e/o{}", i % 11)),
+            );
+        }
+        b.build()
+    }
+
+    #[test]
+    fn clean_store_audits_clean() {
+        let s = store();
+        let report = audit_all(&s);
+        assert!(report.is_clean(), "{report}");
+        assert!(report.checks_run > 10);
+        assert!(report.to_string().contains("audit clean"));
+    }
+
+    #[test]
+    fn empty_store_audits_clean() {
+        let s = StoreBuilder::new().build();
+        assert!(audit_all(&s).is_clean());
+    }
+
+    #[test]
+    fn out_of_universe_value_is_located() {
+        // Forge a snapshot whose last OS value is a huge id: every
+        // per-replica invariant still holds (the group stays sorted),
+        // so the loader accepts it — the deep audit must localize it.
+        let s = store();
+        let mut bytes = s.to_snapshot_bytes();
+        let n = bytes.len();
+        bytes[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        let corrupt = TripleStore::from_snapshot_bytes(&bytes).expect("loads structurally");
+        let report = audit_store(&corrupt);
+        assert!(!report.is_clean());
+        let checks: Vec<&str> = report.violations.iter().map(|v| v.check).collect();
+        assert!(checks.contains(&"ids.value_range"), "{report}");
+        assert!(checks.contains(&"pair.multiset"), "{report}");
+        let v = report
+            .violations
+            .iter()
+            .find(|v| v.check == "ids.value_range")
+            .unwrap();
+        let last_pred = (corrupt.num_predicates() - 1) as Id;
+        assert_eq!(v.at.predicate, Some(last_pred));
+        assert_eq!(v.at.order, Some(SortOrder::OS));
+        assert!(v.at.position.is_some());
+    }
+
+    #[test]
+    fn dictionary_audit_is_clean_and_counts() {
+        let s = store();
+        let report = audit_dictionary(s.dict());
+        assert!(report.is_clean(), "{report}");
+        assert!(report.checks_run >= 5);
+    }
+
+    #[test]
+    fn plan_audit_flags_drifted_plans() {
+        let s = store();
+        let mut plan = PhysicalPlan::new(
+            vec![PlanStep {
+                predicate: 0,
+                order: SortOrder::SO,
+                key: Atom::Var(0),
+                value: Atom::Var(1),
+            }],
+            2,
+            vec![0, 1],
+        )
+        .unwrap();
+        assert!(audit_plan(&plan, &s).is_clean());
+
+        // Drift the public fields out of shape.
+        plan.steps.push(PlanStep {
+            predicate: 999,
+            order: SortOrder::OS,
+            key: Atom::Var(7),
+            value: Atom::Const(1_000_000),
+        });
+        let report = audit_plan(&plan, &s);
+        let checks: Vec<&str> = report.violations.iter().map(|v| v.check).collect();
+        assert!(checks.contains(&"plan.predicate_exists"), "{report}");
+        assert!(checks.contains(&"plan.var_range"), "{report}");
+        assert!(checks.contains(&"plan.const_range"), "{report}");
+    }
+
+    #[test]
+    fn report_merge_accumulates() {
+        let s = store();
+        let mut a = audit_store(&s);
+        let b = audit_dictionary(s.dict());
+        let total = a.checks_run + b.checks_run;
+        a.merge(b);
+        assert_eq!(a.checks_run, total);
+        assert!(a.is_clean());
+    }
+}

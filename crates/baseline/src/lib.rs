@@ -29,6 +29,7 @@
 //! pass the PARJ optimizer's order) and return counts or materialized
 //! rows, so differences measure execution strategy only.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod engines;

@@ -22,6 +22,7 @@
 //! to `results/`). Outputs are a Markdown table on stdout plus
 //! `DIR/<artifact>.md` and machine-readable `DIR/<artifact>.json`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablation;

@@ -6,6 +6,7 @@
 //! parj count <store.parj|data.nt> <sparql|@file>   run a query in silent mode
 //! parj explain <store.parj|data.nt> <sparql|@file> show the optimized plan
 //! parj stats <store.parj|data.nt>                  store statistics
+//! parj audit <store.parj|data.nt>                  deep structural invariant audit
 //! parj generate lubm|watdiv <scale> -o <out.nt>    emit benchmark data
 //! ```
 //!
@@ -18,7 +19,10 @@
 //! Exit codes map failure classes so scripts can react without
 //! scraping stderr: 0 success, 1 usage/other, 2 parse error (SPARQL or
 //! RDF data), 3 unsupported query feature, 4 deadline exceeded, 5
-//! result budget exceeded, 101 internal panic.
+//! result budget exceeded, 6 corrupt store (audit failure), 101
+//! internal panic.
+
+#![forbid(unsafe_code)]
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -32,6 +36,7 @@ mod exit_codes {
     pub const UNSUPPORTED: u8 = 3;
     pub const TIMEOUT: u8 = 4;
     pub const BUDGET: u8 = 5;
+    pub const CORRUPT: u8 = 6;
     pub const PANIC: u8 = 101;
 }
 
@@ -45,6 +50,7 @@ fn fail(e: ParjError) -> Failure {
         ParjError::Unsupported(_) => exit_codes::UNSUPPORTED,
         ParjError::DeadlineExceeded { .. } => exit_codes::TIMEOUT,
         ParjError::BudgetExceeded { .. } => exit_codes::BUDGET,
+        ParjError::CorruptStore { .. } => exit_codes::CORRUPT,
         ParjError::WorkerPanicked { .. } => exit_codes::PANIC,
         _ => exit_codes::USAGE,
     };
@@ -66,6 +72,7 @@ USAGE:
   parj explain <store.parj|data.nt> <sparql | @query.rq> [flags]
   parj profile <store.parj|data.nt> <sparql | @query.rq> [flags]
   parj stats <store.parj|data.nt> [--prometheus | --json]
+  parj audit <store.parj|data.nt>
   parj generate <lubm|watdiv> <scale> -o <out.nt>
 
 FLAGS:
@@ -87,7 +94,8 @@ FLAGS:
 
 EXIT CODES:
   0 success   1 usage/other   2 parse error (SPARQL or RDF data)
-  3 unsupported query   4 timeout   5 row budget exceeded   101 worker panic
+  3 unsupported query   4 timeout   5 row budget exceeded
+  6 corrupt store (audit)   101 worker panic
 ";
 
 struct Cli {
@@ -404,6 +412,29 @@ fn run() -> Result<(), Failure> {
                 println!("  {n:>10}  {term}");
             }
             Ok(())
+        }
+        "audit" => {
+            let [_, store_path] = &cli.positional[..] else {
+                return Err(usage("usage: parj audit <store>"));
+            };
+            let mut engine = cli.open(store_path).map_err(fail)?;
+            let start = std::time::Instant::now();
+            let report = engine.audit();
+            eprintln!(
+                "audited {} triples in {:.1?} ({} checks)",
+                engine.num_triples(),
+                start.elapsed(),
+                report.checks_run,
+            );
+            println!("{report}");
+            if report.is_clean() {
+                Ok(())
+            } else {
+                Err((exit_codes::CORRUPT, format!(
+                    "{} invariant violation(s)",
+                    report.violations.len()
+                )))
+            }
         }
         "generate" => {
             let [_, which, scale] = &cli.positional[..] else {

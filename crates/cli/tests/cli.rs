@@ -243,6 +243,45 @@ fn lossy_load_flags() {
 }
 
 #[test]
+fn audit_passes_clean_store_and_localizes_corruption() {
+    let dir = tmpdir("audit");
+    let nt = write_small_nt(&dir);
+    let snap = dir.join("small.parj");
+    let out = parj().args(["load"]).arg(&nt).arg("-o").arg(&snap).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // A freshly built store audits clean (exit 0).
+    let out = parj().args(["audit"]).arg(&snap).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("audit clean"));
+
+    // Tamper the last OS value into a huge id: every replica stays
+    // structurally valid, so the snapshot still *loads* — only the deep
+    // audit catches the cross-structure disagreement, with coordinates.
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let n = bytes.len();
+    bytes[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+    let bad = dir.join("tampered.parj");
+    std::fs::write(&bad, &bytes).unwrap();
+
+    let out = parj().args(["audit"]).arg(&bad).output().unwrap();
+    assert_eq!(out.status.code(), Some(6), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("audit FAILED"), "{text}");
+    assert!(text.contains("ids.value_range"), "{text}");
+    assert!(text.contains("pair.multiset"), "{text}");
+    // Coordinates name the replica: predicate 0, O-S order.
+    assert!(text.contains("pred 0 O-S"), "{text}");
+
+    // The other commands still read the tampered store (load-time
+    // checks pass); audit is the tool that flags it.
+    let out = parj().args(["stats"]).arg(&bad).output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     let out = parj().args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());

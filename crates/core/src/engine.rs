@@ -1,8 +1,9 @@
 //! The PARJ engine: configuration, lifecycle, and query execution.
 
 use std::path::Path;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use parj_sync::Arc;
 
 use parj_dict::{Id, Term};
 use parj_join::{
@@ -79,8 +80,8 @@ pub struct EngineConfig {
 impl Default for EngineConfig {
     fn default() -> Self {
         Self {
-            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
-            load_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            threads: parj_sync::thread::available_parallelism().map_or(1, |n| n.get()),
+            load_threads: parj_sync::thread::available_parallelism().map_or(1, |n| n.get()),
             shards_per_thread: 4,
             strategy: ProbeStrategy::AdaptiveBinary,
             store: StoreOptions::default(),
@@ -569,6 +570,28 @@ impl Parj {
         self.ensure_ready().store.num_triples()
     }
 
+    /// Runs the deep structural audit over the finalized store:
+    /// CSR/index invariants, replica-pair multiset equality, dictionary
+    /// bijectivity, and snapshot round-trip stability
+    /// ([`parj_audit::audit_all`]). Finalizes first if needed.
+    ///
+    /// Loading already performs the linear structural checks; this adds
+    /// the `O(n log n)` cross-structure checks that loads skip.
+    pub fn audit(&mut self) -> parj_audit::AuditReport {
+        parj_audit::audit_all(&self.ensure_ready().store)
+    }
+
+    /// Like [`Parj::audit`], but folds a dirty report into
+    /// [`ParjError::CorruptStore`] for `?`-style propagation.
+    pub fn audit_strict(&mut self) -> Result<(), ParjError> {
+        let report = self.audit();
+        if report.is_clean() {
+            Ok(())
+        } else {
+            Err(ParjError::CorruptStore { report })
+        }
+    }
+
     /// Borrows the finalized state or reports [`ParjError::NotFinalized`].
     fn ready_or_err(&self) -> Result<&Ready, ParjError> {
         if self.staged.is_some() {
@@ -665,6 +688,7 @@ impl Parj {
             ExecFailureKind::WorkerPanicked { message } => {
                 ParjError::WorkerPanicked { message, partial }
             }
+            ExecFailureKind::InvalidOptions { message } => ParjError::InvalidOptions(message),
         }
     }
 
@@ -1388,7 +1412,7 @@ struct CapturedProfile {
 /// imbalance) and, under `explain`, a profile capture per plan.
 struct RunRecorder {
     metrics: Option<Arc<EngineMetrics>>,
-    profiles: Option<parking_lot::Mutex<Vec<CapturedProfile>>>,
+    profiles: Option<parj_sync::Mutex<Vec<CapturedProfile>>>,
 }
 
 impl parj_join::Recorder for RunRecorder {

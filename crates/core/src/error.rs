@@ -55,6 +55,15 @@ pub enum ParjError {
         /// Progress made before the budget tripped.
         partial: Box<QueryRunStats>,
     },
+    /// The store failed the deep structural audit
+    /// ([`crate::Parj::audit_strict`]): a physical invariant — CSR
+    /// shape, replica-pair multiset equality, dictionary bijectivity,
+    /// snapshot stability — does not hold.
+    CorruptStore {
+        /// Full report with per-violation predicate/replica/row
+        /// coordinates.
+        report: parj_audit::AuditReport,
+    },
     /// A worker thread panicked mid-query. The panic was contained,
     /// sibling workers were cancelled, and the engine remains usable.
     WorkerPanicked {
@@ -87,6 +96,9 @@ impl fmt::Display for ParjError {
             }
             ParjError::BudgetExceeded { rows, .. } => {
                 write!(f, "query result budget exceeded at {rows} rows")
+            }
+            ParjError::CorruptStore { report } => {
+                write!(f, "corrupt store: {report}")
             }
             ParjError::WorkerPanicked { message, .. } => {
                 write!(f, "query worker panicked: {message}")
@@ -122,6 +134,7 @@ impl std::error::Error for ParjError {
             ParjError::Unsupported(_)
             | ParjError::NotFinalized
             | ParjError::InvalidOptions(_)
+            | ParjError::CorruptStore { .. }
             | ParjError::Cancelled { .. }
             | ParjError::DeadlineExceeded { .. }
             | ParjError::BudgetExceeded { .. }

@@ -56,6 +56,7 @@
 //! exposition; `request(..).explain(true)` attaches a per-query
 //! `EXPLAIN ANALYZE` report to the outcome.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod engine;
@@ -74,6 +75,12 @@ pub use request::{QueryOutcome, QueryRequest};
 pub use result::{PhaseTimings, QueryResult, QueryRunStats};
 pub use shared::SharedParj;
 pub use translate::{TranslatedQuery, Translation};
+
+// Deep structural auditing (the `parj-audit` substrate).
+pub use parj_audit::{
+    audit_all, audit_dictionary, audit_plan, audit_snapshot_roundtrip, audit_store, AuditReport,
+    Coordinates, Violation,
+};
 
 // Observability vocabulary (the `parj-obs` substrate).
 pub use parj_obs::{

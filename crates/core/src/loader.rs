@@ -26,8 +26,8 @@
 use parj_rio::{drain_triples, LoadReport, OnParseError, ParseError, TermTriple};
 use parj_store::StoreBuilder;
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use parj_sync::atomic::{AtomicUsize, Ordering};
+use parj_sync::Mutex;
 
 /// Chunks cut per worker thread: enough slack that an uneven chunk
 /// (comment-heavy region, long literals) cannot stall the whole load.
@@ -43,15 +43,18 @@ fn par_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, threads: usize, f: F) ->
     let mut slots: Vec<Option<T>> = Vec::new();
     slots.resize_with(n, || None);
     let slot_ptrs: Vec<Mutex<&mut Option<T>>> = slots.iter_mut().map(Mutex::new).collect();
-    std::thread::scope(|scope| {
+    parj_sync::thread::scope(|scope| {
         for _ in 0..threads.min(n) {
             scope.spawn(|| loop {
+                // ordering: Relaxed — index ticket only; each result is
+                // published through its slot Mutex, and completion
+                // through the scope join edge (loom_parallel model).
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let out = f(i);
-                **slot_ptrs[i].lock().expect("chunk slot lock") = Some(out);
+                **slot_ptrs[i].lock() = Some(out);
             });
         }
     });

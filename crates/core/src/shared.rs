@@ -4,12 +4,12 @@
 //! (and rebuild after updates). A server embedding the engine wants the
 //! opposite shape: many reader threads issuing queries concurrently,
 //! occasional writers loading data. [`SharedParj`] wraps a finalized
-//! engine in a `parking_lot::RwLock` with a [`SharedParj::request`]
+//! engine in a `parj_sync::RwLock` with a [`SharedParj::request`]
 //! path that runs under a read lock — multiple queries proceed truly in
 //! parallel (the store itself is immutable and PARJ's workers need no
 //! synchronization; the lock only fences out rebuilds).
 
-use parking_lot::RwLock;
+use parj_sync::RwLock;
 
 use parj_dict::Term;
 use parj_obs::MetricsSnapshot;
@@ -113,6 +113,13 @@ impl SharedParj {
     /// Number of stored triples.
     pub fn num_triples(&self) -> usize {
         self.inner.write().num_triples()
+    }
+
+    /// Runs the deep structural audit ([`Parj::audit`]). Takes the
+    /// write lock: audits are rare and the engine may need to finalize
+    /// first.
+    pub fn audit(&self) -> parj_audit::AuditReport {
+        self.inner.write().audit()
     }
 
     /// Unwraps the inner engine.

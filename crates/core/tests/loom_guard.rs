@@ -1,0 +1,115 @@
+//! Loom model of the QueryGuard batched-polling protocol.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"`. The model drives the
+//! *production* guard (via `parj-sync`, whose loom backend injects
+//! scheduling decisions at every atomic op) through the same
+//! cancel/budget protocol the executor uses, and checks the two
+//! contracts the hot path relies on:
+//!
+//! * **exactness** — `rows()` after all workers stop equals the sum of
+//!   rows the workers actually credited (the Relaxed `fetch_add` never
+//!   loses an increment);
+//! * **bounded overshoot** — with a budget of `B` and `W` workers
+//!   crediting in batches of `batch`, no schedule lets total credited
+//!   rows exceed `B + W × batch`.
+#![cfg(loom)]
+
+use parj_core::{CancelToken, GuardTrip, QueryGuard};
+use parj_sync::thread;
+use parj_sync::Arc;
+
+/// A worker crediting `batch` rows per poll until the guard trips or
+/// its work runs out; returns the rows it credited.
+fn worker(guard: &QueryGuard, batch: u64, max_polls: u32) -> u64 {
+    let mut credited = 0;
+    for _ in 0..max_polls {
+        if guard.poll(batch).is_err() {
+            break;
+        }
+        credited += batch;
+    }
+    credited
+}
+
+#[test]
+fn loom_budget_overshoot_is_bounded() {
+    loom::model(|| {
+        const BUDGET: u64 = 6;
+        const BATCH: u64 = 4;
+        const WORKERS: u64 = 2;
+        let guard = Arc::new(QueryGuard::with_limits(None, Some(BUDGET)));
+        let credited: u64 = thread::scope(|s| {
+            let handles: Vec<_> = (0..WORKERS)
+                .map(|_| {
+                    let g = Arc::clone(&guard);
+                    s.spawn(move || worker(&g, BATCH, 16))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        // Each worker's final poll credits one batch and then trips
+        // (the budget is always exceeded well before max_polls), so
+        // the guard saw exactly `credited + WORKERS × BATCH` rows —
+        // the scope join edge makes the Relaxed adds visible here, and
+        // no schedule may lose an increment.
+        assert_eq!(guard.rows(), credited + WORKERS * BATCH);
+        // No schedule overshoots the documented bound of
+        // `budget + workers × batch` counted rows.
+        assert!(
+            guard.rows() <= BUDGET + WORKERS * BATCH,
+            "overshoot: {} rows > {}",
+            guard.rows(),
+            BUDGET + WORKERS * BATCH
+        );
+    });
+}
+
+#[test]
+fn loom_cancel_stops_every_worker() {
+    loom::model(|| {
+        let token = CancelToken::new();
+        let guard = Arc::new(QueryGuard::new(None, None, token.clone()));
+        thread::scope(|s| {
+            let g = Arc::clone(&guard);
+            // Bounded work, so the model terminates even on schedules
+            // where cancel lands after the worker's last poll.
+            let w = s.spawn(move || {
+                for _ in 0..8 {
+                    if let Err(trip) = g.poll(1) {
+                        return Some(trip);
+                    }
+                }
+                None
+            });
+            token.cancel();
+            // Whenever the worker observed a trip it must be the
+            // cancellation — there is no other limit to race with.
+            if let Some(trip) = w.join().unwrap() {
+                assert_eq!(trip, GuardTrip::Cancelled);
+            }
+        });
+        // The flag stays visible to late observers on every schedule.
+        assert!(token.is_cancelled());
+        assert_eq!(guard.check(), Err(GuardTrip::Cancelled));
+        token.reset();
+        assert!(guard.check().is_ok());
+    });
+}
+
+#[test]
+fn loom_rows_are_exact_under_contention() {
+    loom::model(|| {
+        let guard = Arc::new(QueryGuard::unlimited());
+        thread::scope(|s| {
+            for _ in 0..2 {
+                let g = Arc::clone(&guard);
+                s.spawn(move || {
+                    for _ in 0..3 {
+                        g.poll(5).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(guard.rows(), 2 * 3 * 5);
+    });
+}

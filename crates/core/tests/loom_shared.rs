@@ -1,0 +1,82 @@
+//! Loom model of `SharedParj` update-vs-read publication.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"`. Readers run count
+//! queries under the read lock while a writer applies an update (and,
+//! in the second model, panics mid-update); on every schedule readers
+//! must see a finalized engine — either the pre-update or post-update
+//! triple count, never `ParjError::NotFinalized` and never a torn
+//! state.
+#![cfg(loom)]
+
+use parj_core::{Parj, ParjError, SharedParj, Term};
+use parj_sync::thread;
+use parj_sync::Arc;
+
+const Q: &str = "SELECT ?x WHERE { ?x <http://e/p> ?y }";
+
+fn engine() -> Parj {
+    let mut e = Parj::builder().threads(1).build();
+    e.load_ntriples_str(
+        "<http://e/a> <http://e/p> <http://e/b> .\n\
+         <http://e/b> <http://e/p> <http://e/c> .\n",
+    )
+    .unwrap();
+    e
+}
+
+fn count(shared: &SharedParj) -> Result<u64, ParjError> {
+    shared.request(Q).count_only().run().map(|o| o.count)
+}
+
+#[test]
+fn loom_readers_never_see_unfinalized_updates() {
+    loom::model(|| {
+        let shared = Arc::new(SharedParj::new(engine()));
+        thread::scope(|s| {
+            let reader = {
+                let sh = Arc::clone(&shared);
+                s.spawn(move || count(&sh).expect("reader must never fail"))
+            };
+            shared.add_triple(
+                &Term::iri("http://e/c"),
+                &Term::iri("http://e/p"),
+                &Term::iri("http://e/a"),
+            );
+            let seen = reader.join().unwrap();
+            // The read either preceded or followed the update; both
+            // counts are valid, anything else is a torn publication.
+            assert!(seen == 2 || seen == 3, "torn read: {seen}");
+        });
+        assert_eq!(count(&shared).unwrap(), 3);
+    });
+}
+
+#[test]
+fn loom_panicking_update_still_finalizes() {
+    loom::model(|| {
+        let shared = Arc::new(SharedParj::new(engine()));
+        thread::scope(|s| {
+            let reader = {
+                let sh = Arc::clone(&shared);
+                s.spawn(move || count(&sh).expect("reader must never fail"))
+            };
+            // The drop guard inside `update` must finalize during
+            // unwinding, on every interleaving with the reader.
+            let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                shared.update(|e| {
+                    e.add_triple(
+                        &Term::iri("http://e/c"),
+                        &Term::iri("http://e/p"),
+                        &Term::iri("http://e/a"),
+                    );
+                    panic!("boom mid-update");
+                })
+            }));
+            assert!(panicked.is_err());
+            let seen = reader.join().unwrap();
+            assert!(seen == 2 || seen == 3, "torn read: {seen}");
+        });
+        // The half-applied update was finalized during unwinding.
+        assert_eq!(count(&shared).unwrap(), 3);
+    });
+}

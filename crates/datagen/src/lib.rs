@@ -33,6 +33,7 @@
 //! assert_eq!(store.num_predicates(), 17);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod lubm;

@@ -45,6 +45,7 @@
 //! assert_ne!(s, o);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod arena;

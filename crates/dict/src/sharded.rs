@@ -24,8 +24,9 @@
 //! determinism argument the loader's property tests enforce.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+use parj_sync::atomic::{AtomicUsize, Ordering};
+use parj_sync::Mutex;
 
 use crate::dict::{Dictionary, Namespace};
 use crate::hash::{fx_hash_bytes, FxBuildHasher};
@@ -148,15 +149,19 @@ impl Namespace {
             slots.resize_with(n_shards, || None);
             let slot_ptrs: Vec<Mutex<&mut Option<ShardOut>>> =
                 slots.iter_mut().map(Mutex::new).collect();
-            std::thread::scope(|scope| {
+            parj_sync::thread::scope(|scope| {
                 for _ in 0..threads {
                     scope.spawn(|| loop {
+                        // ordering: Relaxed — shard ticket only; shard
+                        // output is published through its slot Mutex and
+                        // the scope join edge (loom_sharded model checks
+                        // the id assignment stays deterministic).
                         let shard = next.fetch_add(1, Ordering::Relaxed);
                         if shard >= n_shards {
                             break;
                         }
                         let out = classify(shard as u64);
-                        **slot_ptrs[shard].lock().expect("shard slot lock") = Some(out);
+                        **slot_ptrs[shard].lock() = Some(out);
                     });
                 }
             });

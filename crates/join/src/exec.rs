@@ -16,8 +16,8 @@
 //! selective queries still parallelize.
 
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use parj_sync::atomic::{AtomicUsize, Ordering};
+use parj_sync::Arc;
 
 use parj_dict::Id;
 use parj_store::{Replica, TripleStore};
@@ -234,6 +234,13 @@ pub enum ExecFailureKind {
         /// The panic payload, when it was a string.
         message: String,
     },
+    /// The supplied [`ExecOptions`] were invalid (e.g. zero threads or
+    /// shards). Raised instead of panicking when options bypass
+    /// [`ExecOptions::builder`]'s validation.
+    InvalidOptions {
+        /// What was wrong with the options.
+        message: String,
+    },
 }
 
 impl ExecFailureKind {
@@ -254,6 +261,7 @@ impl ExecFailureKind {
             ExecFailureKind::DeadlineExceeded { .. } => 1,
             ExecFailureKind::BudgetExceeded { .. } => 2,
             ExecFailureKind::WorkerPanicked { .. } => 3,
+            ExecFailureKind::InvalidOptions { .. } => 4,
         }
     }
 }
@@ -282,6 +290,9 @@ impl std::fmt::Display for ExecFailure {
             }
             ExecFailureKind::WorkerPanicked { message } => {
                 write!(f, "query worker panicked: {message}")
+            }
+            ExecFailureKind::InvalidOptions { message } => {
+                write!(f, "invalid execution options: {message}")
             }
         }
     }
@@ -638,13 +649,19 @@ fn prepare_exec<'a>(
 /// `total / max(total/K, max_shard)` as the achievable speedup of the
 /// shard distribution, independently of how many cores the measuring
 /// host happens to have.
+///
+/// Invalid [`ExecOptions`] (zero threads or shards) yield an empty
+/// vector, the same shape as an unanswerable plan — this diagnostic
+/// helper never panics.
 pub fn shard_loads(
     store: &TripleStore,
     plan: &PhysicalPlan,
     opts: &ExecOptions,
     thresholds: &ThresholdTable,
 ) -> Vec<u64> {
-    opts.validate().expect("invalid ExecOptions: construct via ExecOptions::builder()");
+    if opts.validate().is_err() {
+        return Vec::new();
+    }
     let Some((ctxs, driver)) = prepare_exec(store, plan, opts, thresholds) else {
         return Vec::new();
     };
@@ -795,7 +812,15 @@ where
     S: Sink + Send,
     F: Fn() -> S + Sync,
 {
-    opts.validate().expect("invalid ExecOptions: construct via ExecOptions::builder()");
+    if let Err(e) = opts.validate() {
+        return Err(Box::new(ExecFailure {
+            kind: ExecFailureKind::InvalidOptions {
+                message: e.to_string(),
+            },
+            stats: SearchStats::default(),
+            rows: 0,
+        }));
+    }
     let Some((ctxs, driver)) = prepare_exec(store, plan, opts, thresholds) else {
         if let Some(rec) = &opts.recorder {
             rec.record_exec(&ExecRecord {
@@ -853,6 +878,10 @@ where
             if w.stop {
                 break;
             }
+            // ordering: Relaxed — the counter is the only shared word;
+            // shard *contents* are read-only during execution, so no
+            // publication edge is needed (the same ticket protocol is
+            // modeled by loom_parallel in parj-store).
             let shard = next_shard.fetch_add(1, Ordering::Relaxed);
             let lo = shard * shard_size;
             if lo >= domain {
@@ -905,7 +934,7 @@ where
     if threads == 1 {
         results.push(run_caught(make_worker()));
     } else {
-        std::thread::scope(|scope| {
+        parj_sync::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     let w = make_worker();
@@ -913,8 +942,11 @@ where
                 })
                 .collect();
             for h in handles {
-                let result = h.join().expect("worker panics are caught inside the worker");
-                results.push(result);
+                // A panic inside the closure is already caught by
+                // `run_caught`; a join error can only carry a payload
+                // from the thread runtime itself — fold it into the
+                // same per-worker Err path instead of panicking here.
+                results.push(h.join().unwrap_or_else(Err));
             }
         });
     }

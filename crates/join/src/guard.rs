@@ -14,8 +14,8 @@
 //! than the flag itself, and a poll observing the trip one batch late
 //! is within the overshoot contract anyway.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use parj_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use parj_sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How many bindings a worker processes between guard polls.
@@ -78,16 +78,22 @@ impl CancelToken {
 
     /// Requests cancellation; workers stop at their next poll.
     pub fn cancel(&self) {
+        // ordering: Relaxed — the flag is the only payload; a poll that
+        // observes it one batch late is within the overshoot contract
+        // (checked by the loom_guard model).
         self.flag.store(true, Ordering::Relaxed);
     }
 
     /// Whether cancellation has been requested.
     pub fn is_cancelled(&self) -> bool {
+        // ordering: Relaxed — flag-only read, bounded-staleness contract.
         self.flag.load(Ordering::Relaxed)
     }
 
     /// Clears the flag so the token can guard another query.
     pub fn reset(&self) {
+        // ordering: Relaxed — re-arming happens between queries, with
+        // the caller providing the inter-query happens-before edge.
         self.flag.store(false, Ordering::Relaxed);
     }
 }
@@ -150,6 +156,8 @@ impl QueryGuard {
 
     /// Result rows counted so far across all workers.
     pub fn rows(&self) -> u64 {
+        // ordering: Relaxed — a monotone counter read for reporting;
+        // exactness after join comes from the join's release/acquire.
         self.rows.load(Ordering::Relaxed)
     }
 
@@ -161,9 +169,14 @@ impl QueryGuard {
     /// Credits `new_rows` freshly produced rows and checks all limits.
     /// Workers call this once per [`GUARD_BATCH`] bindings.
     pub fn poll(&self, new_rows: u64) -> Result<(), GuardTrip> {
+        // ordering: Relaxed — fetch_add keeps the count exact without
+        // ordering other memory; the budget check only needs the value
+        // this worker's own add returned (loom_guard asserts the
+        // overshoot bound and final exactness).
         let total = if new_rows == 0 {
             self.rows.load(Ordering::Relaxed)
         } else {
+            // ordering: Relaxed — same counter-only protocol as above.
             self.rows.fetch_add(new_rows, Ordering::Relaxed) + new_rows
         };
         if self.token.is_cancelled() {

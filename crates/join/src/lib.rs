@@ -58,6 +58,7 @@
 //! Worker panics are contained with `catch_unwind` and surface as
 //! [`ExecFailureKind::WorkerPanicked`] instead of aborting the process.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod calibrate;

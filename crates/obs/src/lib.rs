@@ -20,6 +20,7 @@
 //! nothing, so the executor's `Recorder` trait can be satisfied by an
 //! adapter without dragging exposition code into the join hot loop.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod metrics;

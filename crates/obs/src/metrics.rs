@@ -6,8 +6,8 @@
 //! [`GaugeVec`], which happens on the (rare, already write-locked)
 //! store-finalize path — never while a query runs.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use parj_sync::atomic::{AtomicU64, Ordering};
+use parj_sync::RwLock;
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -22,6 +22,9 @@ impl Counter {
     /// Adds `n` to the counter.
     #[inline]
     pub fn add(&self, n: u64) {
+        // ordering: Relaxed — independent event count; readers only need
+        // eventual visibility, never cross-metric consistency
+        // (loom_metrics checks snapshot monotonicity under this).
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -33,6 +36,7 @@ impl Counter {
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ordering: Relaxed — exposition read; staleness is acceptable.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -51,25 +55,34 @@ impl Gauge {
     /// Sets the gauge to `v`.
     #[inline]
     pub fn set(&self, v: u64) {
+        // ordering: Relaxed — last-writer-wins by design for gauges.
         self.0.store(v, Ordering::Relaxed);
     }
 
     /// Adds `n` to the gauge.
     #[inline]
     pub fn add(&self, n: u64) {
+        // ordering: Relaxed — see Counter::add.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Subtracts `n` from the gauge (saturating at zero on underflow
-    /// races, which only redistribute a transiently-wrong in-flight
-    /// count — never corrupt it permanently).
+    /// Subtracts `n` from the gauge, saturating at zero on underflow
+    /// (a mispaired `sub` must read as an empty gauge, not wrap to
+    /// ~2^64 and poison every later reading).
     #[inline]
     pub fn sub(&self, n: u64) {
-        self.0.fetch_sub(n, Ordering::Relaxed);
+        // ordering: Relaxed — the CAS loop only needs the value it is
+        // rewriting; no other memory is published through the gauge.
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ordering: Relaxed — exposition read; staleness is acceptable.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -107,6 +120,10 @@ impl Histogram {
             .iter()
             .position(|&b| v <= b)
             .unwrap_or(self.bounds.len());
+        // ordering: Relaxed — bucket/sum/count may be transiently
+        // mutually inconsistent to a concurrent reader; each word is
+        // individually exact, which is the documented contract
+        // (loom_metrics checks the per-word exactness).
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
@@ -114,11 +131,13 @@ impl Histogram {
 
     /// Number of observations.
     pub fn count(&self) -> u64 {
+        // ordering: Relaxed — exposition read; staleness is acceptable.
         self.count.load(Ordering::Relaxed)
     }
 
     /// Sum of all observations.
     pub fn sum(&self) -> u64 {
+        // ordering: Relaxed — exposition read; staleness is acceptable.
         self.sum.load(Ordering::Relaxed)
     }
 
@@ -128,6 +147,8 @@ impl Histogram {
         let mut acc = 0;
         let mut out = Vec::with_capacity(self.buckets.len());
         for (i, b) in self.buckets.iter().enumerate() {
+            // ordering: Relaxed — buckets drift independently during
+            // concurrent observes; quiescent reads are exact.
             acc += b.load(Ordering::Relaxed);
             out.push((self.bounds.get(i).copied(), acc));
         }
@@ -152,16 +173,13 @@ impl GaugeVec {
 
     /// Sets the gauge for `label` to `v`, creating it if absent.
     pub fn set(&self, label: &str, v: u64) {
-        self.values
-            .write()
-            .expect("gauge vec lock")
-            .insert(label.to_string(), v);
+        self.values.write().insert(label.to_string(), v);
     }
 
     /// Replaces the entire family in one critical section (used when a
     /// store rebuild invalidates every previous label).
     pub fn replace(&self, entries: impl IntoIterator<Item = (String, u64)>) {
-        let mut map = self.values.write().expect("gauge vec lock");
+        let mut map = self.values.write();
         map.clear();
         map.extend(entries);
     }
@@ -170,7 +188,6 @@ impl GaugeVec {
     pub fn get_all(&self) -> Vec<(String, u64)> {
         self.values
             .read()
-            .expect("gauge vec lock")
             .iter()
             .map(|(k, &v)| (k.clone(), v))
             .collect()
@@ -192,6 +209,18 @@ mod tests {
         g.add(5);
         g.sub(3);
         assert_eq!(g.get(), 12);
+    }
+
+    #[test]
+    fn gauge_sub_saturates_at_zero() {
+        // A mispaired sub (e.g. a double-decrement on an error path)
+        // must leave the gauge empty, not wrapped to ~2^64.
+        let g = Gauge::new();
+        g.add(2);
+        g.sub(5);
+        assert_eq!(g.get(), 0);
+        g.add(7);
+        assert_eq!(g.get(), 7);
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Loom model of the lock-light metric primitives.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"`. Checks the contracts
+//! the `// ordering: Relaxed` comments in `metrics.rs` lean on:
+//!
+//! * counters and histogram words are individually exact — no schedule
+//!   loses an increment;
+//! * a concurrent snapshot reader observes each counter monotonically
+//!   and never reads a value above what has been recorded;
+//! * `Gauge::sub` saturates at zero under races instead of wrapping.
+#![cfg(loom)]
+
+use parj_obs::{Counter, Gauge, Histogram};
+use parj_sync::thread;
+use parj_sync::Arc;
+
+#[test]
+fn loom_concurrent_counter_is_exact() {
+    loom::model(|| {
+        let c = Arc::new(Counter::new());
+        thread::scope(|s| {
+            for _ in 0..2 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..3 {
+                        c.inc();
+                    }
+                });
+            }
+            // A concurrent reader sees a monotone, never-ahead view.
+            let c2 = Arc::clone(&c);
+            s.spawn(move || {
+                let mut last = 0;
+                for _ in 0..4 {
+                    let now = c2.get();
+                    assert!(now >= last, "counter went backwards: {last} -> {now}");
+                    assert!(now <= 6, "counter ahead of recorded events: {now}");
+                    last = now;
+                }
+            });
+        });
+        assert_eq!(c.get(), 6);
+    });
+}
+
+#[test]
+fn loom_gauge_sub_saturates_under_races() {
+    loom::model(|| {
+        let g = Arc::new(Gauge::new());
+        g.add(1);
+        thread::scope(|s| {
+            // Two decrements race with one increment: whatever the
+            // schedule, the gauge must stay in [0, 2] — wrapping to
+            // ~2^64 would trip the upper bound instantly.
+            for _ in 0..2 {
+                let g = Arc::clone(&g);
+                s.spawn(move || g.sub(1));
+            }
+            let g2 = Arc::clone(&g);
+            s.spawn(move || g2.add(1));
+            let g3 = Arc::clone(&g);
+            s.spawn(move || {
+                let v = g3.get();
+                assert!(v <= 2, "gauge wrapped: {v}");
+            });
+        });
+        assert!(g.get() <= 2);
+    });
+}
+
+#[test]
+fn loom_histogram_words_stay_exact() {
+    loom::model(|| {
+        let h = Arc::new(Histogram::new(&[10]));
+        thread::scope(|s| {
+            for v in [1u64, 50] {
+                let h = Arc::clone(&h);
+                s.spawn(move || h.observe(v));
+            }
+            // Snapshot concurrently: cumulative counts never exceed
+            // the number of observations started.
+            let h2 = Arc::clone(&h);
+            s.spawn(move || {
+                let buckets = h2.cumulative_buckets();
+                let total = buckets.last().map(|&(_, n)| n).unwrap_or(0);
+                assert!(total <= 2, "phantom observation: {total}");
+            });
+        });
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 51);
+        assert_eq!(h.cumulative_buckets(), vec![(Some(10), 1), (None, 2)]);
+    });
+}

@@ -21,6 +21,7 @@
 //! Statistics are built once after load ([`Stats::build`]) and shared by
 //! all queries.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod histogram;

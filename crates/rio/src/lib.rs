@@ -23,6 +23,7 @@
 //! assert_eq!(triples[0].1.as_iri(), Some("http://e/teaches"));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod chunk;

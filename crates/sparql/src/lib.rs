@@ -31,6 +31,7 @@
 //! assert!(matches!(q.patterns[1].p, STerm::Term(_))); // `a` → rdf:type
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod ast;

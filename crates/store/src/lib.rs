@@ -47,6 +47,7 @@
 //! assert_eq!(so.num_triples(), 3);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod idpos;

@@ -21,8 +21,9 @@
 //!    byte-identical at any thread count.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+use parj_sync::atomic::{AtomicUsize, Ordering};
+use parj_sync::Mutex;
 
 use parj_dict::{fx_hash_bytes, FxBuildHasher, Id, Namespace, Term, TermBatch};
 
@@ -134,15 +135,19 @@ impl StoreBuilder {
                 slots.resize_with(n_chunks, || None);
                 let slot_ptrs: Vec<Mutex<&mut Option<_>>> =
                     slots.iter_mut().map(Mutex::new).collect();
-                std::thread::scope(|scope| {
+                parj_sync::thread::scope(|scope| {
                     for _ in 0..threads.min(n_chunks) {
                         scope.spawn(|| loop {
+                            // ordering: Relaxed — chunk ticket only;
+                            // results are published through slot
+                            // Mutexes and the scope join edge
+                            // (loom_parallel model).
                             let c = next.fetch_add(1, Ordering::Relaxed);
                             if c >= n_chunks {
                                 break;
                             }
                             let out = collect_chunk(resources, predicates, &chunks[c]);
-                            **slot_ptrs[c].lock().expect("collect slot lock") = Some(out);
+                            **slot_ptrs[c].lock() = Some(out);
                         });
                     }
                 });
@@ -184,11 +189,14 @@ impl StoreBuilder {
             type WorkerTable = Vec<Vec<(Id, Id)>>;
             let next = AtomicUsize::new(0);
             let tables: Mutex<Vec<WorkerTable>> = Mutex::new(Vec::new());
-            std::thread::scope(|scope| {
+            parj_sync::thread::scope(|scope| {
                 for _ in 0..threads.min(n_chunks) {
                     scope.spawn(|| {
                         let mut local: Vec<Vec<(Id, Id)>> = vec![Vec::new(); n_preds];
                         loop {
+                            // ordering: Relaxed — chunk ticket only;
+                            // worker tables are published through the
+                            // tables Mutex (loom_parallel model).
                             let c = next.fetch_add(1, Ordering::Relaxed);
                             if c >= n_chunks {
                                 break;
@@ -199,11 +207,11 @@ impl StoreBuilder {
                                     .push((resolve(s, &res_ids[c]), resolve(o, &res_ids[c])));
                             }
                         }
-                        tables.lock().expect("route table lock").push(local);
+                        tables.lock().push(local);
                     });
                 }
             });
-            for local in tables.into_inner().expect("route tables") {
+            for local in tables.into_inner() {
                 for (p, mut pairs) in local.into_iter().enumerate() {
                     by_pred[p].append(&mut pairs);
                 }

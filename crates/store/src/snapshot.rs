@@ -134,6 +134,13 @@ impl TripleStore {
         }
         let build_idpos = buf.get_u8() != 0;
         let idpos_interval = buf.get_u64_le() as usize;
+        // A corrupt interval would assert inside `IdPosIndex::build`;
+        // reject it here so hostile bytes surface as `Err`, not a panic.
+        if build_idpos && (idpos_interval == 0 || !idpos_interval.is_multiple_of(64)) {
+            return Err(SnapshotError::Corrupt(format!(
+                "idpos interval {idpos_interval} is not a positive multiple of 64"
+            )));
+        }
         let n_parts = buf.get_u32_le() as usize;
         if n_parts != dict.num_predicates() {
             return Err(SnapshotError::Corrupt(format!(
@@ -161,16 +168,36 @@ impl TripleStore {
                 let mut r = Replica::from_raw_parts(keys, offsets, values)
                     .map_err(|e| SnapshotError::Corrupt(format!("pred {predicate} {order}: {e}")))?;
                 if build_idpos {
+                    // Out-of-universe keys would assert inside
+                    // `IdPosIndex::build`; keys are sorted, so checking
+                    // the last one suffices.
+                    if let Some(&k) = r.keys().last() {
+                        if k as usize >= universe {
+                            return Err(SnapshotError::Corrupt(format!(
+                                "pred {predicate} {order}: key {k} outside id universe {universe}"
+                            )));
+                        }
+                    }
                     r.build_idpos(universe, idpos_interval);
                 }
                 replicas.push(r);
             }
             let os = replicas.pop().expect("two replicas");
             let so = replicas.pop().expect("two replicas");
-            let part = Partition::from_replicas(predicate, so, os);
-            part.check_invariants()
-                .map_err(|e| SnapshotError::Corrupt(format!("pred {predicate}: {e}")))?;
-            partitions.push(part);
+            // Loading validates each replica structurally (linear cost,
+            // and required so nothing downstream can panic) plus this
+            // cardinality agreement. The deep cross-replica checks —
+            // SO/OS triple-multiset equality, id ranges against the
+            // dictionary — cost O(n log n) and live in `parj-audit`
+            // (`parj audit` on the CLI) instead of taxing every load.
+            if so.num_triples() != os.num_triples() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "pred {predicate}: replica cardinality mismatch: SO={} OS={}",
+                    so.num_triples(),
+                    os.num_triples()
+                )));
+            }
+            partitions.push(Partition::from_replicas(predicate, so, os));
         }
         Ok(TripleStore::from_parts(
             dict,

@@ -56,7 +56,7 @@ impl Default for StoreOptions {
         Self {
             build_idpos: true,
             idpos_interval: 512,
-            build_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            build_threads: parj_sync::thread::available_parallelism().map_or(1, |n| n.get()),
         }
     }
 }
@@ -157,20 +157,24 @@ impl StoreBuilder {
         } else {
             // Workers draw predicate indexes from one atomic counter —
             // the same dependency-free pattern as query execution.
-            let next = std::sync::atomic::AtomicUsize::new(0);
+            let next = parj_sync::atomic::AtomicUsize::new(0);
             let mut slots: Vec<Option<Partition>> = Vec::new();
             slots.resize_with(n_preds, || None);
-            let slot_ptrs: Vec<std::sync::Mutex<&mut Option<Partition>>> =
-                slots.iter_mut().map(std::sync::Mutex::new).collect();
-            std::thread::scope(|scope| {
+            let slot_ptrs: Vec<parj_sync::Mutex<&mut Option<Partition>>> =
+                slots.iter_mut().map(parj_sync::Mutex::new).collect();
+            parj_sync::thread::scope(|scope| {
                 for _ in 0..threads {
                     scope.spawn(|| loop {
-                        let pred = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        // ordering: Relaxed — predicate ticket only;
+                        // partitions are published through slot Mutexes
+                        // and the scope join edge (loom_parallel model).
+                        let pred = next
+                            .fetch_add(1, parj_sync::atomic::Ordering::Relaxed);
                         if pred >= n_preds {
                             break;
                         }
                         let part = build_one(pred, &by_pred[pred]);
-                        **slot_ptrs[pred].lock().expect("slot lock") = Some(part);
+                        **slot_ptrs[pred].lock() = Some(part);
                     });
                 }
             });

@@ -1,0 +1,54 @@
+//! `cargo xtask` — workspace automation.
+//!
+//! Commands:
+//!
+//! * `cargo xtask lint` — run the custom lint gate over every crate
+//!   (see [`lint`] for the rules). Exits nonzero when any rule fires,
+//!   printing `path:line: [rule] message` per violation.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+mod lint;
+
+/// Locates the workspace root: `CARGO_MANIFEST_DIR/../..` when built by
+/// cargo, falling back to the current directory.
+fn workspace_root() -> PathBuf {
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(d) => {
+            // Pop components textually — `join("../..")` would need the
+            // intermediate directories to exist on disk.
+            let mut p = PathBuf::from(d);
+            p.pop();
+            p.pop();
+            p
+        }
+        None => PathBuf::from("."),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let root = workspace_root();
+            let violations = lint::run(&root);
+            if violations.is_empty() {
+                eprintln!("xtask lint: clean");
+                ExitCode::SUCCESS
+            } else {
+                for v in &violations {
+                    println!("{v}");
+                }
+                eprintln!("xtask lint: {} violation(s)", violations.len());
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! End-to-end test of the `xtask lint` binary: exit 0 on a clean tree,
+//! nonzero (with coordinates) on a seeded violation.
+
+use std::process::Command;
+
+fn xtask() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_xtask"))
+}
+
+#[test]
+fn seeded_violation_fails_the_gate() {
+    let root = std::env::temp_dir().join(format!("parj-xtask-test-{}", std::process::id()));
+    let src = root.join("crates/core/src");
+    std::fs::create_dir_all(&src).unwrap();
+    std::fs::write(
+        src.join("bad.rs"),
+        "use std::sync::Arc;\nfn f(a: &AtomicU64) { a.load(Ordering::SeqCst); }\n",
+    )
+    .unwrap();
+
+    // The binary resolves the workspace root from CARGO_MANIFEST_DIR;
+    // point it two levels under the seeded tree.
+    let out = xtask()
+        .arg("lint")
+        .env("CARGO_MANIFEST_DIR", root.join("crates/xtask"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("no-raw-sync"), "{text}");
+    assert!(text.contains("ordering-justified"), "{text}");
+    assert!(text.contains("bad.rs:1"), "{text}");
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn real_tree_passes_the_gate() {
+    let out = xtask().arg("lint").output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = xtask().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

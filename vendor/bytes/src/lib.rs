@@ -7,6 +7,8 @@
 //! upstream crate for this subset (including panics on short reads so
 //! callers' `remaining()` guards keep their meaning).
 
+#![forbid(unsafe_code)]
+
 /// Read access to a contiguous buffer, advancing an internal cursor.
 pub trait Buf {
     /// Bytes left between the cursor and the end of the buffer.

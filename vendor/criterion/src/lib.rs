@@ -12,6 +12,8 @@
 //! median per-iteration time (plus throughput when configured). Set
 //! `CRITERION_QUICK=1` to cut sample counts for smoke runs.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

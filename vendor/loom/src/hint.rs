@@ -1,0 +1,7 @@
+//! Spin-loop hints, mirroring `loom::hint`.
+
+/// Signals a busy-wait; also a scheduling decision point here.
+pub fn spin_loop() {
+    crate::sched::step();
+    std::hint::spin_loop();
+}

@@ -1,0 +1,69 @@
+//! Offline vendored subset of `loom`.
+//!
+//! The build environment has no network or registry access, so this
+//! crate provides the `loom` API surface the workspace's concurrency
+//! models use. It is **not** the upstream exhaustive DPOR model
+//! checker: instead of enumerating every interleaving under a
+//! cooperative scheduler, [`model`] re-runs the model body many times
+//! on **real OS threads** while a deterministic per-iteration
+//! pseudo-random schedule injects yields and reschedule points at
+//! every synchronization operation (atomic access, lock acquisition,
+//! thread spawn). That explores a broad, reproducible sample of
+//! interleavings — a stress-style checker with loom's API shape — and
+//! every assertion a model makes is still a hard assertion.
+//!
+//! Differences from upstream loom, documented so models stay honest:
+//!
+//! * Exploration is probabilistic, not exhaustive. The iteration count
+//!   comes from `LOOM_ITERS` (default 64, not loom's
+//!   `LOOM_MAX_BRANCHES`).
+//! * Atomic orderings are executed with the *requested* ordering on
+//!   real hardware; weak-memory reorderings beyond what the host CPU
+//!   exhibits are not simulated.
+//! * `loom::thread::scope` is provided (upstream loom has no scoped
+//!   threads); models and shimmed production code may rely on it.
+//! * Constructors (`AtomicU64::new`, `Mutex::new`, …) are `const`
+//!   where the `std` counterparts are, so `static` initializers that
+//!   compile against `std` also compile against this shim.
+//!
+//! A model failure reprints the failing iteration's schedule seed;
+//! setting `LOOM_SEED` to that value replays the same schedule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hint;
+mod sched;
+pub mod sync;
+pub mod thread;
+
+/// Runs `f` under many deterministic pseudo-random schedules.
+///
+/// Each iteration seeds the scheduler differently, so synchronization
+/// operations interleave differently from run to run while any single
+/// seed replays identically. A panic inside `f` (a failed model
+/// assertion) surfaces after printing the seed that produced it.
+pub fn model<F: Fn()>(f: F) {
+    let iters: u64 = std::env::var("LOOM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let fixed_seed: Option<u64> = std::env::var("LOOM_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    for iter in 0..iters {
+        // ordering: seed publication is Relaxed — worker threads of the
+        // model are spawned after the store and joined before the next,
+        // so spawn/join edges order it; the atomic only avoids a lock.
+        let seed = fixed_seed.unwrap_or(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(iter + 1));
+        sched::begin_iteration(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f));
+        if let Err(payload) = outcome {
+            eprintln!("loom (vendored shim): model failed at iteration {iter} with schedule seed {seed}; set LOOM_SEED={seed} to replay");
+            std::panic::resume_unwind(payload);
+        }
+        if fixed_seed.is_some() {
+            break;
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! The randomized schedule explorer behind [`crate::model`].
+//!
+//! Every synchronization operation in the shim calls [`step`]. A
+//! thread-local xorshift generator — seeded from the iteration seed
+//! plus a per-thread counter so sibling threads diverge — decides
+//! whether to keep running, yield the OS scheduler, or force a
+//! reschedule with a zero-length sleep. The distribution is biased
+//! toward "keep running" so models still make progress, while the
+//! yield points move around from iteration to iteration.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Seed for the current model iteration.
+// ordering: Relaxed — written between iterations while only the model
+// driver thread runs; thread spawn edges publish it to workers.
+static ITER_SEED: AtomicU64 = AtomicU64::new(0);
+
+/// Distinguishes threads born in the same iteration.
+// ordering: Relaxed — fetch_add only needs uniqueness, not ordering.
+static THREAD_SALT: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static RNG: Cell<u64> = const { Cell::new(0) };
+    static RNG_EPOCH: Cell<u64> = const { Cell::new(u64::MAX) };
+}
+
+/// Installs `seed` as the schedule for the next iteration.
+pub(crate) fn begin_iteration(seed: u64) {
+    ITER_SEED.store(seed, Ordering::Relaxed);
+    THREAD_SALT.store(1, Ordering::Relaxed);
+}
+
+fn next(state: u64) -> u64 {
+    // xorshift64*: cheap, full-period, good enough to scatter yields.
+    let mut x = state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// One scheduling decision point; called before every shimmed
+/// synchronization operation.
+pub(crate) fn step() {
+    let seed = ITER_SEED.load(Ordering::Relaxed);
+    let draw = RNG.with(|rng| {
+        let fresh = RNG_EPOCH.with(|e| {
+            let stale = e.get() != seed;
+            if stale {
+                e.set(seed);
+            }
+            stale
+        });
+        if fresh || rng.get() == 0 {
+            let salt = THREAD_SALT.fetch_add(1, Ordering::Relaxed);
+            let state = seed ^ salt.wrapping_mul(0xA24B_AED4_963E_E407);
+            // xorshift sticks at zero; nudge the one dead state.
+            rng.set(if state == 0 { 0x1234_5678_9ABC_DEF0 } else { state });
+        }
+        let v = next(rng.get());
+        rng.set(v);
+        v
+    });
+    // ~1/4 of sync ops yield; ~1/32 force a stronger reschedule.
+    if draw.is_multiple_of(32) {
+        std::thread::sleep(std::time::Duration::from_nanos(1));
+    } else if draw.is_multiple_of(4) {
+        std::thread::yield_now();
+    }
+}

@@ -1,0 +1,272 @@
+//! Synchronization shims, mirroring `loom::sync`.
+//!
+//! Atomics wrap `std` atomics and execute with the caller's requested
+//! ordering; every operation is a scheduling decision point. `Mutex`
+//! and `RwLock` use the non-poisoning interface the workspace's
+//! `parking_lot` vendor exposes, so shimmed code is source-compatible
+//! in both modes.
+
+use std::sync::{self, TryLockError};
+
+use crate::sched;
+
+pub use std::sync::Arc;
+
+/// Atomic types with schedule injection.
+pub mod atomic {
+    use super::sched;
+
+    pub use std::sync::atomic::{fence, Ordering};
+
+    macro_rules! shim_atomic {
+        ($(#[$doc:meta])* $name:ident, $std:ident, $ty:ty) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $name(std::sync::atomic::$std);
+
+            impl $name {
+                /// Creates a new atomic holding `v`.
+                pub const fn new(v: $ty) -> Self {
+                    Self(std::sync::atomic::$std::new(v))
+                }
+
+                /// Atomic load.
+                pub fn load(&self, order: Ordering) -> $ty {
+                    sched::step();
+                    self.0.load(order)
+                }
+
+                /// Atomic store.
+                pub fn store(&self, v: $ty, order: Ordering) {
+                    sched::step();
+                    self.0.store(v, order);
+                }
+
+                /// Atomic swap, returning the previous value.
+                pub fn swap(&self, v: $ty, order: Ordering) -> $ty {
+                    sched::step();
+                    self.0.swap(v, order)
+                }
+
+                /// Atomic compare-and-exchange.
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    sched::step();
+                    self.0.compare_exchange(current, new, success, failure)
+                }
+
+                /// Weak compare-and-exchange (may fail spuriously).
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    sched::step();
+                    self.0.compare_exchange_weak(current, new, success, failure)
+                }
+
+                /// CAS loop applying `f` until it sticks or returns `None`.
+                pub fn fetch_update<F>(
+                    &self,
+                    set_order: Ordering,
+                    fetch_order: Ordering,
+                    f: F,
+                ) -> Result<$ty, $ty>
+                where
+                    F: FnMut($ty) -> Option<$ty>,
+                {
+                    sched::step();
+                    self.0.fetch_update(set_order, fetch_order, f)
+                }
+
+                /// Consumes the atomic, returning the value.
+                pub fn into_inner(self) -> $ty {
+                    self.0.into_inner()
+                }
+            }
+        };
+    }
+
+    macro_rules! shim_atomic_arith {
+        ($name:ident, $ty:ty) => {
+            impl $name {
+                /// Atomic wrapping add, returning the previous value.
+                pub fn fetch_add(&self, v: $ty, order: Ordering) -> $ty {
+                    sched::step();
+                    self.0.fetch_add(v, order)
+                }
+
+                /// Atomic wrapping subtract, returning the previous value.
+                pub fn fetch_sub(&self, v: $ty, order: Ordering) -> $ty {
+                    sched::step();
+                    self.0.fetch_sub(v, order)
+                }
+
+                /// Atomic max, returning the previous value.
+                pub fn fetch_max(&self, v: $ty, order: Ordering) -> $ty {
+                    sched::step();
+                    self.0.fetch_max(v, order)
+                }
+
+                /// Atomic min, returning the previous value.
+                pub fn fetch_min(&self, v: $ty, order: Ordering) -> $ty {
+                    sched::step();
+                    self.0.fetch_min(v, order)
+                }
+            }
+        };
+    }
+
+    shim_atomic!(
+        /// `AtomicBool` with schedule injection.
+        AtomicBool, AtomicBool, bool
+    );
+    shim_atomic!(
+        /// `AtomicU32` with schedule injection.
+        AtomicU32, AtomicU32, u32
+    );
+    shim_atomic!(
+        /// `AtomicU64` with schedule injection.
+        AtomicU64, AtomicU64, u64
+    );
+    shim_atomic!(
+        /// `AtomicUsize` with schedule injection.
+        AtomicUsize, AtomicUsize, usize
+    );
+    shim_atomic_arith!(AtomicU32, u32);
+    shim_atomic_arith!(AtomicU64, u64);
+    shim_atomic_arith!(AtomicUsize, usize);
+}
+
+/// Read guard re-exported with the `std` name.
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+/// Write guard.
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+/// Mutex guard.
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+/// Mutual exclusion with schedule injection and a non-poisoning API.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex around `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock (never errors; poison is cleared).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        sched::step();
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Non-blocking acquisition attempt.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        sched::step();
+        match self.inner.try_lock() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Consumes the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// Reader-writer lock with schedule injection and a non-poisoning API.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a lock around `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Acquires a shared read guard (never errors).
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        sched::step();
+        match self.inner.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Acquires the exclusive write guard (never errors).
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        sched::step();
+        match self.inner.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Non-blocking read attempt.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        sched::step();
+        match self.inner.try_read() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Non-blocking write attempt.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        sched::step();
+        match self.inner.try_write() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Threading shims, mirroring `loom::thread` (plus `scope`, which
+//! upstream loom lacks — this shim runs real OS threads, so scoped
+//! borrows work unchanged).
+
+pub use std::thread::{available_parallelism, JoinHandle, Scope, ScopedJoinHandle};
+
+use crate::sched;
+
+/// Spawns a thread; a scheduling decision point.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    sched::step();
+    std::thread::spawn(move || {
+        sched::step();
+        f()
+    })
+}
+
+/// Scoped threads; a scheduling decision point at entry.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
+{
+    sched::step();
+    std::thread::scope(f)
+}
+
+/// Cooperative yield; also a scheduling decision point.
+pub fn yield_now() {
+    sched::step();
+    std::thread::yield_now();
+}

@@ -8,6 +8,8 @@
 //! accessible to later callers. That matters here because the engine
 //! catches worker panics and keeps serving queries afterwards.
 
+#![forbid(unsafe_code)]
+
 use std::sync::{self, TryLockError};
 
 /// Guard types re-exported with `parking_lot`'s names.

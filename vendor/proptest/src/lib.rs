@@ -15,6 +15,8 @@
 //! name, so failures reproduce across runs; set `PROPTEST_CASES` to
 //! change the case count globally.
 
+#![forbid(unsafe_code)]
+
 pub mod test_runner {
     //! Deterministic RNG, config, and the test-case error protocol.
 

@@ -6,6 +6,8 @@
 //! and [`to_string_pretty`]. Output is valid JSON; escaping covers the
 //! control range, quotes and backslashes.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 
 /// A JSON number: integers are kept exact, everything else is `f64`.
