@@ -1,0 +1,7 @@
+//! Measures the plan/result cache's speedup on a 90 %-repeat query
+//! mix. See EXPERIMENTS.md.
+fn main() {
+    let args = parj_bench::Args::parse(parj_bench::default_scale("cache_effect"));
+    let (tables, json) = parj_bench::experiments::cache_effect(&args);
+    parj_bench::write_outputs(&args.out, "cache_effect", &tables, json);
+}

@@ -48,6 +48,7 @@ pub fn default_scale(experiment: &str) -> usize {
         // ~17 k triples per university: 60 ≈ a 1 M-triple load.
         "load_throughput" => 60,
         "metrics_overhead" => 6,
+        "cache_effect" => 6,
         // WatDiv scales are ~2.5 k-triple units.
         "table3" => 40,
         "table4" => 20,

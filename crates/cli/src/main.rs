@@ -88,6 +88,11 @@ FLAGS:
   --calibrate      run Algorithm 2's timed calibration after load
   --timeout SECS   abort a query after this wall-clock budget (exit code 4)
   --max-rows N     abort a query once it produces more than N rows (exit code 5)
+  --cache          serve repeated queries from the plan/result cache
+                   (generation-checked: never serves answers from a stale store)
+  --cache-bytes N  result-cache byte budget (implies --cache; default 64 MiB)
+  --no-cache       bypass the cache for this run (with --cache: nothing is
+                   served from or inserted into it)
   --lossy          skip malformed data lines while loading (reported on stderr)
   --max-parse-errors N   like --lossy but abort after N skipped lines
   -o PATH          output path (load/generate)
@@ -113,6 +118,9 @@ struct Cli {
     show_stats: bool,
     prometheus: bool,
     json: bool,
+    cache: bool,
+    cache_bytes: Option<usize>,
+    no_cache: bool,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -131,6 +139,9 @@ fn parse_cli() -> Result<Cli, String> {
         show_stats: false,
         prometheus: false,
         json: false,
+        cache: false,
+        cache_bytes: None,
+        no_cache: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -178,6 +189,16 @@ fn parse_cli() -> Result<Cli, String> {
                         .ok_or("--max-rows needs a number")?,
                 )
             }
+            "--cache" => cli.cache = true,
+            "--cache-bytes" => {
+                cli.cache_bytes = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--cache-bytes needs a number of bytes")?,
+                );
+                cli.cache = true;
+            }
+            "--no-cache" => cli.no_cache = true,
             "--lossy" => cli.lossy = true,
             "--stats" => cli.show_stats = true,
             "--prometheus" => cli.prometheus = true,
@@ -220,6 +241,10 @@ impl Cli {
         }
         cfg.timeout = self.timeout;
         cfg.max_result_rows = self.max_rows;
+        cfg.cache = self.cache;
+        if let Some(b) = self.cache_bytes {
+            cfg.cache_bytes = b;
+        }
         cfg
     }
 
@@ -326,12 +351,11 @@ fn run() -> Result<(), Failure> {
                     println!("{}", engine.profile(&query).map_err(fail)?);
                 }
                 "count" => {
-                    let out = engine
-                        .request(&query)
-                        .count_only()
-                        .explain(cli.show_stats)
-                        .run()
-                        .map_err(fail)?;
+                    let mut req = engine.request(&query).count_only().explain(cli.show_stats);
+                    if cli.no_cache {
+                        req = req.bypass_cache();
+                    }
+                    let out = req.run().map_err(fail)?;
                     println!("{}", out.count);
                     if cli.show_stats {
                         eprint!("{}", out.report());
@@ -347,11 +371,11 @@ fn run() -> Result<(), Failure> {
                     }
                 }
                 _ => {
-                    let out = engine
-                        .request(&query)
-                        .explain(cli.show_stats)
-                        .run()
-                        .map_err(fail)?;
+                    let mut req = engine.request(&query).explain(cli.show_stats);
+                    if cli.no_cache {
+                        req = req.bypass_cache();
+                    }
+                    let out = req.run().map_err(fail)?;
                     let rows = out.rows.as_ref().map_or(0, Vec::len);
                     let stats = out.stats.clone();
                     print!("{}", out.clone().into_result().to_table());

@@ -11,16 +11,18 @@ use parj_join::{
     ExecFailure, ExecFailureKind, ExecOptions, PhysicalPlan, ProbeStrategy, QueryGuard,
     RowBatch, SearchStats, ThresholdTable,
 };
-use parj_obs::{EngineMetrics, MetricsSnapshot, QueryOutcomeClass, QueryPhase, SearchTotals};
+use parj_cache::{CachedResult, PlanEntry, QueryCache, ResultEntry};
+use parj_obs::{CacheKind, EngineMetrics, MetricsSnapshot, QueryOutcomeClass, QueryPhase, SearchTotals};
 use parj_optimizer::{optimize, Stats};
 use parj_rio::{LoadReport, NTriplesParser, OnParseError};
 use parj_sparql::parse_query;
 use parj_store::{StoreBuilder, StoreOptions, TripleStore};
 
 use crate::error::ParjError;
+use crate::fingerprint::{canonicalize_query, query_fingerprint};
 use crate::hierarchy::Hierarchy;
 use crate::request::{QueryOutcome, RunMode, RunSpec};
-use crate::result::{PhaseTimings, QueryResult, QueryRunStats};
+use crate::result::{CacheStatus, PhaseTimings, QueryResult, QueryRunStats};
 use crate::translate::{translate, Translation};
 
 /// Engine configuration (fixed at build; per-query aspects can be
@@ -75,6 +77,16 @@ pub struct EngineConfig {
     /// recorder and the hot path is untouched. Default: `true` (the
     /// registry is lock-light — atomic counters only).
     pub record_metrics: bool,
+    /// Serve repeated queries from the plan/result cache. Entries are
+    /// stamped with the store generation and never served after a
+    /// reload, so cached answers are always identical to cold runs.
+    /// Default: `false` — with caching off the request path is
+    /// byte-for-byte the uncached one.
+    pub cache: bool,
+    /// Byte budget for cached results (the plan tier gets a small
+    /// fixed slice on top). Evicted sharded-LRU when exceeded.
+    /// Default: 64 MiB.
+    pub cache_bytes: usize,
 }
 
 impl Default for EngineConfig {
@@ -93,6 +105,8 @@ impl Default for EngineConfig {
             timeout: None,
             max_result_rows: None,
             record_metrics: true,
+            cache: false,
+            cache_bytes: 64 << 20,
         }
     }
 }
@@ -186,6 +200,20 @@ impl ParjBuilder {
         self
     }
 
+    /// Serve repeated queries from the plan/result cache (off by
+    /// default; see [`EngineConfig::cache`]).
+    pub fn cache(mut self, on: bool) -> Self {
+        self.config.cache = on;
+        self
+    }
+
+    /// Byte budget for cached results (see
+    /// [`EngineConfig::cache_bytes`]).
+    pub fn cache_bytes(mut self, bytes: usize) -> Self {
+        self.config.cache_bytes = bytes;
+        self
+    }
+
     /// Enable RDFS class/property hierarchy answering (§6 of the paper):
     /// `rdf:type`/property patterns expand into unions over
     /// sub-classes/-properties declared in the data, with solutions
@@ -198,6 +226,7 @@ impl ParjBuilder {
     /// Builds an empty engine.
     pub fn build(self) -> Parj {
         Parj {
+            cache: Arc::new(QueryCache::new(self.config.cache_bytes)),
             config: self.config,
             staged: Some(StoreBuilder::new()),
             ready: None,
@@ -298,6 +327,11 @@ pub struct Parj {
     staged: Option<StoreBuilder>,
     ready: Option<Ready>,
     metrics: Arc<EngineMetrics>,
+    /// Plan/result cache. Always present (cheap when unused); probed
+    /// only when [`EngineConfig::cache`] is on. Its store generation is
+    /// bumped by every [`Parj::finalize`] that rebuilds the store, which
+    /// invalidates all earlier entries without touching them.
+    cache: Arc<QueryCache>,
 }
 
 impl Parj {
@@ -483,6 +517,10 @@ impl Parj {
             calibration,
             hierarchy,
         });
+        // The store was rebuilt (idempotent finalizes return above):
+        // advance the cache generation so every entry stamped before
+        // this point is stale and can never be served again.
+        self.cache.bump_generation();
         self.publish_store_gauges();
     }
 
@@ -678,6 +716,7 @@ impl Parj {
                 .map(PhysicalPlan::explain)
                 .collect::<Vec<_>>()
                 .join("\n---\n"),
+            cache: CacheStatus::Off,
         });
         match failure.kind {
             ExecFailureKind::Cancelled => ParjError::Cancelled { partial },
@@ -718,9 +757,17 @@ impl Parj {
     /// Parses, translates and optimizes `query` against finalized state;
     /// returns the plans (one per union expansion), translation
     /// metadata, and per-phase wall timings.
+    ///
+    /// `canonical` applies the cache's variable/pattern
+    /// canonicalization before optimizing — passed as
+    /// [`EngineConfig::cache`] by the introspection entry points so
+    /// [`Parj::explain`]/[`Parj::profile`] render exactly the plans the
+    /// cached request path executes. With caching off nothing is
+    /// renumbered and the output is identical to previous releases.
     fn prepare_on(
         ready: &Ready,
         query: &str,
+        canonical: bool,
     ) -> Result<(Prepared, Vec<String>, Option<usize>, PhaseTimings), ParjError> {
         let mut phases = PhaseTimings::default();
         let t = Instant::now();
@@ -731,26 +778,38 @@ impl Parj {
         phases.translate_micros = t.elapsed().as_micros() as u64;
         match translated {
             Translation::Empty { proj_names, limit } => Ok((None, proj_names, limit, phases)),
-            Translation::Run(tq) => {
-                let t = Instant::now();
-                // Hierarchy expansions union alternative derivations of
-                // the same solutions; dedup needs the *full* binding row,
-                // so plans then project every variable.
-                let plan_proj: Vec<parj_join::VarId> = if tq.full_rows {
-                    (0..tq.num_vars as parj_join::VarId).collect()
-                } else {
-                    tq.projection.clone()
-                };
-                let mut plans = Vec::with_capacity(tq.pattern_sets.len());
-                for set in &tq.pattern_sets {
-                    plans.push(optimize(&ready.stats, set, tq.num_vars, plan_proj.clone())?);
+            Translation::Run(mut tq) => {
+                if canonical {
+                    canonicalize_query(&mut tq);
                 }
+                let t = Instant::now();
+                let plans = Self::optimize_sets(ready, &tq)?;
                 phases.optimize_micros = t.elapsed().as_micros() as u64;
                 let names = tq.proj_names.clone();
                 let limit = tq.limit;
                 Ok((Some((tq, plans)), names, limit, phases))
             }
         }
+    }
+
+    /// Optimizes one physical plan per pattern set of `tq`.
+    fn optimize_sets(
+        ready: &Ready,
+        tq: &crate::translate::TranslatedQuery,
+    ) -> Result<Vec<PhysicalPlan>, ParjError> {
+        // Hierarchy expansions union alternative derivations of
+        // the same solutions; dedup needs the *full* binding row,
+        // so plans then project every variable.
+        let plan_proj: Vec<parj_join::VarId> = if tq.full_rows {
+            (0..tq.num_vars as parj_join::VarId).collect()
+        } else {
+            tq.projection.clone()
+        };
+        let mut plans = Vec::with_capacity(tq.pattern_sets.len());
+        for set in &tq.pattern_sets {
+            plans.push(optimize(&ready.stats, set, tq.num_vars, plan_proj.clone())?);
+        }
+        Ok(plans)
     }
 
     /// Unified execution path behind [`Parj::request`]: records
@@ -788,6 +847,7 @@ impl Parj {
             let phases = [
                 (QueryPhase::Parse, stats.phases.parse_micros),
                 (QueryPhase::Translate, stats.phases.translate_micros),
+                (QueryPhase::CacheLookup, stats.phases.cache_lookup_micros),
                 (QueryPhase::Optimize, stats.phases.optimize_micros),
                 (QueryPhase::Execute, stats.exec_micros),
                 (QueryPhase::Decode, stats.decode_micros),
@@ -855,38 +915,135 @@ impl Parj {
                 .clone()
                 .map(|r| r as Arc<dyn parj_join::Recorder>),
         )?;
-        let (prepared, names, limit, phases) = Self::prepare_on(ready, query)?;
-        let prepare_micros = phases.total();
-        let Some((tq, plans)) = prepared else {
-            let stats = QueryRunStats {
-                prepare_micros,
-                phases,
-                plan: "<empty: constant absent from data>".into(),
-                ..Default::default()
-            };
-            return Ok(QueryOutcome {
-                vars: names,
-                count: 0,
-                rows: matches!(spec.mode, RunMode::Rows).then(Vec::new),
-                ids: matches!(spec.mode, RunMode::Ids).then(Vec::new),
-                stats,
-                profile: spec
-                    .explain
-                    .then(|| "<empty: constant absent from data>".to_string()),
-            });
+        // Cache participation for this run. Guarded runs (deadline /
+        // row budget / cancellation) can stop early, so their answers
+        // are neither served from nor inserted into the cache; the same
+        // holds for EXPLAIN runs (which must execute for real) and
+        // explicit bypasses. Reads of the store generation here cannot
+        // race an update: updates require `&mut self` (or the
+        // [`crate::SharedParj`] write lock), and this run holds `&self`
+        // for its whole duration.
+        let metrics = self.config.record_metrics.then_some(&*self.metrics);
+        let guarded = over.timeout.or(self.config.timeout).is_some()
+            || over.max_rows.or(self.config.max_result_rows).is_some()
+            || over.cancel.is_some();
+        let use_cache = self.config.cache && !(spec.no_cache || spec.explain || guarded);
+        let mut cache_status = if self.config.cache {
+            CacheStatus::Bypassed
+        } else {
+            CacheStatus::Off
         };
+        let generation = self.cache.store_generation();
+
+        let mut phases = PhaseTimings::default();
+        let t = Instant::now();
+        let parsed = parse_query(query)?;
+        phases.parse_micros = t.elapsed().as_micros() as u64;
+        let t = Instant::now();
+        let translated = translate(&parsed, ready.store.dict(), ready.hierarchy.as_ref())?;
+        phases.translate_micros = t.elapsed().as_micros() as u64;
+        let mut tq = match translated {
+            Translation::Run(tq) => tq,
+            Translation::Empty { proj_names, limit: _ } => {
+                // Trivially empty (a constant is absent from the data):
+                // nothing to cache and nothing to run.
+                let stats = QueryRunStats {
+                    prepare_micros: phases.total(),
+                    phases,
+                    plan: "<empty: constant absent from data>".into(),
+                    cache: cache_status,
+                    ..Default::default()
+                };
+                return Ok(QueryOutcome {
+                    vars: proj_names,
+                    count: 0,
+                    rows: matches!(spec.mode, RunMode::Rows).then(Vec::new),
+                    ids: matches!(spec.mode, RunMode::Ids).then(Vec::new),
+                    stats,
+                    profile: spec
+                        .explain
+                        .then(|| "<empty: constant absent from data>".to_string()),
+                });
+            }
+        };
+
+        // Would this run take the silent count path? Its answer is a
+        // bare count, so it keys a different result-entry family than
+        // the materializing path.
+        let silent = matches!(spec.mode, RunMode::Count) && !tq.distinct && !tq.dedup_full;
+        // `Some` exactly when this run participates in the cache.
+        let mut fingerprint: Option<Vec<u8>> = None;
+        let mut cached_plans: Option<Arc<Vec<PhysicalPlan>>> = None;
+        if use_cache {
+            let t = Instant::now();
+            // Canonicalization makes the fingerprint stable under
+            // variable renaming and pattern reordering; it only runs
+            // with caching on, keeping the cache-off path untouched.
+            canonicalize_query(&mut tq);
+            let fp = query_fingerprint(&tq);
+            let result_key = Self::result_key(&fp, silent, tq.limit, tq.offset);
+            let hit = self.cache.results().lookup(&result_key, generation);
+            if let Some(m) = metrics {
+                m.record_cache_lookup(CacheKind::Result, hit.is_some());
+            }
+            if let Some(entry) = hit {
+                phases.cache_lookup_micros = t.elapsed().as_micros() as u64;
+                if let Some(m) = metrics {
+                    m.record_cache_time_saved(QueryPhase::Execute, entry.exec_micros);
+                }
+                return Ok(Self::serve_cached(ready, spec.mode, &tq, entry, phases));
+            }
+            let plan_hit = self.cache.plans().lookup(&fp, generation);
+            if let Some(m) = metrics {
+                m.record_cache_lookup(CacheKind::Plan, plan_hit.is_some());
+            }
+            cache_status = match plan_hit {
+                Some(entry) => {
+                    if let Some(m) = metrics {
+                        m.record_cache_time_saved(QueryPhase::Optimize, entry.optimize_micros);
+                    }
+                    cached_plans = Some(entry.plans);
+                    CacheStatus::PlanHit
+                }
+                None => CacheStatus::Miss,
+            };
+            fingerprint = Some(fp);
+            phases.cache_lookup_micros = t.elapsed().as_micros() as u64;
+        }
+
+        let plans: Arc<Vec<PhysicalPlan>> = match cached_plans {
+            Some(p) => p,
+            None => {
+                let t = Instant::now();
+                let built = Arc::new(Self::optimize_sets(ready, &tq)?);
+                phases.optimize_micros = t.elapsed().as_micros() as u64;
+                if let Some(fp) = &fingerprint {
+                    let entry = PlanEntry {
+                        plans: Arc::clone(&built),
+                        optimize_micros: phases.optimize_micros,
+                    };
+                    let cost = entry.cost();
+                    let evicted = self.cache.plans().insert(fp.clone(), entry, cost, generation);
+                    if let Some(m) = metrics {
+                        m.record_cache_evictions(CacheKind::Plan, evicted);
+                        m.set_cache_resident(CacheKind::Plan, self.cache.plans().resident_bytes());
+                    }
+                }
+                built
+            }
+        };
+        let names = tq.proj_names.clone();
+        let limit = tq.limit;
+        let prepare_micros = phases.total();
         let explicit_threads = over.threads.is_some();
-        let mut outcome = if matches!(spec.mode, RunMode::Count)
-            && !tq.distinct
-            && !tq.dedup_full
-        {
+        let mut outcome = if silent {
             // Silent mode (the paper's primary measurement): count
             // without materialization.
             let offset = tq.offset.unwrap_or(0) as u64;
             let t1 = Instant::now();
             let mut count = 0u64;
             let mut search = SearchStats::default();
-            for plan in &plans {
+            for plan in plans.iter() {
                 let plan_opts =
                     Self::opts_for_plan(&self.config, ready, &opts, explicit_threads, plan);
                 let (sinks, s) = match execute(
@@ -911,10 +1068,25 @@ impl Parj {
                 search.merge(&s);
             }
             let exec_micros = t1.elapsed().as_micros() as u64;
-            // OFFSET/LIMIT arithmetic (ordering does not change a count).
+            // OFFSET/LIMIT arithmetic (ordering does not change a count;
+            // this mirrors the materializing path's `drop_front` +
+            // `truncate`, so both modes report the same count).
             count = count.saturating_sub(offset);
             if let Some(l) = limit {
                 count = count.min(l as u64);
+            }
+            if let Some(fp) = &fingerprint {
+                let entry = ResultEntry {
+                    value: CachedResult::Count(count),
+                    exec_micros,
+                };
+                let cost = entry.cost();
+                let key = Self::result_key(fp, true, tq.limit, tq.offset);
+                let evicted = self.cache.results().insert(key, entry, cost, generation);
+                if let Some(m) = metrics {
+                    m.record_cache_evictions(CacheKind::Result, evicted);
+                    m.set_cache_resident(CacheKind::Result, self.cache.results().resident_bytes());
+                }
             }
             QueryOutcome {
                 vars: names,
@@ -933,11 +1105,12 @@ impl Parj {
                         .map(PhysicalPlan::explain)
                         .collect::<Vec<_>>()
                         .join("\n---\n"),
+                    cache: cache_status,
                 },
                 profile: None,
             }
         } else {
-            let (id_rows, mut stats) = Self::run_ids_on(
+            let (batch, mut stats) = Self::run_ids_on(
                 &self.config,
                 ready,
                 opts,
@@ -946,25 +1119,31 @@ impl Parj {
                 &plans,
                 phases,
             )?;
-            let count = id_rows.len() as u64;
+            stats.cache = cache_status;
+            let count = batch.len() as u64;
+            // Both `ids` and `rows` requests decode from the same
+            // id-row entry, so the batch is shared with the cache.
+            let batch = Arc::new(batch);
+            if let Some(fp) = &fingerprint {
+                let entry = ResultEntry {
+                    value: CachedResult::Rows(Arc::clone(&batch)),
+                    exec_micros: stats.exec_micros,
+                };
+                let cost = entry.cost();
+                let key = Self::result_key(fp, false, tq.limit, tq.offset);
+                let evicted = self.cache.results().insert(key, entry, cost, generation);
+                if let Some(m) = metrics {
+                    m.record_cache_evictions(CacheKind::Result, evicted);
+                    m.set_cache_resident(CacheKind::Result, self.cache.results().resident_bytes());
+                }
+            }
             let (rows, ids) = match spec.mode {
                 RunMode::Count => (None, None),
-                RunMode::Ids => (None, Some(id_rows)),
+                RunMode::Ids => (None, Some(batch.rows().map(<[Id]>::to_vec).collect())),
                 RunMode::Rows => {
                     // Full result handling: decode ids to terms.
                     let t2 = Instant::now();
-                    let dict = ready.store.dict();
-                    let mut rows = Vec::with_capacity(id_rows.len());
-                    for id_row in id_rows {
-                        let mut row = Vec::with_capacity(id_row.len());
-                        for id in id_row {
-                            row.push(
-                                dict.decode_resource(id)
-                                    .expect("engine-produced ids are valid"),
-                            );
-                        }
-                        rows.push(row);
-                    }
+                    let rows = Self::decode_batch(ready, &batch);
                     stats.decode_micros += t2.elapsed().as_micros() as u64;
                     (Some(rows), None)
                 }
@@ -986,6 +1165,89 @@ impl Parj {
             outcome.profile = Some(Self::render_annotated(&plans, &profiles));
         }
         Ok(outcome)
+    }
+
+    /// Cache key for a finished result: the query fingerprint plus the
+    /// entry family (silent count vs materialized id rows) and the
+    /// `LIMIT`/`OFFSET` window, which the fingerprint deliberately
+    /// excludes (so the *plan* cache can share entries across windows).
+    fn result_key(
+        fp: &[u8],
+        silent: bool,
+        limit: Option<usize>,
+        offset: Option<usize>,
+    ) -> Vec<u8> {
+        let mut key = Vec::with_capacity(fp.len() + 19);
+        key.extend_from_slice(fp);
+        key.push(u8::from(silent));
+        for window in [limit, offset] {
+            match window {
+                Some(n) => {
+                    key.push(1);
+                    key.extend_from_slice(&(n as u64).to_le_bytes());
+                }
+                None => key.push(0),
+            }
+        }
+        key
+    }
+
+    /// Builds the outcome of a result-cache hit: nothing executes, only
+    /// the per-request decode (terms for `rows`, copies for `ids`) runs.
+    fn serve_cached(
+        ready: &Ready,
+        mode: RunMode,
+        tq: &crate::translate::TranslatedQuery,
+        entry: ResultEntry,
+        phases: PhaseTimings,
+    ) -> QueryOutcome {
+        let t = Instant::now();
+        let (count, rows, ids) = match &entry.value {
+            CachedResult::Count(n) => (*n, None, None),
+            CachedResult::Rows(batch) => {
+                let count = batch.len() as u64;
+                match mode {
+                    RunMode::Count => (count, None, None),
+                    RunMode::Ids => (count, None, Some(batch.rows().map(<[Id]>::to_vec).collect())),
+                    RunMode::Rows => (count, Some(Self::decode_batch(ready, batch)), None),
+                }
+            }
+        };
+        let decode_micros = t.elapsed().as_micros() as u64;
+        QueryOutcome {
+            vars: tq.proj_names.clone(),
+            count,
+            rows,
+            ids,
+            stats: QueryRunStats {
+                prepare_micros: phases.total(),
+                phases,
+                exec_micros: 0,
+                decode_micros,
+                search: SearchStats::default(),
+                rows: count,
+                plan: "<served from result cache>".into(),
+                cache: CacheStatus::ResultHit,
+            },
+            profile: None,
+        }
+    }
+
+    /// Decodes a batch of id rows into term rows through the dictionary.
+    fn decode_batch(ready: &Ready, batch: &RowBatch) -> Vec<Vec<Term>> {
+        let dict = ready.store.dict();
+        let mut rows = Vec::with_capacity(batch.len());
+        for id_row in batch.rows() {
+            let mut row = Vec::with_capacity(id_row.len());
+            for &id in id_row {
+                row.push(
+                    dict.decode_resource(id)
+                        .expect("engine-produced ids are valid"),
+                );
+            }
+            rows.push(row);
+        }
+        rows
     }
 
     /// Silent-mode execution (the paper's primary measurement): count
@@ -1027,7 +1289,7 @@ impl Parj {
         tq: &crate::translate::TranslatedQuery,
         plans: &[PhysicalPlan],
         phases: PhaseTimings,
-    ) -> Result<(Vec<Vec<Id>>, QueryRunStats), ParjError> {
+    ) -> Result<(RowBatch, QueryRunStats), ParjError> {
         // Full-width plans (hierarchy dedup / ORDER BY a non-projected
         // variable) carry every binding; see prepare.
         let arity = if tq.full_rows {
@@ -1067,8 +1329,13 @@ impl Parj {
                 }
             };
             search.merge(&s);
-            if arity != 0 {
-                for sink in &sinks {
+            for sink in &sinks {
+                if arity == 0 {
+                    // Zero-arity plans (`ASK`-style bodies) produce no
+                    // id payload; carry the match count explicitly so
+                    // offset/limit/count below see the real row total.
+                    branch_rows[branch].extend_rows(sink.rows as usize);
+                } else {
                     branch_rows[branch].extend_flat(&sink.data);
                 }
             }
@@ -1087,9 +1354,7 @@ impl Parj {
             let mut it = branch_rows.into_iter();
             let mut merged = it.next().unwrap_or_else(|| RowBatch::new(arity));
             for b in it {
-                if !b.is_empty() {
-                    merged.extend_flat(b.data());
-                }
+                merged.append(&b);
             }
             merged
         };
@@ -1154,7 +1419,7 @@ impl Parj {
         let decode_micros = t2.elapsed().as_micros() as u64;
         let n = rows.len() as u64;
         Ok((
-            rows.into_rows(),
+            rows,
             QueryRunStats {
                 prepare_micros: phases.total(),
                 phases,
@@ -1167,6 +1432,7 @@ impl Parj {
                     .map(PhysicalPlan::explain)
                     .collect::<Vec<_>>()
                     .join("\n---\n"),
+                cache: CacheStatus::Off,
             },
         ))
     }
@@ -1188,15 +1454,18 @@ impl Parj {
     ) -> Result<Vec<Vec<u64>>, ParjError> {
         self.finalize();
         let ready = self.ready_or_err()?;
-        let (prepared, _, _, _) = Self::prepare_on(ready, query)?;
+        let (prepared, _, _, _) = Self::prepare_on(ready, query, self.config.cache)?;
         let Some((_tq, plans)) = prepared else {
             return Ok(Vec::new());
         };
         let opts = Self::exec_options(&self.config, over, None)?;
-        Ok(plans
+        plans
             .iter()
-            .map(|plan| parj_join::shard_loads(&ready.store, plan, &opts, &ready.thresholds))
-            .collect())
+            .map(|plan| {
+                parj_join::shard_loads(&ready.store, plan, &opts, &ready.thresholds)
+                    .map_err(|e| ParjError::InvalidOptions(e.to_string()))
+            })
+            .collect()
     }
 
     /// Materialized execution returning dictionary ids (no term decode).
@@ -1256,7 +1525,7 @@ impl Parj {
     pub fn explain(&mut self, query: &str) -> Result<String, ParjError> {
         self.finalize();
         let ready = self.ready_or_err()?;
-        let (prepared, _, _, _) = Self::prepare_on(ready, query)?;
+        let (prepared, _, _, _) = Self::prepare_on(ready, query, self.config.cache)?;
         Ok(match prepared {
             None => "<empty: constant absent from data>".to_string(),
             Some((_, plans)) => plans
@@ -1275,7 +1544,7 @@ impl Parj {
     pub fn profile(&mut self, query: &str) -> Result<String, ParjError> {
         self.finalize();
         let ready = self.ready_or_err()?;
-        let (prepared, _, _, _) = Self::prepare_on(ready, query)?;
+        let (prepared, _, _, _) = Self::prepare_on(ready, query, self.config.cache)?;
         let Some((_tq, plans)) = prepared else {
             return Ok("<empty: constant absent from data>".to_string());
         };
@@ -1381,6 +1650,7 @@ impl Parj {
         let thresholds = ThresholdTable::from_calibration(&store, &calibration);
         let hierarchy = config.reasoning.then(|| Hierarchy::extract(&store));
         let engine = Parj {
+            cache: Arc::new(QueryCache::new(config.cache_bytes)),
             config,
             staged: None,
             ready: Some(Ready {
@@ -2102,5 +2372,232 @@ mod tests {
             run_query(&mut e, "SELECT ?p WHERE { ?x ?p ?o }"),
             Err(ParjError::Unsupported(_))
         ));
+    }
+
+    fn cached_engine() -> Parj {
+        let mut e = Parj::builder().threads(2).cache(true).build();
+        assert_eq!(e.load_ntriples_str(DATA).unwrap(), 8);
+        e.finalize();
+        e
+    }
+
+    /// Every count-only run must report exactly the row count of the
+    /// materializing run of the same query — across `OFFSET`/`LIMIT`
+    /// windows, `DISTINCT`, unions, and zero-arity (`ASK`-style)
+    /// bodies.
+    #[test]
+    fn count_only_matches_materialized_len() {
+        let mut e = engine();
+        let bodies = [
+            "SELECT ?x ?z WHERE { ?x <http://e/teaches> ?z }",
+            "SELECT DISTINCT ?x WHERE { ?x <http://e/teaches> ?z }",
+            "SELECT ?x WHERE { { ?x <http://e/teaches> ?z } UNION { ?x <http://e/worksFor> ?z } }",
+            "ASK { ?x <http://e/teaches> ?z }",
+            "ASK { <http://e/ProfA> <http://e/name> \"Alice\" }",
+        ];
+        for body in bodies {
+            for offset in [None, Some(0usize), Some(2), Some(100)] {
+                for limit in [None, Some(0usize), Some(1), Some(3), Some(100)] {
+                    let mut q = body.to_string();
+                    if let Some(l) = limit {
+                        q.push_str(&format!(" LIMIT {l}"));
+                    }
+                    if let Some(o) = offset {
+                        q.push_str(&format!(" OFFSET {o}"));
+                    }
+                    let count = e.request(&q).count_only().run().unwrap().count;
+                    let out = e.request(&q).run().unwrap();
+                    let rows = out.rows.unwrap();
+                    assert_eq!(
+                        count,
+                        rows.len() as u64,
+                        "count/materialized divergence for {q}"
+                    );
+                    assert_eq!(count, out.count, "outcome count mismatch for {q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_arity_rows_report_match_count() {
+        let mut e = engine();
+        // ASK carries an implicit LIMIT 1; a match is one empty row.
+        let out = e.request("ASK { ?x <http://e/teaches> ?z }").run().unwrap();
+        assert_eq!(out.count, 1);
+        assert_eq!(out.rows.as_ref().unwrap().len(), 1);
+        assert!(out.rows.unwrap().iter().all(Vec::is_empty));
+        // Lifting the limit exposes every zero-arity match, not zero.
+        let out = e
+            .request("ASK { ?x <http://e/teaches> ?z } LIMIT 100")
+            .run()
+            .unwrap();
+        assert_eq!(out.count, 4);
+        assert_eq!(out.rows.unwrap().len(), 4);
+        let out = e
+            .request("ASK { <http://e/ProfA> <http://e/worksFor> <http://e/U2> }")
+            .run()
+            .unwrap();
+        assert_eq!(out.count, 0);
+    }
+
+    #[test]
+    fn cache_off_reports_off_and_stays_cold() {
+        let mut e = engine();
+        let q = "SELECT ?x ?z WHERE { ?x <http://e/teaches> ?z }";
+        for _ in 0..2 {
+            let out = e.request(q).run().unwrap();
+            assert_eq!(out.stats.cache, crate::CacheStatus::Off);
+            assert_eq!(out.count, 4);
+        }
+    }
+
+    #[test]
+    fn result_cache_serves_identical_answers() {
+        let mut cold = engine();
+        let mut e = cached_engine();
+        let q = "SELECT ?x ?z ?y WHERE { ?x <http://e/teaches> ?z . ?x <http://e/worksFor> ?y }";
+        let first = e.request(q).run().unwrap();
+        assert_eq!(first.stats.cache, crate::CacheStatus::Miss);
+        let second = e.request(q).run().unwrap();
+        assert_eq!(second.stats.cache, crate::CacheStatus::ResultHit);
+        assert_eq!(second.stats.exec_micros, 0);
+        let reference = cold.request(q).run().unwrap();
+        let sort = |mut rows: Vec<Vec<Term>>| {
+            rows.sort();
+            rows
+        };
+        let cold_rows = sort(reference.rows.unwrap());
+        assert_eq!(sort(first.rows.unwrap()), cold_rows);
+        assert_eq!(sort(second.rows.unwrap()), cold_rows);
+    }
+
+    #[test]
+    fn renamed_query_hits_the_same_entry() {
+        let mut e = cached_engine();
+        let a = "SELECT ?x ?z WHERE { ?x <http://e/teaches> ?z }";
+        let b = "SELECT ?s ?c WHERE { ?s <http://e/teaches> ?c }";
+        assert_eq!(e.request(a).run().unwrap().stats.cache, crate::CacheStatus::Miss);
+        let out = e.request(b).run().unwrap();
+        assert_eq!(out.stats.cache, crate::CacheStatus::ResultHit);
+        // Names still come from the *request's* text, not the entry's.
+        assert_eq!(out.vars, vec!["s", "c"]);
+    }
+
+    #[test]
+    fn plan_cache_shares_across_limit_windows() {
+        let mut e = cached_engine();
+        let base = "SELECT ?x ?z WHERE { ?x <http://e/teaches> ?z }";
+        assert_eq!(
+            e.request(base).run().unwrap().stats.cache,
+            crate::CacheStatus::Miss
+        );
+        // Different LIMIT ⇒ different result entry, same plan entry.
+        let out = e.request(&format!("{base} LIMIT 2")).run().unwrap();
+        assert_eq!(out.stats.cache, crate::CacheStatus::PlanHit);
+        assert_eq!(out.stats.phases.optimize_micros, 0);
+        assert_eq!(out.count, 2);
+    }
+
+    #[test]
+    fn count_and_rows_modes_key_separate_entries() {
+        let mut e = cached_engine();
+        let q = "SELECT ?x ?z WHERE { ?x <http://e/teaches> ?z }";
+        let counted = e.request(q).count_only().run().unwrap();
+        assert_eq!(counted.stats.cache, crate::CacheStatus::Miss);
+        // A rows request must not be served from the silent count
+        // entry — it needs the materialized ids.
+        let rows = e.request(q).run().unwrap();
+        assert_eq!(rows.stats.cache, crate::CacheStatus::PlanHit);
+        assert_eq!(rows.rows.unwrap().len(), 4);
+        // ids and rows share the materialized entry.
+        let ids = e.request(q).ids_only().run().unwrap();
+        assert_eq!(ids.stats.cache, crate::CacheStatus::ResultHit);
+        assert_eq!(ids.ids.unwrap().len(), 4);
+        // And the silent count is served on repeat.
+        assert_eq!(
+            e.request(q).count_only().run().unwrap().stats.cache,
+            crate::CacheStatus::ResultHit
+        );
+    }
+
+    #[test]
+    fn updates_invalidate_cached_results() {
+        let mut e = cached_engine();
+        let q = "SELECT ?x ?z WHERE { ?x <http://e/teaches> ?z }";
+        assert_eq!(e.request(q).run().unwrap().count, 4);
+        assert_eq!(e.request(q).run().unwrap().stats.cache, crate::CacheStatus::ResultHit);
+        e.add_triple(
+            &Term::iri("http://e/ProfD"),
+            &Term::iri("http://e/teaches"),
+            &Term::iri("http://e/Art"),
+        );
+        // The rebuilt store bumps the generation: the old entry is
+        // stale and the fresh answer reflects the new triple.
+        let out = e.request(q).run().unwrap();
+        assert_eq!(out.stats.cache, crate::CacheStatus::Miss);
+        assert_eq!(out.count, 5);
+        assert_eq!(e.request(q).run().unwrap().count, 5);
+    }
+
+    #[test]
+    fn bypass_guards_and_explain_skip_the_cache() {
+        let mut e = cached_engine();
+        let q = "SELECT ?x ?z WHERE { ?x <http://e/teaches> ?z }";
+        // Explicit bypass: nothing inserted...
+        let out = e.request(q).bypass_cache().run().unwrap();
+        assert_eq!(out.stats.cache, crate::CacheStatus::Bypassed);
+        // ...so the next cached run is still a miss.
+        assert_eq!(e.request(q).run().unwrap().stats.cache, crate::CacheStatus::Miss);
+        // Guarded and EXPLAIN runs are never served from cache.
+        let guarded = e.request(q).timeout(Duration::from_secs(60)).run().unwrap();
+        assert_eq!(guarded.stats.cache, crate::CacheStatus::Bypassed);
+        let explained = e.request(q).explain(true).run().unwrap();
+        assert_eq!(explained.stats.cache, crate::CacheStatus::Bypassed);
+        assert!(explained.profile.is_some());
+        // The cached entry is still served afterwards, unchanged.
+        assert_eq!(
+            e.request(q).run().unwrap().stats.cache,
+            crate::CacheStatus::ResultHit
+        );
+    }
+
+    #[test]
+    fn cache_metrics_feed_the_registry() {
+        let mut e = cached_engine();
+        let q = "SELECT ?x ?z WHERE { ?x <http://e/teaches> ?z }";
+        e.request(q).run().unwrap();
+        e.request(q).run().unwrap();
+        let snap = e.metrics_snapshot();
+        assert_eq!(
+            snap.value("parj_cache_misses_total", &[("cache", "result")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.value("parj_cache_hits_total", &[("cache", "result")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.value("parj_cache_hits_total", &[("cache", "plan")]),
+            Some(0)
+        );
+        assert!(
+            snap.value("parj_cache_resident_bytes", &[("cache", "result")])
+                .unwrap()
+                > 0
+        );
+    }
+
+    #[test]
+    fn cached_report_names_the_hit() {
+        let mut e = cached_engine();
+        let q = "SELECT ?x ?z WHERE { ?x <http://e/teaches> ?z }";
+        assert!(e.request(q).run().unwrap().report().contains("cache: miss"));
+        assert!(e
+            .request(q)
+            .run()
+            .unwrap()
+            .report()
+            .contains("cache: result-hit"));
     }
 }

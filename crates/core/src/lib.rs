@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod fingerprint;
 mod hierarchy;
 mod error;
 mod loader;
@@ -70,9 +71,10 @@ mod translate;
 
 pub use engine::{EngineConfig, Parj, ParjBuilder, RunOverrides};
 pub use error::ParjError;
+pub use fingerprint::{canonicalize_query, query_fingerprint};
 pub use hierarchy::{Hierarchy, RDFS_SUBCLASSOF, RDFS_SUBPROPERTYOF, RDF_TYPE};
 pub use request::{QueryOutcome, QueryRequest};
-pub use result::{PhaseTimings, QueryResult, QueryRunStats};
+pub use result::{CacheStatus, PhaseTimings, QueryResult, QueryRunStats};
 pub use shared::SharedParj;
 pub use translate::{TranslatedQuery, Translation};
 
@@ -84,8 +86,8 @@ pub use parj_audit::{
 
 // Observability vocabulary (the `parj-obs` substrate).
 pub use parj_obs::{
-    EngineMetrics, FamilySnapshot, MetricKind, MetricsSnapshot, QueryOutcomeClass, QueryPhase,
-    Sample, SampleValue,
+    CacheKind, EngineMetrics, FamilySnapshot, MetricKind, MetricsSnapshot, QueryOutcomeClass,
+    QueryPhase, Sample, SampleValue,
 };
 
 // Re-export the workspace vocabulary so downstream users need only this

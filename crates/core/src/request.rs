@@ -61,6 +61,7 @@ pub(crate) struct RunSpec {
     pub(crate) over: RunOverrides,
     pub(crate) mode: RunMode,
     pub(crate) explain: bool,
+    pub(crate) no_cache: bool,
 }
 
 /// What a query request may borrow while it runs.
@@ -90,6 +91,7 @@ impl<'e> QueryRequest<'e> {
                 over: RunOverrides::default(),
                 mode: RunMode::Rows,
                 explain: false,
+                no_cache: false,
             },
         }
     }
@@ -148,6 +150,15 @@ impl<'e> QueryRequest<'e> {
     /// Request materialized dictionary ids without term decoding.
     pub fn ids_only(mut self) -> Self {
         self.spec.mode = RunMode::Ids;
+        self
+    }
+
+    /// Skip the plan/result cache for this run: nothing is served from
+    /// it and nothing is inserted. A no-op when the engine has caching
+    /// disabled ([`crate::EngineConfig::cache`]); with caching enabled
+    /// the run reports [`crate::CacheStatus::Bypassed`].
+    pub fn bypass_cache(mut self) -> Self {
+        self.spec.no_cache = true;
         self
     }
 

@@ -12,6 +12,9 @@ pub struct PhaseTimings {
     /// Translation (dictionary lookups, hierarchy expansion) wall
     /// time, microseconds.
     pub translate_micros: u64,
+    /// Fingerprint canonicalization and cache probe wall time,
+    /// microseconds (zero when caching is off).
+    pub cache_lookup_micros: u64,
     /// Join-order optimization wall time, microseconds.
     pub optimize_micros: u64,
 }
@@ -19,7 +22,37 @@ pub struct PhaseTimings {
 impl PhaseTimings {
     /// Sum of all prepare phases, microseconds.
     pub fn total(&self) -> u64 {
-        self.parse_micros + self.translate_micros + self.optimize_micros
+        self.parse_micros + self.translate_micros + self.cache_lookup_micros + self.optimize_micros
+    }
+}
+
+/// How the plan/result cache participated in one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Caching disabled on the engine.
+    #[default]
+    Off,
+    /// Caching enabled but this request skipped it (explicit bypass,
+    /// or guarded/EXPLAIN runs, which are never cached).
+    Bypassed,
+    /// Probed both tiers; neither held the query.
+    Miss,
+    /// The optimized plan was served from cache; execution ran.
+    PlanHit,
+    /// The finished result was served from cache; nothing executed.
+    ResultHit,
+}
+
+impl CacheStatus {
+    /// The label rendered in run reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheStatus::Off => "off",
+            CacheStatus::Bypassed => "bypassed",
+            CacheStatus::Miss => "miss",
+            CacheStatus::PlanHit => "plan-hit",
+            CacheStatus::ResultHit => "result-hit",
+        }
     }
 }
 
@@ -48,6 +81,8 @@ pub struct QueryRunStats {
     pub rows: u64,
     /// `explain` text of the executed plan(s).
     pub plan: String,
+    /// How the plan/result cache participated in this run.
+    pub cache: CacheStatus,
 }
 
 impl QueryRunStats {
@@ -63,9 +98,10 @@ impl QueryRunStats {
         let mut out = String::new();
         writeln!(
             out,
-            "phases: parse {}µs | translate {}µs | optimize {}µs | execute {}µs | decode {}µs  (total {}µs)",
+            "phases: parse {}µs | translate {}µs | cache {}µs | optimize {}µs | execute {}µs | decode {}µs  (total {}µs)",
             self.phases.parse_micros,
             self.phases.translate_micros,
+            self.phases.cache_lookup_micros,
             self.phases.optimize_micros,
             self.exec_micros,
             self.decode_micros,
@@ -73,6 +109,9 @@ impl QueryRunStats {
         )
         .expect("write");
         writeln!(out, "rows: {}", self.rows).expect("write");
+        if self.cache != CacheStatus::Off {
+            writeln!(out, "cache: {}", self.cache.as_str()).expect("write");
+        }
         writeln!(
             out,
             "searches: {} sequential / {} binary / {} index ({} group checks, {} words touched)",

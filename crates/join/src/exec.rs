@@ -340,12 +340,18 @@ impl Sink for CountSink {
 pub struct CollectSink {
     /// Flattened row-major results.
     pub data: Vec<Id>,
+    /// Rows pushed. For projections of arity ≥ 1 this equals
+    /// `data.len() / arity`; for arity-0 projections (ASK-style
+    /// shapes) the flat buffer stays empty and this counter is the
+    /// only record of how many rows the worker produced.
+    pub rows: u64,
 }
 
 impl Sink for CollectSink {
     #[inline]
     fn push(&mut self, row: &[Id]) {
         self.data.extend_from_slice(row);
+        self.rows += 1;
     }
 }
 
@@ -650,20 +656,20 @@ fn prepare_exec<'a>(
 /// shard distribution, independently of how many cores the measuring
 /// host happens to have.
 ///
-/// Invalid [`ExecOptions`] (zero threads or shards) yield an empty
-/// vector, the same shape as an unanswerable plan — this diagnostic
-/// helper never panics.
+/// Invalid [`ExecOptions`] (zero threads or shards) are rejected with
+/// the same [`ExecOptionsError`] the executor itself reports, instead
+/// of being conflated with the legitimately-empty answer of an
+/// unanswerable plan (`Ok(vec![])`). This diagnostic helper never
+/// panics.
 pub fn shard_loads(
     store: &TripleStore,
     plan: &PhysicalPlan,
     opts: &ExecOptions,
     thresholds: &ThresholdTable,
-) -> Vec<u64> {
-    if opts.validate().is_err() {
-        return Vec::new();
-    }
+) -> Result<Vec<u64>, ExecOptionsError> {
+    opts.validate()?;
     let Some((ctxs, driver)) = prepare_exec(store, plan, opts, thresholds) else {
-        return Vec::new();
+        return Ok(Vec::new());
     };
     let domain = driver.domain();
     let threads = opts.threads;
@@ -697,7 +703,7 @@ pub fn shard_loads(
         prev = now;
         lo = hi;
     }
-    loads
+    Ok(loads)
 }
 
 /// Size of the driver domain `plan` would scan — the number of keys of
@@ -1041,9 +1047,9 @@ pub fn execute_count_with(
 /// across workers) into one flat [`crate::RowBatch`] — worker sink buffers are
 /// concatenated wholesale, never exploded into per-row allocations.
 ///
-/// Zero-arity plans (pure existence) yield an empty batch: each push
-/// contributes nothing to the flat data, so use [`execute_count`] for
-/// those plans.
+/// Zero-arity plans (pure existence) carry no id payload; the batch
+/// still reports the real match count through its explicit zero-arity
+/// row counter.
 pub fn execute_collect(
     store: &TripleStore,
     plan: &PhysicalPlan,
@@ -1053,8 +1059,10 @@ pub fn execute_collect(
     let (sinks, stats) = execute(store, plan, opts, &thresholds, CollectSink::default)?;
     let arity = plan.projection.len();
     let mut rows = crate::RowBatch::new(arity);
-    if arity != 0 {
-        for sink in &sinks {
+    for sink in &sinks {
+        if arity == 0 {
+            rows.extend_rows(sink.rows as usize);
+        } else {
             rows.extend_flat(&sink.data);
         }
     }

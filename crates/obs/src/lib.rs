@@ -28,7 +28,9 @@ pub mod registry;
 pub mod snapshot;
 
 pub use metrics::{Counter, Gauge, GaugeVec, Histogram};
-pub use registry::{EngineMetrics, QueryOutcomeClass, QueryPhase, SearchKind, SearchTotals};
+pub use registry::{
+    CacheKind, EngineMetrics, QueryOutcomeClass, QueryPhase, SearchKind, SearchTotals,
+};
 pub use snapshot::{
     FamilySnapshot, HistogramSnapshot, MetricKind, MetricsSnapshot, Sample, SampleValue,
 };

@@ -62,6 +62,8 @@ pub enum QueryPhase {
     Parse,
     /// Dictionary translation of the parsed query.
     Translate,
+    /// Fingerprinting and plan/result cache probes.
+    CacheLookup,
     /// Statistics-driven join ordering.
     Optimize,
     /// Parallel join execution.
@@ -72,9 +74,10 @@ pub enum QueryPhase {
 
 impl QueryPhase {
     /// Phases in pipeline order.
-    pub const ALL: [QueryPhase; 5] = [
+    pub const ALL: [QueryPhase; 6] = [
         QueryPhase::Parse,
         QueryPhase::Translate,
+        QueryPhase::CacheLookup,
         QueryPhase::Optimize,
         QueryPhase::Execute,
         QueryPhase::Decode,
@@ -85,9 +88,32 @@ impl QueryPhase {
         match self {
             QueryPhase::Parse => "parse",
             QueryPhase::Translate => "translate",
+            QueryPhase::CacheLookup => "cache_lookup",
             QueryPhase::Optimize => "optimize",
             QueryPhase::Execute => "execute",
             QueryPhase::Decode => "decode",
+        }
+    }
+}
+
+/// Which cache tier a cache event concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheKind {
+    /// The optimized-plan cache (skips the optimize phase on hit).
+    Plan,
+    /// The result cache (skips execution entirely on hit).
+    Result,
+}
+
+impl CacheKind {
+    /// Both tiers, in exposition order.
+    pub const ALL: [CacheKind; 2] = [CacheKind::Plan, CacheKind::Result];
+
+    /// The label value rendered for this tier.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheKind::Plan => "plan",
+            CacheKind::Result => "result",
         }
     }
 }
@@ -160,13 +186,25 @@ pub struct EngineMetrics {
     /// `parj_queries_inflight`.
     queries_inflight: Gauge,
     /// `parj_query_phase_micros_total{phase}`.
-    phase_micros: [Counter; 5],
+    phase_micros: [Counter; 6],
     /// `parj_query_duration_micros` histogram.
     query_duration: Histogram,
     /// `parj_query_rows` histogram.
     query_rows: Histogram,
     /// `parj_result_rows_total`.
     result_rows_total: Counter,
+    // -- plan/result cache --------------------------------------------------
+    /// `parj_cache_hits_total{cache}`.
+    cache_hits: [Counter; 2],
+    /// `parj_cache_misses_total{cache}`.
+    cache_misses: [Counter; 2],
+    /// `parj_cache_evictions_total{cache}`.
+    cache_evictions: [Counter; 2],
+    /// `parj_cache_resident_bytes{cache}`.
+    cache_resident_bytes: [Gauge; 2],
+    /// `parj_cache_time_saved_micros_total{phase}` — wall time the
+    /// populating run spent in phases a cache hit skipped.
+    cache_time_saved: [Counter; 6],
     // -- executor internals -----------------------------------------------
     /// `parj_searches_total{kind}`.
     searches_total: [Counter; 3],
@@ -212,6 +250,11 @@ impl EngineMetrics {
             query_duration: Histogram::new(&DURATION_BOUNDS),
             query_rows: Histogram::new(&ROWS_BOUNDS),
             result_rows_total: Counter::new(),
+            cache_hits: Default::default(),
+            cache_misses: Default::default(),
+            cache_evictions: Default::default(),
+            cache_resident_bytes: Default::default(),
+            cache_time_saved: Default::default(),
             searches_total: Default::default(),
             search_words_total: Default::default(),
             group_probes_total: Counter::new(),
@@ -262,6 +305,34 @@ impl EngineMetrics {
         self.search_words_total[SearchKind::Binary as usize].add(search.binary_steps);
         self.search_words_total[SearchKind::Index as usize].add(search.index_words);
         self.group_probes_total.add(search.group_probes);
+    }
+
+    /// Records one cache probe: a hit or a miss against the given tier.
+    /// Bypassed requests record nothing (they never probed).
+    pub fn record_cache_lookup(&self, kind: CacheKind, hit: bool) {
+        if hit {
+            self.cache_hits[kind as usize].inc();
+        } else {
+            self.cache_misses[kind as usize].inc();
+        }
+    }
+
+    /// Records `n` entries evicted from the given tier by byte-budget
+    /// pressure.
+    pub fn record_cache_evictions(&self, kind: CacheKind, n: u64) {
+        self.cache_evictions[kind as usize].add(n);
+    }
+
+    /// Replaces the resident-bytes gauge of the given tier.
+    pub fn set_cache_resident(&self, kind: CacheKind, bytes: u64) {
+        self.cache_resident_bytes[kind as usize].set(bytes);
+    }
+
+    /// Records wall time a cache hit skipped: the time the populating
+    /// run spent in `phase` (optimize for plan hits; execute for
+    /// result hits).
+    pub fn record_cache_time_saved(&self, phase: QueryPhase, micros: u64) {
+        self.cache_time_saved[phase as usize].add(micros);
     }
 
     /// Records one plan execution's internals: binding tuples that
@@ -375,6 +446,56 @@ impl EngineMetrics {
                     "parj_result_rows_total",
                     "Result rows produced across all queries.",
                     vec![plain(self.result_rows_total.get())],
+                ),
+                counter_fam(
+                    "parj_cache_hits_total",
+                    "Cache probes answered from the cache, by tier.",
+                    CacheKind::ALL
+                        .iter()
+                        .map(|&k| labelled("cache", k.as_str(), self.cache_hits[k as usize].get()))
+                        .collect(),
+                ),
+                counter_fam(
+                    "parj_cache_misses_total",
+                    "Cache probes that missed (including stale-generation removals), by tier.",
+                    CacheKind::ALL
+                        .iter()
+                        .map(|&k| labelled("cache", k.as_str(), self.cache_misses[k as usize].get()))
+                        .collect(),
+                ),
+                counter_fam(
+                    "parj_cache_evictions_total",
+                    "Entries evicted by byte-budget pressure, by tier.",
+                    CacheKind::ALL
+                        .iter()
+                        .map(|&k| {
+                            labelled("cache", k.as_str(), self.cache_evictions[k as usize].get())
+                        })
+                        .collect(),
+                ),
+                gauge_fam(
+                    "parj_cache_resident_bytes",
+                    "Bytes charged against the cache byte budget, by tier.",
+                    CacheKind::ALL
+                        .iter()
+                        .map(|&k| {
+                            labelled(
+                                "cache",
+                                k.as_str(),
+                                self.cache_resident_bytes[k as usize].get(),
+                            )
+                        })
+                        .collect(),
+                ),
+                counter_fam(
+                    "parj_cache_time_saved_micros_total",
+                    "Wall time cache hits skipped, by the phase they skipped.",
+                    QueryPhase::ALL
+                        .iter()
+                        .map(|&p| {
+                            labelled("phase", p.as_str(), self.cache_time_saved[p as usize].get())
+                        })
+                        .collect(),
                 ),
                 counter_fam(
                     "parj_searches_total",
@@ -498,6 +619,35 @@ mod tests {
         );
         assert_eq!(snap.value("parj_result_rows_total", &[]), Some(42));
         assert_eq!(snap.value("parj_searches_total", &[("kind", "sequential")]), Some(5));
+    }
+
+    #[test]
+    fn cache_events_feed_families() {
+        let m = EngineMetrics::new();
+        m.record_cache_lookup(CacheKind::Plan, false);
+        m.record_cache_lookup(CacheKind::Plan, true);
+        m.record_cache_lookup(CacheKind::Result, true);
+        m.record_cache_evictions(CacheKind::Result, 3);
+        m.set_cache_resident(CacheKind::Result, 4096);
+        m.record_cache_time_saved(QueryPhase::Execute, 500);
+        m.record_cache_time_saved(QueryPhase::Optimize, 40);
+        let snap = m.snapshot();
+        assert_eq!(snap.value("parj_cache_hits_total", &[("cache", "plan")]), Some(1));
+        assert_eq!(snap.value("parj_cache_hits_total", &[("cache", "result")]), Some(1));
+        assert_eq!(snap.value("parj_cache_misses_total", &[("cache", "plan")]), Some(1));
+        assert_eq!(snap.value("parj_cache_evictions_total", &[("cache", "result")]), Some(3));
+        assert_eq!(
+            snap.value("parj_cache_resident_bytes", &[("cache", "result")]),
+            Some(4096)
+        );
+        assert_eq!(
+            snap.value("parj_cache_time_saved_micros_total", &[("phase", "execute")]),
+            Some(500)
+        );
+        assert_eq!(
+            snap.value("parj_cache_time_saved_micros_total", &[("phase", "cache_lookup")]),
+            Some(0)
+        );
     }
 
     #[test]

@@ -132,7 +132,7 @@ pub fn split_turtle(input: &str, target_chunks: usize) -> Option<Vec<TurtleChunk
             sc.directive(&mut prefixes)?;
         } else {
             let (start, _, _) = *cur.get_or_insert((sc.pos, sc.line, sc.col));
-            sc.skip_statement();
+            sc.skip_statement()?;
             if sc.pos - start >= target {
                 let (start, line, col) = cur.take().expect("open chunk");
                 chunks.push(TurtleChunk {
@@ -363,7 +363,16 @@ impl<'a> Scanner<'a> {
     /// same rule the parser's `name(allow_dot)`/`number` productions
     /// apply. Stops silently at end of input (the chunk parser then
     /// reports the missing terminator).
-    fn skip_statement(&mut self) {
+    ///
+    /// Returns `None` on a closing `]`/`)` at bracket depth 0: an
+    /// unbalanced bracket means the scanner's notion of "statement
+    /// boundary" can no longer be trusted — silently clamping the depth
+    /// (the old behavior) could resync at a `.` *inside* what the real
+    /// parser treats as one statement, splitting a chunk mid-statement.
+    /// The caller declines to split and the document is parsed
+    /// serially, where the parser reports the malformed statement
+    /// properly.
+    fn skip_statement(&mut self) -> Option<()> {
         let mut depth = 0usize;
         while let Some(b) = self.peek() {
             match b {
@@ -382,7 +391,7 @@ impl<'a> Scanner<'a> {
                     self.bump();
                 }
                 b']' | b')' => {
-                    depth = depth.saturating_sub(1);
+                    depth = depth.checked_sub(1)?;
                     self.bump();
                 }
                 b'.' if depth == 0 => {
@@ -390,7 +399,7 @@ impl<'a> Scanner<'a> {
                     let name_continues = matches!(self.peek(),
                         Some(n) if n.is_ascii_alphanumeric() || n == b'_' || n >= 0x80);
                     if !name_continues {
-                        return;
+                        return Some(());
                     }
                 }
                 _ => {
@@ -398,6 +407,7 @@ impl<'a> Scanner<'a> {
                 }
             }
         }
+        Some(())
     }
 
     /// Skips `<…>`; stops (without consuming) at whitespace, which the
@@ -560,6 +570,19 @@ mod tests {
     fn turtle_splitter_declines_unsupported_directives() {
         assert!(split_turtle("@base <http://e/> .\n", 2).is_none());
         assert!(split_turtle("@prefix e <oops> .\n", 2).is_none());
+    }
+
+    #[test]
+    fn turtle_splitter_declines_unbalanced_close_bracket() {
+        // A closing bracket with no opener means the scanner's
+        // statement boundaries cannot be trusted: the splitter must
+        // decline (serial fallback) instead of resyncing at a `.` the
+        // real parser would treat as mid-statement.
+        assert!(split_turtle("<http://e/s> <http://e/p> <http://e/o> ] .\n", 2).is_none());
+        assert!(split_turtle("<http://e/s> <http://e/p> (1 2)) .\n", 2).is_none());
+        // Balanced brackets still split fine.
+        let ok = "@prefix e: <http://e/> .\ne:s e:p [ e:q e:r ] .\n";
+        assert!(split_turtle(ok, 2).is_some());
     }
 
     #[test]

@@ -28,6 +28,11 @@ pub enum ParseErrorKind {
     TrailingGarbage,
     /// Disallowed raw character inside an IRI (space, `<`, `>`, `"`, controls).
     BadIriChar(char),
+    /// A closing `]` or `)` with no matching opener. Surfaced during
+    /// lossy resynchronization: clamping the depth silently would let
+    /// the parser resync at a statement boundary the strict grammar
+    /// would never reach.
+    UnbalancedBracket(char),
     /// I/O error text while reading the underlying stream.
     Io(String),
 }
@@ -46,6 +51,9 @@ impl fmt::Display for ParseErrorKind {
             ParseErrorKind::NonIriPredicate => write!(f, "predicate must be an IRI"),
             ParseErrorKind::TrailingGarbage => write!(f, "unexpected content after '.'"),
             ParseErrorKind::BadIriChar(c) => write!(f, "character {c:?} not allowed in IRI"),
+            ParseErrorKind::UnbalancedBracket(c) => {
+                write!(f, "closing {c:?} has no matching opener")
+            }
             ParseErrorKind::Io(e) => write!(f, "I/O error: {e}"),
         }
     }

@@ -79,7 +79,17 @@ pub fn parse_turtle_str_lossy(
                     if fatal {
                         return Err(e);
                     }
-                    p.recover();
+                    if let Some(unbalanced) = p.recover() {
+                        // A closing bracket with no opener in the
+                        // skipped region: count it as its own skipped
+                        // defect (against `max_errors`) rather than
+                        // resyncing as if the document were clean.
+                        let fatal = report.skipped >= max_errors;
+                        report.note_skip(unbalanced.clone());
+                        if fatal {
+                            return Err(unbalanced);
+                        }
+                    }
                 }
             },
         }
@@ -630,8 +640,16 @@ impl Turtle {
     /// After a failed statement, resynchronize at the next statement
     /// boundary: consume up to and including the next `.` at bracket
     /// depth 0 outside strings and comments (or to end of input).
-    fn recover(&mut self) {
+    ///
+    /// Returns the position of the first closing `]`/`)` seen at depth
+    /// 0, if any. Such a bracket has no opener inside the skipped
+    /// region: resynchronization keeps going past it (it belongs to the
+    /// malformed statement being discarded), but the underflow is
+    /// surfaced so lossy mode can report it instead of silently
+    /// treating an unbalanced document as cleanly resynced.
+    fn recover(&mut self) -> Option<ParseError> {
         let mut depth = 0usize;
+        let mut underflow = None;
         while let Some(c) = self.peek() {
             match c {
                 '#' => {
@@ -648,18 +666,24 @@ impl Turtle {
                     self.bump();
                 }
                 ']' | ')' => {
-                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        underflow
+                            .get_or_insert_with(|| self.err(ParseErrorKind::UnbalancedBracket(c)));
+                    } else {
+                        depth -= 1;
+                    }
                     self.bump();
                 }
                 '.' if depth == 0 => {
                     self.bump();
-                    return;
+                    return underflow;
                 }
                 _ => {
                     self.bump();
                 }
             }
         }
+        underflow
     }
 
     /// Consumes a quoted section during [`Turtle::recover`]: short or
@@ -838,6 +862,57 @@ line2 "quoted" inside""" .
         assert!(parse_turtle_str("\"literal\" <http://e/p> <http://e/o> .").is_err());
         let e = parse_turtle_str("<http://e/s>\n  <http://e/p> @ .").unwrap_err();
         assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn lossy_recovery_reports_unbalanced_bracket() {
+        // The malformed statement drags an orphan `]` along; recovery
+        // must not silently clamp the depth and pretend the document
+        // resynced cleanly — the underflow is its own reported skip.
+        let src = "@prefix e: <http://e/> .\n\
+                   e:s e:p @bogus ] .\n\
+                   e:a e:b e:c .";
+        let (t, report) = parse_turtle_str_lossy(
+            src,
+            crate::OnParseError::Skip { max_errors: 10 },
+        )
+        .expect("lossy parse succeeds");
+        assert_eq!(t.len(), 1, "the well-formed trailing statement survives");
+        assert_eq!(report.skipped, 2, "statement error + bracket underflow");
+        assert!(
+            report
+                .errors
+                .iter()
+                .any(|e| matches!(e.kind, ParseErrorKind::UnbalancedBracket(']'))),
+            "underflow must be surfaced: {:?}",
+            report.errors
+        );
+    }
+
+    #[test]
+    fn lossy_unbalanced_bracket_counts_against_max_errors() {
+        // With a budget of one skip, the second defect (the underflow)
+        // is fatal.
+        let src = "e:s e:p @bogus ] .\n<http://e/a> <http://e/b> <http://e/c> .";
+        let err = parse_turtle_str_lossy(src, crate::OnParseError::Skip { max_errors: 1 })
+            .expect_err("underflow exhausts the error budget");
+        assert!(matches!(err.kind, ParseErrorKind::UnbalancedBracket(']')), "{err:?}");
+    }
+
+    #[test]
+    fn lossy_balanced_recovery_reports_single_skip() {
+        // Brackets opened inside the skipped region still cancel their
+        // own closers — only true underflow is reported.
+        let src = "@prefix e: <http://e/> .\n\
+                   e:s e:p @bogus [ e:q e:r ] .\n\
+                   e:a e:b e:c .";
+        let (t, report) = parse_turtle_str_lossy(
+            src,
+            crate::OnParseError::Skip { max_errors: 10 },
+        )
+        .expect("lossy parse succeeds");
+        assert_eq!(t.len(), 1);
+        assert_eq!(report.skipped, 1, "no underflow to report");
     }
 
     #[test]
