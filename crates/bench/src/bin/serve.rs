@@ -1,0 +1,7 @@
+//! Closed-loop multi-client benchmark of the HTTP serving layer. See
+//! EXPERIMENTS.md.
+fn main() {
+    let args = parj_bench::Args::parse(parj_bench::default_scale("serve"));
+    let (tables, json) = parj_bench::serve::serve(&args);
+    parj_bench::write_outputs(&args.out, "serve", &tables, json);
+}

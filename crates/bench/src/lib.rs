@@ -14,6 +14,7 @@
 //! | `fig3`   | Figure 3 — execution time vs dataset size |
 //! | `load_throughput` | bulk-load pipeline scaling across load threads (not a paper artifact) |
 //! | `metrics_overhead` | observability-registry recording cost, on vs off (not a paper artifact) |
+//! | `serve` | closed-loop HTTP serving: qps/p50/p99 vs client count + overload (not a paper artifact) |
 //! | `run_all`| everything above, with outputs under `results/` |
 //!
 //! Every binary accepts `--scale N` (dataset size), `--runs N`
@@ -28,6 +29,7 @@
 pub mod ablation;
 pub mod experiments;
 pub mod report;
+pub mod serve;
 pub mod setup;
 pub mod timing;
 
@@ -49,6 +51,9 @@ pub fn default_scale(experiment: &str) -> usize {
         "load_throughput" => 60,
         "metrics_overhead" => 6,
         "cache_effect" => 6,
+        // HTTP closed-loop serving sweep: a small store keeps the
+        // per-request work bounded while clients stack up.
+        "serve" => 4,
         // WatDiv scales are ~2.5 k-triple units.
         "table3" => 40,
         "table4" => 20,

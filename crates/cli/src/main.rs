@@ -8,6 +8,7 @@
 //! parj stats <store.parj|data.nt>                  store statistics
 //! parj audit <store.parj|data.nt>                  deep structural invariant audit
 //! parj generate lubm|watdiv <scale> -o <out.nt>    emit benchmark data
+//! parj serve <store.parj|data.nt>                  SPARQL Protocol endpoint over HTTP
 //! ```
 //!
 //! Common flags: `--threads N`, `--strategy binary|adbinary|index|adindex`,
@@ -74,6 +75,7 @@ USAGE:
   parj stats <store.parj|data.nt> [--prometheus | --json]
   parj audit <store.parj|data.nt>
   parj generate <lubm|watdiv> <scale> -o <out.nt>
+  parj serve <store.parj|data.nt> [--addr HOST:PORT] [flags]
 
 FLAGS:
   --threads N      worker threads per query (default: all cores)
@@ -96,6 +98,16 @@ FLAGS:
   --lossy          skip malformed data lines while loading (reported on stderr)
   --max-parse-errors N   like --lossy but abort after N skipped lines
   -o PATH          output path (load/generate)
+
+SERVE FLAGS:
+  --addr H:P       listen address (default 127.0.0.1:7878)
+  --permits N      max queries executing at once; beyond this requests
+                   are shed with 429 + Retry-After (default 4)
+  --quota B/R      per-client token bucket: burst B, refill R req/s
+  --serve-seconds S  serve for S seconds then drain and exit
+                   (default: serve until stdin reaches EOF)
+  With serve, --timeout sets the default per-query deadline and
+  --cache / --cache-bytes enable the shared result cache.
 
 EXIT CODES:
   0 success   1 usage/other   2 parse error (SPARQL or RDF data)
@@ -121,6 +133,10 @@ struct Cli {
     cache: bool,
     cache_bytes: Option<usize>,
     no_cache: bool,
+    addr: Option<String>,
+    permits: Option<usize>,
+    quota: Option<parj_server::admission::Quota>,
+    serve_seconds: Option<f64>,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -142,6 +158,10 @@ fn parse_cli() -> Result<Cli, String> {
         cache: false,
         cache_bytes: None,
         no_cache: false,
+        addr: None,
+        permits: None,
+        quota: None,
+        serve_seconds: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -199,6 +219,41 @@ fn parse_cli() -> Result<Cli, String> {
                 cli.cache = true;
             }
             "--no-cache" => cli.no_cache = true,
+            "--addr" => cli.addr = Some(it.next().ok_or("--addr needs HOST:PORT")?),
+            "--permits" => {
+                let n: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--permits needs a number")?;
+                if n == 0 {
+                    return Err("--permits must be at least 1".into());
+                }
+                cli.permits = Some(n);
+            }
+            "--quota" => {
+                let spec = it.next().ok_or("--quota needs BURST/PER_SEC")?;
+                let (burst, per_sec) = spec
+                    .split_once('/')
+                    .ok_or("--quota needs BURST/PER_SEC, e.g. 10/2.5")?;
+                let burst: u32 = burst.parse().map_err(|_| "quota burst must be a number")?;
+                let per_sec: f64 = per_sec
+                    .parse()
+                    .map_err(|_| "quota refill rate must be a number")?;
+                if burst == 0 || !per_sec.is_finite() || per_sec <= 0.0 {
+                    return Err("--quota burst and rate must be positive".into());
+                }
+                cli.quota = Some(parj_server::admission::Quota { burst, per_sec });
+            }
+            "--serve-seconds" => {
+                let secs: f64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--serve-seconds needs a number of seconds")?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err("--serve-seconds must be a non-negative number".into());
+                }
+                cli.serve_seconds = Some(secs);
+            }
             "--lossy" => cli.lossy = true,
             "--stats" => cli.show_stats = true,
             "--prometheus" => cli.prometheus = true,
@@ -491,6 +546,42 @@ fn run() -> Result<(), Failure> {
                 other => return Err(usage(format!("unknown generator {other:?}"))),
             }
             eprintln!("wrote {n} triples -> {out}");
+            Ok(())
+        }
+        "serve" => {
+            let [_, store_path] = &cli.positional[..] else {
+                return Err(usage("usage: parj serve <store> [--addr HOST:PORT] [flags]"));
+            };
+            let engine = cli.open(store_path).map_err(fail)?;
+            let shared = std::sync::Arc::new(parj_core::SharedParj::new(engine));
+            let mut config = parj_server::ServerConfig {
+                addr: cli.addr.clone().unwrap_or_else(|| "127.0.0.1:7878".to_string()),
+                quota: cli.quota,
+                default_query_timeout: cli.timeout,
+                ..parj_server::ServerConfig::default()
+            };
+            if let Some(p) = cli.permits {
+                config.permits = p;
+            }
+            let mut server = parj_server::ParjServer::spawn(shared, config)
+                .map_err(|e| usage(format!("cannot serve: {e}")))?;
+            eprintln!(
+                "serving on http://{} (endpoints: /sparql /metrics /healthz /readyz)",
+                server.addr()
+            );
+            match cli.serve_seconds {
+                Some(secs) => std::thread::sleep(Duration::from_secs_f64(secs)),
+                None => {
+                    // Portable foreground lifetime: serve until stdin is
+                    // closed (Ctrl-D, or the supervisor closing the pipe).
+                    eprintln!("close stdin (Ctrl-D) to drain and exit");
+                    use std::io::Read;
+                    let mut sink = Vec::new();
+                    let _ = std::io::stdin().read_to_end(&mut sink);
+                }
+            }
+            let report = server.shutdown();
+            eprintln!("{report}");
             Ok(())
         }
         other => Err(usage(format!("unknown command {other:?}; try --help"))),

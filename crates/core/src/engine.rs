@@ -608,6 +608,16 @@ impl Parj {
         self.ensure_ready().store.num_triples()
     }
 
+    /// Total triples in the finalized store, without finalizing.
+    ///
+    /// `&self` so observers (readiness probes, stat pages) can read it
+    /// under a shared lock while queries run. Counts only the finalized
+    /// store — staged, un-finalized triples are not included; check
+    /// [`Parj::is_finalized`] first if that distinction matters.
+    pub fn num_triples_ref(&self) -> usize {
+        self.ready.as_ref().map_or(0, |r| r.store.num_triples())
+    }
+
     /// Runs the deep structural audit over the finalized store:
     /// CSR/index invariants, replica-pair multiset equality, dictionary
     /// bijectivity, and snapshot round-trip stability
@@ -915,19 +925,25 @@ impl Parj {
                 .clone()
                 .map(|r| r as Arc<dyn parj_join::Recorder>),
         )?;
-        // Cache participation for this run. Guarded runs (deadline /
-        // row budget / cancellation) can stop early, so their answers
-        // are neither served from nor inserted into the cache; the same
-        // holds for EXPLAIN runs (which must execute for real) and
-        // explicit bypasses. Reads of the store generation here cannot
-        // race an update: updates require `&mut self` (or the
-        // [`crate::SharedParj`] write lock), and this run holds `&self`
-        // for its whole duration.
+        // Cache participation for this run. Deadline- and
+        // cancellation-guarded runs DO participate: a guard that trips
+        // aborts the run with an error before any insert, so partial
+        // answers can never be cached, and serving a hit to a guarded
+        // run is both correct and the fastest way to beat its deadline
+        // (the serving layer attaches a cancel token to every request,
+        // so this is the common case under load). Row-*budgeted* runs
+        // bypass instead: a budget changes the answer itself — the same
+        // query errs with `BudgetExceeded` uncached but would be served
+        // its complete result from a prior unbudgeted run — so budgeted
+        // runs stay out of the cache entirely to keep cache-on ≡
+        // cache-off. EXPLAIN runs (which must execute for real) and
+        // explicit bypasses also skip it. Reads of the store generation
+        // here cannot race an update: updates require `&mut self` (or
+        // the [`crate::SharedParj`] write lock), and this run holds
+        // `&self` for its whole duration.
         let metrics = self.config.record_metrics.then_some(&*self.metrics);
-        let guarded = over.timeout.or(self.config.timeout).is_some()
-            || over.max_rows.or(self.config.max_result_rows).is_some()
-            || over.cancel.is_some();
-        let use_cache = self.config.cache && !(spec.no_cache || spec.explain || guarded);
+        let budgeted = over.max_rows.or(self.config.max_result_rows).is_some();
+        let use_cache = self.config.cache && !(spec.no_cache || spec.explain || budgeted);
         let mut cache_status = if self.config.cache {
             CacheStatus::Bypassed
         } else {
@@ -991,7 +1007,7 @@ impl Parj {
                 if let Some(m) = metrics {
                     m.record_cache_time_saved(QueryPhase::Execute, entry.exec_micros);
                 }
-                return Ok(Self::serve_cached(ready, spec.mode, &tq, entry, phases));
+                return Self::serve_cached(ready, spec.mode, &tq, entry, phases);
             }
             let plan_hit = self.cache.plans().lookup(&fp, generation);
             if let Some(m) = metrics {
@@ -1143,7 +1159,7 @@ impl Parj {
                 RunMode::Rows => {
                     // Full result handling: decode ids to terms.
                     let t2 = Instant::now();
-                    let rows = Self::decode_batch(ready, &batch);
+                    let rows = Self::decode_batch(ready, &batch)?;
                     stats.decode_micros += t2.elapsed().as_micros() as u64;
                     (Some(rows), None)
                 }
@@ -1200,7 +1216,7 @@ impl Parj {
         tq: &crate::translate::TranslatedQuery,
         entry: ResultEntry,
         phases: PhaseTimings,
-    ) -> QueryOutcome {
+    ) -> Result<QueryOutcome, ParjError> {
         let t = Instant::now();
         let (count, rows, ids) = match &entry.value {
             CachedResult::Count(n) => (*n, None, None),
@@ -1209,12 +1225,12 @@ impl Parj {
                 match mode {
                     RunMode::Count => (count, None, None),
                     RunMode::Ids => (count, None, Some(batch.rows().map(<[Id]>::to_vec).collect())),
-                    RunMode::Rows => (count, Some(Self::decode_batch(ready, batch)), None),
+                    RunMode::Rows => (count, Some(Self::decode_batch(ready, batch)?), None),
                 }
             }
         };
         let decode_micros = t.elapsed().as_micros() as u64;
-        QueryOutcome {
+        Ok(QueryOutcome {
             vars: tq.proj_names.clone(),
             count,
             rows,
@@ -1230,24 +1246,28 @@ impl Parj {
                 cache: CacheStatus::ResultHit,
             },
             profile: None,
-        }
+        })
     }
 
     /// Decodes a batch of id rows into term rows through the dictionary.
-    fn decode_batch(ready: &Ready, batch: &RowBatch) -> Vec<Vec<Term>> {
+    ///
+    /// Engine-produced ids always decode; if one does not, the store and
+    /// dictionary disagree and the failure surfaces as
+    /// [`ParjError::Internal`] rather than a panic, so facade callers
+    /// (in particular a serving process) degrade instead of dying.
+    fn decode_batch(ready: &Ready, batch: &RowBatch) -> Result<Vec<Vec<Term>>, ParjError> {
         let dict = ready.store.dict();
         let mut rows = Vec::with_capacity(batch.len());
         for id_row in batch.rows() {
             let mut row = Vec::with_capacity(id_row.len());
             for &id in id_row {
-                row.push(
-                    dict.decode_resource(id)
-                        .expect("engine-produced ids are valid"),
-                );
+                row.push(dict.decode_resource(id).map_err(|e| {
+                    ParjError::Internal(format!("result id {id} failed to decode: {e}"))
+                })?);
             }
             rows.push(row);
         }
-        rows
+        Ok(rows)
     }
 
     /// Silent-mode execution (the paper's primary measurement): count
@@ -1359,27 +1379,42 @@ impl Parj {
             merged
         };
         if !tq.order_by.is_empty() {
-            // Column index of an ordering key within the row layout.
-            let col_of = |v: parj_join::VarId| -> usize {
-                if tq.full_rows {
+            // Resolve each ordering key to its column up front; an
+            // unresolvable key means translate's projected-order-keys
+            // invariant broke, which must surface as an error (a serving
+            // process answers 500), never a panic inside the comparator.
+            let mut key_cols = Vec::with_capacity(tq.order_by.len());
+            for &(v, desc) in &tq.order_by {
+                let col = if tq.full_rows {
                     v as usize
                 } else {
-                    tq.projection
-                        .iter()
-                        .position(|&p| p == v)
-                        .expect("translate guarantees projected order keys")
-                }
-            };
+                    tq.projection.iter().position(|&p| p == v).ok_or_else(|| {
+                        ParjError::Internal(format!(
+                            "ORDER BY key variable {v} is not in the projection"
+                        ))
+                    })?
+                };
+                key_cols.push((col, desc));
+            }
             let dict = ready.store.dict();
+            // Pre-validate every key id against the dictionary so the
+            // decode inside the comparator below is infallible.
+            for row in rows.rows() {
+                for &(c, _) in &key_cols {
+                    let id = row[c];
+                    dict.decode_resource(id).map_err(|e| {
+                        ParjError::Internal(format!("ORDER BY key id {id} failed to decode: {e}"))
+                    })?;
+                }
+            }
             // Deterministic total order on terms via their canonical
             // dictionary keys (SPARQL operator ordering is out of scope;
             // see ParsedQuery::order_by docs).
             let key_of = |id: Id| -> Term {
-                dict.decode_resource(id).expect("engine-produced ids are valid")
+                dict.decode_resource(id).expect("every key id pre-validated above")
             };
             rows.sort_by(|a, b| {
-                for &(v, desc) in &tq.order_by {
-                    let c = col_of(v);
+                for &(c, desc) in &key_cols {
                     let ord = key_of(a[c]).cmp(&key_of(b[c]));
                     let ord = if desc { ord.reverse() } else { ord };
                     if !ord.is_eq() {
@@ -2541,7 +2576,7 @@ mod tests {
     }
 
     #[test]
-    fn bypass_guards_and_explain_skip_the_cache() {
+    fn bypass_budget_and_explain_skip_the_cache() {
         let mut e = cached_engine();
         let q = "SELECT ?x ?z WHERE { ?x <http://e/teaches> ?z }";
         // Explicit bypass: nothing inserted...
@@ -2549,13 +2584,41 @@ mod tests {
         assert_eq!(out.stats.cache, crate::CacheStatus::Bypassed);
         // ...so the next cached run is still a miss.
         assert_eq!(e.request(q).run().unwrap().stats.cache, crate::CacheStatus::Miss);
-        // Guarded and EXPLAIN runs are never served from cache.
-        let guarded = e.request(q).timeout(Duration::from_secs(60)).run().unwrap();
-        assert_eq!(guarded.stats.cache, crate::CacheStatus::Bypassed);
+        // Row-budgeted runs bypass: a budget changes the answer itself
+        // (BudgetExceeded vs a complete cached result), so budgeted runs
+        // must neither read nor write the cache.
+        let budgeted = e.request(q).max_rows(1_000_000).run().unwrap();
+        assert_eq!(budgeted.stats.cache, crate::CacheStatus::Bypassed);
+        // EXPLAIN runs execute for real, never served from cache.
         let explained = e.request(q).explain(true).run().unwrap();
         assert_eq!(explained.stats.cache, crate::CacheStatus::Bypassed);
         assert!(explained.profile.is_some());
         // The cached entry is still served afterwards, unchanged.
+        assert_eq!(
+            e.request(q).run().unwrap().stats.cache,
+            crate::CacheStatus::ResultHit
+        );
+    }
+
+    #[test]
+    fn deadline_and_cancel_guarded_runs_use_the_cache() {
+        let mut e = cached_engine();
+        let q = "SELECT ?x ?z WHERE { ?x <http://e/teaches> ?z }";
+        // A deadline-guarded run both populates and is served from the
+        // cache: guards abort with an error before any insert, so a
+        // successful guarded run is a complete answer like any other.
+        // (The serving layer attaches a cancel token to every request.)
+        let first = e
+            .request(q)
+            .timeout(Duration::from_secs(60))
+            .cancel(crate::CancelToken::new())
+            .run()
+            .unwrap();
+        assert_eq!(first.stats.cache, crate::CacheStatus::Miss);
+        let second = e.request(q).timeout(Duration::from_secs(60)).run().unwrap();
+        assert_eq!(second.stats.cache, crate::CacheStatus::ResultHit);
+        assert_eq!(second.count, first.count);
+        // And an unguarded run shares the same entry.
         assert_eq!(
             e.request(q).run().unwrap().stats.cache,
             crate::CacheStatus::ResultHit

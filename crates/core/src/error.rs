@@ -72,6 +72,11 @@ pub enum ParjError {
         /// Progress made by the workers that did not panic.
         partial: Box<QueryRunStats>,
     },
+    /// An internal engine invariant did not hold (e.g. an id produced
+    /// by the join failed to decode through the dictionary). These were
+    /// once panics in facade callers; they are surfaced as errors so a
+    /// serving layer can answer 500 and keep running instead of dying.
+    Internal(String),
 }
 
 impl fmt::Display for ParjError {
@@ -103,6 +108,7 @@ impl fmt::Display for ParjError {
             ParjError::WorkerPanicked { message, .. } => {
                 write!(f, "query worker panicked: {message}")
             }
+            ParjError::Internal(m) => write!(f, "internal engine invariant violated: {m}"),
         }
     }
 }
@@ -138,7 +144,8 @@ impl std::error::Error for ParjError {
             | ParjError::Cancelled { .. }
             | ParjError::DeadlineExceeded { .. }
             | ParjError::BudgetExceeded { .. }
-            | ParjError::WorkerPanicked { .. } => None,
+            | ParjError::WorkerPanicked { .. }
+            | ParjError::Internal(_) => None,
         }
     }
 }

@@ -115,6 +115,28 @@ impl SharedParj {
         self.inner.write().num_triples()
     }
 
+    /// Whether the wrapped engine is finalized and ready to answer
+    /// `&self` queries. Read lock only — safe to call from a readiness
+    /// probe while queries are in flight (unlike
+    /// [`SharedParj::num_triples`], which takes the write lock because
+    /// counting may force a finalize).
+    pub fn is_finalized(&self) -> bool {
+        self.inner.read().is_finalized()
+    }
+
+    /// Number of stored triples if the engine is finalized, without
+    /// taking the write lock; `Err(ParjError::NotFinalized)` otherwise.
+    /// The non-blocking shape a readiness probe needs: it must observe,
+    /// not force, readiness.
+    pub fn try_num_triples(&self) -> Result<usize, ParjError> {
+        let guard = self.inner.read();
+        if guard.is_finalized() {
+            Ok(guard.num_triples_ref())
+        } else {
+            Err(ParjError::NotFinalized)
+        }
+    }
+
     /// Runs the deep structural audit ([`Parj::audit`]). Takes the
     /// write lock: audits are rare and the engine may need to finalize
     /// first.

@@ -15,6 +15,9 @@
 //! * [`snapshot`] — [`MetricsSnapshot`], a plain-data capture with
 //!   Prometheus text ([`MetricsSnapshot::to_prometheus`]) and JSON
 //!   ([`MetricsSnapshot::to_json`]) exposition.
+//! * [`server`] — [`ServerMetrics`], the serving layer's registry
+//!   (`parj_server_*` families: in-flight gauge, shed/quota counters,
+//!   per-status response counters, request latency histogram).
 //!
 //! The engine crates depend on this one; this crate depends on
 //! nothing, so the executor's `Recorder` trait can be satisfied by an
@@ -25,12 +28,14 @@
 
 pub mod metrics;
 pub mod registry;
+pub mod server;
 pub mod snapshot;
 
 pub use metrics::{Counter, Gauge, GaugeVec, Histogram};
 pub use registry::{
     CacheKind, EngineMetrics, QueryOutcomeClass, QueryPhase, SearchKind, SearchTotals,
 };
+pub use server::{HttpStatusClass, ServerMetrics};
 pub use snapshot::{
     FamilySnapshot, HistogramSnapshot, MetricKind, MetricsSnapshot, Sample, SampleValue,
 };

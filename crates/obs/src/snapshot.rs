@@ -211,6 +211,15 @@ impl MetricsSnapshot {
         out
     }
 
+    /// Appends another snapshot's families after this one's, producing
+    /// a single exposition document (e.g. engine + server families on
+    /// one `/metrics` page). Families are assumed disjoint by name —
+    /// registries use distinct prefixes — so no de-duplication happens.
+    pub fn merge(mut self, other: MetricsSnapshot) -> MetricsSnapshot {
+        self.families.extend(other.families);
+        self
+    }
+
     /// Looks up a family by name.
     pub fn family(&self, name: &str) -> Option<&FamilySnapshot> {
         self.families.iter().find(|f| f.name == name)

@@ -1,0 +1,622 @@
+//! # parj-server — resilient SPARQL-over-HTTP serving for PARJ
+//!
+//! A dependency-free (std `TcpListener`, thread-per-connection) SPARQL
+//! Protocol endpoint over [`SharedParj`]. Queries arrive via `GET` or
+//! `POST /sparql`, run through the engine's [`parj_core::QueryRequest`]
+//! builder — so deadlines, row budgets, cache participation, and
+//! cancellation are the engine's own, not reimplemented — and stream
+//! back as SPARQL results JSON or TSV.
+//!
+//! The serving layer is built robustness-first:
+//!
+//! * **Bounded everything.** A fixed permit gate caps in-flight
+//!   queries; past it, requests are *shed* with `429` + `Retry-After`
+//!   (derived from recent query latency) — there is no queue to grow.
+//!   The acceptor itself bounds concurrent connections, and the HTTP
+//!   parser caps header and body sizes.
+//! * **Per-client quotas.** An optional token bucket per peer address
+//!   rejects chatty clients with `429` before they reach the gate.
+//! * **Cancel-on-disconnect.** Each admitted query's [`CancelToken`]
+//!   is tied to its socket: a watcher notices the peer closing and
+//!   cancels the run, freeing its workers for live clients.
+//! * **Panic isolation.** A panicking handler answers `500` for that
+//!   request; the server (and the engine) keep running.
+//! * **Deterministic degradation.** Every [`ParjError`] class maps to a
+//!   fixed HTTP status ([`sparql::status_for`]): timeout → 504, budget
+//!   → 413, parse → 400, corrupt store → 503, shed → 429.
+//! * **Graceful shutdown.** [`ServerHandle::shutdown`] stops accepting,
+//!   drains in-flight queries under a deadline, cancels stragglers, and
+//!   reports what leaked.
+//!
+//! Observability rides on [`parj_obs::ServerMetrics`]: `/metrics`
+//! serves the engine's families merged with `parj_server_*`,
+//! `/healthz` answers liveness, `/readyz` answers readiness (finalized
+//! store, not draining).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod http;
+pub mod sparql;
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{IpAddr, Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parj_core::{CancelToken, ParjError, SharedParj};
+use parj_obs::{MetricsSnapshot, ServerMetrics};
+
+use admission::{lock_unpoisoned, InflightGate, LatencyWindow, Quota, QuotaTable};
+use http::{Limits, Method, Request, Response};
+
+pub use admission::Permit;
+pub use sparql::{status_for, Format};
+
+/// Serving configuration. `Default` is suitable for tests and small
+/// deployments: loopback, ephemeral port, 4 permits, quotas off.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:1234` (`:0` for ephemeral).
+    pub addr: String,
+    /// In-flight query permits (clamped to ≥ 1); past this, shed.
+    pub permits: usize,
+    /// Concurrent connection cap (clamped to ≥ permits + 1); past
+    /// this, the acceptor sheds before spawning a handler thread.
+    pub max_connections: usize,
+    /// Optional per-client token-bucket quota, keyed by peer IP.
+    pub quota: Option<Quota>,
+    /// Time a client gets to deliver its complete request.
+    pub read_timeout: Duration,
+    /// Cap on request line + headers, bytes.
+    pub max_header_bytes: usize,
+    /// Cap on request bodies, bytes.
+    pub max_body_bytes: usize,
+    /// Deadline for draining in-flight queries at shutdown.
+    pub drain_deadline: Duration,
+    /// Deadline applied to queries that do not send their own
+    /// `timeout` parameter (`None` = no default deadline).
+    pub default_query_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            permits: 4,
+            max_connections: 64,
+            quota: None,
+            read_timeout: Duration::from_secs(2),
+            max_header_bytes: 16 * 1024,
+            max_body_bytes: 1024 * 1024,
+            drain_deadline: Duration::from_secs(5),
+            default_query_timeout: None,
+        }
+    }
+}
+
+/// What the drain phase of a shutdown observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Queries in flight when shutdown began.
+    pub inflight_at_shutdown: u64,
+    /// Queries still holding a permit after the drain deadline *and*
+    /// the post-cancel grace period — zero on every healthy shutdown.
+    pub leaked: u64,
+}
+
+impl std::fmt::Display for DrainReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shutdown: drained {} in-flight queries, leaked {} in-flight queries",
+            self.inflight_at_shutdown, self.leaked
+        )
+    }
+}
+
+/// Shared state between the acceptor, connection handlers, and the
+/// shutdown path.
+struct ServerState {
+    engine: Arc<SharedParj>,
+    config: ServerConfig,
+    metrics: Arc<ServerMetrics>,
+    gate: Arc<InflightGate>,
+    quotas: Option<QuotaTable>,
+    latency: LatencyWindow,
+    shutting_down: AtomicBool,
+    /// Cancel tokens of admitted, still-running queries, keyed by a
+    /// server-local request id; shutdown cancels whatever is left here
+    /// after the drain deadline.
+    live_tokens: Mutex<HashMap<u64, CancelToken>>,
+    next_request_id: AtomicU64,
+    /// Connection-handler threads currently alive (drain waits on it).
+    active_connections: AtomicUsize,
+}
+
+impl ServerState {
+    fn shutting_down(&self) -> bool {
+        // ordering: Relaxed — the flag is a hint consulted at request
+        // boundaries; a request racing the flag is answered either way.
+        self.shutting_down.load(Ordering::Relaxed)
+    }
+
+    fn retry_after(&self) -> u64 {
+        self.latency.retry_after_secs()
+    }
+}
+
+/// A running server: its bound address and the shutdown control.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+/// Entry point: bind, spawn the acceptor, serve until
+/// [`ServerHandle::shutdown`].
+pub struct ParjServer;
+
+impl ParjServer {
+    /// Binds `config.addr` and starts serving `engine`.
+    pub fn spawn(engine: Arc<SharedParj>, config: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            metrics: Arc::new(ServerMetrics::new()),
+            gate: Arc::new(InflightGate::new(config.permits)),
+            quotas: config.quota.map(QuotaTable::new),
+            latency: LatencyWindow::new(),
+            shutting_down: AtomicBool::new(false),
+            live_tokens: Mutex::new(HashMap::new()),
+            next_request_id: AtomicU64::new(0),
+            active_connections: AtomicUsize::new(0),
+            engine,
+            config,
+        });
+        let acceptor_state = Arc::clone(&state);
+        let acceptor = std::thread::Builder::new()
+            .name("parj-acceptor".to_string())
+            .spawn(move || accept_loop(listener, acceptor_state))?;
+        Ok(ServerHandle {
+            addr,
+            state,
+            acceptor: Some(acceptor),
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metric registry (shared with `/metrics`).
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.state.metrics)
+    }
+
+    /// Queries currently holding a permit.
+    pub fn inflight(&self) -> u64 {
+        self.state.metrics.inflight()
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight queries
+    /// under the configured deadline, cancel stragglers, and report.
+    ///
+    /// Idempotent; the second call returns an already-drained report.
+    pub fn shutdown(&mut self) -> DrainReport {
+        // ordering: Relaxed — see ServerState::shutting_down.
+        self.state.shutting_down.store(true, Ordering::Relaxed);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let inflight_at_shutdown = self.state.metrics.inflight();
+        let deadline = Instant::now() + self.state.config.drain_deadline;
+        while self.connections_active() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        if self.connections_active() {
+            // Deadline passed: cancel whatever still runs and give the
+            // cancellations a short grace period to unwind.
+            let tokens: Vec<CancelToken> = {
+                let map = lock_unpoisoned(&self.state.live_tokens);
+                map.values().cloned().collect()
+            };
+            for t in &tokens {
+                t.cancel();
+            }
+            let grace = Instant::now() + Duration::from_secs(2);
+            while self.connections_active() && Instant::now() < grace {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        DrainReport {
+            inflight_at_shutdown,
+            leaked: self.state.metrics.inflight(),
+        }
+    }
+
+    fn connections_active(&self) -> bool {
+        // ordering: Relaxed — drain-loop observer; the handler's
+        // decrement-on-drop makes 0 eventually visible.
+        self.state.active_connections.load(Ordering::Relaxed) > 0
+            || self.state.metrics.inflight() > 0
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            let _ = self.shutdown();
+        }
+    }
+}
+
+/// Accepts connections until shutdown; sheds (without spawning) past
+/// the connection cap.
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
+    let conn_cap = state.config.max_connections.max(state.config.permits + 1);
+    for stream in listener.incoming() {
+        if state.shutting_down() {
+            // The wake-up connection (and any racer) is dropped
+            // unanswered; the acceptor exits.
+            break;
+        }
+        let mut stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        state.metrics.record_connection();
+        // ordering: Relaxed — connection count is a capacity hint and
+        // drain signal, not a synchronization point.
+        if state.active_connections.load(Ordering::Relaxed) >= conn_cap {
+            state.metrics.record_shed();
+            let resp = shed_response(&state);
+            let _ = http::write_response(&mut stream, &resp, false);
+            state.metrics.record_response(resp.status, 0);
+            continue;
+        }
+        // ordering: Relaxed — see above.
+        state.active_connections.fetch_add(1, Ordering::Relaxed);
+        let conn_state = Arc::clone(&state);
+        let spawned = std::thread::Builder::new()
+            .name("parj-conn".to_string())
+            .spawn(move || {
+                // Balances the increment above on every exit, panics
+                // included.
+                struct ConnGuard<'a>(&'a AtomicUsize);
+                impl Drop for ConnGuard<'_> {
+                    fn drop(&mut self) {
+                        // ordering: Relaxed — see accept_loop.
+                        self.0.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+                let _guard = ConnGuard(&conn_state.active_connections);
+                // A handler panic must never take the server down; the
+                // 500 path inside already caught query panics, so this
+                // outer net only catches handler bugs.
+                let state = Arc::clone(&conn_state);
+                let _ = catch_unwind(AssertUnwindSafe(move || {
+                    handle_connection(&state, stream);
+                }));
+            });
+        if spawned.is_err() {
+            // Thread spawn failed (resource exhaustion): the guard
+            // inside never ran, so rebalance here. The connection is
+            // dropped; the OS sends RST.
+            // ordering: Relaxed — see accept_loop.
+            state.active_connections.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The 429 shed/quota response with its `Retry-After` hint.
+fn shed_response(state: &ServerState) -> Response {
+    Response::text(429, "server at capacity, retry later")
+        .with_header("Retry-After", state.retry_after().to_string())
+}
+
+/// The 503 draining response.
+fn draining_response(state: &ServerState) -> Response {
+    Response::text(503, "server shutting down")
+        .with_header("Retry-After", state.retry_after().to_string())
+}
+
+/// Serves one request on `stream` and closes it.
+fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream) {
+    let peer_ip = stream.peer_addr().map(|a| a.ip()).ok();
+    let limits = Limits {
+        max_header_bytes: state.config.max_header_bytes,
+        max_body_bytes: state.config.max_body_bytes,
+        read_timeout: state.config.read_timeout,
+    };
+    let t0 = Instant::now();
+    let req = match http::read_request(&mut stream, &limits) {
+        Ok(req) => req,
+        Err(e) => {
+            if let Some(status) = e.status() {
+                let resp = Response::text(status, e.message());
+                let _ = http::write_response(&mut stream, &resp, false);
+                state
+                    .metrics
+                    .record_response(status, t0.elapsed().as_micros() as u64);
+            }
+            return;
+        }
+    };
+    let head_only = req.method == Method::Head;
+    let resp = route(state, &req, peer_ip, &stream);
+    let status = resp.status;
+    let _ = http::write_response(&mut stream, &resp, head_only);
+    state
+        .metrics
+        .record_response(status, t0.elapsed().as_micros() as u64);
+}
+
+/// Routes a parsed request to its endpoint.
+fn route(
+    state: &Arc<ServerState>,
+    req: &Request,
+    peer_ip: Option<IpAddr>,
+    stream: &TcpStream,
+) -> Response {
+    match (req.path.as_str(), &req.method) {
+        ("/healthz", Method::Get | Method::Head) => Response::text(200, "ok"),
+        ("/readyz", Method::Get | Method::Head) => readyz(state),
+        ("/metrics", Method::Get | Method::Head) => metrics_page(state),
+        ("/sparql", _) => sparql_endpoint(state, req, peer_ip, stream),
+        ("/healthz" | "/readyz" | "/metrics", _) => {
+            Response::text(405, "method not allowed").with_header("Allow", "GET, HEAD".to_string())
+        }
+        (path, _) => Response::text(404, format!("no such endpoint: {path}")),
+    }
+}
+
+/// Readiness: finalized store, not draining.
+fn readyz(state: &Arc<ServerState>) -> Response {
+    if state.shutting_down() {
+        return Response::text(503, "draining");
+    }
+    match state.engine.try_num_triples() {
+        Ok(n) => Response::text(200, format!("ready: {n} triples")),
+        Err(ParjError::NotFinalized) => Response::text(503, "store not finalized"),
+        Err(e) => Response::text(503, format!("not ready: {e}")),
+    }
+}
+
+/// Engine + server metric families on one page.
+fn metrics_page(state: &Arc<ServerState>) -> Response {
+    let merged: MetricsSnapshot = state
+        .engine
+        .metrics_snapshot()
+        .merge(state.metrics.snapshot());
+    Response {
+        status: 200,
+        content_type: "text/plain; version=0.0.4; charset=utf-8",
+        extra_headers: Vec::new(),
+        body: merged.to_prometheus().into_bytes(),
+    }
+}
+
+/// The admission-controlled query path.
+fn sparql_endpoint(
+    state: &Arc<ServerState>,
+    req: &Request,
+    peer_ip: Option<IpAddr>,
+    stream: &TcpStream,
+) -> Response {
+    // Admission state machine, in order: drain check → protocol
+    // validation (cheap, unmetered) → per-client quota → permit gate.
+    if state.shutting_down() {
+        return draining_response(state);
+    }
+    let parsed = match sparql::extract(req) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    if let (Some(quotas), Some(ip)) = (&state.quotas, peer_ip) {
+        if !quotas.try_take(ip, Instant::now()) {
+            state.metrics.record_quota_reject();
+            return Response::text(429, "client over quota, retry later")
+                .with_header("Retry-After", state.retry_after().to_string());
+        }
+    }
+    let Some(permit) = state.gate.try_acquire(&state.metrics) else {
+        state.metrics.record_shed();
+        return shed_response(state);
+    };
+    run_admitted(state, &parsed, stream, permit)
+}
+
+/// Runs an admitted query: cancel-on-disconnect watcher, panic
+/// isolation, latency recording. The permit is held (and the in-flight
+/// gauge raised) for exactly the scope of this function.
+fn run_admitted(
+    state: &Arc<ServerState>,
+    parsed: &sparql::SparqlRequest,
+    stream: &TcpStream,
+    permit: Permit,
+) -> Response {
+    // ordering: Relaxed — the id only needs uniqueness, not ordering.
+    let request_id = state.next_request_id.fetch_add(1, Ordering::Relaxed);
+    let token = CancelToken::new();
+    lock_unpoisoned(&state.live_tokens).insert(request_id, token.clone());
+    // Unregisters the token and releases the permit on every exit.
+    struct AdmissionGuard<'a> {
+        state: &'a ServerState,
+        request_id: u64,
+        _permit: Permit,
+    }
+    impl Drop for AdmissionGuard<'_> {
+        fn drop(&mut self) {
+            lock_unpoisoned(&self.state.live_tokens).remove(&self.request_id);
+        }
+    }
+    let _guard = AdmissionGuard {
+        state,
+        request_id,
+        _permit: permit,
+    };
+    let watcher = DisconnectWatcher::spawn(stream, token.clone());
+
+    let t0 = Instant::now();
+    let engine = Arc::clone(&state.engine);
+    let timeout = parsed.timeout.or(state.config.default_query_timeout);
+    let query = parsed.query.clone();
+    let max_rows = parsed.max_rows;
+    let no_cache = parsed.no_cache;
+    let run_token = token.clone();
+    // Panic isolation: a panicking query (or serializer) answers 500
+    // for this request only. The engine holds no state across requests
+    // that a panic could corrupt (worker panics are already contained
+    // engine-side; this net is for everything else).
+    let result = catch_unwind(AssertUnwindSafe(move || {
+        let mut builder = engine.request(&query).cancel(run_token);
+        if let Some(t) = timeout {
+            builder = builder.timeout(t);
+        }
+        if let Some(n) = max_rows {
+            builder = builder.max_rows(n);
+        }
+        if no_cache {
+            builder = builder.bypass_cache();
+        }
+        builder.run()
+    }));
+    drop(watcher); // stop polling the socket before writing the response
+    let elapsed = t0.elapsed().as_micros() as u64;
+    match result {
+        Ok(Ok(outcome)) => {
+            state.latency.record(elapsed);
+            sparql::serialize(&outcome, parsed.format)
+        }
+        Ok(Err(err)) => {
+            // Completed runs (even failed ones) inform the latency
+            // window; shed decisions should reflect real service time.
+            state.latency.record(elapsed);
+            sparql::error_response(&err)
+        }
+        Err(panic) => {
+            state.metrics.record_panic();
+            let msg = panic_message(&panic);
+            Response::text(500, format!("internal error: request handler panicked: {msg}"))
+        }
+    }
+}
+
+/// Best-effort panic payload extraction.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string payload>".to_string()
+    }
+}
+
+/// Ties a socket's liveness to a query's [`CancelToken`]: a thread
+/// polls the connection with short reads; EOF or a hard error cancels
+/// the token, freeing the query's workers. Dropping the watcher stops
+/// the polling and joins the thread.
+struct DisconnectWatcher {
+    done: Arc<AtomicBool>,
+    /// A second handle to the watched socket, used by `Drop` to shut
+    /// down its read half — waking the poll read immediately instead
+    /// of letting the join wait out a full poll interval.
+    stream: Option<TcpStream>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl DisconnectWatcher {
+    /// Poll interval; also the worst-case extra latency before a
+    /// disconnect is noticed.
+    const POLL: Duration = Duration::from_millis(50);
+
+    fn spawn(stream: &TcpStream, token: CancelToken) -> DisconnectWatcher {
+        let done = Arc::new(AtomicBool::new(false));
+        let waker = stream.try_clone().ok();
+        let thread = stream.try_clone().ok().and_then(|watch_stream| {
+            let done = Arc::clone(&done);
+            std::thread::Builder::new()
+                .name("parj-disconnect-watch".to_string())
+                .spawn(move || watch(watch_stream, token, done))
+                .ok()
+        });
+        // If cloning or spawning failed the query simply runs without
+        // disconnect detection — its own guards still bound it.
+        DisconnectWatcher {
+            done,
+            stream: waker,
+            thread,
+        }
+    }
+}
+
+fn watch(stream: TcpStream, token: CancelToken, done: Arc<AtomicBool>) {
+    use std::io::Read;
+    let mut stream = stream;
+    let mut byte = [0u8; 16];
+    if stream.set_read_timeout(Some(DisconnectWatcher::POLL)).is_err() {
+        return;
+    }
+    loop {
+        // ordering: Relaxed — the done flag is a stop hint; one extra
+        // 50ms poll after the response is written is harmless.
+        if done.load(Ordering::Relaxed) {
+            return;
+        }
+        match stream.read(&mut byte) {
+            // EOF: the peer closed its write side or the connection —
+            // unless `Drop` just shut our read half down to wake us,
+            // in which case the query already finished.
+            Ok(0) => {
+                // ordering: Relaxed — done is set before the shutdown
+                // that produces this EOF; a stale read only risks a
+                // harmless cancel of an already-finished request.
+                if !done.load(Ordering::Relaxed) {
+                    token.cancel();
+                }
+                return;
+            }
+            // Stray pipelined bytes: ignore (one request per
+            // connection; the response will say Connection: close).
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            // Reset / broken pipe: the peer is gone.
+            Err(_) => {
+                token.cancel();
+                return;
+            }
+        }
+    }
+}
+
+impl Drop for DisconnectWatcher {
+    fn drop(&mut self) {
+        // ordering: Relaxed — see `watch`.
+        self.done.store(true, Ordering::Relaxed);
+        // Wake the poll read right away: shutting down the read half
+        // makes the blocked read return EOF without impairing the
+        // response write that follows on the same socket.
+        if let Some(s) = &self.stream {
+            let _ = s.shutdown(Shutdown::Read);
+        }
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! SPARQL Protocol mapping: request extraction, result serialization,
+//! and the deterministic `ParjError` → HTTP status table.
+//!
+//! Both serializers render from the engine's materialized
+//! [`QueryOutcome`] rows — the same `RowBatch`-decoded terms every
+//! embedded caller sees — so a served body is byte-derivable from a
+//! direct `engine.request(..).run()` answer (the overload suite
+//! asserts exactly that).
+
+use std::time::Duration;
+
+use parj_core::{ParjError, QueryOutcome, Term};
+
+use crate::http::{HttpError, Method, Request, Response};
+
+/// Result serialization formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// SPARQL 1.1 Query Results JSON (`application/sparql-results+json`).
+    Json,
+    /// Tab-separated values with N-Triples-encoded terms
+    /// (`text/tab-separated-values`).
+    Tsv,
+}
+
+impl Format {
+    /// The response `Content-Type`.
+    pub fn content_type(self) -> &'static str {
+        match self {
+            Format::Json => "application/sparql-results+json",
+            Format::Tsv => "text/tab-separated-values; charset=utf-8",
+        }
+    }
+}
+
+/// A fully-extracted protocol request, ready to run.
+#[derive(Debug)]
+pub struct SparqlRequest {
+    /// The SPARQL query text.
+    pub query: String,
+    /// Requested serialization.
+    pub format: Format,
+    /// Per-request deadline override, from the `timeout` parameter
+    /// (seconds, possibly fractional).
+    pub timeout: Option<Duration>,
+    /// Per-request result-row budget, from the `max-rows` parameter.
+    pub max_rows: Option<u64>,
+    /// `no-cache=1`: bypass the query cache for this run.
+    pub no_cache: bool,
+}
+
+/// Extracts the protocol request from a parsed HTTP request, per the
+/// SPARQL 1.1 Protocol: `GET` with a `query` parameter, `POST` with
+/// `application/x-www-form-urlencoded`, or `POST` with a raw
+/// `application/sparql-query` body.
+pub fn extract(req: &Request) -> Result<SparqlRequest, Response> {
+    let bad = |msg: String| Response::text(400, msg);
+    let mut params: Vec<(String, String)> = req.params.clone();
+    match req.method {
+        Method::Get | Method::Head => {}
+        Method::Post => {
+            let content_type = req
+                .header("content-type")
+                .map(|v| v.split(';').next().unwrap_or("").trim().to_ascii_lowercase())
+                .unwrap_or_default();
+            match content_type.as_str() {
+                "application/x-www-form-urlencoded" | "" => {
+                    let body_params = crate::http::parse_urlencoded(&req.body).map_err(|e| {
+                        match e {
+                            HttpError::BadRequest(m) => bad(format!("bad request: {m}")),
+                            other => bad(format!("bad request: {}", other.message())),
+                        }
+                    })?;
+                    params.extend(body_params);
+                }
+                "application/sparql-query" => {
+                    let text = String::from_utf8(req.body.clone())
+                        .map_err(|_| bad("bad request: non-UTF-8 query body".into()))?;
+                    params.push(("query".to_string(), text));
+                }
+                other => {
+                    return Err(bad(format!("bad request: unsupported content type {other:?}")))
+                }
+            }
+        }
+        Method::Other(ref m) => {
+            return Err(Response::text(405, format!("method {m} not allowed"))
+                .with_header("Allow", "GET, POST, HEAD".to_string()))
+        }
+    }
+    let find = |name: &str| {
+        params
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    let query = find("query")
+        .ok_or_else(|| bad("bad request: missing required parameter \"query\"".into()))?
+        .to_string();
+    if query.trim().is_empty() {
+        return Err(bad("bad request: empty query".into()));
+    }
+    let timeout = match find("timeout") {
+        Some(v) => Some(
+            v.parse::<f64>()
+                .ok()
+                .filter(|s| s.is_finite() && *s > 0.0 && *s <= 3600.0)
+                .map(Duration::from_secs_f64)
+                .ok_or_else(|| bad(format!("bad request: invalid timeout {v:?}")))?,
+        ),
+        None => None,
+    };
+    let max_rows = match find("max-rows") {
+        Some(v) => Some(
+            v.parse::<u64>()
+                .ok()
+                .filter(|n| *n > 0)
+                .ok_or_else(|| bad(format!("bad request: invalid max-rows {v:?}")))?,
+        ),
+        None => None,
+    };
+    let no_cache = matches!(find("no-cache"), Some("1") | Some("true"));
+    let format = negotiate_format(find("format"), req.header("accept"))
+        .map_err(|m| bad(format!("bad request: {m}")))?;
+    Ok(SparqlRequest {
+        query,
+        format,
+        timeout,
+        max_rows,
+        no_cache,
+    })
+}
+
+/// Picks the serialization: an explicit `format` parameter wins, then
+/// the `Accept` header; JSON is the default.
+fn negotiate_format(
+    param: Option<&str>,
+    accept: Option<&str>,
+) -> Result<Format, String> {
+    if let Some(p) = param {
+        return match p {
+            "json" => Ok(Format::Json),
+            "tsv" => Ok(Format::Tsv),
+            other => Err(format!("unknown format {other:?} (expected json or tsv)")),
+        };
+    }
+    if let Some(a) = accept {
+        for item in a.split(',') {
+            let media = item.split(';').next().unwrap_or("").trim();
+            match media {
+                "application/sparql-results+json" | "application/json" | "*/*" => {
+                    return Ok(Format::Json)
+                }
+                "text/tab-separated-values" => return Ok(Format::Tsv),
+                _ => {}
+            }
+        }
+    }
+    Ok(Format::Json)
+}
+
+/// Deterministic `ParjError` → HTTP status mapping (the table in
+/// DESIGN.md §14). Client faults are 4xx, engine/state faults are 5xx,
+/// interrupted runs get the most specific code available.
+pub fn status_for(err: &ParjError) -> u16 {
+    match err {
+        // The request itself is at fault.
+        ParjError::Sparql(_)
+        | ParjError::Rio(_)
+        | ParjError::Optimize(_)
+        | ParjError::Unsupported(_)
+        | ParjError::InvalidOptions(_) => 400,
+        // The run exceeded its row budget: the answer is "too large".
+        ParjError::BudgetExceeded { .. } => 413,
+        // The run exceeded its deadline.
+        ParjError::DeadlineExceeded { .. } => 504,
+        // The store cannot serve correct answers right now.
+        ParjError::NotFinalized | ParjError::CorruptStore { .. } => 503,
+        // Cancelled server-side (disconnect or drain); the client has
+        // usually gone, but a drain-cancelled client sees 503.
+        ParjError::Cancelled { .. } => 503,
+        // Engine faults: contained panics and broken invariants.
+        ParjError::Plan(_)
+        | ParjError::Snapshot(_)
+        | ParjError::Io(_)
+        | ParjError::WorkerPanicked { .. }
+        | ParjError::Internal(_) => 500,
+    }
+}
+
+/// Builds the error response for a failed run.
+pub fn error_response(err: &ParjError) -> Response {
+    Response::text(status_for(err), format!("query failed: {err}"))
+}
+
+/// Serializes a successful outcome in the requested format.
+pub fn serialize(outcome: &QueryOutcome, format: Format) -> Response {
+    let body = match format {
+        Format::Json => to_sparql_json(outcome),
+        Format::Tsv => to_tsv(outcome),
+    };
+    Response {
+        status: 200,
+        content_type: format.content_type(),
+        extra_headers: Vec::new(),
+        body: body.into_bytes(),
+    }
+}
+
+/// SPARQL 1.1 Query Results JSON. Hand-rolled (the workspace is
+/// dependency-free); `escape_json` covers the full control range.
+pub fn to_sparql_json(outcome: &QueryOutcome) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"head\":{\"vars\":[");
+    for (i, v) in outcome.vars.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&escape_json(v));
+        out.push('"');
+    }
+    out.push_str("]},\"results\":{\"bindings\":[");
+    if let Some(rows) = &outcome.rows {
+        for (ri, row) in rows.iter().enumerate() {
+            if ri > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            let mut first = true;
+            for (var, term) in outcome.vars.iter().zip(row) {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push('"');
+                out.push_str(&escape_json(var));
+                out.push_str("\":");
+                push_json_term(&mut out, term);
+            }
+            out.push('}');
+        }
+    }
+    out.push_str("]}}");
+    out
+}
+
+fn push_json_term(out: &mut String, term: &Term) {
+    match term {
+        Term::Iri(iri) => {
+            out.push_str("{\"type\":\"uri\",\"value\":\"");
+            out.push_str(&escape_json(iri));
+            out.push_str("\"}");
+        }
+        Term::BlankNode(label) => {
+            out.push_str("{\"type\":\"bnode\",\"value\":\"");
+            out.push_str(&escape_json(label));
+            out.push_str("\"}");
+        }
+        Term::Literal {
+            lexical,
+            lang,
+            datatype,
+        } => {
+            out.push_str("{\"type\":\"literal\",\"value\":\"");
+            out.push_str(&escape_json(lexical));
+            out.push('"');
+            if let Some(lang) = lang {
+                out.push_str(",\"xml:lang\":\"");
+                out.push_str(&escape_json(lang));
+                out.push('"');
+            } else if let Some(dt) = datatype {
+                out.push_str(",\"datatype\":\"");
+                out.push_str(&escape_json(dt));
+                out.push('"');
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// SPARQL 1.1 TSV: a `?var`-prefixed header row, then one N-Triples
+/// term per cell ([`Term`]'s `Display` already escapes tabs and
+/// newlines inside literals).
+pub fn to_tsv(outcome: &QueryOutcome) -> String {
+    let mut out = String::with_capacity(128);
+    for (i, v) in outcome.vars.iter().enumerate() {
+        if i > 0 {
+            out.push('\t');
+        }
+        out.push('?');
+        out.push_str(v);
+    }
+    out.push('\n');
+    if let Some(rows) = &outcome.rows {
+        for row in rows {
+            for (i, term) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push('\t');
+                }
+                out.push_str(&term.to_string());
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// JSON string escaping (quotes, backslash, and the control range).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parj_core::QueryRunStats;
+
+    fn outcome(vars: &[&str], rows: Vec<Vec<Term>>) -> QueryOutcome {
+        QueryOutcome {
+            vars: vars.iter().map(ToString::to_string).collect(),
+            count: rows.len() as u64,
+            rows: Some(rows),
+            ids: None,
+            stats: QueryRunStats::default(),
+            profile: None,
+        }
+    }
+
+    #[test]
+    fn json_renders_every_term_shape() {
+        let out = outcome(
+            &["s", "o"],
+            vec![vec![
+                Term::iri("http://e/a"),
+                Term::lang_literal("hi \"there\"", "en"),
+            ]],
+        );
+        let json = to_sparql_json(&out);
+        assert!(json.contains("\"vars\":[\"s\",\"o\"]"));
+        assert!(json.contains("{\"type\":\"uri\",\"value\":\"http://e/a\"}"));
+        assert!(json.contains("\"xml:lang\":\"en\""));
+        assert!(json.contains("hi \\\"there\\\""));
+        let typed = outcome(
+            &["x"],
+            vec![
+                vec![Term::typed_literal("5", "http://www.w3.org/2001/XMLSchema#integer")],
+                vec![Term::blank("b0")],
+            ],
+        );
+        let json = to_sparql_json(&typed);
+        assert!(json.contains("\"datatype\":\"http://www.w3.org/2001/XMLSchema#integer\""));
+        assert!(json.contains("{\"type\":\"bnode\",\"value\":\"b0\"}"));
+    }
+
+    #[test]
+    fn tsv_headers_and_terms() {
+        let out = outcome(
+            &["s", "o"],
+            vec![vec![Term::iri("http://e/a"), Term::literal("line\nbreak")]],
+        );
+        let tsv = to_tsv(&out);
+        let mut lines = tsv.lines();
+        assert_eq!(lines.next(), Some("?s\t?o"));
+        // The literal's newline is N-Triples-escaped, so the row stays
+        // on one line.
+        assert_eq!(lines.next(), Some("<http://e/a>\t\"line\\nbreak\""));
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn status_table_is_deterministic() {
+        assert_eq!(status_for(&ParjError::Unsupported("x".into())), 400);
+        assert_eq!(status_for(&ParjError::InvalidOptions("x".into())), 400);
+        assert_eq!(status_for(&ParjError::NotFinalized), 503);
+        assert_eq!(status_for(&ParjError::Internal("x".into())), 500);
+        assert_eq!(
+            status_for(&ParjError::BudgetExceeded {
+                rows: 10,
+                partial: Box::default()
+            }),
+            413
+        );
+        assert_eq!(
+            status_for(&ParjError::DeadlineExceeded {
+                elapsed: Duration::from_secs(1),
+                partial: Box::default()
+            }),
+            504
+        );
+        assert_eq!(
+            status_for(&ParjError::Cancelled {
+                partial: Box::default()
+            }),
+            503
+        );
+        assert_eq!(
+            status_for(&ParjError::WorkerPanicked {
+                message: "x".into(),
+                partial: Box::default()
+            }),
+            500
+        );
+    }
+}
