@@ -147,26 +147,26 @@ pub fn ablation(args: &Args) -> (Vec<Table>, serde_json::Value) {
         records.insert("idpos_interval".into(), json!(rows));
     }
 
-    // ---- A3: shards per thread ----------------------------------------
+    // ---- A3: morsel size ------------------------------------------------
     {
         let mut t = Table::new(
             format!(
-                "Ablation A3 — shards per thread (LUBM U={}, LUBM9, {} threads)",
+                "Ablation A3 — morsel size (LUBM U={}, LUBM9, {} threads)",
                 args.scale, args.threads
             ),
-            &["ms", "speedup bound", "shards"],
+            &["ms", "speedup bound", "morsels"],
         );
         let lubm9 = &queries[8];
         let mut rows = Vec::new();
-        for spt in [1usize, 2, 4, 8, 16] {
+        for morsel_size in [1_024usize, 4_096, 16_384, 65_536] {
             let mut engine = Parj::from_store(
                 lubm::generate_store(&cfg),
                 parj_core::EngineConfig {
-                    shards_per_thread: spt,
+                    morsel_size,
                     ..args.engine_config()
                 },
             );
-            let over = RunOverrides::threads(args.threads);
+            let over = RunOverrides::threads(args.threads).with_morsel_size(morsel_size);
             let mut count = 0;
             let m = measure_ms(args.runs, || {
                 count = engine
@@ -177,24 +177,24 @@ pub fn ablation(args: &Args) -> (Vec<Table>, serde_json::Value) {
                     .expect("runs")
                     .count;
             });
-            let loads = engine.shard_loads(&lubm9.sparql, &over).expect("runs");
+            let loads = engine.morsel_loads(&lubm9.sparql, &over).expect("runs");
             let loads = &loads[0];
             let total: u64 = loads.iter().sum();
-            let max_shard = loads.iter().copied().max().unwrap_or(1);
+            let max_morsel = loads.iter().copied().max().unwrap_or(1);
             let bound = total as f64
-                / (total as f64 / args.threads as f64).max(max_shard as f64).max(1.0);
+                / (total as f64 / args.threads as f64).max(max_morsel as f64).max(1.0);
             t.row(
-                format!("{spt} shards/thread"),
+                format!("{morsel_size} keys/morsel"),
                 vec![
                     fmt_ms(m.avg_ms),
                     format!("{bound:.2}x"),
                     loads.len().to_string(),
                 ],
             );
-            rows.push(json!({"shards_per_thread": spt, "ms": m.avg_ms, "bound": bound}));
+            rows.push(json!({"morsel_size": morsel_size, "ms": m.avg_ms, "bound": bound}));
         }
         tables.push(t);
-        records.insert("shards_per_thread".into(), json!(rows));
+        records.insert("morsel_size".into(), json!(rows));
     }
 
     // ---- A4: histogram resolution --------------------------------------

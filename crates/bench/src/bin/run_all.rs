@@ -5,7 +5,7 @@ type Experiment = fn(&parj_bench::Args) -> (Vec<parj_bench::Table>, serde_json::
 
 fn main() {
     let base = parj_bench::Args::parse(0);
-    let experiments: [(&str, Experiment); 12] = [
+    let experiments: [(&str, Experiment); 13] = [
         ("table2", parj_bench::experiments::table2),
         ("table3", parj_bench::experiments::table3),
         ("table4", parj_bench::experiments::table4),
@@ -18,6 +18,7 @@ fn main() {
         ("metrics_overhead", parj_bench::experiments::metrics_overhead),
         ("cache_effect", parj_bench::experiments::cache_effect),
         ("serve", parj_bench::serve::serve),
+        ("pool", parj_bench::serve::pool),
     ];
     for (name, f) in experiments {
         let mut args = base.clone();

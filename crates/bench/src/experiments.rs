@@ -494,17 +494,17 @@ pub fn fig2(args: &Args) -> (Vec<Table>, serde_json::Value) {
             cells.push(fmt_ms(ms));
             times.push(ms);
             let plans = engine
-                .shard_loads(&q.sparql, &RunOverrides::threads(t))
+                .morsel_loads(&q.sparql, &RunOverrides::threads(t))
                 .expect("benchmark query must run");
             // Plans run back-to-back; each contributes its own dynamic-
-            // scheduling makespan bound max(total/K, max_shard).
+            // scheduling makespan bound max(total/K, max_morsel).
             let mut total_all = 0.0f64;
             let mut makespan = 0.0f64;
             for loads in &plans {
                 let total: u64 = loads.iter().sum();
-                let max_shard = loads.iter().copied().max().unwrap_or(0);
+                let max_morsel = loads.iter().copied().max().unwrap_or(0);
                 total_all += total as f64;
-                makespan += (total as f64 / t as f64).max(max_shard as f64);
+                makespan += (total as f64 / t as f64).max(max_morsel as f64);
             }
             let bound = if makespan > 0.0 { total_all / makespan } else { 1.0 };
             bounds.push(bound);

@@ -15,6 +15,7 @@
 //! | `load_throughput` | bulk-load pipeline scaling across load threads (not a paper artifact) |
 //! | `metrics_overhead` | observability-registry recording cost, on vs off (not a paper artifact) |
 //! | `serve` | closed-loop HTTP serving: qps/p50/p99 vs client count + overload (not a paper artifact) |
+//! | `pool` | persistent-pool vs spawn-per-query dispatch at 8 clients (not a paper artifact) |
 //! | `run_all`| everything above, with outputs under `results/` |
 //!
 //! Every binary accepts `--scale N` (dataset size), `--runs N`
@@ -54,6 +55,9 @@ pub fn default_scale(experiment: &str) -> usize {
         // HTTP closed-loop serving sweep: a small store keeps the
         // per-request work bounded while clients stack up.
         "serve" => 4,
+        // Pool-vs-spawn dispatch on selective queries: same small
+        // store; per-request overhead is the measured quantity.
+        "pool" => 4,
         // WatDiv scales are ~2.5 k-triple units.
         "table3" => 40,
         "table4" => 20,

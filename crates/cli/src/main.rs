@@ -79,6 +79,10 @@ USAGE:
 
 FLAGS:
   --threads N      worker threads per query (default: all cores)
+  --morsel-size N  driver keys per work morsel pulled by each worker
+                   (default 16384; results are identical at any value)
+  --no-pool        spawn fresh query threads instead of using the
+                   engine's persistent worker pool
   --stats          print a per-query EXPLAIN ANALYZE report to stderr
                    (query/count): annotated plan, phase timings, search mix
   --prometheus     (stats) expose the metrics registry as Prometheus text
@@ -118,6 +122,8 @@ EXIT CODES:
 struct Cli {
     positional: Vec<String>,
     threads: Option<usize>,
+    morsel_size: Option<usize>,
+    no_pool: bool,
     load_threads: Option<usize>,
     strategy: Option<ProbeStrategy>,
     reasoning: bool,
@@ -143,6 +149,8 @@ fn parse_cli() -> Result<Cli, String> {
     let mut cli = Cli {
         positional: Vec::new(),
         threads: None,
+        morsel_size: None,
+        no_pool: false,
         load_threads: None,
         strategy: None,
         reasoning: false,
@@ -173,6 +181,17 @@ fn parse_cli() -> Result<Cli, String> {
                         .ok_or("--threads needs a number")?,
                 )
             }
+            "--morsel-size" => {
+                let n: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--morsel-size needs a number")?;
+                if n == 0 {
+                    return Err("--morsel-size must be at least 1".into());
+                }
+                cli.morsel_size = Some(n);
+            }
+            "--no-pool" => cli.no_pool = true,
             "--load-threads" => {
                 cli.load_threads = Some(
                     it.next()
@@ -287,6 +306,12 @@ impl Cli {
         };
         if let Some(t) = self.threads {
             cfg.threads = t.max(1);
+        }
+        if let Some(m) = self.morsel_size {
+            cfg.morsel_size = m;
+        }
+        if self.no_pool {
+            cfg.use_pool = false;
         }
         if let Some(t) = self.load_threads {
             cfg.load_threads = t.max(1);

@@ -7,9 +7,10 @@ use parj_sync::Arc;
 
 use parj_dict::{Id, Term};
 use parj_join::{
-    calibrate, execute, CalibrationConfig, CalibrationResult, CancelToken, CollectSink, CountSink,
-    ExecFailure, ExecFailureKind, ExecOptions, PhysicalPlan, ProbeStrategy, QueryGuard,
-    RowBatch, SearchStats, ThresholdTable,
+    calibrate, execute, execute_pooled, CalibrationConfig, CalibrationResult, CancelToken,
+    CollectSink, CountSink, ExecFailure, ExecFailureKind, ExecOptions, PhysicalPlan,
+    ProbeStrategy, QueryGuard, RowBatch, SearchStats, ThresholdTable, WorkerPool,
+    DEFAULT_MORSEL_SIZE,
 };
 use parj_cache::{CachedResult, PlanEntry, QueryCache, ResultEntry};
 use parj_obs::{CacheKind, EngineMetrics, MetricsSnapshot, QueryOutcomeClass, QueryPhase, SearchTotals};
@@ -37,8 +38,16 @@ pub struct EngineConfig {
     /// store are byte-identical at any value; default:
     /// `available_parallelism`.
     pub load_threads: usize,
-    /// Driver shards per thread (load-balancing granularity).
-    pub shards_per_thread: usize,
+    /// Driver keys per morsel (load-balancing granularity): workers
+    /// pull fixed-size morsels of the driver domain off a shared
+    /// cursor. Smaller morsels smooth skew at slightly higher cursor
+    /// traffic. Default: [`DEFAULT_MORSEL_SIZE`].
+    pub morsel_size: usize,
+    /// Dispatch multi-threaded queries onto the engine-owned persistent
+    /// [`WorkerPool`] instead of spawning scoped threads per query.
+    /// Results are identical either way; the pool removes per-query
+    /// thread churn (§5.2.3's spawn overhead). Default: `true`.
+    pub use_pool: bool,
     /// Probe strategy; PARJ's default is the adaptive binary/sequential
     /// switch of Algorithm 1.
     pub strategy: ProbeStrategy,
@@ -94,7 +103,8 @@ impl Default for EngineConfig {
         Self {
             threads: parj_sync::thread::available_parallelism().map_or(1, |n| n.get()),
             load_threads: parj_sync::thread::available_parallelism().map_or(1, |n| n.get()),
-            shards_per_thread: 4,
+            morsel_size: DEFAULT_MORSEL_SIZE,
+            use_pool: true,
             strategy: ProbeStrategy::AdaptiveBinary,
             store: StoreOptions::default(),
             calibrate: false,
@@ -131,9 +141,28 @@ impl ParjBuilder {
         self
     }
 
-    /// Driver shards per thread.
+    /// Driver keys per morsel (see [`EngineConfig::morsel_size`]).
+    pub fn morsel_size(mut self, n: usize) -> Self {
+        self.config.morsel_size = n.max(1);
+        self
+    }
+
+    /// Dispatch multi-threaded queries on the persistent worker pool
+    /// (see [`EngineConfig::use_pool`]).
+    pub fn use_pool(mut self, on: bool) -> Self {
+        self.config.use_pool = on;
+        self
+    }
+
+    /// Driver shards per thread (legacy knob). Static sharding was
+    /// replaced by morsel-driven dispatch; `n` shards per thread map
+    /// onto a morsel size of `DEFAULT_MORSEL_SIZE / n` (floored at 1).
+    #[deprecated(
+        since = "0.1.0",
+        note = "static sharding was replaced by morsel-driven dispatch; use `morsel_size`"
+    )]
     pub fn shards_per_thread(mut self, n: usize) -> Self {
-        self.config.shards_per_thread = n.max(1);
+        self.config.morsel_size = (DEFAULT_MORSEL_SIZE / n.max(1)).max(1);
         self
     }
 
@@ -227,6 +256,7 @@ impl ParjBuilder {
     pub fn build(self) -> Parj {
         Parj {
             cache: Arc::new(QueryCache::new(self.config.cache_bytes)),
+            pool: Parj::make_pool(&self.config),
             config: self.config,
             staged: Some(StoreBuilder::new()),
             ready: None,
@@ -243,6 +273,8 @@ impl ParjBuilder {
 pub struct RunOverrides {
     /// Override worker threads.
     pub threads: Option<usize>,
+    /// Override the driver morsel size (load-balancing granularity).
+    pub morsel_size: Option<usize>,
     /// Override probe strategy.
     pub strategy: Option<ProbeStrategy>,
     /// Wall-clock deadline for this run (wins over
@@ -289,6 +321,12 @@ impl RunOverrides {
         self
     }
 
+    /// Sets the driver morsel size (chainable).
+    pub fn with_morsel_size(mut self, n: usize) -> Self {
+        self.morsel_size = Some(n);
+        self
+    }
+
     /// Sets the wall-clock deadline (chainable).
     pub fn with_timeout(mut self, limit: Duration) -> Self {
         self.timeout = Some(limit);
@@ -312,11 +350,13 @@ impl RunOverrides {
 /// (`None` when a constant is absent and the result is trivially empty).
 type Prepared = Option<(crate::translate::TranslatedQuery, Vec<PhysicalPlan>)>;
 
-/// Finalized query-ready state.
+/// Finalized query-ready state. Store and thresholds live behind
+/// `Arc`s so pooled execution can hand `'static` clones to persistent
+/// workers; borrow-based callers are unaffected (auto-deref).
 struct Ready {
-    store: TripleStore,
+    store: Arc<TripleStore>,
     stats: Stats,
-    thresholds: ThresholdTable,
+    thresholds: Arc<ThresholdTable>,
     calibration: CalibrationResult,
     hierarchy: Option<Hierarchy>,
 }
@@ -332,6 +372,11 @@ pub struct Parj {
     /// bumped by every [`Parj::finalize`] that rebuilds the store, which
     /// invalidates all earlier entries without touching them.
     cache: Arc<QueryCache>,
+    /// Persistent worker pool for morsel dispatch, created once per
+    /// engine when [`EngineConfig::use_pool`] is on and more than one
+    /// thread is configured. Workers park between queries and are
+    /// joined when the engine (and any outstanding handles) drops.
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl Parj {
@@ -511,9 +556,9 @@ impl Parj {
         let thresholds = ThresholdTable::from_calibration(&store, &calibration);
         let hierarchy = self.config.reasoning.then(|| Hierarchy::extract(&store));
         self.ready = Some(Ready {
-            store,
+            store: Arc::new(store),
             stats,
-            thresholds,
+            thresholds: Arc::new(thresholds),
             calibration,
             hierarchy,
         });
@@ -559,8 +604,22 @@ impl Parj {
 
     /// A point-in-time snapshot of every metric family, ready for
     /// Prometheus-text ([`MetricsSnapshot::to_prometheus`]) or JSON
-    /// ([`MetricsSnapshot::to_json`]) exposition.
+    /// ([`MetricsSnapshot::to_json`]) exposition. Pool counters are
+    /// refreshed from the live [`WorkerPool`] first, so scrapes see
+    /// current busy/park/queue figures.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        if let (Some(pool), true) = (&self.pool, self.config.record_metrics) {
+            let s = pool.stats();
+            self.metrics.publish_pool(&parj_obs::PoolTotals {
+                workers: s.workers,
+                jobs: s.jobs,
+                helper_joins: s.helper_joins,
+                busy_micros: s.busy_micros,
+                park_micros: s.park_micros,
+                queue_depth: s.queue_depth,
+                panics_contained: s.panics_contained,
+            });
+        }
         self.metrics.snapshot()
     }
 
@@ -670,7 +729,7 @@ impl Parj {
         };
         ExecOptions::builder()
             .threads(over.threads.unwrap_or(config.threads))
-            .shards_per_thread(config.shards_per_thread)
+            .morsel_size(over.morsel_size.unwrap_or(config.morsel_size))
             .strategy(over.strategy.unwrap_or(config.strategy))
             .guard(guard)
             .recorder(recorder)
@@ -701,6 +760,34 @@ impl Parj {
             }
         } else {
             base.clone()
+        }
+    }
+
+    /// Dispatches one plan: multi-threaded runs go to the persistent
+    /// pool when the engine owns one (no per-query thread churn);
+    /// single-threaded runs and pool-less engines use the scoped
+    /// executor. Both paths produce byte-identical morsel-ordered
+    /// results.
+    fn exec_plan<S, F>(
+        pool: Option<&Arc<WorkerPool>>,
+        ready: &Ready,
+        plan: &PhysicalPlan,
+        opts: &ExecOptions,
+        factory: F,
+    ) -> parj_join::ExecResult<(Vec<S>, SearchStats)>
+    where
+        S: parj_join::Sink + Send + 'static,
+        F: Fn() -> S + Send + Sync + 'static,
+    {
+        match pool {
+            Some(pool) if opts.threads > 1 => {
+                // The plan is tiny (a few steps + projection); cloning
+                // it into an Arc is what lets pool workers outlive the
+                // borrow without unsafe.
+                let plan = Arc::new(plan.clone());
+                execute_pooled(pool, &ready.store, &plan, opts, &ready.thresholds, factory)
+            }
+            _ => execute(&ready.store, plan, opts, &ready.thresholds, factory),
         }
     }
 
@@ -1062,11 +1149,11 @@ impl Parj {
             for plan in plans.iter() {
                 let plan_opts =
                     Self::opts_for_plan(&self.config, ready, &opts, explicit_threads, plan);
-                let (sinks, s) = match execute(
-                    &ready.store,
+                let (sinks, s) = match Self::exec_plan(
+                    self.pool.as_ref(),
+                    ready,
                     plan,
                     &plan_opts,
-                    &ready.thresholds,
                     CountSink::default,
                 ) {
                     Ok(r) => r,
@@ -1128,6 +1215,7 @@ impl Parj {
         } else {
             let (batch, mut stats) = Self::run_ids_on(
                 &self.config,
+                self.pool.as_ref(),
                 ready,
                 opts,
                 explicit_threads,
@@ -1301,8 +1389,10 @@ impl Parj {
         self.request_ref(query).overrides(over).count_only().run().map(QueryOutcome::into_count)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_ids_on(
         config: &EngineConfig,
+        pool: Option<&Arc<WorkerPool>>,
         ready: &Ready,
         opts: ExecOptions,
         explicit_threads: bool,
@@ -1330,11 +1420,11 @@ impl Parj {
         for (idx, plan) in plans.iter().enumerate() {
             let branch = tq.set_branch.get(idx).copied().unwrap_or(0);
             let plan_opts = Self::opts_for_plan(config, ready, &opts, explicit_threads, plan);
-            let (sinks, s) = match execute(
-                &ready.store,
+            let (sinks, s) = match Self::exec_plan(
+                pool,
+                ready,
                 plan,
                 &plan_opts,
-                &ready.thresholds,
                 CollectSink::default,
             ) {
                 Ok(r) => r,
@@ -1473,16 +1563,16 @@ impl Parj {
     }
 
     /// Returns, per plan of the query, the **work units** (result rows
-    /// emitted + array words touched) of every driver shard the
-    /// executor would distribute at the configured thread count.
+    /// emitted + array words touched) of every driver morsel the
+    /// executor would pull off the shared cursor.
     ///
-    /// Because PARJ workers share nothing and draw shards dynamically,
+    /// Because PARJ workers share nothing and draw morsels dynamically,
     /// the parallel makespan with `K` threads on ideal hardware is
-    /// bounded below by `max(total/K, max_shard)` per plan; the
+    /// bounded below by `max(total/K, max_morsel)` per plan; the
     /// benchmark harness reports the corresponding achievable speedup so
-    /// the scalability of the shard distribution is measurable even on
+    /// the scalability of the morsel distribution is measurable even on
     /// hosts with fewer cores than worker threads.
-    pub fn shard_loads(
+    pub fn morsel_loads(
         &mut self,
         query: &str,
         over: &RunOverrides,
@@ -1497,10 +1587,24 @@ impl Parj {
         plans
             .iter()
             .map(|plan| {
-                parj_join::shard_loads(&ready.store, plan, &opts, &ready.thresholds)
+                parj_join::morsel_loads(&ready.store, plan, &opts, &ready.thresholds)
                     .map_err(|e| ParjError::InvalidOptions(e.to_string()))
             })
             .collect()
+    }
+
+    /// Legacy name for [`Parj::morsel_loads`], kept for callers of the
+    /// static-sharding era. The returned chunks are now morsels.
+    #[deprecated(
+        since = "0.1.0",
+        note = "static sharding was replaced by morsel-driven dispatch; use `morsel_loads`"
+    )]
+    pub fn shard_loads(
+        &mut self,
+        query: &str,
+        over: &RunOverrides,
+    ) -> Result<Vec<Vec<u64>>, ParjError> {
+        self.morsel_loads(query, over)
     }
 
     /// Materialized execution returning dictionary ids (no term decode).
@@ -1686,12 +1790,13 @@ impl Parj {
         let hierarchy = config.reasoning.then(|| Hierarchy::extract(&store));
         let engine = Parj {
             cache: Arc::new(QueryCache::new(config.cache_bytes)),
+            pool: Parj::make_pool(&config),
             config,
             staged: None,
             ready: Some(Ready {
-                store,
+                store: Arc::new(store),
                 stats,
-                thresholds,
+                thresholds: Arc::new(thresholds),
                 calibration,
                 hierarchy,
             }),
@@ -1699,6 +1804,19 @@ impl Parj {
         };
         engine.publish_store_gauges();
         engine
+    }
+
+    /// Spawns the engine-owned persistent pool when configured: pool
+    /// workers serve as the extra participants beyond the submitting
+    /// thread, so single-threaded engines need none.
+    fn make_pool(config: &EngineConfig) -> Option<Arc<WorkerPool>> {
+        (config.use_pool && config.threads > 1)
+            .then(|| Arc::new(WorkerPool::new(config.threads - 1)))
+    }
+
+    /// Live statistics of the persistent worker pool, when one exists.
+    pub fn pool_stats(&self) -> Option<parj_join::PoolStats> {
+        self.pool.as_ref().map(|p| p.stats())
     }
 }
 
@@ -1713,8 +1831,9 @@ struct CapturedProfile {
 }
 
 /// Bridges the executor's once-per-run [`parj_join::Recorder`] callback
-/// into the engine: plan-level metrics (probe volume, shard-load
-/// imbalance) and, under `explain`, a profile capture per plan.
+/// into the engine: plan-level metrics (probe volume, morsel count,
+/// participant imbalance) and, under `explain`, a profile capture per
+/// plan.
 struct RunRecorder {
     metrics: Option<Arc<EngineMetrics>>,
     profiles: Option<parj_sync::Mutex<Vec<CapturedProfile>>>,
@@ -1728,14 +1847,17 @@ impl parj_join::Recorder for RunRecorder {
             let probe_rows: u64 = r.step_rows[..r.step_rows.len().saturating_sub(1)]
                 .iter()
                 .sum();
-            // Load imbalance ×1000: max worker load over the ideal
-            // per-worker share; 1000 = perfectly balanced.
+            // Load imbalance ×1000: max participant load over the
+            // ideal per-participant share; 1000 = perfectly balanced.
+            // Under morsel pulling each entry is what one participant
+            // accumulated across every morsel it drew, so the ratio
+            // measures the balance the dynamic cursor achieved.
             let max = r.worker_units.iter().copied().max().unwrap_or(0);
             let total: u64 = r.worker_units.iter().sum();
             let imbalance = (max * r.worker_units.len() as u64 * 1000)
                 .checked_div(total)
                 .unwrap_or(1000);
-            m.record_plan_exec(probe_rows, imbalance);
+            m.record_plan_exec(probe_rows, imbalance, r.morsels);
         }
         if let Some(p) = &self.profiles {
             p.lock().push(CapturedProfile {

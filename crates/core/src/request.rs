@@ -132,6 +132,15 @@ impl<'e> QueryRequest<'e> {
         self
     }
 
+    /// Overrides the morsel size (driver keys per work unit) for this
+    /// run. Results are byte-identical at any value; zero is rejected
+    /// at [`run`](QueryRequest::run) with
+    /// [`ParjError::InvalidOptions`].
+    pub fn morsel_size(mut self, n: usize) -> Self {
+        self.spec.over.morsel_size = Some(n);
+        self
+    }
+
     /// Replaces *all* per-run overrides with `over` (any
     /// `timeout`/`max_rows`/`cancel`/`threads`/`strategy` set earlier
     /// on this builder is discarded; knobs chained afterwards apply on

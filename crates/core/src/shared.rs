@@ -8,6 +8,12 @@
 //! path that runs under a read lock — multiple queries proceed truly in
 //! parallel (the store itself is immutable and PARJ's workers need no
 //! synchronization; the lock only fences out rebuilds).
+//!
+//! Concurrent requests all submit to the engine's one persistent
+//! [`parj_join::WorkerPool`] rather than spawning per-query threads:
+//! each query's calling thread drives its own job while idle pool
+//! workers pull morsels as helpers, so a serving process churns no
+//! threads under load (see `EngineConfig::use_pool`).
 
 use parj_sync::RwLock;
 

@@ -81,7 +81,7 @@ impl Recorder for MetricsRecorder {
         let imbalance = (max * r.worker_units.len() as u64 * 1000)
             .checked_div(total)
             .unwrap_or(1000);
-        self.0.record_plan_exec(probe_rows, imbalance);
+        self.0.record_plan_exec(probe_rows, imbalance, r.morsels);
     }
 }
 

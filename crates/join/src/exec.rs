@@ -1,14 +1,31 @@
 //! The pipelined, zero-communication parallel executor.
 //!
-//! Execution follows §3 of the paper: every worker thread repeatedly
-//! draws a **shard** of the driver relation (step 0 of the left-deep
-//! plan) from a single atomic counter, then runs the *entire* pipeline
-//! for that shard against the read-only store — probing each subsequent
-//! replica with the adaptive search of Algorithm 1 using its own
-//! per-step cursors. Workers share nothing mutable: no exchange, no
-//! queues, no rehashing, no termination protocol ("parallel execution
-//! without any form of communication or synchronization between the
-//! workers").
+//! Execution follows §3 of the paper: every worker repeatedly draws a
+//! **morsel** — a fixed-size contiguous chunk of the driver relation
+//! (step 0 of the left-deep plan) — from a single atomic cursor, then
+//! runs the *entire* pipeline for that morsel against the read-only
+//! store, probing each subsequent replica with the adaptive search of
+//! Algorithm 1 using its own per-step cursors. Workers share nothing
+//! mutable: no exchange, no queues, no rehashing, no termination
+//! protocol ("parallel execution without any form of communication or
+//! synchronization between the workers"). Morsel-driven dispatch
+//! (fixed [`ExecOptions::morsel_size`], default 16 384 driver keys)
+//! replaces the original static `threads × shards_per_thread` split:
+//! skewed key ranges no longer pin one worker while its siblings idle,
+//! because the next chunk always goes to whichever worker frees up
+//! first.
+//!
+//! Workers come from two places: an engine-owned persistent
+//! [`WorkerPool`](crate::WorkerPool) (via [`execute_pooled`] — no
+//! thread churn per query, the submitting thread participates and idle
+//! pool workers join it), or per-query scoped threads (via [`execute`],
+//! the fallback when no pool is attached).
+//!
+//! Results are **deterministic**: each participant keeps one sink per
+//! morsel it ran, and the coordinator concatenates sinks in morsel
+//! order. Morsel order is driver-domain order, so the merged output is
+//! byte-identical no matter how many workers ran or how morsels
+//! interleaved — pinned by the facade determinism suite.
 //!
 //! The driver domain is either the keys array of the first replica
 //! (Example 3.1) or, when the first pattern has a constant key, the
@@ -24,6 +41,7 @@ use parj_store::{Replica, TripleStore};
 
 use crate::calibrate::CalibrationResult;
 use crate::guard::{GuardTrip, QueryGuard, GUARD_BATCH};
+use crate::pool::WorkerPool;
 use crate::plan::{CompiledStep, DriverMode, DriverValue, KeyMode, PhysicalPlan, ValueMode, VarId};
 use crate::search::{adaptive_search, ProbeStrategy};
 use crate::stats::SearchStats;
@@ -48,10 +66,15 @@ pub struct ExecRecord<'a> {
     pub driver_search: SearchStats,
     /// All counters merged — probe steps plus driver.
     pub total_search: SearchStats,
-    /// Work units per worker (rows emitted + array words touched):
-    /// the load-balance signal of the shard distribution. Empty when
-    /// the run failed before workers reported.
+    /// Work units per participating worker (rows emitted + array words
+    /// touched): the load-balance signal of the morsel distribution.
+    /// Under dynamic morsel pulling these converge toward uniform even
+    /// on skewed drivers. Empty when the run failed before workers
+    /// reported.
     pub worker_units: &'a [u64],
+    /// Driver morsels actually executed (pulled off the shared cursor
+    /// and run) across all workers.
+    pub morsels: u64,
 }
 
 /// Receives per-execution internals (once per [`execute`] call, after
@@ -66,14 +89,22 @@ pub trait Recorder: Send + Sync {
     fn record_exec(&self, record: &ExecRecord<'_>);
 }
 
+/// Default driver-morsel size, in driver keys (~16K): large enough
+/// that the shared-cursor `fetch_add` and per-morsel sink swap are
+/// noise, small enough that skewed key ranges split across workers.
+pub const DEFAULT_MORSEL_SIZE: usize = 16_384;
+
 /// Why an [`ExecOptionsBuilder`] rejected its inputs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecOptionsError {
     /// `threads` was zero — the executor needs at least one worker.
     ZeroThreads,
-    /// `shards_per_thread` was zero — the driver cannot be split into
-    /// zero shards.
+    /// The deprecated `shards_per_thread` knob was zero — the driver
+    /// cannot be split into zero shards. Only produced by the
+    /// deprecated [`ExecOptionsBuilder::shards_per_thread`] shim.
     ZeroShardsPerThread,
+    /// `morsel_size` was zero — workers cannot pull empty morsels.
+    ZeroMorselSize,
 }
 
 impl std::fmt::Display for ExecOptionsError {
@@ -82,6 +113,9 @@ impl std::fmt::Display for ExecOptionsError {
             ExecOptionsError::ZeroThreads => write!(f, "threads must be at least 1"),
             ExecOptionsError::ZeroShardsPerThread => {
                 write!(f, "shards_per_thread must be at least 1")
+            }
+            ExecOptionsError::ZeroMorselSize => {
+                write!(f, "morsel_size must be at least 1")
             }
         }
     }
@@ -97,11 +131,13 @@ pub struct ExecOptions {
     /// (hyper-threading, §5.1). Must be ≥ 1; use [`ExecOptions::builder`]
     /// to get that checked at construction.
     pub threads: usize,
-    /// Shards per thread (over-subscription). More shards smooth load
-    /// imbalance between skewed key ranges at the cost of slightly more
-    /// cursor restarts; the driver is split into
-    /// `threads × shards_per_thread` contiguous ranges. Must be ≥ 1.
-    pub shards_per_thread: usize,
+    /// Driver keys per morsel. Workers pull fixed-size contiguous
+    /// chunks of this many driver keys off a shared atomic cursor;
+    /// smaller morsels smooth load imbalance between skewed key ranges
+    /// at the cost of more cursor traffic and per-morsel sink swaps.
+    /// Must be ≥ 1. Results are byte-identical for every value — only
+    /// scheduling granularity changes.
+    pub morsel_size: usize,
     /// Probe strategy (Table 5's four columns).
     pub strategy: ProbeStrategy,
     /// Lifecycle guard shared by all workers of this run (cancellation,
@@ -118,7 +154,7 @@ impl std::fmt::Debug for ExecOptions {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ExecOptions")
             .field("threads", &self.threads)
-            .field("shards_per_thread", &self.shards_per_thread)
+            .field("morsel_size", &self.morsel_size)
             .field("strategy", &self.strategy)
             .field("guard", &self.guard)
             .field("recorder", &self.recorder.as_ref().map(|_| "Recorder"))
@@ -130,7 +166,7 @@ impl Default for ExecOptions {
     fn default() -> Self {
         Self {
             threads: 1,
-            shards_per_thread: 4,
+            morsel_size: DEFAULT_MORSEL_SIZE,
             strategy: ProbeStrategy::AdaptiveBinary,
             guard: None,
             recorder: None,
@@ -152,6 +188,7 @@ impl ExecOptions {
     pub fn builder() -> ExecOptionsBuilder {
         ExecOptionsBuilder {
             opts: ExecOptions::default(),
+            legacy_zero_shards: false,
         }
     }
 
@@ -160,8 +197,8 @@ impl ExecOptions {
         if self.threads == 0 {
             return Err(ExecOptionsError::ZeroThreads);
         }
-        if self.shards_per_thread == 0 {
-            return Err(ExecOptionsError::ZeroShardsPerThread);
+        if self.morsel_size == 0 {
+            return Err(ExecOptionsError::ZeroMorselSize);
         }
         Ok(())
     }
@@ -171,6 +208,9 @@ impl ExecOptions {
 #[derive(Debug, Clone)]
 pub struct ExecOptionsBuilder {
     opts: ExecOptions,
+    /// The deprecated `shards_per_thread(0)` shim must keep reporting
+    /// its historical error variant; remembered until `build`.
+    legacy_zero_shards: bool,
 }
 
 impl ExecOptionsBuilder {
@@ -180,10 +220,26 @@ impl ExecOptionsBuilder {
         self
     }
 
-    /// Sets the shards-per-thread over-subscription (validated ≥ 1 at
-    /// build).
+    /// Sets the driver-morsel size in keys (validated ≥ 1 at build).
+    pub fn morsel_size(mut self, morsel_size: usize) -> Self {
+        self.opts.morsel_size = morsel_size;
+        self
+    }
+
+    /// Maps the pre-morsel over-subscription knob onto an equivalent
+    /// morsel size: `shards_per_thread = n` used to split the driver
+    /// into finer static shards, so higher `n` now buys smaller
+    /// morsels (`DEFAULT_MORSEL_SIZE / n`, floored at 1). Zero is
+    /// rejected at build with the historical error.
+    #[deprecated(
+        since = "0.1.0",
+        note = "static sharding was replaced by morsel-driven dispatch; use `morsel_size`"
+    )]
     pub fn shards_per_thread(mut self, shards: usize) -> Self {
-        self.opts.shards_per_thread = shards;
+        match DEFAULT_MORSEL_SIZE.checked_div(shards) {
+            None => self.legacy_zero_shards = true,
+            Some(size) => self.opts.morsel_size = size.max(1),
+        }
         self
     }
 
@@ -207,6 +263,9 @@ impl ExecOptionsBuilder {
 
     /// Validates and returns the options.
     pub fn build(self) -> Result<ExecOptions, ExecOptionsError> {
+        if self.legacy_zero_shards {
+            return Err(ExecOptionsError::ZeroShardsPerThread);
+        }
         self.opts.validate()?;
         Ok(self.opts)
     }
@@ -645,23 +704,23 @@ fn prepare_exec<'a>(
     Some((ctxs, driver))
 }
 
-/// Runs the plan single-threaded over the shard grid that `opts.threads ×
-/// opts.shards_per_thread` workers would use, returning each shard's
-/// **work units** (rows emitted + array words touched).
+/// Runs the plan single-threaded over the morsel grid that parallel
+/// workers would pull from, returning each morsel's **work units**
+/// (rows emitted + array words touched).
 ///
-/// Workers draw shards dynamically from one atomic counter, so on ideal
-/// hardware the parallel makespan with `K` threads is bounded below by
-/// `max(total/K, max_shard)` — the benchmark harness reports
-/// `total / max(total/K, max_shard)` as the achievable speedup of the
-/// shard distribution, independently of how many cores the measuring
+/// Workers draw morsels dynamically from one atomic cursor, so on
+/// ideal hardware the parallel makespan with `K` threads is bounded
+/// below by `max(total/K, max_morsel)` — the benchmark harness reports
+/// `total / max(total/K, max_morsel)` as the achievable speedup of the
+/// morsel distribution, independently of how many cores the measuring
 /// host happens to have.
 ///
-/// Invalid [`ExecOptions`] (zero threads or shards) are rejected with
-/// the same [`ExecOptionsError`] the executor itself reports, instead
-/// of being conflated with the legitimately-empty answer of an
+/// Invalid [`ExecOptions`] (zero threads or morsel size) are rejected
+/// with the same [`ExecOptionsError`] the executor itself reports,
+/// instead of being conflated with the legitimately-empty answer of an
 /// unanswerable plan (`Ok(vec![])`). This diagnostic helper never
 /// panics.
-pub fn shard_loads(
+pub fn morsel_loads(
     store: &TripleStore,
     plan: &PhysicalPlan,
     opts: &ExecOptions,
@@ -672,9 +731,7 @@ pub fn shard_loads(
         return Ok(Vec::new());
     };
     let domain = driver.domain();
-    let threads = opts.threads;
-    let num_shards = threads * opts.shards_per_thread;
-    let shard_size = domain.div_ceil(num_shards).max(1);
+    let shard_size = opts.morsel_size;
     let guard = QueryGuard::unlimited();
     let mut worker = Worker {
         ctxs: &ctxs,
@@ -704,6 +761,21 @@ pub fn shard_loads(
         lo = hi;
     }
     Ok(loads)
+}
+
+/// Pre-morsel name for [`morsel_loads`]; the chunk grid is now the
+/// morsel grid rather than `threads × shards_per_thread` static shards.
+#[deprecated(
+    since = "0.1.0",
+    note = "static sharding was replaced by morsel-driven dispatch; use `morsel_loads`"
+)]
+pub fn shard_loads(
+    store: &TripleStore,
+    plan: &PhysicalPlan,
+    opts: &ExecOptions,
+    thresholds: &ThresholdTable,
+) -> Result<Vec<u64>, ExecOptionsError> {
+    morsel_loads(store, plan, opts, thresholds)
 }
 
 /// Size of the driver domain `plan` would scan — the number of keys of
@@ -778,13 +850,203 @@ pub fn execute_profiled(
     }
 }
 
-/// Executes `plan` against `store`, creating one sink per worker via
-/// `factory`, and returns all worker sinks plus merged search counters.
+/// Immutable per-run shape every participant shares: resolved probe
+/// contexts, the driver, and the morsel grid.
+struct RunShape<'a> {
+    ctxs: &'a [StepCtx<'a>],
+    driver: &'a ResolvedDriver<'a>,
+    plan: &'a PhysicalPlan,
+    strategy: ProbeStrategy,
+    morsel_size: usize,
+    domain: usize,
+}
+
+/// Everything one finished participant hands back to the coordinator:
+/// its per-morsel sinks (tagged with morsel index for the
+/// deterministic merge) plus its private counters.
+struct ParticipantOutput<S> {
+    morsels: Vec<(usize, S)>,
+    stats: SearchStats,
+    trip: Option<GuardTrip>,
+    step_stats: Vec<SearchStats>,
+    step_rows: Vec<u64>,
+}
+
+/// One participant's whole run: pull morsels off the shared cursor
+/// until it drains (or the guard trips), keeping one sink per morsel.
+/// Sequential-search cursors persist across the morsels one
+/// participant runs — which morsels those are varies run to run, but
+/// cursor state only changes *search cost*, never which rows match.
+fn run_participant<S, F>(
+    shape: &RunShape<'_>,
+    guard: &QueryGuard,
+    cursor: &AtomicUsize,
+    factory: &F,
+) -> ParticipantOutput<S>
+where
+    S: Sink,
+    F: Fn() -> S,
+{
+    let mut w = Worker {
+        ctxs: shape.ctxs,
+        strategy: shape.strategy,
+        projection: &shape.plan.projection,
+        bindings: vec![0; shape.plan.num_vars],
+        cursors: vec![0; shape.ctxs.len()],
+        rowbuf: Vec::with_capacity(shape.plan.projection.len()),
+        step_stats: vec![SearchStats::default(); shape.ctxs.len() + 2],
+        step_rows: vec![0; shape.ctxs.len() + 1],
+        sink: factory(),
+        guard,
+        countdown: GUARD_BATCH,
+        pending_rows: 0,
+        stop: false,
+        trip: None,
+    };
+    // Check limits once up front so pre-cancelled tokens and
+    // already-expired deadlines stop even queries too small to reach a
+    // poll boundary.
+    w.poll_guard();
+    let mut morsels: Vec<(usize, S)> = Vec::new();
+    while !w.stop {
+        // ordering: Relaxed — the cursor is the only shared word;
+        // morsel *contents* are read-only during execution, so no
+        // publication edge is needed (the same ticket protocol is
+        // modeled by loom_parallel in parj-store and loom_pool here).
+        let m = cursor.fetch_add(1, Ordering::Relaxed);
+        let Some(lo) = m.checked_mul(shape.morsel_size) else {
+            break;
+        };
+        if lo >= shape.domain {
+            break;
+        }
+        let hi = (lo + shape.morsel_size).min(shape.domain);
+        w.run_range(shape.driver, lo, hi);
+        // One sink per morsel: the coordinator merges sinks in morsel
+        // order, making results independent of worker interleaving.
+        let full = std::mem::replace(&mut w.sink, factory());
+        morsels.push((m, full));
+    }
+    w.final_check();
+    let stats = w.total_stats();
+    ParticipantOutput {
+        morsels,
+        stats,
+        trip: w.trip,
+        step_stats: w.step_stats,
+        step_rows: w.step_rows,
+    }
+}
+
+/// Folds participant outputs into the caller-facing result: merged
+/// counters, the worst failure (panic > budget > deadline > cancel),
+/// one recorder callback, and the deterministic morsel-ordered sinks.
+fn merge_participants<S: Sink>(
+    parts: Vec<ParticipantOutput<S>>,
+    panicked: Option<String>,
+    opts: &ExecOptions,
+    guard: &QueryGuard,
+    n_ctxs: usize,
+) -> ExecResult<(Vec<S>, SearchStats)> {
+    let mut total = SearchStats::default();
+    let mut worst: Option<ExecFailureKind> =
+        panicked.map(|message| ExecFailureKind::WorkerPanicked { message });
+    let note = |kind: ExecFailureKind, worst: &mut Option<ExecFailureKind>| {
+        if worst.as_ref().is_none_or(|w| kind.severity() > w.severity()) {
+            *worst = Some(kind);
+        }
+    };
+
+    // Aggregates for the recorder, built only when one is attached —
+    // runs without a recorder pay nothing here.
+    let recording = opts.recorder.is_some();
+    let mut agg_step_stats = vec![SearchStats::default(); if recording { n_ctxs + 2 } else { 0 }];
+    let mut agg_step_rows = vec![0u64; if recording { n_ctxs + 1 } else { 0 }];
+    let mut worker_units: Vec<u64> = Vec::new();
+    let mut morsel_count = 0u64;
+
+    let mut tagged: Vec<(usize, S)> = Vec::new();
+    for out in parts {
+        total.merge(&out.stats);
+        if let Some(trip) = out.trip {
+            note(ExecFailureKind::from_trip(trip), &mut worst);
+        }
+        morsel_count += out.morsels.len() as u64;
+        if recording {
+            for (agg, s) in agg_step_stats.iter_mut().zip(&out.step_stats) {
+                agg.merge(s);
+            }
+            for (agg, r) in agg_step_rows.iter_mut().zip(&out.step_rows) {
+                *agg += r;
+            }
+            let rows = out.step_rows.last().copied().unwrap_or(0);
+            worker_units.push(rows + out.stats.words_touched());
+        }
+        tagged.extend(out.morsels);
+    }
+    // Deterministic merge: morsel index order *is* driver-domain order,
+    // so the concatenated sinks are byte-identical no matter which
+    // worker ran which morsel, how many workers participated, or how
+    // the pulls interleaved.
+    tagged.sort_unstable_by_key(|(m, _)| *m);
+
+    if let Some(rec) = &opts.recorder {
+        // Recorded on success *and* failure: partial progress is what
+        // the outcome counters need to explain a timeout or budget trip.
+        rec.record_exec(&ExecRecord {
+            result_rows: agg_step_rows.last().copied().unwrap_or(0),
+            step_rows: &agg_step_rows,
+            step_search: &agg_step_stats[..n_ctxs],
+            driver_search: agg_step_stats[n_ctxs + 1],
+            total_search: total,
+            worker_units: &worker_units,
+            morsels: morsel_count,
+        });
+    }
+    if let Some(kind) = worst {
+        return Err(Box::new(ExecFailure {
+            kind,
+            stats: total,
+            rows: guard.rows(),
+        }));
+    }
+    Ok((tagged.into_iter().map(|(_, s)| s).collect(), total))
+}
+
+/// Fires the recorder's empty record for plans that short-circuit
+/// before any worker runs (a referenced predicate has no partition).
+fn record_empty(opts: &ExecOptions) {
+    if let Some(rec) = &opts.recorder {
+        rec.record_exec(&ExecRecord {
+            result_rows: 0,
+            step_rows: &[],
+            step_search: &[],
+            driver_search: SearchStats::default(),
+            total_search: SearchStats::default(),
+            worker_units: &[],
+            morsels: 0,
+        });
+    }
+}
+
+fn invalid_options(e: ExecOptionsError) -> Box<ExecFailure> {
+    Box::new(ExecFailure {
+        kind: ExecFailureKind::InvalidOptions {
+            message: e.to_string(),
+        },
+        stats: SearchStats::default(),
+        rows: 0,
+    })
+}
+
+/// Executes `plan` against `store` with per-query scoped threads (or
+/// inline when `opts.threads == 1`), creating sinks via `factory`, and
+/// returns the morsel-ordered sinks plus merged search counters.
 ///
-/// Rows arrive at sinks in a deterministic order *per shard* but shards
-/// are drawn dynamically, so cross-worker row order is unspecified —
-/// exactly like the paper's workers, which stream results to the
-/// coordinator independently.
+/// Concatenating the returned sinks yields rows in driver-domain
+/// order — deterministic across thread counts and morsel sizes. This
+/// is the pool-less fallback path; engines with a persistent
+/// [`WorkerPool`](crate::WorkerPool) use [`execute_pooled`] instead.
 pub fn execute<S, F>(
     store: &TripleStore,
     plan: &PhysicalPlan,
@@ -796,48 +1058,11 @@ where
     S: Sink + Send,
     F: Fn() -> S + Sync,
 {
-    let (workers, total) = execute_detailed(store, plan, opts, thresholds, factory)?;
-    Ok((workers.into_iter().map(|(s, _)| s).collect(), total))
-}
-
-/// [`execute`] variant that preserves each worker's own counters.
-///
-/// PARJ workers never communicate, so per-worker counters measure the
-/// load balance of the shard distribution directly: the parallel
-/// speedup on ideal hardware is bounded by
-/// `total_work / max(worker_work)`. The benchmark harness uses this to
-/// report scalability independently of the host's core count.
-pub fn execute_detailed<S, F>(
-    store: &TripleStore,
-    plan: &PhysicalPlan,
-    opts: &ExecOptions,
-    thresholds: &ThresholdTable,
-    factory: F,
-) -> ExecResult<(Vec<(S, SearchStats)>, SearchStats)>
-where
-    S: Sink + Send,
-    F: Fn() -> S + Sync,
-{
     if let Err(e) = opts.validate() {
-        return Err(Box::new(ExecFailure {
-            kind: ExecFailureKind::InvalidOptions {
-                message: e.to_string(),
-            },
-            stats: SearchStats::default(),
-            rows: 0,
-        }));
+        return Err(invalid_options(e));
     }
     let Some((ctxs, driver)) = prepare_exec(store, plan, opts, thresholds) else {
-        if let Some(rec) = &opts.recorder {
-            rec.record_exec(&ExecRecord {
-                result_rows: 0,
-                step_rows: &[],
-                step_search: &[],
-                driver_search: SearchStats::default(),
-                total_search: SearchStats::default(),
-                worker_units: &[],
-            });
-        }
+        record_empty(opts);
         return Ok((Vec::new(), SearchStats::default()));
     };
 
@@ -853,167 +1078,201 @@ where
     };
 
     let domain = driver.domain();
-    let threads = opts.threads;
-    let num_shards = threads * opts.shards_per_thread;
-    let shard_size = domain.div_ceil(num_shards).max(1);
-    let next_shard = AtomicUsize::new(0);
-
-    let make_worker = || Worker {
+    let shape = RunShape {
         ctxs: &ctxs,
+        driver: &driver,
+        plan,
         strategy: opts.strategy,
-        projection: &plan.projection,
-        bindings: vec![0; plan.num_vars],
-        cursors: vec![0; ctxs.len()],
-        rowbuf: Vec::with_capacity(plan.projection.len()),
-        step_stats: vec![SearchStats::default(); ctxs.len() + 2],
-        step_rows: vec![0; ctxs.len() + 1],
-        sink: factory(),
-        guard,
-        countdown: GUARD_BATCH,
-        pending_rows: 0,
-        stop: false,
-        trip: None,
+        morsel_size: opts.morsel_size,
+        domain,
     };
+    let cursor = AtomicUsize::new(0);
+    // Workers beyond the morsel count would only spin the cursor once
+    // and exit; don't spawn them.
+    let num_morsels = domain.div_ceil(opts.morsel_size).max(1);
+    let threads = opts.threads.min(num_morsels);
 
-    let run_worker = |mut w: Worker<'_, S>| -> WorkerOutput<S> {
-        // Check limits once up front so pre-cancelled tokens and
-        // already-expired deadlines stop even queries too small to
-        // reach a poll boundary.
-        w.poll_guard();
-        loop {
-            if w.stop {
-                break;
+    let mut parts: Vec<ParticipantOutput<S>> = Vec::with_capacity(threads);
+    let mut panicked: Option<String> = None;
+    if threads <= 1 {
+        // A panic is contained, trips the guard, and surfaces as
+        // `WorkerPanicked` instead of aborting the process. The store
+        // is read-only during execution, so it stays usable.
+        match std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_participant(&shape, guard, &cursor, &factory)
+        })) {
+            Ok(p) => parts.push(p),
+            Err(payload) => {
+                guard.cancel();
+                panicked = Some(panic_message(payload.as_ref()));
             }
-            // ordering: Relaxed — the counter is the only shared word;
-            // shard *contents* are read-only during execution, so no
-            // publication edge is needed (the same ticket protocol is
-            // modeled by loom_parallel in parj-store).
-            let shard = next_shard.fetch_add(1, Ordering::Relaxed);
-            let lo = shard * shard_size;
-            if lo >= domain {
-                break;
-            }
-            let hi = (lo + shard_size).min(domain);
-            w.run_range(&driver, lo, hi);
         }
-        w.final_check();
-        let stats = w.total_stats();
-        WorkerOutput {
-            sink: w.sink,
-            stats,
-            trip: w.trip,
-            step_stats: w.step_stats,
-            step_rows: w.step_rows,
-        }
-    };
-
-    // Each worker body runs under catch_unwind: a panic is contained,
-    // trips the shared guard so siblings stop at their next poll, and
-    // surfaces as `WorkerPanicked` instead of aborting the process.
-    // The store is read-only during execution, so it stays usable.
-    let run_caught = |w: Worker<'_, S>| {
-        let result = std::panic::catch_unwind(AssertUnwindSafe(|| run_worker(w)));
-        if result.is_err() {
-            guard.cancel();
-        }
-        result
-    };
-
-    let mut workers = Vec::with_capacity(threads);
-    let mut total = SearchStats::default();
-    let mut worst: Option<ExecFailureKind> = None;
-    let note = |kind: ExecFailureKind, worst: &mut Option<ExecFailureKind>| {
-        if worst.as_ref().is_none_or(|w| kind.severity() > w.severity()) {
-            *worst = Some(kind);
-        }
-    };
-
-    // Aggregates for the recorder, built only when one is attached —
-    // runs without a recorder pay nothing here.
-    let recording = opts.recorder.is_some();
-    let mut agg_step_stats =
-        vec![SearchStats::default(); if recording { ctxs.len() + 2 } else { 0 }];
-    let mut agg_step_rows = vec![0u64; if recording { ctxs.len() + 1 } else { 0 }];
-    let mut worker_units: Vec<u64> = Vec::new();
-
-    let mut results = Vec::with_capacity(threads);
-    if threads == 1 {
-        results.push(run_caught(make_worker()));
     } else {
         parj_sync::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
-                    let w = make_worker();
-                    scope.spawn(|| run_caught(w))
+                    let shape = &shape;
+                    let factory = &factory;
+                    let cursor = &cursor;
+                    scope.spawn(move || {
+                        // Contained per worker: a panic trips the
+                        // shared guard so siblings stop at their next
+                        // poll, then surfaces as `WorkerPanicked`.
+                        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            run_participant(shape, guard, cursor, factory)
+                        }));
+                        if result.is_err() {
+                            guard.cancel();
+                        }
+                        result
+                    })
                 })
                 .collect();
             for h in handles {
-                // A panic inside the closure is already caught by
-                // `run_caught`; a join error can only carry a payload
-                // from the thread runtime itself — fold it into the
-                // same per-worker Err path instead of panicking here.
-                results.push(h.join().unwrap_or_else(Err));
+                // A panic inside the closure is already caught; a join
+                // error can only carry a payload from the thread
+                // runtime itself — fold it into the same per-worker
+                // Err path instead of panicking here.
+                match h.join().unwrap_or_else(Err) {
+                    Ok(p) => parts.push(p),
+                    Err(payload) => {
+                        panicked = Some(panic_message(payload.as_ref()));
+                    }
+                }
             }
         });
     }
-    for result in results {
-        match result {
-            Ok(out) => {
-                total.merge(&out.stats);
-                if let Some(trip) = out.trip {
-                    note(ExecFailureKind::from_trip(trip), &mut worst);
-                }
-                if recording {
-                    for (agg, s) in agg_step_stats.iter_mut().zip(&out.step_stats) {
-                        agg.merge(s);
-                    }
-                    for (agg, r) in agg_step_rows.iter_mut().zip(&out.step_rows) {
-                        *agg += r;
-                    }
-                    let rows = out.step_rows.last().copied().unwrap_or(0);
-                    worker_units.push(rows + out.stats.words_touched());
-                }
-                workers.push((out.sink, out.stats));
-            }
-            Err(payload) => {
-                note(
-                    ExecFailureKind::WorkerPanicked {
-                        message: panic_message(payload.as_ref()),
-                    },
-                    &mut worst,
-                );
-            }
-        }
-    }
-    if let Some(rec) = &opts.recorder {
-        // Recorded on success *and* failure: partial progress is what
-        // the outcome counters need to explain a timeout or budget trip.
-        rec.record_exec(&ExecRecord {
-            result_rows: agg_step_rows.last().copied().unwrap_or(0),
-            step_rows: &agg_step_rows,
-            step_search: &agg_step_stats[..ctxs.len()],
-            driver_search: agg_step_stats[ctxs.len() + 1],
-            total_search: total,
-            worker_units: &worker_units,
-        });
-    }
-    if let Some(kind) = worst {
-        return Err(Box::new(ExecFailure {
-            kind,
-            stats: total,
-            rows: guard.rows(),
-        }));
-    }
-    Ok((workers, total))
+    merge_participants(parts, panicked, opts, guard, ctxs.len())
 }
 
-/// Everything a finished worker hands back to the coordinator.
-struct WorkerOutput<S> {
-    sink: S,
-    stats: SearchStats,
-    trip: Option<GuardTrip>,
-    step_stats: Vec<SearchStats>,
-    step_rows: Vec<u64>,
+/// Shared mutable state of one pooled job, behind a mutex: finished
+/// participants push their outputs; the submitter drains it after the
+/// pool rendezvous guarantees no participant is still running.
+struct PooledOutput<S> {
+    parts: Vec<ParticipantOutput<S>>,
+    panicked: Option<String>,
+}
+
+/// Executes `plan` on an engine-owned persistent [`WorkerPool`]: the
+/// calling thread participates immediately and up to `threads − 1`
+/// idle pool workers join it, pulling morsels off the query's shared
+/// cursor. No threads are created or destroyed per query.
+///
+/// Participants are `'static` jobs, so the execution context arrives
+/// as `Arc`s; each participant re-derives the read-only probe contexts
+/// from them (cheap replica lookups). Results are identical to
+/// [`execute`] — the same morsel-ordered deterministic merge — and a
+/// participant panic fails only this query: the pool worker catches
+/// it, cancels the query's guard, and returns to service.
+pub fn execute_pooled<S, F>(
+    pool: &WorkerPool,
+    store: &Arc<TripleStore>,
+    plan: &Arc<PhysicalPlan>,
+    opts: &ExecOptions,
+    thresholds: &Arc<ThresholdTable>,
+    factory: F,
+) -> ExecResult<(Vec<S>, SearchStats)>
+where
+    S: Sink + Send + 'static,
+    F: Fn() -> S + Send + Sync + 'static,
+{
+    if let Err(e) = opts.validate() {
+        return Err(invalid_options(e));
+    }
+    // Pre-flight on the submitting thread: unanswerable plans
+    // short-circuit without touching the pool, and the driver domain
+    // sizes the helper request.
+    let (n_ctxs, domain) = match prepare_exec(store, plan, opts, thresholds) {
+        Some((ctxs, driver)) => (ctxs.len(), driver.domain()),
+        None => {
+            record_empty(opts);
+            return Ok((Vec::new(), SearchStats::default()));
+        }
+    };
+    let num_morsels = domain.div_ceil(opts.morsel_size).max(1);
+    let helpers = opts.threads.saturating_sub(1).min(num_morsels - 1);
+    if helpers == 0 {
+        // Single-participant queries never touch the pool: run inline
+        // on the calling thread with plain borrowed data.
+        let inline = ExecOptions {
+            threads: 1,
+            ..opts.clone()
+        };
+        return execute(store, plan, &inline, thresholds, factory);
+    }
+
+    let guard: Arc<QueryGuard> = match &opts.guard {
+        Some(g) => Arc::clone(g),
+        None => Arc::new(QueryGuard::unlimited()),
+    };
+    let output = Arc::new(parj_sync::Mutex::new(PooledOutput::<S> {
+        parts: Vec::new(),
+        panicked: None,
+    }));
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let body: crate::pool::Participant = {
+        let store = Arc::clone(store);
+        let plan = Arc::clone(plan);
+        let thresholds = Arc::clone(thresholds);
+        let guard = Arc::clone(&guard);
+        let output = Arc::clone(&output);
+        let cursor = Arc::clone(&cursor);
+        let factory = Arc::new(factory);
+        // Threshold selection in prepare_exec depends only on the
+        // strategy; strip the non-'static-irrelevant extras.
+        let probe_opts = ExecOptions {
+            guard: None,
+            recorder: None,
+            ..opts.clone()
+        };
+        Arc::new(move || {
+            // Each participant re-derives the read-only probe contexts
+            // from its own Arcs — nothing borrowed crosses the
+            // 'static job boundary.
+            let Some((ctxs, driver)) = prepare_exec(&store, &plan, &probe_opts, &thresholds)
+            else {
+                return;
+            };
+            let shape = RunShape {
+                ctxs: &ctxs,
+                driver: &driver,
+                plan: &plan,
+                strategy: probe_opts.strategy,
+                morsel_size: probe_opts.morsel_size,
+                domain: shape_domain(&driver),
+            };
+            // Contained per participant: a panic trips the shared
+            // guard (stopping siblings at their next poll), is
+            // recorded for the submitter's merge, and never unwinds
+            // the pool worker.
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                run_participant(&shape, &guard, &cursor, factory.as_ref())
+            }));
+            match result {
+                Ok(p) => output.lock().parts.push(p),
+                Err(payload) => {
+                    guard.cancel();
+                    let mut out = output.lock();
+                    if out.panicked.is_none() {
+                        out.panicked = Some(panic_message(payload.as_ref()));
+                    }
+                }
+            }
+        })
+    };
+    // The pool's rendezvous returns only after every participant that
+    // joined has finished, so draining `output` afterwards sees the
+    // complete set.
+    pool.run(helpers, body);
+    let mut locked = output.lock();
+    let parts = std::mem::take(&mut locked.parts);
+    let panicked = locked.panicked.take();
+    drop(locked);
+    merge_participants(parts, panicked, opts, &guard, n_ctxs)
+}
+
+fn shape_domain(driver: &ResolvedDriver<'_>) -> usize {
+    driver.domain()
 }
 
 /// Builds a threshold table from the paper's default calibration windows
@@ -1178,7 +1437,7 @@ mod tests {
             for threads in [1, 4] {
                 let opts = ExecOptions {
                     threads,
-                    shards_per_thread: 3,
+                    morsel_size: 3,
                     strategy,
                     guard: None,
                     recorder: None,
@@ -1444,7 +1703,7 @@ mod tests {
             &plan,
             &ExecOptions {
                 threads: 16,
-                shards_per_thread: 8,
+                morsel_size: 1,
                 strategy: ProbeStrategy::AdaptiveBinary,
                 guard: None,
                 recorder: None,
@@ -1615,23 +1874,52 @@ mod tests {
             ExecOptionsError::ZeroThreads
         );
         assert_eq!(
-            ExecOptions::builder().shards_per_thread(0).build().unwrap_err(),
-            ExecOptionsError::ZeroShardsPerThread
+            ExecOptions::builder().morsel_size(0).build().unwrap_err(),
+            ExecOptionsError::ZeroMorselSize
         );
         let opts = ExecOptions::builder()
             .threads(3)
-            .shards_per_thread(2)
+            .morsel_size(2)
             .strategy(ProbeStrategy::AlwaysBinary)
             .build()
             .expect("valid");
         assert_eq!(opts.threads, 3);
-        assert_eq!(opts.shards_per_thread, 2);
+        assert_eq!(opts.morsel_size, 2);
         assert_eq!(opts.strategy, ProbeStrategy::AlwaysBinary);
     }
 
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shards_per_thread_shim() {
+        // The PR-3-style shim: the legacy knob maps onto the morsel
+        // grid (`DEFAULT_MORSEL_SIZE / shards`, floored at 1) and zero
+        // still fails with the legacy error.
+        assert_eq!(
+            ExecOptions::builder().shards_per_thread(0).build().unwrap_err(),
+            ExecOptionsError::ZeroShardsPerThread
+        );
+        let opts = ExecOptions::builder()
+            .shards_per_thread(2)
+            .build()
+            .expect("valid");
+        assert_eq!(opts.morsel_size, DEFAULT_MORSEL_SIZE / 2);
+        let opts = ExecOptions::builder()
+            .shards_per_thread(usize::MAX)
+            .build()
+            .expect("valid");
+        assert_eq!(opts.morsel_size, 1, "huge shard counts floor at 1");
+    }
+
     /// Owned copy of an [`ExecRecord`]: (result_rows, step_rows,
-    /// step_search, total_search, worker_units).
-    type OwnedRecord = (u64, Vec<u64>, Vec<SearchStats>, SearchStats, Vec<u64>);
+    /// step_search, total_search, worker_units, morsels).
+    type OwnedRecord = (
+        u64,
+        Vec<u64>,
+        Vec<SearchStats>,
+        SearchStats,
+        Vec<u64>,
+        u64,
+    );
 
     /// Captures the one record an execution emits, as owned data.
     #[derive(Default)]
@@ -1647,6 +1935,7 @@ mod tests {
                 r.step_search.to_vec(),
                 r.total_search,
                 r.worker_units.to_vec(),
+                r.morsels,
             ));
         }
     }
@@ -1676,10 +1965,13 @@ mod tests {
             vec![0, 1, 2],
         )
         .unwrap();
+        // With morsel_size 1 each distinct driver key is one morsel.
+        let domain = driver_domain(&s, &plan, &ExecOptions::default());
         for threads in [1usize, 4] {
             let rec = Arc::new(CaptureRecorder::default());
             let opts = ExecOptions::builder()
                 .threads(threads)
+                .morsel_size(1)
                 .recorder(Some(Arc::clone(&rec) as Arc<dyn Recorder>))
                 .build()
                 .unwrap();
@@ -1687,13 +1979,22 @@ mod tests {
             assert_eq!(count, 4);
             let seen = rec.seen.lock().unwrap();
             assert_eq!(seen.len(), 1, "exactly one record per execution");
-            let (rows, step_rows, step_search, rec_total, units) = &seen[0];
+            let (rows, step_rows, step_search, rec_total, units, morsels) = &seen[0];
             assert_eq!(*rows, 4);
             // One probe step: step_rows = [driver tuples, results].
             assert_eq!(step_rows, &vec![4, 4]);
             assert_eq!(step_search.len(), 1);
             assert_eq!(*rec_total, total);
-            assert_eq!(units.len(), threads);
+            // The executor clamps participants to the morsel count.
+            assert_eq!(
+                units.len(),
+                threads.min(domain),
+                "one unit entry per participant"
+            );
+            assert_eq!(
+                *morsels, domain as u64,
+                "every in-domain morsel executed exactly once"
+            );
             let unit_sum: u64 = units.iter().sum();
             assert_eq!(unit_sum, 4 + total.words_touched());
         }
@@ -1732,5 +2033,150 @@ mod tests {
         .unwrap();
         let (count, _) = execute_count(&s, &plan, &ExecOptions::default()).expect("runs");
         assert_eq!(count, 4);
+    }
+
+    /// Runs `execute_pooled` with collect sinks and flattens the
+    /// morsel-ordered sinks into one row vector.
+    fn collect_pooled(
+        pool: &WorkerPool,
+        store: &Arc<TripleStore>,
+        plan: &Arc<PhysicalPlan>,
+        opts: &ExecOptions,
+    ) -> ExecResult<Vec<Id>> {
+        let thresholds = Arc::new(default_thresholds(store));
+        let (sinks, _) =
+            execute_pooled(pool, store, plan, opts, &thresholds, CollectSink::default)?;
+        let mut flat = Vec::new();
+        for s in &sinks {
+            flat.extend_from_slice(&s.data);
+        }
+        Ok(flat)
+    }
+
+    #[test]
+    fn pooled_matches_scoped_byte_identical() {
+        // The same query through the persistent pool and through
+        // scoped threads must produce identical flattened rows — the
+        // morsel-order merge makes both equal to the threads=1 run.
+        let s = Arc::new(store());
+        let teaches = pid(&s, "teaches");
+        let works = pid(&s, "worksFor");
+        let plan = Arc::new(
+            PhysicalPlan::new(
+                vec![
+                    PlanStep {
+                        predicate: teaches,
+                        order: SortOrder::SO,
+                        key: Atom::Var(0),
+                        value: Atom::Var(1),
+                    },
+                    PlanStep {
+                        predicate: works,
+                        order: SortOrder::SO,
+                        key: Atom::Var(0),
+                        value: Atom::Var(2),
+                    },
+                ],
+                3,
+                vec![0, 1, 2],
+            )
+            .unwrap(),
+        );
+        let pool = WorkerPool::new(3);
+        let thresholds = default_thresholds(&s);
+        let mut baseline: Option<Vec<Id>> = None;
+        for threads in [1usize, 2, 4, 9] {
+            for morsel_size in [1usize, 2, 16384] {
+                let opts = ExecOptions {
+                    threads,
+                    morsel_size,
+                    ..ExecOptions::default()
+                };
+                let pooled = collect_pooled(&pool, &s, &plan, &opts).expect("pooled runs");
+                let (sinks, _) = execute(&s, &plan, &opts, &thresholds, CollectSink::default)
+                    .expect("scoped runs");
+                let mut scoped = Vec::new();
+                for sk in &sinks {
+                    scoped.extend_from_slice(&sk.data);
+                }
+                assert_eq!(
+                    pooled, scoped,
+                    "pooled vs scoped diverged at threads {threads} morsel {morsel_size}"
+                );
+                match &baseline {
+                    None => baseline = Some(pooled),
+                    Some(b) => assert_eq!(
+                        &pooled, b,
+                        "row order changed at threads {threads} morsel {morsel_size}"
+                    ),
+                }
+            }
+        }
+        assert!(pool.stats().jobs > 0, "multi-morsel runs must use the pool");
+    }
+
+    #[test]
+    fn pooled_panic_fails_only_owner_and_pool_survives() {
+        // Satellite regression: a panicking query on the pool surfaces
+        // as WorkerPanicked, the worker returns to service, and 100
+        // subsequent queries on the same pool succeed with no thread
+        // growth or loss.
+        let s = Arc::new(store());
+        let plan = Arc::new(teaches_plan(&s));
+        let pool = WorkerPool::new(2);
+        let workers_before = pool.workers();
+        let thresholds = Arc::new(default_thresholds(&s));
+        // morsel_size 1 → multiple morsels → helpers requested → the
+        // panic happens inside pool workers, not only the submitter.
+        let opts = ExecOptions {
+            threads: 3,
+            morsel_size: 1,
+            ..ExecOptions::default()
+        };
+        let err = execute_pooled(&pool, &s, &plan, &opts, &thresholds, || PanicSink)
+            .expect_err("sink panic must surface as an error");
+        match &err.kind {
+            ExecFailureKind::WorkerPanicked { message } => {
+                assert!(message.contains("sink exploded"), "got {message:?}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        for _ in 0..100 {
+            let rows = collect_pooled(&pool, &s, &plan, &opts).expect("pool still serves");
+            assert_eq!(rows.len(), 8, "4 rows × arity 2");
+        }
+        assert_eq!(pool.workers(), workers_before, "no pool thread leak");
+    }
+
+    #[test]
+    fn pooled_guard_paths_match_scoped() {
+        // Early-exit paths behave identically through the pool: the
+        // same failure kind, no hang, and the pool stays usable.
+        let s = Arc::new(store());
+        let plan = Arc::new(teaches_plan(&s));
+        let pool = WorkerPool::new(2);
+        let opts = |guard: Arc<QueryGuard>| ExecOptions {
+            threads: 3,
+            morsel_size: 1,
+            guard: Some(guard),
+            ..ExecOptions::default()
+        };
+
+        let cancelled = Arc::new(QueryGuard::unlimited());
+        cancelled.cancel();
+        let err = collect_pooled(&pool, &s, &plan, &opts(cancelled)).expect_err("cancelled");
+        assert_eq!(err.kind, ExecFailureKind::Cancelled);
+
+        let budget = Arc::new(QueryGuard::with_limits(None, Some(2)));
+        let err = collect_pooled(&pool, &s, &plan, &opts(budget)).expect_err("over budget");
+        assert!(
+            matches!(err.kind, ExecFailureKind::BudgetExceeded { .. }),
+            "expected BudgetExceeded, got {:?}",
+            err.kind
+        );
+
+        let fine = Arc::new(QueryGuard::unlimited());
+        let rows = collect_pooled(&pool, &s, &plan, &opts(fine)).expect("pool still serves");
+        assert_eq!(rows.len(), 8);
     }
 }

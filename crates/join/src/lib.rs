@@ -18,9 +18,14 @@
 //!
 //! Parallelism follows §3: the driver relation of the left-deep plan (or
 //! the value vector of a constant key, Example 3.2) is split into
-//! shards; worker threads draw shard indexes from one atomic counter and
-//! run the **entire pipeline** on read-only shared data — no exchange,
-//! no rehashing, no synchronization, no graph partitioning.
+//! fixed-size **morsels**; workers draw morsel indexes from one atomic
+//! cursor and run the **entire pipeline** on read-only shared data — no
+//! exchange, no rehashing, no synchronization, no graph partitioning.
+//! Engines own a persistent [`WorkerPool`]; [`execute_pooled`] submits a
+//! query's morsels to it so no threads are created per query, while
+//! [`execute`] remains the scoped-thread fallback. Both merge per-morsel
+//! sinks in morsel order, so results are byte-identical regardless of
+//! thread count, morsel size, or interleaving.
 //!
 //! ```
 //! use parj_dict::Term;
@@ -65,19 +70,23 @@ mod calibrate;
 mod exec;
 mod guard;
 mod plan;
+mod pool;
 mod rows;
 mod search;
 mod stats;
 mod threshold;
 
 pub use calibrate::{calibrate, CalibrationConfig, CalibrationResult};
+#[allow(deprecated)]
+pub use exec::shard_loads;
 pub use exec::{
-    driver_domain, execute, execute_collect, execute_count, execute_count_with, execute_detailed,
-    execute_profiled, shard_loads, PlanProfile,
+    driver_domain, execute, execute_collect, execute_count, execute_count_with, execute_pooled,
+    execute_profiled, morsel_loads, PlanProfile, DEFAULT_MORSEL_SIZE,
     CollectSink, CountSink,
     ExecFailure, ExecFailureKind, ExecOptions, ExecOptionsBuilder, ExecOptionsError, ExecRecord,
     ExecResult, FnSink, Recorder, Sink,
 };
+pub use pool::{Participant, PoolStats, WorkerPool};
 pub use guard::{CancelToken, GuardTrip, QueryGuard, GUARD_BATCH};
 pub use plan::{Atom, PhysicalPlan, PlanError, PlanStep, VarId};
 pub use rows::RowBatch;

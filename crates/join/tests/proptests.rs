@@ -86,14 +86,14 @@ proptest! {
     }
 
     /// A two-step join over random data returns the same multiset under
-    /// every strategy / thread count / shard granularity, equal to a
+    /// every strategy / thread count / morsel granularity, equal to a
     /// nested-loop oracle computed here.
     #[test]
     fn executor_invariant_under_configuration(
         edges_a in proptest::collection::vec((0u32..30, 0u32..30), 1..80),
         edges_b in proptest::collection::vec((0u32..30, 0u32..30), 1..80),
         threads in 1usize..6,
-        shards in 1usize..6,
+        morsel_size in 1usize..6,
     ) {
         let mut b = StoreBuilder::new();
         // Seed resources densely so ids == raw numbers.
@@ -138,17 +138,29 @@ proptest! {
         }
         expected.sort_unstable();
 
+        let mut baseline: Option<Vec<Vec<Id>>> = None;
         for strategy in ProbeStrategy::TABLE5 {
             let opts = ExecOptions::builder()
                 .threads(threads)
-                .shards_per_thread(shards)
+                .morsel_size(morsel_size)
                 .strategy(strategy)
                 .build()
                 .expect("valid options");
-            let (mut batch, _) = execute_collect(&store, &plan, &opts).expect("runs");
-            batch.sort_unstable();
-            prop_assert_eq!(&batch.into_rows(), &expected, "strategy {} threads {} shards {}",
-                strategy, threads, shards);
+            let (batch, _) = execute_collect(&store, &plan, &opts).expect("runs");
+            // Determinism: the *unsorted* row order must already be
+            // identical across strategies (and, by the morsel-order
+            // merge, across thread counts — the driver-domain order).
+            let rows = batch.into_rows();
+            match &baseline {
+                None => baseline = Some(rows.clone()),
+                Some(b) => prop_assert_eq!(&rows, b,
+                    "row order diverged under strategy {} threads {} morsel {}",
+                    strategy, threads, morsel_size),
+            }
+            let mut sorted = rows;
+            sorted.sort_unstable();
+            prop_assert_eq!(&sorted, &expected, "strategy {} threads {} morsel {}",
+                strategy, threads, morsel_size);
         }
     }
 }

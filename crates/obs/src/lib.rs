@@ -33,7 +33,7 @@ pub mod snapshot;
 
 pub use metrics::{Counter, Gauge, GaugeVec, Histogram};
 pub use registry::{
-    CacheKind, EngineMetrics, QueryOutcomeClass, QueryPhase, SearchKind, SearchTotals,
+    CacheKind, EngineMetrics, PoolTotals, QueryOutcomeClass, QueryPhase, SearchKind, SearchTotals,
 };
 pub use server::{HttpStatusClass, ServerMetrics};
 pub use snapshot::{

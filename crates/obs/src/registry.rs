@@ -165,6 +165,28 @@ pub struct SearchTotals {
     pub group_probes: u64,
 }
 
+/// Cumulative totals of the engine's persistent worker pool, as plain
+/// data so the registry stays decoupled from the executor's types.
+/// All figures except `workers` and `queue_depth` are monotone
+/// counters maintained by the pool itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolTotals {
+    /// Worker threads the pool owns (constant for its lifetime).
+    pub workers: u64,
+    /// Jobs submitted across the pool's lifetime.
+    pub jobs: u64,
+    /// Times an idle worker joined a job as a helper.
+    pub helper_joins: u64,
+    /// Microseconds workers spent running job bodies.
+    pub busy_micros: u64,
+    /// Microseconds workers spent parked waiting for work.
+    pub park_micros: u64,
+    /// Jobs currently queued and accepting helpers.
+    pub queue_depth: u64,
+    /// Participant panics contained by the worker loop's backstop.
+    pub panics_contained: u64,
+}
+
 /// Histogram bounds for query durations, in microseconds.
 const DURATION_BOUNDS: [u64; 7] = [100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, 60_000_000];
 /// Histogram bounds for result rows per query.
@@ -214,8 +236,27 @@ pub struct EngineMetrics {
     group_probes_total: Counter,
     /// `parj_probe_rows_total`.
     probe_rows_total: Counter,
-    /// `parj_shard_imbalance_x1000` histogram.
+    /// `parj_exec_morsels_total`.
+    morsels_total: Counter,
+    /// `parj_shard_imbalance_x1000` histogram (imbalance across the
+    /// per-participant totals of the morsel distribution).
     shard_imbalance: Histogram,
+    // -- worker pool --------------------------------------------------------
+    /// `parj_pool_workers` gauge.
+    pool_workers: Gauge,
+    /// `parj_pool_queue_depth` gauge.
+    pool_queue_depth: Gauge,
+    /// `parj_pool_jobs_total`. Gauge storage: the pool maintains the
+    /// cumulative total itself; publishing replaces the value.
+    pool_jobs: Gauge,
+    /// `parj_pool_helper_joins_total` (gauge storage, see above).
+    pool_helper_joins: Gauge,
+    /// `parj_pool_busy_micros_total` (gauge storage, see above).
+    pool_busy_micros: Gauge,
+    /// `parj_pool_park_micros_total` (gauge storage, see above).
+    pool_park_micros: Gauge,
+    /// `parj_pool_panics_contained_total` (gauge storage, see above).
+    pool_panics_contained: Gauge,
     // -- load pipeline -----------------------------------------------------
     /// `parj_load_statements_total{result}` (loaded / skipped).
     load_statements: [Counter; 2],
@@ -259,7 +300,15 @@ impl EngineMetrics {
             search_words_total: Default::default(),
             group_probes_total: Counter::new(),
             probe_rows_total: Counter::new(),
+            morsels_total: Counter::new(),
             shard_imbalance: Histogram::new(&IMBALANCE_BOUNDS),
+            pool_workers: Gauge::new(),
+            pool_queue_depth: Gauge::new(),
+            pool_jobs: Gauge::new(),
+            pool_helper_joins: Gauge::new(),
+            pool_busy_micros: Gauge::new(),
+            pool_park_micros: Gauge::new(),
+            pool_panics_contained: Gauge::new(),
             load_statements: Default::default(),
             load_micros_total: Counter::new(),
             load_bytes_total: Counter::new(),
@@ -336,11 +385,26 @@ impl EngineMetrics {
     }
 
     /// Records one plan execution's internals: binding tuples that
-    /// entered probe steps, and the shard-load imbalance factor ×1000
-    /// (`max_worker_units × workers / total_units`; 1000 = balanced).
-    pub fn record_plan_exec(&self, probe_rows: u64, imbalance_x1000: u64) {
+    /// entered probe steps, the load-imbalance factor ×1000 across
+    /// participant totals (`max_units × participants / total_units`;
+    /// 1000 = balanced), and the driver morsels executed.
+    pub fn record_plan_exec(&self, probe_rows: u64, imbalance_x1000: u64, morsels: u64) {
         self.probe_rows_total.add(probe_rows);
         self.shard_imbalance.observe(imbalance_x1000);
+        self.morsels_total.add(morsels);
+    }
+
+    /// Replaces the worker-pool families from the pool's own cumulative
+    /// totals (the pool is the source of truth; every figure except the
+    /// gauges is monotone).
+    pub fn publish_pool(&self, t: &PoolTotals) {
+        self.pool_workers.set(t.workers);
+        self.pool_queue_depth.set(t.queue_depth);
+        self.pool_jobs.set(t.jobs);
+        self.pool_helper_joins.set(t.helper_joins);
+        self.pool_busy_micros.set(t.busy_micros);
+        self.pool_park_micros.set(t.park_micros);
+        self.pool_panics_contained.set(t.panics_contained);
     }
 
     /// Records one bulk-load: statements kept, statements skipped
@@ -525,10 +589,51 @@ impl EngineMetrics {
                     "Binding tuples that entered probe steps.",
                     vec![plain(self.probe_rows_total.get())],
                 ),
+                counter_fam(
+                    "parj_exec_morsels_total",
+                    "Driver morsels dispatched to executor participants.",
+                    vec![plain(self.morsels_total.get())],
+                ),
                 hist_fam(
                     "parj_shard_imbalance_x1000",
-                    "Shard-load imbalance factor per plan execution, x1000 (1000 = balanced).",
+                    "Participant load imbalance per plan execution over the morsel \
+                     distribution, x1000 (1000 = balanced).",
                     &self.shard_imbalance,
+                ),
+                gauge_fam(
+                    "parj_pool_workers",
+                    "Worker threads owned by the persistent pool.",
+                    vec![plain(self.pool_workers.get())],
+                ),
+                gauge_fam(
+                    "parj_pool_queue_depth",
+                    "Pool jobs currently queued and accepting helpers.",
+                    vec![plain(self.pool_queue_depth.get())],
+                ),
+                counter_fam(
+                    "parj_pool_jobs_total",
+                    "Jobs submitted to the persistent pool.",
+                    vec![plain(self.pool_jobs.get())],
+                ),
+                counter_fam(
+                    "parj_pool_helper_joins_total",
+                    "Times an idle pool worker joined a job as a helper.",
+                    vec![plain(self.pool_helper_joins.get())],
+                ),
+                counter_fam(
+                    "parj_pool_busy_micros_total",
+                    "Microseconds pool workers spent running job bodies.",
+                    vec![plain(self.pool_busy_micros.get())],
+                ),
+                counter_fam(
+                    "parj_pool_park_micros_total",
+                    "Microseconds pool workers spent parked waiting for work.",
+                    vec![plain(self.pool_park_micros.get())],
+                ),
+                counter_fam(
+                    "parj_pool_panics_contained_total",
+                    "Participant panics contained by the pool worker loop.",
+                    vec![plain(self.pool_panics_contained.get())],
                 ),
                 counter_fam(
                     "parj_load_statements_total",
@@ -648,6 +753,40 @@ mod tests {
             snap.value("parj_cache_time_saved_micros_total", &[("phase", "cache_lookup")]),
             Some(0)
         );
+    }
+
+    #[test]
+    fn plan_exec_and_pool_feed_families() {
+        let m = EngineMetrics::new();
+        m.record_plan_exec(100, 1250, 7);
+        m.record_plan_exec(50, 1000, 3);
+        m.publish_pool(&PoolTotals {
+            workers: 4,
+            jobs: 9,
+            helper_joins: 20,
+            busy_micros: 1234,
+            park_micros: 5678,
+            queue_depth: 1,
+            panics_contained: 2,
+        });
+        let snap = m.snapshot();
+        assert_eq!(snap.value("parj_probe_rows_total", &[]), Some(150));
+        assert_eq!(snap.value("parj_exec_morsels_total", &[]), Some(10));
+        assert_eq!(snap.value("parj_pool_workers", &[]), Some(4));
+        assert_eq!(snap.value("parj_pool_jobs_total", &[]), Some(9));
+        assert_eq!(snap.value("parj_pool_helper_joins_total", &[]), Some(20));
+        assert_eq!(snap.value("parj_pool_busy_micros_total", &[]), Some(1234));
+        assert_eq!(snap.value("parj_pool_park_micros_total", &[]), Some(5678));
+        assert_eq!(snap.value("parj_pool_queue_depth", &[]), Some(1));
+        assert_eq!(snap.value("parj_pool_panics_contained_total", &[]), Some(2));
+        // Re-publishing replaces (the pool's totals are authoritative).
+        m.publish_pool(&PoolTotals {
+            workers: 4,
+            jobs: 11,
+            ..PoolTotals::default()
+        });
+        let snap = m.snapshot();
+        assert_eq!(snap.value("parj_pool_jobs_total", &[]), Some(11));
     }
 
     #[test]

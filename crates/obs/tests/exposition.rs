@@ -34,7 +34,7 @@ fn populated() -> EngineMetrics {
         0,
         &SearchTotals::default(),
     );
-    m.record_plan_exec(1_000, 1_250);
+    m.record_plan_exec(1_000, 1_250, 5);
     m.record_load(500, 3, 2_000, 65_536);
     m.set_store_memory(
         500,
@@ -66,6 +66,14 @@ fn prometheus_exposition_is_pinned() {
         ("parj_group_probes_total", "counter"),
         ("parj_probe_rows_total", "counter"),
         ("parj_shard_imbalance_x1000", "histogram"),
+        ("parj_exec_morsels_total", "counter"),
+        ("parj_pool_workers", "gauge"),
+        ("parj_pool_queue_depth", "gauge"),
+        ("parj_pool_jobs_total", "counter"),
+        ("parj_pool_helper_joins_total", "counter"),
+        ("parj_pool_busy_micros_total", "counter"),
+        ("parj_pool_park_micros_total", "counter"),
+        ("parj_pool_panics_contained_total", "counter"),
         ("parj_load_statements_total", "counter"),
         ("parj_load_micros_total", "counter"),
         ("parj_load_bytes_total", "counter"),
@@ -103,6 +111,7 @@ fn prometheus_exposition_is_pinned() {
         "parj_group_probes_total 4",
         "parj_probe_rows_total 1000",
         "parj_shard_imbalance_x1000_bucket{le=\"1250\"} 1",
+        "parj_exec_morsels_total 5",
         "parj_load_statements_total{result=\"loaded\"} 500",
         "parj_load_statements_total{result=\"skipped\"} 3",
         "parj_load_micros_total 2000",

@@ -28,7 +28,9 @@
 
 #[cfg(not(loom))]
 mod imp {
-    pub use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+    pub use parking_lot::{
+        Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+    };
     pub use std::sync::Arc;
 
     /// Atomic integer and flag types.
@@ -48,7 +50,10 @@ mod imp {
 
 #[cfg(loom)]
 mod imp {
-    pub use loom::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+    pub use loom::sync::{
+        Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
+        WaitTimeoutResult,
+    };
 
     /// Atomic integer and flag types (loom-instrumented).
     pub mod atomic {
@@ -86,6 +91,26 @@ mod tests {
         assert_eq!(*rw.read(), 5);
         *rw.write() = 6;
         assert_eq!(rw.into_inner(), 6);
+    }
+
+    #[test]
+    fn condvar_predicate_loop() {
+        let shared = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let s2 = Arc::clone(&shared);
+        let waiter = thread::spawn(move || {
+            let (m, cv) = &*s2;
+            let mut g = m.lock();
+            while *g != 7 {
+                g = cv.wait(g);
+            }
+            *g
+        });
+        {
+            let (m, cv) = &*shared;
+            *m.lock() = 7;
+            cv.notify_all();
+        }
+        assert_eq!(waiter.join().expect("waiter exits"), 7);
     }
 
     #[test]

@@ -69,14 +69,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    println!("\nLUBM9 shard balance (speedup bound by thread count):");
+    println!("\nLUBM9 morsel balance (speedup bound by thread count):");
     for threads in [1usize, 2, 4, 8, 16] {
-        let plans = engine.shard_loads(&lubm9.sparql, &RunOverrides::threads(threads))?;
+        let plans = engine.morsel_loads(&lubm9.sparql, &RunOverrides::threads(threads))?;
         let loads = &plans[0];
         let total: u64 = loads.iter().sum();
-        let max_shard = loads.iter().copied().max().unwrap_or(1);
-        let bound = total as f64 / (total as f64 / threads as f64).max(max_shard as f64);
-        println!("  {threads:>2} threads: {bound:.2}x over {} shards", loads.len());
+        let max_morsel = loads.iter().copied().max().unwrap_or(1);
+        let bound = total as f64 / (total as f64 / threads as f64).max(max_morsel as f64);
+        println!("  {threads:>2} threads: {bound:.2}x over {} morsels", loads.len());
     }
 
     // Full result handling: decode the selective star query's rows.

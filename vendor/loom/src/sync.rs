@@ -202,6 +202,92 @@ impl<T> Mutex<T> {
     }
 }
 
+/// Condition variable with schedule injection and a non-poisoning API,
+/// mirroring the workspace `parking_lot` vendor's consuming-guard
+/// signatures so shimmed code compiles unchanged in both modes.
+///
+/// The checker runs real OS threads under injected schedules, so the
+/// wait genuinely blocks on a `std` condvar; every entry and exit is a
+/// scheduling decision point. To surface missed-wakeup bugs as test
+/// failures rather than hangs, the modeled wait caps each block at a
+/// short real-time slice and returns — a spurious wakeup, which
+/// correct predicate loops must already tolerate.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+/// Whether a timed wait returned because the timeout elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Upper bound on one modeled blocking slice. Long enough that waits
+/// normally end by notification, short enough that a lost-wakeup bug
+/// degrades into busy re-polling (and an assertion failure) instead of
+/// a hung test run.
+const WAIT_SLICE: std::time::Duration = std::time::Duration::from_millis(10);
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Self {
+        Self {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Releases the lock and blocks until notified (or the modeled
+    /// slice expires — a spurious wakeup). Callers must re-check their
+    /// predicate in a loop, as with any condvar.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        sched::step();
+        let g = match self.inner.wait_timeout(guard, WAIT_SLICE) {
+            Ok((g, _)) => g,
+            Err(poisoned) => poisoned.into_inner().0,
+        };
+        sched::step();
+        g
+    }
+
+    /// Timed wait; the real timeout is capped by the modeled slice, so
+    /// `timed_out` reports true only for sub-slice timeouts that
+    /// genuinely elapsed.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        sched::step();
+        let (g, res) = match self.inner.wait_timeout(guard, timeout.min(WAIT_SLICE)) {
+            Ok((g, res)) => (g, res.timed_out() && timeout <= WAIT_SLICE),
+            Err(poisoned) => {
+                let (g, res) = poisoned.into_inner();
+                (g, res.timed_out() && timeout <= WAIT_SLICE)
+            }
+        };
+        sched::step();
+        (g, WaitTimeoutResult(res))
+    }
+
+    /// Wakes one waiter; a scheduling decision point.
+    pub fn notify_one(&self) {
+        sched::step();
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiter; a scheduling decision point.
+    pub fn notify_all(&self) {
+        sched::step();
+        self.inner.notify_all();
+    }
+}
+
 /// Reader-writer lock with schedule injection and a non-poisoning API.
 #[derive(Debug, Default)]
 pub struct RwLock<T> {

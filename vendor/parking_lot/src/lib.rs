@@ -124,6 +124,73 @@ impl<T> Mutex<T> {
     }
 }
 
+/// Condition variable with a non-poisoning interface.
+///
+/// The wait methods consume and return the guard (the `std` shape
+/// rather than upstream `parking_lot`'s `&mut` shape — the latter
+/// needs `unsafe` to implement over `std`, which this workspace
+/// forbids). The loom vendor mirrors this signature exactly so
+/// shimmed code is source-compatible in both modes.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+/// Whether a timed wait returned because the timeout elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Self {
+        Self {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Releases the lock and blocks until notified (never errors;
+    /// poison is cleared). Spurious wakeups are possible — callers
+    /// must re-check their predicate in a loop.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        match self.inner.wait(guard) {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Like [`Condvar::wait`] but also returns after `timeout`.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        match self.inner.wait_timeout(guard, timeout) {
+            Ok((g, res)) => (g, WaitTimeoutResult(res.timed_out())),
+            Err(poisoned) => {
+                let (g, res) = poisoned.into_inner();
+                (g, WaitTimeoutResult(res.timed_out()))
+            }
+        }
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +221,33 @@ mod tests {
         let m = Mutex::new(vec![1]);
         m.lock().push(2);
         assert_eq!(m.into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn condvar_handoff() {
+        let shared = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = std::sync::Arc::clone(&shared);
+        let waiter = std::thread::spawn(move || {
+            let (m, cv) = &*s2;
+            let mut g = m.lock();
+            while !*g {
+                g = cv.wait(g);
+            }
+        });
+        {
+            let (m, cv) = &*shared;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        waiter.join().expect("waiter exits");
+    }
+
+    #[test]
+    fn condvar_wait_timeout_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let g = m.lock();
+        let (_g, res) = cv.wait_timeout(g, std::time::Duration::from_millis(5));
+        assert!(res.timed_out());
     }
 }
