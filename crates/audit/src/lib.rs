@@ -19,7 +19,12 @@
 //! * [`audit_plan`] — plan-shape validation against a store (the
 //!   [`PhysicalPlan`] fields are public, so a plan mutated after
 //!   construction can drift out of shape);
-//! * [`audit_all`] — all of the above.
+//! * [`audit_delta`] — delta-overlay invariants plus merged-view
+//!   equivalence: the incremental `(CSR ∪ delta) − tombstones` view
+//!   must equal, as a triple multiset, a store rebuilt from scratch
+//!   out of the merged triples;
+//! * [`audit_all`] — every base-store check (the engine adds
+//!   [`audit_delta`] when its overlay is dirty).
 //!
 //! Every violation carries machine-readable coordinates (predicate,
 //! replica order, position) so a corrupt store can be localized without
@@ -30,7 +35,7 @@
 
 use parj_dict::{Dictionary, Id};
 use parj_join::{Atom, PhysicalPlan};
-use parj_store::{Replica, SortOrder, TripleStore};
+use parj_store::{DeltaOverlay, Replica, SortOrder, StoreBuilder, TripleStore};
 
 /// Where in the physical layout a violation was found.
 ///
@@ -593,6 +598,128 @@ pub fn audit_plan(plan: &PhysicalPlan, store: &TripleStore) -> AuditReport {
     report
 }
 
+/// Audits a delta overlay against its base store.
+///
+/// Two layers of checks:
+///
+/// 1. **Overlay invariants** (`delta.invariants`): every resident run
+///    is a well-formed partition, `add` runs are disjoint from the
+///    effective base, tombstones are subsets of it, and the cached net
+///    triple count is consistent — delegated to
+///    [`DeltaOverlay::check_invariants`].
+/// 2. **Merged-view equivalence**: the incremental
+///    `(CSR ∪ delta) − tombstones` view must equal, predicate by
+///    predicate and pair by pair, a store **rebuilt from scratch** out
+///    of the merged triples (through the folded dictionary). This is
+///    the oracle the whole incremental design answers to: probing the
+///    base plus overlay must be indistinguishable from having rebuilt.
+///    Any
+///    mismatch carries [`Coordinates`] naming the predicate and the
+///    first diverging sorted row.
+pub fn audit_delta(base: &TripleStore, overlay: &DeltaOverlay) -> AuditReport {
+    let mut report = AuditReport::default();
+
+    report.tick();
+    if let Err(e) = overlay.check_invariants(base) {
+        report.fail("delta.invariants", Coordinates::default(), e);
+        // With broken runs the merged iteration below is meaningless.
+        return report;
+    }
+
+    // From-scratch oracle: fold the dictionary delta, re-add every
+    // merged triple to a fresh builder, and build with the base's
+    // options so replica shapes are comparable.
+    let mut b = StoreBuilder::new();
+    {
+        let mut folded = base.dict().clone();
+        overlay.dict().fold_into(&mut folded);
+        *b.dict_mut() = folded;
+    }
+    for t in overlay.iter_merged_triples(base) {
+        b.add_encoded(t);
+    }
+    let rebuilt = b.build_with(base.options());
+
+    report.tick();
+    let merged_preds = overlay.num_predicates(base);
+    if rebuilt.num_predicates() != merged_preds {
+        report.fail(
+            "delta.predicate_count",
+            Coordinates::default(),
+            format!(
+                "merged view spans {merged_preds} predicates, rebuild has {}",
+                rebuilt.num_predicates()
+            ),
+        );
+    }
+
+    report.tick();
+    if overlay.visible_triples(base) != rebuilt.num_triples() {
+        report.fail(
+            "delta.visible_count",
+            Coordinates::default(),
+            format!(
+                "overlay reports {} visible triples, rebuild holds {}",
+                overlay.visible_triples(base),
+                rebuilt.num_triples()
+            ),
+        );
+    }
+
+    for pred in 0..merged_preds as Id {
+        let merged = overlay.merged_so_pairs(base, pred);
+
+        // The merged iteration must itself be strictly sorted — the
+        // executor's two-pointer probes rely on it, and it is what
+        // makes "multiset equal" checkable as "pairwise equal".
+        report.tick();
+        if let Some(i) = merged.windows(2).position(|w| w[0] >= w[1]) {
+            report.fail(
+                "delta.merged_sorted",
+                coords(pred, SortOrder::SO, i + 1),
+                format!(
+                    "merged pairs not strictly increasing: {:?} !< {:?}",
+                    merged[i],
+                    merged[i + 1]
+                ),
+            );
+            continue;
+        }
+
+        let from_rebuild: Vec<(Id, Id)> = rebuilt
+            .replica(pred, SortOrder::SO)
+            .map(|r| r.iter_pairs().collect())
+            .unwrap_or_default();
+        report.tick();
+        if merged.len() != from_rebuild.len() {
+            report.fail(
+                "delta.merged_cardinality",
+                Coordinates {
+                    predicate: Some(pred),
+                    order: None,
+                    position: None,
+                },
+                format!(
+                    "merged view has {} pairs, rebuild has {}",
+                    merged.len(),
+                    from_rebuild.len()
+                ),
+            );
+        } else if let Some(row) = (0..merged.len()).find(|&i| merged[i] != from_rebuild[i]) {
+            report.fail(
+                "delta.merged_multiset",
+                coords(pred, SortOrder::SO, row),
+                format!(
+                    "merged view and rebuild disagree at sorted row {row}: {:?} vs {:?}",
+                    merged[row], from_rebuild[row]
+                ),
+            );
+        }
+    }
+
+    report
+}
+
 /// Runs every audit — store structure, dictionary, snapshot round-trip.
 pub fn audit_all(store: &TripleStore) -> AuditReport {
     let mut report = audit_store(store);
@@ -697,6 +824,65 @@ mod tests {
         assert!(checks.contains(&"plan.predicate_exists"), "{report}");
         assert!(checks.contains(&"plan.var_range"), "{report}");
         assert!(checks.contains(&"plan.const_range"), "{report}");
+    }
+
+    #[test]
+    fn clean_delta_audits_clean() {
+        let s = store();
+        let mut ov = DeltaOverlay::new(&s);
+        // Tombstone one stored pair and insert one fresh pair on the
+        // first predicate.
+        let (ds, dobj) = s
+            .replica(0, SortOrder::SO)
+            .unwrap()
+            .iter_pairs()
+            .next()
+            .unwrap();
+        let universe = s.dict().num_resources() as Id;
+        let part = s.partition(0).unwrap();
+        let fresh = (0..universe)
+            .flat_map(|a| (0..universe).map(move |b| (a, b)))
+            .find(|&(a, b)| !part.contains(a, b))
+            .unwrap();
+        ov.apply_pred(&s, 0, &[fresh], &[(ds, dobj)]);
+        let report = audit_delta(&s, &ov);
+        assert!(report.is_clean(), "{report}");
+        assert!(report.checks_run >= 3);
+
+        // Compaction folds the runs into a replacement partition; the
+        // merged view must still match the from-scratch rebuild.
+        ov.compact_pred(&s, 0);
+        let report = audit_delta(&s, &ov);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn empty_overlay_audits_clean() {
+        let s = store();
+        let ov = DeltaOverlay::new(&s);
+        assert!(audit_delta(&s, &ov).is_clean());
+    }
+
+    #[test]
+    fn overlay_against_the_wrong_base_is_flagged() {
+        let s = store();
+        let mut ov = DeltaOverlay::new(&s);
+        let (ds, dobj) = s
+            .replica(0, SortOrder::SO)
+            .unwrap()
+            .iter_pairs()
+            .next()
+            .unwrap();
+        ov.apply_pred(&s, 0, &[], &[(ds, dobj)]);
+        assert!(audit_delta(&s, &ov).is_clean());
+
+        // Audit the same overlay against a base that never held the
+        // tombstoned triple: the subset invariant must localize it.
+        let other = StoreBuilder::new().build();
+        let report = audit_delta(&other, &ov);
+        assert!(!report.is_clean());
+        assert_eq!(report.violations[0].check, "delta.invariants");
+        assert!(report.violations[0].message.contains("tombstone"), "{report}");
     }
 
     #[test]

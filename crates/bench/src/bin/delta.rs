@@ -1,0 +1,7 @@
+//! Measures write throughput of the delta store: `mutate()` batches vs
+//! rebuild-per-batch on a large base. See EXPERIMENTS.md.
+fn main() {
+    let args = parj_bench::Args::parse(parj_bench::default_scale("delta"));
+    let (tables, json) = parj_bench::experiments::delta(&args);
+    parj_bench::write_outputs(&args.out, "delta", &tables, json);
+}

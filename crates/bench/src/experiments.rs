@@ -6,7 +6,7 @@
 //! paper-vs-measured analysis of each artifact.
 
 use parj_baseline::{BaselineEngine, HashJoinEngine, MergeJoinEngine};
-use parj_core::{Parj, ProbeStrategy, RunOverrides};
+use parj_core::{Parj, ProbeStrategy, RunOverrides, Term};
 use parj_datagen::{lubm, watdiv, NamedQuery};
 use serde_json::json;
 
@@ -770,6 +770,169 @@ pub fn load_throughput(args: &Args) -> (Vec<Table>, serde_json::Value) {
             "hardware_available_parallelism":
                 std::thread::available_parallelism().map_or(1, |n| n.get()),
             "rows": json_rows,
+        }),
+    )
+}
+
+/// Write throughput of the delta store: small `mutate()` batches landing
+/// in the per-predicate delta overlay vs the legacy rebuild-per-batch
+/// path (re-stage the whole store, then rebuild CSR replicas and
+/// statistics), both against the same large LUBM base. The second table
+/// measures the read-side cost of a resident delta: a predicate scan
+/// through the merged (base ∪ delta) view against the same scan after
+/// folding.
+pub fn delta(args: &Args) -> (Vec<Table>, serde_json::Value) {
+    let mut delta_engine = lubm_engine(args.scale, args.engine_config());
+    let mut rebuild_engine = lubm_engine(args.scale, args.engine_config());
+    let base_triples = delta_engine.num_triples();
+    assert_eq!(rebuild_engine.num_triples(), base_triples);
+    let pred = format!("{}emailAddress", lubm::NS);
+
+    // Fresh-subject insert batches; `tag` keeps the two engines' key
+    // spaces disjoint so every applied triple is a real insert.
+    let batch_terms = |tag: &str, batch: usize, size: usize| -> Vec<(Term, Term, Term)> {
+        (0..size)
+            .map(|i| {
+                (
+                    Term::iri(format!("http://delta.example/{tag}/b{batch}/s{i}")),
+                    Term::iri(pred.clone()),
+                    Term::literal(format!("addr-{batch}-{i}")),
+                )
+            })
+            .collect()
+    };
+    let batch_nt = |tag: &str, batch: usize, size: usize| -> String {
+        (0..size)
+            .map(|i| {
+                format!(
+                    "<http://delta.example/{tag}/b{batch}/s{i}> <{pred}> \"addr-{batch}-{i}\" .\n"
+                )
+            })
+            .collect()
+    };
+
+    // Full rebuilds are seconds each at this scale; cap their
+    // repetitions so the sweep stays bounded.
+    let rebuild_runs = args.runs.clamp(1, 2);
+
+    let mut write_table = Table::new(
+        format!(
+            "Delta write throughput — mutate() vs rebuild-per-batch (LUBM U={}, {} base triples)",
+            args.scale, base_triples
+        ),
+        &["mutate() ms", "rebuild ms", "speedup", "µs/triple (mutate)"],
+    );
+    let mut json_rows = Vec::new();
+    let mut delta_batches = 0usize;
+    let mut rebuild_batches = 0usize;
+    let mut delta_expected = base_triples;
+    let mut rebuild_expected = base_triples;
+    let mut compactions_total = 0u64;
+    for batch_size in [10usize, 100, 1000] {
+        let mut last_outcome = None;
+        let m_delta = measure_ms(args.runs, || {
+            let out = delta_engine
+                .mutate()
+                .insert_all(batch_terms("d", delta_batches, batch_size))
+                .run()
+                .expect("mutation batch applies");
+            assert_eq!(out.inserted as usize, batch_size, "all fresh subjects insert");
+            delta_batches += 1;
+            compactions_total += out.compactions;
+            last_outcome = Some(out);
+        });
+        let out = last_outcome.expect("at least one batch ran");
+        delta_expected += (args.runs.max(1) + 1) * batch_size; // runs + warm-up
+
+        let mut rebuilt_triples = 0;
+        let m_rebuild = measure_ms(rebuild_runs, || {
+            let nt = batch_nt("r", rebuild_batches, batch_size);
+            rebuild_engine
+                .load_ntriples_str(&nt)
+                .expect("batch parses");
+            rebuilt_triples = rebuild_engine.num_triples(); // forces the full rebuild
+            rebuild_batches += 1;
+        });
+
+        let speedup = m_rebuild.avg_ms / m_delta.avg_ms.max(1e-6);
+        write_table.row(
+            format!("batch of {batch_size}"),
+            vec![
+                fmt_ms(m_delta.avg_ms),
+                fmt_ms(m_rebuild.avg_ms),
+                format!("{speedup:.0}x"),
+                format!("{:.1}", m_delta.avg_ms * 1000.0 / batch_size as f64),
+            ],
+        );
+        json_rows.push(json!({
+            "batch_size": batch_size,
+            "delta_avg_ms": m_delta.avg_ms, "delta_min_ms": m_delta.min_ms,
+            "rebuild_avg_ms": m_rebuild.avg_ms, "rebuild_min_ms": m_rebuild.min_ms,
+            "rebuild_runs": rebuild_runs,
+            "speedup": speedup,
+            "delta_resident_pairs_after": out.delta_resident_pairs,
+            "delta_bytes_after": out.delta_bytes,
+        }));
+        rebuild_expected += (rebuild_runs + 1) * batch_size; // runs + warm-up
+        assert_eq!(
+            rebuilt_triples, rebuild_expected,
+            "rebuild engine sees every staged triple"
+        );
+    }
+    assert_eq!(
+        delta_engine.num_triples(),
+        delta_expected,
+        "merged view sees every mutated triple"
+    );
+
+    // Read-side overhead: the same predicate scan with the delta
+    // resident, then after folding it into a fresh store build.
+    let scan = format!("SELECT ?s ?o WHERE {{ ?s <{pred}> ?o }}");
+    let mut resident_count = 0;
+    let m_resident = measure_ms(args.runs, || {
+        resident_count = delta_engine
+            .request(&scan)
+            .count_only()
+            .run()
+            .expect("scan runs")
+            .count;
+    });
+    delta_engine
+        .load_ntriples_str("")
+        .expect("empty stage folds the delta");
+    let mut folded_count = 0;
+    let m_folded = measure_ms(args.runs, || {
+        folded_count = delta_engine
+            .request(&scan)
+            .count_only()
+            .run()
+            .expect("scan runs")
+            .count;
+    });
+    assert_eq!(resident_count, folded_count, "folding must not change answers");
+
+    let mut read_table = Table::new(
+        format!("Predicate-scan cost with delta resident vs folded ({resident_count} results)"),
+        &["scan ms"],
+    );
+    read_table.row("delta resident", vec![fmt_ms(m_resident.avg_ms)]);
+    read_table.row("folded (compacted)", vec![fmt_ms(m_folded.avg_ms)]);
+
+    (
+        vec![write_table, read_table],
+        json!({
+            "experiment": "delta", "dataset": "lubm",
+            "scale_universities": args.scale, "base_triples": base_triples,
+            "runs": args.runs, "threads": args.threads,
+            "hardware_available_parallelism":
+                std::thread::available_parallelism().map_or(1, |n| n.get()),
+            "rows": json_rows,
+            "compactions_total": compactions_total,
+            "read_overhead": {
+                "scan_results": resident_count,
+                "resident_avg_ms": m_resident.avg_ms,
+                "folded_avg_ms": m_folded.avg_ms,
+            },
         }),
     )
 }

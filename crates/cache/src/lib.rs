@@ -17,17 +17,34 @@
 //!
 //! ## Generation-safe invalidation
 //!
-//! The store is immutable between finalizes, so cache coherence reduces
-//! to one monotonic counter: the [`GenerationCounter`] is bumped
-//! (release) every time the engine publishes a rebuilt store, every
-//! entry is stamped with the generation it was computed under, and
-//! [`ShardedLru::lookup`] refuses (and lazily removes) entries whose
-//! stamp differs from the generation the caller read (acquire) at the
-//! start of its request. A stale entry is therefore *never* served: a
-//! reader either sees the new generation number (and misses) or the old
-//! store (and the old entry is still the right answer). The
-//! `loom_cache` model in this crate's test suite checks that protocol
-//! under exhaustive schedule injection.
+//! Full store rebuilds reduce cache coherence to one monotonic counter:
+//! the [`GenerationCounter`] is bumped (release) every time the engine
+//! publishes a rebuilt store, every entry is stamped with the
+//! generation it was computed under, and [`ShardedLru::lookup`] refuses
+//! (and lazily removes) entries whose stamp differs from the generation
+//! the caller read (acquire) at the start of its request. A stale entry
+//! is therefore *never* served: a reader either sees the new generation
+//! number (and misses) or the old store (and the old entry is still the
+//! right answer). The `loom_cache` model in this crate's test suite
+//! checks that protocol under exhaustive schedule injection.
+//!
+//! ## Per-predicate epochs (incremental mutations)
+//!
+//! Delta-store mutations do not rebuild the store, so bumping the
+//! generation for every write batch would throw away *every* cached
+//! answer even when the batch touched a single predicate. Instead the
+//! [`QueryCache`] keeps a monotonic **epoch per predicate id**: a write
+//! batch calls [`QueryCache::bump_predicates`] with exactly the
+//! predicates it touched, and every entry is additionally stamped with
+//! the **epoch sum** over the predicates its query reads (computed by
+//! the engine via [`QueryCache::epoch_sum`]). Because epochs only grow,
+//! any write to any predicate a cached query depends on changes that
+//! query's epoch sum, so the entry stops matching and is lazily
+//! removed — while entries whose predicate set is disjoint from the
+//! write keep serving hits. Sums (rather than e.g. hashes of epoch
+//! vectors) are safe for the same reason the generation counter is:
+//! they are monotone in every coordinate, so distinct states a single
+//! query can observe never collide.
 //!
 //! This crate is deliberately engine-agnostic: it knows nothing about
 //! metrics, SPARQL, or the dictionary. `parj-core` computes
@@ -94,6 +111,9 @@ struct Entry<V> {
     value: V,
     /// Store generation the value was computed under.
     generation: u64,
+    /// Sum of the per-predicate epochs (over the predicates the cached
+    /// query reads) at the time the value was computed.
+    epoch_sum: u64,
     /// Charged size in bytes (key + payload estimate).
     cost: usize,
     /// Recency stamp: larger = more recently used.
@@ -178,29 +198,31 @@ impl<V: Clone> ShardedLru<V> {
     }
 
     /// Looks up `key`, serving only values stamped with exactly
-    /// `generation`. A present-but-stale entry (stamped with an
-    /// *older* generation) is removed and reported as a miss — stale
-    /// answers are never returned. An entry stamped with a *newer*
-    /// generation is kept but not served: a probe carrying an old
-    /// generation (impossible in the engine, whose borrow rules pin a
-    /// request's generation for its whole run, but reachable in
-    /// adversarial models) must not evict fresh work.
-    pub fn lookup(&self, key: &[u8], generation: u64) -> Option<V> {
+    /// `generation` *and* exactly `epoch_sum` (the caller's sum of
+    /// per-predicate epochs over the query's predicate set). A
+    /// present-but-stale entry (older on either axis) is removed and
+    /// reported as a miss — stale answers are never returned. An entry
+    /// stamped *newer* on either axis is kept but not served: a probe
+    /// carrying an old stamp (impossible in the engine, whose borrow
+    /// rules pin a request's generation and epochs for its whole run,
+    /// but reachable in adversarial models) must not evict fresh work.
+    pub fn lookup(&self, key: &[u8], generation: u64, epoch_sum: u64) -> Option<V> {
         let mut shard = self.shard_for(key).lock();
         shard.clock += 1;
         let tick = shard.clock;
         match shard.map.get_mut(key) {
             None => return None,
-            Some(e) if e.generation == generation => {
+            Some(e) if e.generation == generation && e.epoch_sum == epoch_sum => {
                 e.tick = tick;
                 return Some(e.value.clone());
             }
-            Some(e) if e.generation > generation => return None,
+            Some(e) if e.generation > generation || e.epoch_sum > epoch_sum => {
+                return None
+            }
             Some(_) => {}
         }
-        // Present but stamped with an older generation: remove it so
-        // the budget is not held by unservable entries, and report a
-        // miss.
+        // Present but stamped older on some axis: remove it so the
+        // budget is not held by unservable entries, and report a miss.
         if let Some(e) = shard.map.remove(key) {
             shard.bytes -= e.cost.min(shard.bytes);
         }
@@ -208,12 +230,19 @@ impl<V: Clone> ShardedLru<V> {
     }
 
     /// Inserts `value` under `key`, stamped with `generation` and
-    /// charged `cost` bytes. Evicts least-recently-used entries from
-    /// the target shard until the entry fits; an entry whose cost
-    /// exceeds a whole shard's budget is skipped (not cached) rather
-    /// than evicting everything for one oversized tenant. Returns the
-    /// number of entries evicted.
-    pub fn insert(&self, key: Vec<u8>, value: V, cost: usize, generation: u64) -> u64 {
+    /// `epoch_sum` and charged `cost` bytes. Evicts
+    /// least-recently-used entries from the target shard until the
+    /// entry fits; an entry whose cost exceeds a whole shard's budget
+    /// is skipped (not cached) rather than evicting everything for one
+    /// oversized tenant. Returns the number of entries evicted.
+    pub fn insert(
+        &self,
+        key: Vec<u8>,
+        value: V,
+        cost: usize,
+        generation: u64,
+        epoch_sum: u64,
+    ) -> u64 {
         let cost = cost.max(key.len());
         if cost > self.shard_budget {
             return 0;
@@ -226,7 +255,9 @@ impl<V: Clone> ShardedLru<V> {
         shard.clock += 1;
         let tick = shard.clock;
         shard.bytes += cost;
-        shard.map.insert(key, Entry { value, generation, cost, tick });
+        shard
+            .map
+            .insert(key, Entry { value, generation, epoch_sum, cost, tick });
         evicted
     }
 
@@ -311,11 +342,15 @@ impl ResultEntry {
     }
 }
 
-/// The engine-facing bundle: one generation counter governing a plan
-/// cache and a result cache.
+/// The engine-facing bundle: one generation counter and one
+/// per-predicate epoch table governing a plan cache and a result cache.
 #[derive(Debug)]
 pub struct QueryCache {
     generation: GenerationCounter,
+    /// Monotonic epoch per predicate id, bumped by delta-store write
+    /// batches for exactly the predicates they touch. Sparse: a
+    /// predicate absent from the map has epoch 0.
+    pred_epochs: Mutex<HashMap<u32, u64>>,
     /// Plans are tiny; give them a slice of the budget with a floor so
     /// a small result budget cannot starve plan reuse.
     plan: ShardedLru<PlanEntry>,
@@ -328,6 +363,7 @@ impl QueryCache {
         let plan_budget = (result_budget_bytes / 16).max(1 << 20);
         QueryCache {
             generation: GenerationCounter::new(),
+            pred_epochs: Mutex::new(HashMap::new()),
             plan: ShardedLru::new(plan_budget),
             result: ShardedLru::new(result_budget_bytes),
         }
@@ -340,9 +376,52 @@ impl QueryCache {
 
     /// Bumps the store generation after a rebuilt store is published.
     /// Existing entries become unservable immediately (checked on
-    /// lookup) and are reclaimed lazily.
+    /// lookup) and are reclaimed lazily. Also clears the per-predicate
+    /// epoch table: a rebuild invalidates everything, so fresh entries
+    /// may start again from epoch-sum zero.
     pub fn bump_generation(&self) -> u64 {
-        self.generation.bump()
+        // Order matters for correctness under concurrent readers: the
+        // generation bump must land *after* the epoch clear, so a
+        // reader that still observes the old generation also observes
+        // the old (non-cleared) epochs via the mutex, and a reader
+        // that observes the new generation can only hit entries
+        // stamped with it — which were inserted after this point.
+        let mut epochs = self.pred_epochs.lock();
+        epochs.clear();
+        let g = self.generation.bump();
+        drop(epochs);
+        g
+    }
+
+    /// Sum of the current epochs of `preds` (predicate ids; callers
+    /// pass the deduplicated set of concrete predicates a query
+    /// reads). Monotone in every coordinate, so two states a query can
+    /// distinguish never share a sum.
+    pub fn epoch_sum(&self, preds: &[u32]) -> u64 {
+        let epochs = self.pred_epochs.lock();
+        preds
+            .iter()
+            .map(|p| epochs.get(p).copied().unwrap_or(0))
+            .sum()
+    }
+
+    /// Bumps the epoch of every predicate in `preds` (deduplicated
+    /// defensively: a repeated id is bumped once). Returns the number
+    /// of distinct predicates bumped — the per-batch invalidation
+    /// count the observability layer reports.
+    pub fn bump_predicates(&self, preds: &[u32]) -> u64 {
+        let mut epochs = self.pred_epochs.lock();
+        let mut bumped = 0u64;
+        let mut seen: Vec<u32> = Vec::with_capacity(preds.len());
+        for &p in preds {
+            if seen.contains(&p) {
+                continue;
+            }
+            seen.push(p);
+            *epochs.entry(p).or_insert(0) += 1;
+            bumped += 1;
+        }
+        bumped
     }
 
     /// The plan cache.
@@ -363,10 +442,10 @@ mod tests {
     #[test]
     fn lookup_roundtrip_and_miss() {
         let lru: ShardedLru<u32> = ShardedLru::new(1 << 20);
-        assert_eq!(lru.lookup(b"k1", 0), None);
-        lru.insert(b"k1".to_vec(), 7, 100, 0);
-        assert_eq!(lru.lookup(b"k1", 0), Some(7));
-        assert_eq!(lru.lookup(b"k2", 0), None);
+        assert_eq!(lru.lookup(b"k1", 0, 0), None);
+        lru.insert(b"k1".to_vec(), 7, 100, 0, 0);
+        assert_eq!(lru.lookup(b"k1", 0, 0), Some(7));
+        assert_eq!(lru.lookup(b"k2", 0, 0), None);
         assert_eq!(lru.len(), 1);
         assert!(lru.resident_bytes() >= 100);
     }
@@ -374,11 +453,11 @@ mod tests {
     #[test]
     fn stale_generation_never_served() {
         let lru: ShardedLru<u32> = ShardedLru::new(1 << 20);
-        lru.insert(b"k".to_vec(), 1, 64, 0);
+        lru.insert(b"k".to_vec(), 1, 64, 0, 0);
         // Newer reader: entry is stale, removed, not served.
-        assert_eq!(lru.lookup(b"k", 1), None);
+        assert_eq!(lru.lookup(b"k", 1, 0), None);
         // And it is really gone, not hidden.
-        assert_eq!(lru.lookup(b"k", 0), None);
+        assert_eq!(lru.lookup(b"k", 0, 0), None);
         assert_eq!(lru.len(), 0);
         assert_eq!(lru.resident_bytes(), 0);
     }
@@ -386,11 +465,11 @@ mod tests {
     #[test]
     fn stale_probe_does_not_evict_fresh_entry() {
         let lru: ShardedLru<u32> = ShardedLru::new(1 << 20);
-        lru.insert(b"k".to_vec(), 2, 64, 1);
+        lru.insert(b"k".to_vec(), 2, 64, 1, 0);
         // A probe carrying an older generation misses but must leave
         // the current-generation entry in place.
-        assert_eq!(lru.lookup(b"k", 0), None);
-        assert_eq!(lru.lookup(b"k", 1), Some(2));
+        assert_eq!(lru.lookup(b"k", 0, 0), None);
+        assert_eq!(lru.lookup(b"k", 1, 0), Some(2));
         assert_eq!(lru.len(), 1);
     }
 
@@ -413,36 +492,36 @@ mod tests {
             }
         }
         assert_eq!(same.len(), 3);
-        lru.insert(same[0].clone(), 0, 100, 0);
-        lru.insert(same[1].clone(), 1, 100, 0);
+        lru.insert(same[0].clone(), 0, 100, 0, 0);
+        lru.insert(same[1].clone(), 1, 100, 0, 0);
         // Touch entry 0 so entry 1 is the LRU victim.
-        assert_eq!(lru.lookup(&same[0], 0), Some(0));
-        let evicted = lru.insert(same[2].clone(), 2, 100, 0);
+        assert_eq!(lru.lookup(&same[0], 0, 0), Some(0));
+        let evicted = lru.insert(same[2].clone(), 2, 100, 0, 0);
         assert_eq!(evicted, 1);
-        assert_eq!(lru.lookup(&same[0], 0), Some(0));
-        assert_eq!(lru.lookup(&same[1], 0), None);
-        assert_eq!(lru.lookup(&same[2], 0), Some(2));
+        assert_eq!(lru.lookup(&same[0], 0, 0), Some(0));
+        assert_eq!(lru.lookup(&same[1], 0, 0), None);
+        assert_eq!(lru.lookup(&same[2], 0, 0), Some(2));
     }
 
     #[test]
     fn oversized_entry_is_skipped() {
         let lru: ShardedLru<u32> = ShardedLru::new(CACHE_SHARDS * 128);
-        lru.insert(b"small".to_vec(), 1, 64, 0);
-        let evicted = lru.insert(b"huge".to_vec(), 2, 4096, 0);
+        lru.insert(b"small".to_vec(), 1, 64, 0, 0);
+        let evicted = lru.insert(b"huge".to_vec(), 2, 4096, 0, 0);
         assert_eq!(evicted, 0);
-        assert_eq!(lru.lookup(b"huge", 0), None);
+        assert_eq!(lru.lookup(b"huge", 0, 0), None);
         // The small resident entry survived the oversized offer.
-        assert_eq!(lru.lookup(b"small", 0), Some(1));
+        assert_eq!(lru.lookup(b"small", 0, 0), Some(1));
     }
 
     #[test]
     fn reinsert_replaces_and_reaccounts() {
         let lru: ShardedLru<u32> = ShardedLru::new(1 << 20);
-        lru.insert(b"k".to_vec(), 1, 100, 0);
-        lru.insert(b"k".to_vec(), 2, 200, 0);
+        lru.insert(b"k".to_vec(), 1, 100, 0, 0);
+        lru.insert(b"k".to_vec(), 2, 200, 0, 0);
         assert_eq!(lru.len(), 1);
         assert_eq!(lru.resident_bytes(), 200);
-        assert_eq!(lru.lookup(b"k", 0), Some(2));
+        assert_eq!(lru.lookup(b"k", 0, 0), Some(2));
     }
 
     #[test]
@@ -455,17 +534,81 @@ mod tests {
     }
 
     #[test]
+    fn stale_epoch_sum_never_served() {
+        let lru: ShardedLru<u32> = ShardedLru::new(1 << 20);
+        lru.insert(b"k".to_vec(), 9, 64, 0, 3);
+        // Same generation, advanced epoch sum: stale, removed.
+        assert_eq!(lru.lookup(b"k", 0, 4), None);
+        assert_eq!(lru.lookup(b"k", 0, 3), None);
+        assert_eq!(lru.len(), 0);
+    }
+
+    #[test]
+    fn stale_epoch_probe_does_not_evict_fresh_entry() {
+        let lru: ShardedLru<u32> = ShardedLru::new(1 << 20);
+        lru.insert(b"k".to_vec(), 9, 64, 0, 5);
+        assert_eq!(lru.lookup(b"k", 0, 2), None);
+        assert_eq!(lru.lookup(b"k", 0, 5), Some(9));
+    }
+
+    #[test]
+    fn predicate_epochs_bump_and_sum() {
+        let qc = QueryCache::new(1 << 20);
+        assert_eq!(qc.epoch_sum(&[1, 2, 3]), 0);
+        // Duplicates in a batch count once.
+        assert_eq!(qc.bump_predicates(&[1, 2, 2]), 2);
+        assert_eq!(qc.epoch_sum(&[1]), 1);
+        assert_eq!(qc.epoch_sum(&[1, 2]), 2);
+        // A disjoint predicate set is untouched.
+        assert_eq!(qc.epoch_sum(&[3, 4]), 0);
+        assert_eq!(qc.bump_predicates(&[1]), 1);
+        assert_eq!(qc.epoch_sum(&[1, 2, 3]), 3);
+    }
+
+    #[test]
+    fn per_predicate_invalidation_spares_disjoint_entries() {
+        let qc = QueryCache::new(1 << 20);
+        let e = |n| ResultEntry { value: CachedResult::Count(n), exec_micros: 1 };
+        let gen_now = qc.store_generation();
+        // Query A reads predicate 1; query B reads predicate 7.
+        let sum_a = qc.epoch_sum(&[1]);
+        let sum_b = qc.epoch_sum(&[7]);
+        qc.results().insert(b"qa".to_vec(), e(1), 96, gen_now, sum_a);
+        qc.results().insert(b"qb".to_vec(), e(2), 96, gen_now, sum_b);
+        // A write batch touching predicate 1 only.
+        qc.bump_predicates(&[1]);
+        // Query A's stamp no longer matches; query B still hits.
+        assert!(qc
+            .results()
+            .lookup(b"qa", gen_now, qc.epoch_sum(&[1]))
+            .is_none());
+        assert!(qc
+            .results()
+            .lookup(b"qb", gen_now, qc.epoch_sum(&[7]))
+            .is_some());
+    }
+
+    #[test]
+    fn generation_bump_resets_predicate_epochs() {
+        let qc = QueryCache::new(1 << 20);
+        qc.bump_predicates(&[1, 2]);
+        assert_eq!(qc.epoch_sum(&[1, 2]), 2);
+        qc.bump_generation();
+        assert_eq!(qc.epoch_sum(&[1, 2]), 0);
+    }
+
+    #[test]
     fn query_cache_bundle_wires_both_tiers() {
         let qc = QueryCache::new(1 << 20);
         assert_eq!(qc.store_generation(), 0);
         let entry = ResultEntry { value: CachedResult::Count(42), exec_micros: 10 };
         let cost = entry.cost();
-        qc.results().insert(b"f".to_vec(), entry, cost, 0);
-        match qc.results().lookup(b"f", 0) {
+        qc.results().insert(b"f".to_vec(), entry, cost, 0, 0);
+        match qc.results().lookup(b"f", 0, 0) {
             Some(ResultEntry { value: CachedResult::Count(42), .. }) => {}
             other => panic!("unexpected {other:?}"),
         }
         qc.bump_generation();
-        assert!(qc.results().lookup(b"f", 1).is_none());
+        assert!(qc.results().lookup(b"f", 1, 0).is_none());
     }
 }

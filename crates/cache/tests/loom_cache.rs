@@ -30,14 +30,14 @@ fn loom_lookup_never_crosses_a_generation_bump() {
         let gen: Arc<GenerationCounter> = Arc::new(GenerationCounter::default());
         let g0 = gen.store_generation();
 
-        lru.insert(b"q".to_vec(), 100, 64, g0);
+        lru.insert(b"q".to_vec(), 100, 64, g0, 0);
 
         let writer = {
             let lru = Arc::clone(&lru);
             let gen = Arc::clone(&gen);
             thread::spawn(move || {
                 let g1 = gen.bump();
-                lru.insert(b"q".to_vec(), 200, 64, g1);
+                lru.insert(b"q".to_vec(), 200, 64, g1, 0);
             })
         };
 
@@ -48,7 +48,7 @@ fn loom_lookup_never_crosses_a_generation_bump() {
                 // The engine's request path: one generation read, then
                 // a probe stamped with it.
                 let g = gen.store_generation();
-                if let Some(v) = lru.lookup(b"q", g) {
+                if let Some(v) = lru.lookup(b"q", g, 0) {
                     if g == g0 {
                         assert_eq!(v, 100, "stale-generation value served");
                     } else {
@@ -64,8 +64,58 @@ fn loom_lookup_never_crosses_a_generation_bump() {
         // After the bump has fully published, a current-generation
         // probe sees exactly the new value and a stale probe nothing.
         let g1 = gen.store_generation();
-        assert_eq!(lru.lookup(b"q", g1), Some(200));
-        assert_eq!(lru.lookup(b"q", g0), None);
+        assert_eq!(lru.lookup(b"q", g1, 0), Some(200));
+        assert_eq!(lru.lookup(b"q", g0, 0), None);
+    });
+}
+
+/// The per-predicate epoch half of the protocol: a write batch bumps
+/// the epochs of the predicates it touched *after* publishing its
+/// delta; a reader sums the epochs of its query's predicates once and
+/// probes with the sum. Under every interleaving, a probe stamped with
+/// the pre-bump sum must never serve a value inserted under the
+/// post-bump sum and vice versa.
+#[test]
+fn loom_lookup_never_crosses_a_predicate_epoch_bump() {
+    use parj_cache::{CachedResult, QueryCache, ResultEntry};
+
+    fn count(v: u64) -> ResultEntry {
+        ResultEntry { value: CachedResult::Count(v), exec_micros: 0 }
+    }
+
+    loom::model(|| {
+        let qc: Arc<QueryCache> = Arc::new(QueryCache::new(1 << 16));
+        let e0 = qc.epoch_sum(&[1]);
+        qc.results().insert(b"q".to_vec(), count(100), 96, 0, e0);
+
+        let writer = {
+            let qc = Arc::clone(&qc);
+            thread::spawn(move || {
+                let e1 = e0 + qc.bump_predicates(&[1]);
+                qc.results().insert(b"q".to_vec(), count(200), 96, 0, e1);
+            })
+        };
+
+        let reader = {
+            let qc = Arc::clone(&qc);
+            thread::spawn(move || {
+                let e = qc.epoch_sum(&[1]);
+                if let Some(entry) = qc.results().lookup(b"q", 0, e) {
+                    let CachedResult::Count(v) = entry.value else {
+                        panic!("unexpected cached shape");
+                    };
+                    let want = if e == e0 { 100 } else { 200 };
+                    assert_eq!(v, want, "value from a mismatched epoch");
+                }
+            })
+        };
+
+        writer.join().unwrap();
+        reader.join().unwrap();
+
+        let e1 = qc.epoch_sum(&[1]);
+        assert!(qc.results().lookup(b"q", 0, e1).is_some());
+        assert!(qc.results().lookup(b"q", 0, e0).is_none());
     });
 }
 

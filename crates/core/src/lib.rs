@@ -64,6 +64,7 @@ mod fingerprint;
 mod hierarchy;
 mod error;
 mod loader;
+mod mutate;
 mod request;
 mod result;
 mod shared;
@@ -73,6 +74,7 @@ pub use engine::{EngineConfig, Parj, ParjBuilder, RunOverrides};
 pub use error::ParjError;
 pub use fingerprint::{canonicalize_query, query_fingerprint};
 pub use hierarchy::{Hierarchy, RDFS_SUBCLASSOF, RDFS_SUBPROPERTYOF, RDF_TYPE};
+pub use mutate::{MutationOutcome, MutationPhases, MutationRequest};
 pub use request::{QueryOutcome, QueryRequest};
 pub use result::{CacheStatus, PhaseTimings, QueryResult, QueryRunStats};
 pub use shared::SharedParj;
@@ -80,8 +82,8 @@ pub use translate::{TranslatedQuery, Translation};
 
 // Deep structural auditing (the `parj-audit` substrate).
 pub use parj_audit::{
-    audit_all, audit_dictionary, audit_plan, audit_snapshot_roundtrip, audit_store, AuditReport,
-    Coordinates, Violation,
+    audit_all, audit_delta, audit_dictionary, audit_plan, audit_snapshot_roundtrip, audit_store,
+    AuditReport, Coordinates, Violation,
 };
 
 // Observability vocabulary (the `parj-obs` substrate).

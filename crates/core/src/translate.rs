@@ -13,7 +13,7 @@
 //! queries"): one pattern set per assignment of the predicate variables,
 //! capped to keep pathological queries from exploding.
 
-use parj_dict::{Dictionary, Id};
+use parj_dict::{DictView, Id};
 use parj_join::{Atom, VarId};
 use parj_optimizer::Pattern;
 use parj_sparql::{ParsedQuery, STerm};
@@ -79,11 +79,13 @@ pub enum Translation {
     Run(TranslatedQuery),
 }
 
-/// Translates `query` against `dict`, optionally expanding RDFS
-/// hierarchies (see [`crate::Hierarchy`]).
+/// Translates `query` against `dict` — a [`DictView`] over the base
+/// dictionary plus any pending mutation-delta terms, so constants
+/// introduced by incremental writes resolve exactly like loaded ones —
+/// optionally expanding RDFS hierarchies (see [`crate::Hierarchy`]).
 pub fn translate(
     query: &ParsedQuery,
-    dict: &Dictionary,
+    dict: DictView<'_>,
     hierarchy: Option<&crate::hierarchy::Hierarchy>,
 ) -> Result<Translation, ParjError> {
     let proj_names = query.effective_projection();
@@ -365,6 +367,8 @@ mod tests {
     use parj_dict::Term;
     use parj_sparql::parse_query;
 
+    use parj_dict::Dictionary;
+
     fn dict() -> Dictionary {
         let mut d = Dictionary::new();
         for r in ["http://e/a", "http://e/b", "http://e/c"] {
@@ -377,7 +381,8 @@ mod tests {
     }
 
     fn run(src: &str) -> Translation {
-        translate(&parse_query(src).unwrap(), &dict(), None).unwrap()
+        let d = dict();
+        translate(&parse_query(src).unwrap(), DictView::base(&d), None).unwrap()
     }
 
     #[test]
@@ -437,12 +442,12 @@ mod tests {
     fn rejects_pred_var_misuse() {
         let q = parse_query("SELECT ?p WHERE { ?x ?p ?y }").unwrap();
         assert!(matches!(
-            translate(&q, &dict(), None),
+            translate(&q, DictView::base(&dict()), None),
             Err(ParjError::Unsupported(_))
         ));
         let q = parse_query("SELECT ?x WHERE { ?x ?p ?y . ?p <http://e/q> ?z }").unwrap();
         assert!(matches!(
-            translate(&q, &dict(), None),
+            translate(&q, DictView::base(&dict()), None),
             Err(ParjError::Unsupported(_))
         ));
     }

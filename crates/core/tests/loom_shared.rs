@@ -5,8 +5,12 @@
 //! in the second model, panics mid-update); on every schedule readers
 //! must see a finalized engine — either the pre-update or post-update
 //! triple count, never `ParjError::NotFinalized` and never a torn
-//! state.
+//! state. The third model checks the same atomicity for the delta
+//! write path: a `mutate()` batch publishes all-or-nothing.
 #![cfg(loom)]
+// The first two models deliberately drive the deprecated shims: their
+// publication contract must hold for as long as the shims exist.
+#![allow(deprecated)]
 
 use parj_core::{Parj, ParjError, SharedParj, Term};
 use parj_sync::thread;
@@ -78,5 +82,39 @@ fn loom_panicking_update_still_finalizes() {
         });
         // The half-applied update was finalized during unwinding.
         assert_eq!(count(&shared).unwrap(), 3);
+    });
+}
+
+#[test]
+fn loom_mutation_batches_publish_atomically() {
+    loom::model(|| {
+        let shared = Arc::new(SharedParj::new(engine()));
+        thread::scope(|s| {
+            let reader = {
+                let sh = Arc::clone(&shared);
+                s.spawn(move || count(&sh).expect("reader must never fail"))
+            };
+            // One batch, two ops: a reader must observe both or
+            // neither — the intermediate count (2 + insert, no delete)
+            // would be a torn publication.
+            let out = shared
+                .mutate()
+                .insert(
+                    Term::iri("http://e/c"),
+                    Term::iri("http://e/p"),
+                    Term::iri("http://e/a"),
+                )
+                .delete(
+                    Term::iri("http://e/a"),
+                    Term::iri("http://e/p"),
+                    Term::iri("http://e/b"),
+                )
+                .run()
+                .expect("mutation");
+            assert_eq!((out.inserted, out.deleted), (1, 1));
+            let seen = reader.join().unwrap();
+            assert!(seen == 2, "torn read: {seen}");
+        });
+        assert_eq!(count(&shared).unwrap(), 2);
     });
 }

@@ -4,13 +4,19 @@
 //! and the same error classes on the resilience paths. Only wall-clock
 //! fields (the various `*_micros`) are allowed to differ between the
 //! two runs.
+//!
+//! The same contract binds the deprecated *write* shims
+//! (`Parj::add_triple`, `SharedParj::add_triple`,
+//! `SharedParj::update`): an engine driven through a shim must end up
+//! answering every query byte-identically to one driven through the
+//! [`parj_core::MutationRequest`] chain the deprecation note names.
 
 #![allow(deprecated)]
 
 use std::time::Duration;
 
 use parj_core::{
-    CancelToken, Parj, ParjError, ProbeStrategy, QueryRunStats, RunOverrides, SharedParj,
+    CancelToken, Parj, ParjError, ProbeStrategy, QueryRunStats, RunOverrides, SharedParj, Term,
 };
 
 const DATA: &str = "\
@@ -270,6 +276,119 @@ fn shared_query_with_matches_request() {
     assert_eq!(shim.vars, req.vars);
     assert_eq!(shim.rows, req.rows);
     assert_stats_eq(&shim.stats, &req.stats, "shared query_with");
+}
+
+/// The two engines must be observably identical: same triple count,
+/// same decoded rows for a join crossing the mutated predicates.
+fn assert_engines_equivalent(shim: &mut Parj, req: &mut Parj, what: &str) {
+    assert_eq!(shim.num_triples(), req.num_triples(), "{what}: num_triples");
+    for q in [
+        JOIN,
+        SELECTIVE,
+        "SELECT ?s ?o WHERE { ?s <http://e/teaches> ?o }",
+        "SELECT ?s ?o WHERE { ?s <http://e/worksFor> ?o }",
+    ] {
+        let a = shim.request(q).run().expect("shim engine").into_result();
+        let b = req.request(q).run().expect("request engine").into_result();
+        assert_eq!(a.vars, b.vars, "{what}: {q}: vars");
+        assert_eq!(a.rows, b.rows, "{what}: {q}: rows");
+    }
+}
+
+#[test]
+fn add_triple_shim_matches_mutate() {
+    let mut shim = engine();
+    let mut req = engine();
+    let triples = [
+        ("ProfD", "teaches", "Art"),
+        ("ProfD", "worksFor", "Uni1"),
+        ("ProfA", "teaches", "Math"), // duplicate of stored data
+    ];
+    for (s, p, o) in triples {
+        shim.add_triple(
+            &Term::iri(format!("http://e/{s}")),
+            &Term::iri(format!("http://e/{p}")),
+            &Term::iri(format!("http://e/{o}")),
+        );
+        req.mutate()
+            .insert(
+                Term::iri(format!("http://e/{s}")),
+                Term::iri(format!("http://e/{p}")),
+                Term::iri(format!("http://e/{o}")),
+            )
+            .run()
+            .expect("mutate");
+    }
+    assert_engines_equivalent(&mut shim, &mut req, "add_triple");
+}
+
+#[test]
+fn add_triple_shim_matches_mutate_on_staged_engine() {
+    // Shim on a never-finalized engine stages the triple; mutate
+    // finalizes first and applies through the delta. Either way the
+    // first query must see identical data.
+    let mut shim = Parj::builder().threads(1).build();
+    let mut req = Parj::builder().threads(1).build();
+    shim.load_ntriples_str(DATA).expect("load");
+    req.load_ntriples_str(DATA).expect("load");
+    let t = (
+        Term::iri("http://e/ProfD"),
+        Term::iri("http://e/teaches"),
+        Term::iri("http://e/Art"),
+    );
+    shim.add_triple(&t.0, &t.1, &t.2);
+    req.mutate().insert(t.0, t.1, t.2).run().expect("mutate");
+    assert_engines_equivalent(&mut shim, &mut req, "staged add_triple");
+}
+
+#[test]
+fn shared_add_triple_shim_matches_mutate() {
+    let shim = SharedParj::new(engine());
+    let req = SharedParj::new(engine());
+    let t = (
+        Term::iri("http://e/ProfD"),
+        Term::iri("http://e/worksFor"),
+        Term::iri("http://e/Uni2"),
+    );
+    shim.add_triple(&t.0, &t.1, &t.2);
+    req.mutate().insert(t.0, t.1, t.2).run().expect("mutate");
+    let mut shim = shim.into_inner();
+    let mut req = req.into_inner();
+    assert_engines_equivalent(&mut shim, &mut req, "shared add_triple");
+}
+
+#[test]
+fn shared_update_shim_matches_mutate() {
+    let shim = SharedParj::new(engine());
+    let req = SharedParj::new(engine());
+    shim.update(|e| {
+        e.add_triple(
+            &Term::iri("http://e/ProfD"),
+            &Term::iri("http://e/teaches"),
+            &Term::iri("http://e/Art"),
+        );
+        e.add_triple(
+            &Term::iri("http://e/ProfE"),
+            &Term::iri("http://e/teaches"),
+            &Term::iri("http://e/Bio"),
+        );
+    });
+    req.mutate()
+        .insert(
+            Term::iri("http://e/ProfD"),
+            Term::iri("http://e/teaches"),
+            Term::iri("http://e/Art"),
+        )
+        .insert(
+            Term::iri("http://e/ProfE"),
+            Term::iri("http://e/teaches"),
+            Term::iri("http://e/Bio"),
+        )
+        .run()
+        .expect("mutate");
+    let mut shim = shim.into_inner();
+    let mut req = req.into_inner();
+    assert_engines_equivalent(&mut shim, &mut req, "shared update");
 }
 
 #[test]

@@ -49,12 +49,14 @@
 #![warn(missing_docs)]
 
 mod arena;
+mod delta;
 mod dict;
 mod hash;
 mod sharded;
 mod term;
 
 pub use arena::StringArena;
+pub use delta::{DictDelta, DictView};
 pub use dict::{Dictionary, Namespace};
 pub use hash::{fx_hash_bytes, FxBuildHasher, FxHasher};
 pub use sharded::TermBatch;

@@ -37,7 +37,7 @@ use parj_sync::atomic::{AtomicUsize, Ordering};
 use parj_sync::Arc;
 
 use parj_dict::Id;
-use parj_store::{Replica, TripleStore};
+use parj_store::{DeltaOverlay, Replica, ReplicaView, StoreView, TripleStore};
 
 use crate::calibrate::CalibrationResult;
 use crate::guard::{GuardTrip, QueryGuard, GUARD_BATCH};
@@ -426,9 +426,30 @@ impl<F: FnMut(&[Id])> Sink for FnSink<F> {
 
 /// Per-step resolved context shared read-only by all workers.
 struct StepCtx<'a> {
-    replica: &'a Replica,
+    /// Probe source: the untouched/compacted CSR replica (the
+    /// zero-overhead hot path) or the base replica plus resident
+    /// delta runs that every probe merges on the fly.
+    source: ReplicaView<'a>,
     threshold: i64,
     mode: CompiledStep,
+}
+
+/// Driver-domain storage: borrowed straight from a clean replica, or
+/// materialized once per run when a delta overlay dirties the driver
+/// predicate.
+enum GroupRef<'a> {
+    Borrowed(&'a [Id]),
+    Owned(Vec<Id>),
+}
+
+impl GroupRef<'_> {
+    #[inline]
+    fn as_slice(&self) -> &[Id] {
+        match self {
+            GroupRef::Borrowed(s) => s,
+            GroupRef::Owned(v) => v,
+        }
+    }
 }
 
 /// The resolved driver of step 0.
@@ -438,8 +459,22 @@ enum ResolvedDriver<'a> {
         bind_key: VarId,
         value: DriverValue,
     },
+    /// Key scan over a delta-dirtied predicate: the distinct key union
+    /// of base and add runs, materialized once on the submitting
+    /// thread so the morsel grid is identical for every participant.
+    /// Keys whose whole group was tombstoned still appear — their
+    /// merged group is empty, so they emit nothing and only pad the
+    /// scan domain.
+    DirtyKeys {
+        keys: Vec<Id>,
+        base: Option<&'a Replica>,
+        add: Option<&'a Replica>,
+        del: Option<&'a Replica>,
+        bind_key: VarId,
+        value: DriverValue,
+    },
     Group {
-        group: &'a [Id],
+        group: GroupRef<'a>,
         bind_value: VarId,
     },
     Exist {
@@ -451,7 +486,8 @@ impl ResolvedDriver<'_> {
     fn domain(&self) -> usize {
         match self {
             ResolvedDriver::Keys { replica, .. } => replica.num_keys(),
-            ResolvedDriver::Group { group, .. } => group.len(),
+            ResolvedDriver::DirtyKeys { keys, .. } => keys.len(),
+            ResolvedDriver::Group { group, .. } => group.as_slice().len(),
             ResolvedDriver::Exist { .. } => 1,
         }
     }
@@ -461,6 +497,41 @@ impl ResolvedDriver<'_> {
 fn group_contains(group: &[Id], value: Id, stats: &mut SearchStats) -> bool {
     stats.group_probes += 1;
     group.binary_search(&value).is_ok()
+}
+
+/// The sorted value group for `key` in an optional delta run, counting
+/// the lookup as a group probe. Missing run or absent key → empty.
+#[inline]
+fn overlay_group<'a>(
+    rep: Option<&'a Replica>,
+    key: Id,
+    stats: &mut SearchStats,
+) -> &'a [Id] {
+    match rep {
+        Some(r) => {
+            stats.group_probes += 1;
+            r.values_for_key(key)
+        }
+        None => &[],
+    }
+}
+
+/// Membership in the merged view `(base ∪ add) \ del` of one key's
+/// groups. Runs are sorted and obey the overlay invariants (`add`
+/// disjoint from `base`, `del` ⊆ `base`).
+#[inline]
+fn merged_group_contains(
+    base_group: &[Id],
+    add_group: &[Id],
+    del_group: &[Id],
+    value: Id,
+    stats: &mut SearchStats,
+) -> bool {
+    if !del_group.is_empty() && group_contains(del_group, value, stats) {
+        return false;
+    }
+    group_contains(base_group, value, stats)
+        || (!add_group.is_empty() && group_contains(add_group, value, stats))
 }
 
 /// Worker-local execution state; one per thread. The only shared
@@ -495,7 +566,7 @@ struct Worker<'a, S> {
     trip: Option<GuardTrip>,
 }
 
-impl<S: Sink> Worker<'_, S> {
+impl<'a, S: Sink> Worker<'a, S> {
     /// All counters merged (the executor's aggregate view).
     fn total_stats(&self) -> SearchStats {
         let mut total = SearchStats::default();
@@ -562,51 +633,150 @@ impl<S: Sink> Worker<'_, S> {
             return;
         }
         let ctx = &self.ctxs[depth];
-        let replica = ctx.replica;
-        let key_id = match ctx.mode.key {
+        let source = ctx.source;
+        let threshold = ctx.threshold;
+        let mode = ctx.mode;
+        let key_id = match mode.key {
             KeyMode::Const(c) => c,
             KeyMode::Var(v) => self.bindings[v as usize],
         };
-        let Some(pos) = adaptive_search(
-            replica.keys(),
-            key_id,
-            &mut self.cursors[depth],
-            ctx.threshold,
-            self.strategy,
-            replica.idpos(),
-            &mut self.step_stats[depth],
-        ) else {
-            return;
+        let (replica, add, del) = match source {
+            ReplicaView::Clean(replica) => (Some(replica), None, None),
+            ReplicaView::Dirty { base, add, del } => (base, add, del),
         };
-        let group = replica.values_at(pos);
-        match ctx.mode.value {
-            ValueMode::Bind(v) => {
-                for &val in group {
-                    self.bindings[v as usize] = val;
-                    self.descend(depth + 1);
+        let base_group: &[Id] = match replica {
+            Some(replica) => match adaptive_search(
+                replica.keys(),
+                key_id,
+                &mut self.cursors[depth],
+                threshold,
+                self.strategy,
+                replica.idpos(),
+                &mut self.step_stats[depth],
+            ) {
+                Some(pos) => replica.values_at(pos),
+                None => &[],
+            },
+            None => &[],
+        };
+        if add.is_none() && del.is_none() {
+            // Clean path: the group is exactly the replica's, and an
+            // absent key short-circuits like it always did.
+            if base_group.is_empty() {
+                return;
+            }
+            match mode.value {
+                ValueMode::Bind(v) => {
+                    for &val in base_group {
+                        self.bindings[v as usize] = val;
+                        self.descend(depth + 1);
+                    }
+                }
+                ValueMode::CheckVar(v) => {
+                    if group_contains(
+                        base_group,
+                        self.bindings[v as usize],
+                        &mut self.step_stats[depth],
+                    ) {
+                        self.descend(depth + 1);
+                    }
+                }
+                ValueMode::CheckConst(c) => {
+                    if group_contains(base_group, c, &mut self.step_stats[depth]) {
+                        self.descend(depth + 1);
+                    }
+                }
+                ValueMode::CheckEqKey => {
+                    if group_contains(base_group, key_id, &mut self.step_stats[depth]) {
+                        self.descend(depth + 1);
+                    }
                 }
             }
+            return;
+        }
+        // Dirty path: merge the delta runs into the probe on the fly.
+        let add_group = overlay_group(add, key_id, &mut self.step_stats[depth]);
+        let del_group = overlay_group(del, key_id, &mut self.step_stats[depth]);
+        if base_group.is_empty() && add_group.is_empty() {
+            return;
+        }
+        match mode.value {
+            ValueMode::Bind(v) => {
+                self.bind_merged(depth + 1, v, base_group, add_group, del_group);
+            }
             ValueMode::CheckVar(v) => {
-                if group_contains(group, self.bindings[v as usize], &mut self.step_stats[depth]) {
+                if merged_group_contains(
+                    base_group,
+                    add_group,
+                    del_group,
+                    self.bindings[v as usize],
+                    &mut self.step_stats[depth],
+                ) {
                     self.descend(depth + 1);
                 }
             }
             ValueMode::CheckConst(c) => {
-                if group_contains(group, c, &mut self.step_stats[depth]) {
+                if merged_group_contains(
+                    base_group,
+                    add_group,
+                    del_group,
+                    c,
+                    &mut self.step_stats[depth],
+                ) {
                     self.descend(depth + 1);
                 }
             }
             ValueMode::CheckEqKey => {
-                if group_contains(group, key_id, &mut self.step_stats[depth]) {
+                if merged_group_contains(
+                    base_group,
+                    add_group,
+                    del_group,
+                    key_id,
+                    &mut self.step_stats[depth],
+                ) {
                     self.descend(depth + 1);
                 }
             }
         }
     }
 
+    /// Binds `var` to each value of the merged view `(base ∪ add) \ del`
+    /// **in sorted order** — the order a compacted replica would yield —
+    /// and descends into `next_depth` for each. Sorted-run two-pointer
+    /// merge; no allocation.
+    fn bind_merged(
+        &mut self,
+        next_depth: usize,
+        var: VarId,
+        base_group: &'a [Id],
+        add_group: &'a [Id],
+        del_group: &'a [Id],
+    ) {
+        let mut ai = 0;
+        let mut di = 0;
+        for &val in base_group {
+            if di < del_group.len() && del_group[di] == val {
+                di += 1;
+                continue;
+            }
+            while ai < add_group.len() && add_group[ai] < val {
+                self.bindings[var as usize] = add_group[ai];
+                ai += 1;
+                self.descend(next_depth);
+            }
+            self.bindings[var as usize] = val;
+            self.descend(next_depth);
+        }
+        while ai < add_group.len() {
+            self.bindings[var as usize] = add_group[ai];
+            ai += 1;
+            self.descend(next_depth);
+        }
+    }
+
     /// Processes one shard `[lo, hi)` of the driver domain.
-    fn run_range(&mut self, driver: &ResolvedDriver<'_>, lo: usize, hi: usize) {
-        match *driver {
+    fn run_range(&mut self, driver: &ResolvedDriver<'a>, lo: usize, hi: usize) {
+        match driver {
             ResolvedDriver::Keys {
                 replica,
                 bind_key,
@@ -618,9 +788,9 @@ impl<S: Sink> Worker<'_, S> {
                     }
                     self.tick();
                     let key = replica.key_at(pos);
-                    self.bindings[bind_key as usize] = key;
+                    self.bindings[*bind_key as usize] = key;
                     let group = replica.values_at(pos);
-                    match value {
+                    match *value {
                         DriverValue::Bind(v) => {
                             for &val in group {
                                 self.bindings[v as usize] = val;
@@ -642,17 +812,67 @@ impl<S: Sink> Worker<'_, S> {
                     }
                 }
             }
-            ResolvedDriver::Group { group, bind_value } => {
-                for &val in &group[lo..hi] {
+            ResolvedDriver::DirtyKeys {
+                keys,
+                base,
+                add,
+                del,
+                bind_key,
+                value,
+            } => {
+                let slot = self.ctxs.len() + 1;
+                for &key in &keys[lo..hi] {
                     if self.stop {
                         break;
                     }
-                    self.bindings[bind_value as usize] = val;
+                    self.tick();
+                    self.bindings[*bind_key as usize] = key;
+                    // Dirty drivers pay one binary search per run and
+                    // key (the merged key list has no positions into
+                    // any single replica).
+                    let base_group = overlay_group(*base, key, &mut self.step_stats[slot]);
+                    let add_group = overlay_group(*add, key, &mut self.step_stats[slot]);
+                    let del_group = overlay_group(*del, key, &mut self.step_stats[slot]);
+                    match *value {
+                        DriverValue::Bind(v) => {
+                            self.bind_merged(0, v, base_group, add_group, del_group);
+                        }
+                        DriverValue::CheckConst(c) => {
+                            if merged_group_contains(
+                                base_group,
+                                add_group,
+                                del_group,
+                                c,
+                                &mut self.step_stats[slot],
+                            ) {
+                                self.descend(0);
+                            }
+                        }
+                        DriverValue::CheckEqKey => {
+                            if merged_group_contains(
+                                base_group,
+                                add_group,
+                                del_group,
+                                key,
+                                &mut self.step_stats[slot],
+                            ) {
+                                self.descend(0);
+                            }
+                        }
+                    }
+                }
+            }
+            ResolvedDriver::Group { group, bind_value } => {
+                for &val in &group.as_slice()[lo..hi] {
+                    if self.stop {
+                        break;
+                    }
+                    self.bindings[*bind_value as usize] = val;
                     self.descend(0);
                 }
             }
             ResolvedDriver::Exist { present } => {
-                if present && lo == 0 {
+                if *present && lo == 0 {
                     self.descend(0);
                 }
             }
@@ -660,45 +880,74 @@ impl<S: Sink> Worker<'_, S> {
     }
 }
 
+/// A [`StoreView`] over `store` plus an optional delta overlay — the
+/// executor's uniform entry shape for clean and dirty stores.
+fn make_view<'a>(
+    store: &'a TripleStore,
+    delta: Option<&'a DeltaOverlay>,
+) -> StoreView<'a> {
+    match delta {
+        Some(d) => StoreView::with_delta(store, d),
+        None => StoreView::base_only(store),
+    }
+}
+
 /// Resolves replicas and the driver; `None` when a referenced predicate
 /// has no partition (empty result).
 fn prepare_exec<'a>(
-    store: &'a TripleStore,
+    view: StoreView<'a>,
     plan: &PhysicalPlan,
     opts: &ExecOptions,
     thresholds: &ThresholdTable,
 ) -> Option<(Vec<StepCtx<'a>>, ResolvedDriver<'a>)> {
     let mut ctxs: Vec<StepCtx<'a>> = Vec::with_capacity(plan.compiled.len());
     for (step, mode) in plan.steps.iter().skip(1).zip(&plan.compiled) {
-        let replica = store.replica(step.predicate, step.order)?;
+        let source = view.replica(step.predicate, step.order)?;
         let t = thresholds.get(step.predicate, step.order);
         let threshold = match opts.strategy {
             ProbeStrategy::AdaptiveIndex => t.index,
             _ => t.binary,
         };
         ctxs.push(StepCtx {
-            replica,
+            source,
             threshold,
             mode: *mode,
         });
     }
     let step0 = &plan.steps[0];
-    let driver_replica = store.replica(step0.predicate, step0.order)?;
+    let driver_source = view.replica(step0.predicate, step0.order)?;
     let driver = match plan.driver {
-        DriverMode::ScanKeys { bind_key, value } => ResolvedDriver::Keys {
-            replica: driver_replica,
-            bind_key,
-            value,
+        DriverMode::ScanKeys { bind_key, value } => match driver_source {
+            ReplicaView::Clean(replica) => ResolvedDriver::Keys {
+                replica,
+                bind_key,
+                value,
+            },
+            ReplicaView::Dirty { base, add, del } => ResolvedDriver::DirtyKeys {
+                keys: driver_source.merged_keys(),
+                base,
+                add,
+                del,
+                bind_key,
+                value,
+            },
         },
-        DriverMode::ScanGroup { key, bind_value } => ResolvedDriver::Group {
-            group: driver_replica.values_for_key(key),
-            bind_value,
+        DriverMode::ScanGroup { key, bind_value } => match driver_source {
+            ReplicaView::Clean(replica) => ResolvedDriver::Group {
+                group: GroupRef::Borrowed(replica.values_for_key(key)),
+                bind_value,
+            },
+            ReplicaView::Dirty { .. } => {
+                let mut owned = Vec::new();
+                driver_source.merged_values_into(key, &mut owned);
+                ResolvedDriver::Group {
+                    group: GroupRef::Owned(owned),
+                    bind_value,
+                }
+            }
         },
         DriverMode::Existence { key, value } => ResolvedDriver::Exist {
-            present: driver_replica
-                .values_for_key(key)
-                .binary_search(&value)
-                .is_ok(),
+            present: driver_source.contains_pair(key, value),
         },
     };
     Some((ctxs, driver))
@@ -726,8 +975,20 @@ pub fn morsel_loads(
     opts: &ExecOptions,
     thresholds: &ThresholdTable,
 ) -> Result<Vec<u64>, ExecOptionsError> {
+    morsel_loads_view(store, None, plan, opts, thresholds)
+}
+
+/// [`morsel_loads`] over a store plus an optional delta overlay.
+pub fn morsel_loads_view(
+    store: &TripleStore,
+    delta: Option<&DeltaOverlay>,
+    plan: &PhysicalPlan,
+    opts: &ExecOptions,
+    thresholds: &ThresholdTable,
+) -> Result<Vec<u64>, ExecOptionsError> {
     opts.validate()?;
-    let Some((ctxs, driver)) = prepare_exec(store, plan, opts, thresholds) else {
+    let view = make_view(store, delta);
+    let Some((ctxs, driver)) = prepare_exec(view, plan, opts, thresholds) else {
         return Ok(Vec::new());
     };
     let domain = driver.domain();
@@ -785,8 +1046,19 @@ pub fn shard_loads(
 /// resources": when the domain is tiny, spawning a full thread
 /// complement costs more than the query itself.
 pub fn driver_domain(store: &TripleStore, plan: &PhysicalPlan, opts: &ExecOptions) -> usize {
+    driver_domain_view(store, None, plan, opts)
+}
+
+/// [`driver_domain`] over a store plus an optional delta overlay (a
+/// dirty driver predicate scans the union of base and add keys).
+pub fn driver_domain_view(
+    store: &TripleStore,
+    delta: Option<&DeltaOverlay>,
+    plan: &PhysicalPlan,
+    opts: &ExecOptions,
+) -> usize {
     let thresholds = ThresholdTable::default();
-    match prepare_exec(store, plan, opts, &thresholds) {
+    match prepare_exec(make_view(store, delta), plan, opts, &thresholds) {
         Some((_, driver)) => driver.domain(),
         None => 0,
     }
@@ -822,7 +1094,19 @@ pub fn execute_profiled(
     opts: &ExecOptions,
     thresholds: &ThresholdTable,
 ) -> PlanProfile {
-    let Some((ctxs, driver)) = prepare_exec(store, plan, opts, thresholds) else {
+    execute_profiled_view(store, None, plan, opts, thresholds)
+}
+
+/// [`execute_profiled`] over a store plus an optional delta overlay.
+pub fn execute_profiled_view(
+    store: &TripleStore,
+    delta: Option<&DeltaOverlay>,
+    plan: &PhysicalPlan,
+    opts: &ExecOptions,
+    thresholds: &ThresholdTable,
+) -> PlanProfile {
+    let view = make_view(store, delta);
+    let Some((ctxs, driver)) = prepare_exec(view, plan, opts, thresholds) else {
         return PlanProfile::default();
     };
     let guard = QueryGuard::unlimited();
@@ -1058,10 +1342,32 @@ where
     S: Sink + Send,
     F: Fn() -> S + Sync,
 {
+    execute_view(store, None, plan, opts, thresholds, factory)
+}
+
+/// [`execute`] over a store plus an optional delta overlay: probes on
+/// delta-touched predicates merge the resident add/del runs on the
+/// fly; untouched predicates keep the zero-overhead clean path. The
+/// merged iteration order equals a compacted store's replica order, so
+/// results stay byte-identical to a full rebuild at any threads ×
+/// morsel-size combination.
+pub fn execute_view<S, F>(
+    store: &TripleStore,
+    delta: Option<&DeltaOverlay>,
+    plan: &PhysicalPlan,
+    opts: &ExecOptions,
+    thresholds: &ThresholdTable,
+    factory: F,
+) -> ExecResult<(Vec<S>, SearchStats)>
+where
+    S: Sink + Send,
+    F: Fn() -> S + Sync,
+{
     if let Err(e) = opts.validate() {
         return Err(invalid_options(e));
     }
-    let Some((ctxs, driver)) = prepare_exec(store, plan, opts, thresholds) else {
+    let view = make_view(store, delta);
+    let Some((ctxs, driver)) = prepare_exec(view, plan, opts, thresholds) else {
         record_empty(opts);
         return Ok((Vec::new(), SearchStats::default()));
     };
@@ -1176,13 +1482,35 @@ where
     S: Sink + Send + 'static,
     F: Fn() -> S + Send + Sync + 'static,
 {
+    execute_pooled_view(pool, store, None, plan, opts, thresholds, factory)
+}
+
+/// [`execute_pooled`] over a store plus an optional delta overlay. The
+/// overlay crosses the `'static` job boundary as an `Arc` clone; each
+/// participant re-derives the same merged probe view, so pooled and
+/// spawned dirty runs stay byte-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_pooled_view<S, F>(
+    pool: &WorkerPool,
+    store: &Arc<TripleStore>,
+    delta: Option<&Arc<DeltaOverlay>>,
+    plan: &Arc<PhysicalPlan>,
+    opts: &ExecOptions,
+    thresholds: &Arc<ThresholdTable>,
+    factory: F,
+) -> ExecResult<(Vec<S>, SearchStats)>
+where
+    S: Sink + Send + 'static,
+    F: Fn() -> S + Send + Sync + 'static,
+{
     if let Err(e) = opts.validate() {
         return Err(invalid_options(e));
     }
     // Pre-flight on the submitting thread: unanswerable plans
     // short-circuit without touching the pool, and the driver domain
     // sizes the helper request.
-    let (n_ctxs, domain) = match prepare_exec(store, plan, opts, thresholds) {
+    let preview = make_view(store, delta.map(|d| d.as_ref()));
+    let (n_ctxs, domain) = match prepare_exec(preview, plan, opts, thresholds) {
         Some((ctxs, driver)) => (ctxs.len(), driver.domain()),
         None => {
             record_empty(opts);
@@ -1198,7 +1526,14 @@ where
             threads: 1,
             ..opts.clone()
         };
-        return execute(store, plan, &inline, thresholds, factory);
+        return execute_view(
+            store,
+            delta.map(|d| d.as_ref()),
+            plan,
+            &inline,
+            thresholds,
+            factory,
+        );
     }
 
     let guard: Arc<QueryGuard> = match &opts.guard {
@@ -1212,6 +1547,7 @@ where
     let cursor = Arc::new(AtomicUsize::new(0));
     let body: crate::pool::Participant = {
         let store = Arc::clone(store);
+        let delta: Option<Arc<DeltaOverlay>> = delta.map(Arc::clone);
         let plan = Arc::clone(plan);
         let thresholds = Arc::clone(thresholds);
         let guard = Arc::clone(&guard);
@@ -1229,7 +1565,8 @@ where
             // Each participant re-derives the read-only probe contexts
             // from its own Arcs — nothing borrowed crosses the
             // 'static job boundary.
-            let Some((ctxs, driver)) = prepare_exec(&store, &plan, &probe_opts, &thresholds)
+            let view = make_view(&store, delta.as_deref());
+            let Some((ctxs, driver)) = prepare_exec(view, &plan, &probe_opts, &thresholds)
             else {
                 return;
             };
@@ -1482,6 +1819,166 @@ mod tests {
                 (Atom::Var(0), works, Atom::Var(2)),
             ],
         );
+    }
+
+    /// Builds an overlay with mutations and a from-scratch rebuilt
+    /// store holding the same visible triples (same dictionary ids).
+    fn dirty_and_rebuilt() -> (TripleStore, parj_store::DeltaOverlay, TripleStore) {
+        let base = store();
+        let mut ov = parj_store::DeltaOverlay::new(&base);
+        let teaches = pid(&base, "teaches");
+        let works = pid(&base, "worksFor");
+        // ProfB stops teaching Chem and starts teaching Math + Lit;
+        // ProfC moves to U1.
+        let (profb, profc) = (rid(&base, "ProfB"), rid(&base, "ProfC"));
+        let (math, lit, chem) = (rid(&base, "Math"), rid(&base, "Lit"), rid(&base, "Chem"));
+        let (u1, u2) = (rid(&base, "U1"), rid(&base, "U2"));
+        let mut ins = vec![(profb, math), (profb, lit)];
+        ins.sort_unstable();
+        ov.apply_pred(&base, teaches, &ins, &[(profb, chem)]);
+        ov.apply_pred(&base, works, &[(profc, u1)], &[(profc, u2)]);
+        assert_eq!(ov.check_invariants(&base), Ok(()));
+
+        let mut b = StoreBuilder::new();
+        *b.dict_mut() = base.dict().clone();
+        for t in ov.iter_merged_triples(&base) {
+            b.add_encoded(t);
+        }
+        let rebuilt = b.build();
+        assert_eq!(rebuilt.num_triples(), ov.visible_triples(&base));
+        (base, ov, rebuilt)
+    }
+
+    fn collect_rows(
+        store: &TripleStore,
+        delta: Option<&parj_store::DeltaOverlay>,
+        plan: &PhysicalPlan,
+        opts: &ExecOptions,
+    ) -> Vec<Vec<Id>> {
+        let thresholds = default_thresholds(store);
+        let (sinks, _) =
+            execute_view(store, delta, plan, opts, &thresholds, CollectSink::default)
+                .expect("runs");
+        let arity = plan.projection.len().max(1);
+        let mut rows = Vec::new();
+        for sink in &sinks {
+            for row in sink.data.chunks(arity) {
+                rows.push(row.to_vec());
+            }
+        }
+        rows
+    }
+
+    #[test]
+    fn dirty_view_rows_equal_rebuilt_store_byte_for_byte() {
+        // The merged probe order must equal a compacted replica's
+        // order, so the *unsorted* row stream — not just the row set —
+        // matches a from-scratch rebuild at every dispatch shape.
+        let (base, ov, rebuilt) = dirty_and_rebuilt();
+        let teaches = pid(&base, "teaches");
+        let works = pid(&base, "worksFor");
+        let plan = PhysicalPlan::new(
+            vec![
+                PlanStep {
+                    predicate: teaches,
+                    order: SortOrder::SO,
+                    key: Atom::Var(0),
+                    value: Atom::Var(1),
+                },
+                PlanStep {
+                    predicate: works,
+                    order: SortOrder::SO,
+                    key: Atom::Var(0),
+                    value: Atom::Var(2),
+                },
+            ],
+            3,
+            vec![0, 1, 2],
+        )
+        .unwrap();
+        for strategy in [ProbeStrategy::AdaptiveIndex, ProbeStrategy::AlwaysSequential] {
+            for threads in [1usize, 4] {
+                for morsel in [1usize, 2, 16_384] {
+                    let opts = ExecOptions {
+                        threads,
+                        morsel_size: morsel,
+                        strategy,
+                        guard: None,
+                        recorder: None,
+                    };
+                    let dirty = collect_rows(&base, Some(&ov), &plan, &opts);
+                    let clean = collect_rows(&rebuilt, None, &plan, &opts);
+                    assert_eq!(
+                        dirty, clean,
+                        "strategy {strategy} threads {threads} morsel {morsel}"
+                    );
+                    assert!(!dirty.is_empty(), "join must produce rows");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dirty_group_scan_and_existence_drivers() {
+        let (base, ov, rebuilt) = dirty_and_rebuilt();
+        let works = pid(&base, "worksFor");
+        let teaches = pid(&base, "teaches");
+        let u1 = rid(&base, "U1");
+        let (profb, chem, math) = (rid(&base, "ProfB"), rid(&base, "Chem"), rid(&base, "Math"));
+        // Group-scan driver on the dirtied worksFor O-S replica:
+        // ?x worksFor U1 . ?x teaches ?y — U1 now includes ProfC.
+        let plan = PhysicalPlan::new(
+            vec![
+                PlanStep {
+                    predicate: works,
+                    order: SortOrder::OS,
+                    key: Atom::Const(u1),
+                    value: Atom::Var(0),
+                },
+                PlanStep {
+                    predicate: teaches,
+                    order: SortOrder::SO,
+                    key: Atom::Var(0),
+                    value: Atom::Var(1),
+                },
+            ],
+            2,
+            vec![0, 1],
+        )
+        .unwrap();
+        let opts = ExecOptions::with_threads(2);
+        let dirty = collect_rows(&base, Some(&ov), &plan, &opts);
+        let clean = collect_rows(&rebuilt, None, &plan, &opts);
+        assert_eq!(dirty, clean);
+        assert!(dirty.len() >= 2, "ProfA and ProfC both work for U1 now");
+
+        // Existence driver: deleted pair answers absent, inserted pair
+        // answers present.
+        for (s, o, expect) in [(profb, chem, false), (profb, math, true)] {
+            let plan = PhysicalPlan::new(
+                vec![PlanStep {
+                    predicate: teaches,
+                    order: SortOrder::SO,
+                    key: Atom::Const(s),
+                    value: Atom::Const(o),
+                }],
+                0,
+                vec![],
+            )
+            .unwrap();
+            let thresholds = default_thresholds(&base);
+            let (sinks, _) = execute_view(
+                &base,
+                Some(&ov),
+                &plan,
+                &ExecOptions::with_threads(1),
+                &thresholds,
+                CountSink::default,
+            )
+            .expect("runs");
+            let count: u64 = sinks.iter().map(|s| s.count).sum();
+            assert_eq!(count > 0, expect, "existence of ({s},{o})");
+        }
     }
 
     #[test]

@@ -80,8 +80,10 @@ pub use calibrate::{calibrate, CalibrationConfig, CalibrationResult};
 #[allow(deprecated)]
 pub use exec::shard_loads;
 pub use exec::{
-    driver_domain, execute, execute_collect, execute_count, execute_count_with, execute_pooled,
-    execute_profiled, morsel_loads, PlanProfile, DEFAULT_MORSEL_SIZE,
+    driver_domain, driver_domain_view, execute, execute_collect, execute_count,
+    execute_count_with, execute_pooled, execute_pooled_view, execute_profiled,
+    execute_profiled_view, execute_view, morsel_loads, morsel_loads_view, PlanProfile,
+    DEFAULT_MORSEL_SIZE,
     CollectSink, CountSink,
     ExecFailure, ExecFailureKind, ExecOptions, ExecOptionsBuilder, ExecOptionsError, ExecRecord,
     ExecResult, FnSink, Recorder, Sink,

@@ -264,6 +264,17 @@ pub struct EngineMetrics {
     load_micros_total: Counter,
     /// `parj_load_bytes_total`.
     load_bytes_total: Counter,
+    // -- mutation delta ----------------------------------------------------
+    /// `parj_delta_resident_triples`.
+    delta_resident_triples: Gauge,
+    /// `parj_delta_resident_bytes`.
+    delta_resident_bytes: Gauge,
+    /// `parj_delta_compactions_total`.
+    delta_compactions_total: Counter,
+    /// `parj_delta_compaction_micros`.
+    delta_compaction_micros: Counter,
+    /// `parj_cache_invalidations_total`.
+    cache_invalidations_total: Counter,
     // -- store / dictionary memory ----------------------------------------
     /// `parj_store_triples`.
     store_triples: Gauge,
@@ -312,6 +323,11 @@ impl EngineMetrics {
             load_statements: Default::default(),
             load_micros_total: Counter::new(),
             load_bytes_total: Counter::new(),
+            delta_resident_triples: Gauge::new(),
+            delta_resident_bytes: Gauge::new(),
+            delta_compactions_total: Counter::new(),
+            delta_compaction_micros: Counter::new(),
+            cache_invalidations_total: Counter::new(),
             store_triples: Gauge::new(),
             store_partition_bytes: Gauge::new(),
             replica_bytes: GaugeVec::new(),
@@ -414,6 +430,29 @@ impl EngineMetrics {
         self.load_statements[1].add(skipped);
         self.load_micros_total.add(micros);
         self.load_bytes_total.add(bytes);
+    }
+
+    /// Replaces the mutation-delta residency gauges after a mutation
+    /// batch or a rebuild: uncompacted add/delete pairs still resident
+    /// in the overlay, and overlay heap bytes (runs, compacted
+    /// partitions, dictionary extension).
+    pub fn set_delta_resident(&self, triples: u64, bytes: u64) {
+        self.delta_resident_triples.set(triples);
+        self.delta_resident_bytes.set(bytes);
+    }
+
+    /// Records delta compactions: how many predicates were compacted and
+    /// the wall time they took together.
+    pub fn record_compaction(&self, count: u64, micros: u64) {
+        self.delta_compactions_total.add(count);
+        self.delta_compaction_micros.add(micros);
+    }
+
+    /// Records `n` per-predicate cache epoch bumps performed by a
+    /// mutation batch (each bump invalidates every entry referencing
+    /// that predicate).
+    pub fn record_cache_invalidations(&self, n: u64) {
+        self.cache_invalidations_total.add(n);
     }
 
     /// Replaces the store/dictionary memory gauges after a (re)build:
@@ -654,6 +693,31 @@ impl EngineMetrics {
                     vec![plain(self.load_bytes_total.get())],
                 ),
                 gauge_fam(
+                    "parj_delta_resident_triples",
+                    "Uncompacted add/delete pairs resident in the mutation delta.",
+                    vec![plain(self.delta_resident_triples.get())],
+                ),
+                gauge_fam(
+                    "parj_delta_resident_bytes",
+                    "Heap bytes held by the mutation delta overlay.",
+                    vec![plain(self.delta_resident_bytes.get())],
+                ),
+                counter_fam(
+                    "parj_delta_compactions_total",
+                    "Per-predicate delta compactions performed.",
+                    vec![plain(self.delta_compactions_total.get())],
+                ),
+                counter_fam(
+                    "parj_delta_compaction_micros",
+                    "Wall time spent compacting delta runs, microseconds.",
+                    vec![plain(self.delta_compaction_micros.get())],
+                ),
+                counter_fam(
+                    "parj_cache_invalidations_total",
+                    "Per-predicate cache epoch bumps performed by mutation batches.",
+                    vec![plain(self.cache_invalidations_total.get())],
+                ),
+                gauge_fam(
                     "parj_store_triples",
                     "Triples resident in the finalized store.",
                     vec![plain(self.store_triples.get())],
@@ -787,6 +851,37 @@ mod tests {
         });
         let snap = m.snapshot();
         assert_eq!(snap.value("parj_pool_jobs_total", &[]), Some(11));
+    }
+
+    #[test]
+    fn delta_and_invalidation_events_feed_families() {
+        let m = EngineMetrics::new();
+        m.set_delta_resident(120, 4096);
+        m.record_compaction(2, 350);
+        m.record_compaction(1, 150);
+        m.record_cache_invalidations(3);
+        let snap = m.snapshot();
+        assert_eq!(snap.value("parj_delta_resident_triples", &[]), Some(120));
+        assert_eq!(snap.value("parj_delta_resident_bytes", &[]), Some(4096));
+        assert_eq!(snap.value("parj_delta_compactions_total", &[]), Some(3));
+        assert_eq!(snap.value("parj_delta_compaction_micros", &[]), Some(500));
+        assert_eq!(snap.value("parj_cache_invalidations_total", &[]), Some(3));
+        // Residency gauges replace; counters accumulate.
+        m.set_delta_resident(0, 0);
+        let snap = m.snapshot();
+        assert_eq!(snap.value("parj_delta_resident_triples", &[]), Some(0));
+        assert_eq!(snap.value("parj_delta_compactions_total", &[]), Some(3));
+        // Pinned exposition: every delta family renders by name.
+        let prom = snap.to_prometheus();
+        for fam in [
+            "parj_delta_resident_triples",
+            "parj_delta_resident_bytes",
+            "parj_delta_compactions_total",
+            "parj_delta_compaction_micros",
+            "parj_cache_invalidations_total",
+        ] {
+            assert!(prom.contains(fam), "{fam} missing from exposition:\n{prom}");
+        }
     }
 
     #[test]

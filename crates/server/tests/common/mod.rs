@@ -17,18 +17,21 @@ use parj_server::{ParjServer, ServerConfig, ServerHandle};
 /// Builds a small engine: a `teaches` star plus a two-hop chain.
 pub fn small_engine() -> Arc<SharedParj> {
     let mut e = Parj::builder().threads(1).cache(true).build();
-    for i in 0..8u32 {
-        e.add_triple(
-            &Term::iri(format!("http://e/prof{i}")),
-            &Term::iri("http://e/teaches"),
-            &Term::iri(format!("http://e/course{i}")),
-        );
-        e.add_triple(
-            &Term::iri(format!("http://e/course{i}")),
-            &Term::iri("http://e/next"),
-            &Term::iri(format!("http://e/course{}", (i + 1) % 8)),
-        );
-    }
+    let triples = (0..8u32).flat_map(|i| {
+        [
+            (
+                Term::iri(format!("http://e/prof{i}")),
+                Term::iri("http://e/teaches"),
+                Term::iri(format!("http://e/course{i}")),
+            ),
+            (
+                Term::iri(format!("http://e/course{i}")),
+                Term::iri("http://e/next"),
+                Term::iri(format!("http://e/course{}", (i + 1) % 8)),
+            ),
+        ]
+    });
+    e.mutate().insert_all(triples).run().expect("seed engine");
     Arc::new(SharedParj::new(e))
 }
 
@@ -36,13 +39,14 @@ pub fn small_engine() -> Arc<SharedParj> {
 /// — slow enough for overload and disconnect tests to overlap requests.
 pub fn fanout_engine(n: u32) -> Arc<SharedParj> {
     let mut e = Parj::builder().threads(1).cache(false).build();
-    for i in 0..n {
-        e.add_triple(
-            &Term::iri("http://e/hub"),
-            &Term::iri("http://e/p"),
-            &Term::iri(format!("http://e/leaf{i}")),
-        );
-    }
+    let triples = (0..n).map(|i| {
+        (
+            Term::iri("http://e/hub"),
+            Term::iri("http://e/p"),
+            Term::iri(format!("http://e/leaf{i}")),
+        )
+    });
+    e.mutate().insert_all(triples).run().expect("seed engine");
     Arc::new(SharedParj::new(e))
 }
 

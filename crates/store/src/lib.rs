@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod delta;
 mod idpos;
 mod parallel;
 mod partition;
@@ -57,6 +58,10 @@ mod replica;
 mod snapshot;
 mod store;
 
+pub use delta::{
+    merge_values_into, sorted_contains, DeltaOverlay, PredApply, PredDelta,
+    ReplicaView, StoreView,
+};
 pub use idpos::IdPosIndex;
 pub use partition::Partition;
 pub use replica::{Replica, ReplicaBuilder};

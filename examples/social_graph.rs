@@ -31,16 +31,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("erin", "erin"), // erin follows themself
         ("erin", "alice"),
     ];
-    for (a, b) in friendships {
-        engine.add_triple(&person(a), &rel("follows"), &person(b));
-    }
-    for (author, text) in [
+    let posts = [
         ("alice", "hello world"),
         ("carol", "RDF is graphs all the way down"),
         ("dave", "adaptive joins are neat"),
-    ] {
-        engine.add_triple(&person(author), &rel("posted"), &Term::literal(text));
-    }
+    ];
+    engine
+        .mutate()
+        .insert_all(
+            friendships
+                .iter()
+                .map(|&(a, b)| (person(a), rel("follows"), person(b))),
+        )
+        .insert_all(
+            posts
+                .iter()
+                .map(|&(author, text)| (person(author), rel("posted"), Term::literal(text))),
+        )
+        .run()?;
     println!("graph has {} triples", engine.num_triples());
 
     // Two-hop reachability: who can alice reach through one friend?
@@ -96,11 +104,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .count;
     println!("facts about dave across all predicates: {facts}");
 
-    // Incremental update: frank joins and follows everyone; the store
-    // rebuilds transparently on the next query.
-    for other in ["alice", "bob", "carol", "dave", "erin"] {
-        engine.add_triple(&person("frank"), &rel("follows"), &person(other));
-    }
+    // Incremental update: frank joins and follows everyone. The batch
+    // lands in the delta overlay — no store rebuild — and the outcome
+    // reports what was applied.
+    let outcome = engine
+        .mutate()
+        .insert_all(
+            ["alice", "bob", "carol", "dave", "erin"]
+                .iter()
+                .map(|&other| (person("frank"), rel("follows"), person(other))),
+        )
+        .run()?;
+    println!(
+        "\napplied {} inserts across {} predicate(s) in {}us",
+        outcome.inserted,
+        outcome.predicates_touched,
+        outcome.phases.total()
+    );
     let count = engine
         .request(
             "PREFIX s: <http://social.example/>

@@ -57,9 +57,14 @@ enum Op {
     /// Run query `idx` from the case's query pool (twice on the cached
     /// engine, so the second run exercises the hit path).
     Query(usize),
-    /// Add a triple to both engines (forces a store rebuild — and a
-    /// generation bump — before the next query).
+    /// Insert a triple into both engines through `mutate()` — the batch
+    /// lands in the delta overlay and bumps only the touched
+    /// predicate's epoch.
     Update(u32, u32, u32),
+    /// Delete a triple from both engines (a no-op when absent, which
+    /// the pool generates often — exercising the nothing-touched,
+    /// nothing-invalidated path).
+    Delete(u32, u32, u32),
 }
 
 #[derive(Debug, Clone)]
@@ -81,20 +86,28 @@ fn arb_case() -> impl Strategy<Value = Case> {
             4 => (0usize..4).prop_map(Op::Query),
             1 => (0..RESOURCES, 0..PREDICATES, 0..RESOURCES)
                 .prop_map(|(s, p, o)| Op::Update(s, p, o)),
+            1 => (0..RESOURCES, 0..PREDICATES, 0..RESOURCES)
+                .prop_map(|(s, p, o)| Op::Delete(s, p, o)),
         ],
         1..16,
     );
     (triples, queries, ops).prop_map(|(triples, queries, ops)| Case { triples, queries, ops })
 }
 
+fn triple(s: u32, p: u32, o: u32) -> (Term, Term, Term) {
+    (
+        Term::iri(iri(s)),
+        Term::iri(pred_iri(p)),
+        Term::iri(iri(o)),
+    )
+}
+
 fn load(engine: &mut Parj, triples: &[(u32, u32, u32)]) {
-    for (s, p, o) in triples {
-        engine.add_triple(
-            &Term::iri(iri(*s)),
-            &Term::iri(pred_iri(*p)),
-            &Term::iri(iri(*o)),
-        );
-    }
+    engine
+        .mutate()
+        .insert_all(triples.iter().map(|&(s, p, o)| triple(s, p, o)))
+        .run()
+        .expect("load");
 }
 
 fn sorted_rows(rows: Option<Vec<Vec<Term>>>) -> Vec<Vec<Term>> {
@@ -120,11 +133,14 @@ proptest! {
             match op {
                 Op::Update(s, p, o) => {
                     for e in [&mut cached, &mut plain] {
-                        e.add_triple(
-                            &Term::iri(iri(*s)),
-                            &Term::iri(pred_iri(*p)),
-                            &Term::iri(iri(*o)),
-                        );
+                        let (ts, tp, to) = triple(*s, *p, *o);
+                        e.mutate().insert(ts, tp, to).run().unwrap();
+                    }
+                }
+                Op::Delete(s, p, o) => {
+                    for e in [&mut cached, &mut plain] {
+                        let (ts, tp, to) = triple(*s, *p, *o);
+                        e.mutate().delete(ts, tp, to).run().unwrap();
                     }
                 }
                 Op::Query(idx) => {
@@ -164,20 +180,20 @@ proptest! {
 }
 
 /// A long deterministic interleaving: ~10k query runs against a cached
-/// engine, with a store-rebuilding update every 40 queries. Every run
-/// is checked against an uncached `bypass_cache()` run on the same
-/// engine — a single stale answer fails the loop with its iteration
-/// index.
+/// engine, with an incremental write every 40 queries (an insert, and
+/// every third write a delete) — so invalidation is per-predicate
+/// epoch bumps, never a store rebuild. Every run is checked against an
+/// uncached `bypass_cache()` run on the same engine — a single stale
+/// answer fails the loop with its iteration index.
 #[test]
 fn ten_thousand_interleavings_serve_zero_stale() {
     let mut engine = Parj::builder().threads(1).cache(true).build();
-    for i in 0..8u32 {
-        engine.add_triple(
-            &Term::iri(iri(i)),
-            &Term::iri(pred_iri(i % PREDICATES)),
-            &Term::iri(iri((i + 1) % 8)),
-        );
-    }
+    load(
+        &mut engine,
+        &(0..8u32)
+            .map(|i| (i, i % PREDICATES, (i + 1) % 8))
+            .collect::<Vec<_>>(),
+    );
     let queries: Vec<String> = (0..PREDICATES)
         .map(|p| format!("SELECT * WHERE {{ ?s <{}> ?o }}", pred_iri(p)))
         .chain(std::iter::once(format!(
@@ -195,10 +211,18 @@ fn ten_thousand_interleavings_serve_zero_stale() {
         (state >> 33) as u32
     };
 
+    let mut writes = 0u32;
     for iter in 0..10_000u32 {
         if iter % 40 == 39 {
             let (s, p, o) = (next() % RESOURCES, next() % PREDICATES, next() % RESOURCES);
-            engine.add_triple(&Term::iri(iri(s)), &Term::iri(pred_iri(p)), &Term::iri(iri(o)));
+            let (ts, tp, to) = triple(s, p, o);
+            writes += 1;
+            let req = engine.mutate();
+            if writes.is_multiple_of(3) {
+                req.delete(ts, tp, to).run().unwrap();
+            } else {
+                req.insert(ts, tp, to).run().unwrap();
+            }
         }
         let q = &queries[(next() as usize) % queries.len()];
         let cached = engine.request(q).run().unwrap();
@@ -214,4 +238,75 @@ fn ten_thousand_interleavings_serve_zero_stale() {
             "stale rows at iteration {iter} for {q}"
         );
     }
+}
+
+/// Pins the per-predicate invalidation contract: a write touching
+/// predicate `p1` invalidates exactly the entries whose query
+/// references `p1` — a query over `p0` keeps serving result hits
+/// across the interleaved writes, never re-executing.
+#[test]
+fn writes_leave_untouched_predicate_entries_hot() {
+    let mut engine = Parj::builder().threads(1).cache(true).build();
+    load(&mut engine, &[(0, 0, 1), (1, 0, 2), (1, 1, 3), (3, 1, 4)]);
+
+    let q0 = format!("SELECT * WHERE {{ ?s <{}> ?o }}", pred_iri(0));
+    let q1 = format!("SELECT * WHERE {{ ?s <{}> ?o }}", pred_iri(1));
+    let join = format!(
+        "SELECT * WHERE {{ ?a <{}> ?b . ?b <{}> ?c }}",
+        pred_iri(0),
+        pred_iri(1)
+    );
+
+    // Warm all three entries.
+    for q in [&q0, &q1, &join] {
+        assert_eq!(engine.request(q).run().unwrap().stats.cache, CacheStatus::Miss);
+        assert_eq!(engine.request(q).run().unwrap().stats.cache, CacheStatus::ResultHit);
+    }
+
+    // Ten writes, all confined to p1.
+    for i in 0..10u32 {
+        let out = engine
+            .mutate()
+            .insert(Term::iri(iri(5 + i % 3)), Term::iri(pred_iri(1)), Term::iri(iri(i % 5)))
+            .delete(Term::iri(iri(5 + i % 3)), Term::iri(pred_iri(1)), Term::iri(iri(i % 5)))
+            .run()
+            .unwrap();
+        assert_eq!(out.predicates_touched, 0, "insert+delete of the same triple nets out");
+
+        let out = engine
+            .mutate()
+            .insert(Term::iri(iri(5)), Term::iri(pred_iri(1)), Term::iri(iri(6 + i % 2)))
+            .run()
+            .unwrap();
+        assert!(out.predicates_touched <= 1);
+
+        // The untouched predicate's entry survives every write.
+        assert_eq!(
+            engine.request(&q0).run().unwrap().stats.cache,
+            CacheStatus::ResultHit,
+            "write {i} to p1 must not evict the p0 entry"
+        );
+    }
+
+    // Entries referencing the touched predicate went stale — and the
+    // re-executed answers reflect the writes.
+    let fresh = engine.request(&q1).run().unwrap();
+    assert_eq!(fresh.stats.cache, CacheStatus::Miss);
+    assert_eq!(fresh.count, 4, "2 base + (5,p1,6) + (5,p1,7)");
+    let fresh_join = engine.request(&join).run().unwrap();
+    assert_eq!(fresh_join.stats.cache, CacheStatus::Miss);
+
+    // A delete on p0 now invalidates the p0 entry (and the join), but
+    // leaves the freshly re-cached p1 entry alone.
+    assert_eq!(engine.request(&q1).run().unwrap().stats.cache, CacheStatus::ResultHit);
+    let out = engine
+        .mutate()
+        .delete(Term::iri(iri(0)), Term::iri(pred_iri(0)), Term::iri(iri(1)))
+        .run()
+        .unwrap();
+    assert_eq!((out.deleted, out.predicates_touched), (1, 1));
+    let after = engine.request(&q0).run().unwrap();
+    assert_eq!(after.stats.cache, CacheStatus::Miss);
+    assert_eq!(after.count, 1);
+    assert_eq!(engine.request(&q1).run().unwrap().stats.cache, CacheStatus::ResultHit);
 }

@@ -122,6 +122,146 @@ fn watdiv_rows_identical_across_threads_morsels_and_dispatch() {
     }
 }
 
+type TermTriples = Vec<(parj::Term, parj::Term, parj::Term)>;
+
+/// The same incremental mutation batch, decoded back to terms, for any
+/// store: tombstone every 7th stored triple and insert a fresh subject
+/// against every 11th triple's predicate/object.
+fn mutation_batch(store: &parj::TripleStore) -> (TermTriples, TermTriples) {
+    let dict = store.dict();
+    let mut inserts = Vec::new();
+    let mut deletes = Vec::new();
+    for (i, t) in store.iter_triples().enumerate() {
+        let p = dict.decode_predicate(t.p).expect("predicate decodes");
+        if i % 7 == 0 {
+            deletes.push((
+                dict.decode_resource(t.s).expect("subject decodes"),
+                p.clone(),
+                dict.decode_resource(t.o).expect("object decodes"),
+            ));
+        }
+        if i % 11 == 0 {
+            inserts.push((
+                parj::Term::iri(format!("http://delta.example/n{i}")),
+                p,
+                dict.decode_resource(t.o).expect("object decodes"),
+            ));
+        }
+    }
+    (inserts, deletes)
+}
+
+#[test]
+fn delta_rows_identical_to_compacted_store_across_combos() {
+    // Three engines over the same logical data: one whose batch stays
+    // resident as sorted delta runs (threshold 0 = never compact), one
+    // compacted inline (threshold 1 = always compact), and one fully
+    // rebuilt from scratch via snapshot round-trip. The byte-identity
+    // contract: probing resident runs must be indistinguishable — same
+    // rows, same order, every threads × morsels × dispatch combo —
+    // from probing the fully compacted partitions. The rebuilt engine
+    // is compared as a sorted multiset instead: a rebuild refreshes
+    // the optimizer's statistics (histograms, pair cardinalities),
+    // which may legitimately pick a different join order; recomputing
+    // those per batch would be O(dataset), the very cost the delta
+    // design exists to avoid.
+    let base = lubm_store();
+    let (inserts, deletes) = mutation_batch(&base);
+    assert!(!inserts.is_empty() && !deletes.is_empty());
+
+    let mut resident = Parj::from_store(
+        lubm_store(),
+        EngineConfig {
+            delta_compaction_threshold: 0,
+            ..config(true)
+        },
+    );
+    let mut compacted = Parj::from_store(
+        lubm_store(),
+        EngineConfig {
+            delta_compaction_threshold: 1,
+            ..config(true)
+        },
+    );
+    let mut spawned_resident = Parj::from_store(
+        lubm_store(),
+        EngineConfig {
+            delta_compaction_threshold: 0,
+            ..config(false)
+        },
+    );
+    for engine in [&mut resident, &mut compacted, &mut spawned_resident] {
+        let out = engine
+            .mutate()
+            .insert_all(inserts.iter().cloned())
+            .delete_all(deletes.iter().cloned())
+            .run()
+            .expect("mutation batch");
+        assert_eq!(out.inserted, inserts.len() as u64);
+        assert_eq!(out.deleted, deletes.len() as u64);
+    }
+    // The two configurations really sit in different physical states.
+    let resident_pairs = |e: &Parj| {
+        e.metrics_snapshot()
+            .value("parj_delta_resident_triples", &[])
+            .expect("gauge exported")
+    };
+    assert!(resident_pairs(&resident) > 0, "threshold 0 must keep runs resident");
+    assert_eq!(resident_pairs(&compacted), 0, "threshold 1 must compact every batch");
+
+    // Rebuilt-from-scratch oracle: a fourth engine given the same
+    // batch, snapshotted (which folds its delta into a full rebuild)
+    // and reloaded. Snapshotting `resident` itself would fold — and so
+    // destroy — the resident runs this test exists to probe.
+    let dir = std::env::temp_dir().join(format!("parj-determinism-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("folded.parj");
+    {
+        let mut oracle = Parj::from_store(lubm_store(), config(true));
+        oracle
+            .mutate()
+            .insert_all(inserts.iter().cloned())
+            .delete_all(deletes.iter().cloned())
+            .run()
+            .expect("oracle batch");
+        oracle.save_snapshot(&path).expect("snapshot");
+    }
+    let mut folded = Parj::load_snapshot(&path, config(true)).expect("reload");
+    std::fs::remove_dir_all(&dir).ok();
+
+    for q in lubm::queries() {
+        let baseline = compacted
+            .request(&q.sparql)
+            .threads(1)
+            .ids_only()
+            .run()
+            .expect("baseline runs")
+            .ids
+            .expect("ids mode returns ids");
+        assert_all_combos_match(&mut resident, &q.sparql, &q.name, &baseline);
+        assert_all_combos_match(&mut compacted, &q.sparql, &q.name, &baseline);
+        assert_all_combos_match(&mut spawned_resident, &q.sparql, &q.name, &baseline);
+
+        // Rebuilt-from-scratch agreement, order-insensitive.
+        let mut from_rebuild = folded
+            .request(&q.sparql)
+            .threads(1)
+            .ids_only()
+            .run()
+            .expect("rebuilt runs")
+            .ids
+            .expect("ids mode returns ids");
+        let mut sorted_baseline = baseline;
+        from_rebuild.sort_unstable();
+        sorted_baseline.sort_unstable();
+        assert_eq!(
+            from_rebuild, sorted_baseline,
+            "{}: delta view and from-scratch rebuild disagree",
+            q.name
+        );
+    }
+}
+
 #[test]
 fn cache_fingerprint_hits_across_thread_and_morsel_combos() {
     // Because answers are configuration-independent, the cache key

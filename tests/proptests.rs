@@ -63,20 +63,19 @@ fn slot_sparql(s: Slot) -> String {
 fn build(case: &Case) -> (Parj, String, Vec<parj_optimizer::Pattern>, usize) {
     let mut engine = Parj::builder().threads(1).build();
     // Seed dense dictionaries (generation order = id order).
+    let mut nt = String::new();
     for r in 0..RESOURCES {
-        engine.add_triple(
-            &Term::iri(iri(r)),
-            &Term::iri("http://t/seed"),
-            &Term::iri(iri(r)),
-        );
+        nt.push_str(&format!("<{}> <http://t/seed> <{}> .\n", iri(r), iri(r)));
     }
     for (s, p, o) in &case.triples {
-        engine.add_triple(
-            &Term::iri(iri(*s)),
-            &Term::iri(pred_iri(*p)),
-            &Term::iri(iri(*o)),
-        );
+        nt.push_str(&format!(
+            "<{}> <{}> <{}> .\n",
+            iri(*s),
+            pred_iri(*p),
+            iri(*o)
+        ));
     }
+    engine.load_ntriples_str(&nt).expect("seed engine");
     let body: String = case
         .patterns
         .iter()

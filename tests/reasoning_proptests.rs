@@ -71,18 +71,30 @@ fn ancestors(n: u32, edges: &[(u32, u32)], limit: u32) -> Vec<u32> {
 }
 
 fn load_base(engine: &mut Parj, case: &Case) {
-    for &(c, p) in &case.subclass {
-        engine.add_triple(&class(c), &Term::iri(SUBCLASS), &class(p));
-    }
-    for &(c, p) in &case.subprop {
-        engine.add_triple(&Term::iri(prop(c)), &Term::iri(SUBPROP), &Term::iri(prop(p)));
-    }
-    for &(e, c) in &case.types {
-        engine.add_triple(&entity(e), &Term::iri(RDF_TYPE), &class(c));
-    }
-    for &(s, p, o) in &case.edges {
-        engine.add_triple(&entity(s), &Term::iri(prop(p)), &entity(o));
-    }
+    let base = case
+        .subclass
+        .iter()
+        .map(|&(c, p)| (class(c), Term::iri(SUBCLASS), class(p)))
+        .chain(
+            case.subprop
+                .iter()
+                .map(|&(c, p)| (Term::iri(prop(c)), Term::iri(SUBPROP), Term::iri(prop(p)))),
+        )
+        .chain(
+            case.types
+                .iter()
+                .map(|&(e, c)| (entity(e), Term::iri(RDF_TYPE), class(c))),
+        )
+        .chain(
+            case.edges
+                .iter()
+                .map(|&(s, p, o)| (entity(s), Term::iri(prop(p)), entity(o))),
+        );
+    engine
+        .mutate()
+        .insert_all(base)
+        .run()
+        .expect("load base triples");
 }
 
 proptest! {
@@ -97,16 +109,18 @@ proptest! {
         // Plain engine over the forward-chained closure.
         let mut mat = Parj::builder().threads(2).build();
         load_base(&mut mat, &case);
+        let mut closure = Vec::new();
         for &(e, c) in &case.types {
             for anc in ancestors(c, &case.subclass, CLASSES) {
-                mat.add_triple(&entity(e), &Term::iri(RDF_TYPE), &class(anc));
+                closure.push((entity(e), Term::iri(RDF_TYPE), class(anc)));
             }
         }
         for &(s, p, o) in &case.edges {
             for anc in ancestors(p, &case.subprop, PROPS) {
-                mat.add_triple(&entity(s), &Term::iri(prop(anc)), &entity(o));
+                closure.push((entity(s), Term::iri(prop(anc)), entity(o)));
             }
         }
+        mat.mutate().insert_all(closure).run().unwrap();
 
         // Every type query and property query must agree. Materialized
         // stores are sets, so plain counts there already equal distinct

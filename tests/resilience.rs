@@ -7,7 +7,7 @@
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
-use parj::{CancelToken, Parj, ParjError, SharedParj, Term};
+use parj::{CancelToken, Parj, ParjError, SharedParj};
 
 /// `N` subjects × `K` values per predicate → the two-pattern join below
 /// produces `N × K²` rows (≈216M): seconds of work, so every abort path
@@ -24,15 +24,16 @@ fn big_engine() -> &'static SharedParj {
     static ENGINE: OnceLock<SharedParj> = OnceLock::new();
     ENGINE.get_or_init(|| {
         let mut e = Parj::builder().threads(4).build();
-        let p = Term::iri("http://e/p");
-        let q = Term::iri("http://e/q");
+        let mut nt = String::with_capacity(N * K * 2 * 64);
         for s in 0..N {
-            let subj = Term::iri(format!("http://e/s{s}"));
             for v in 0..K {
-                e.add_triple(&subj, &p, &Term::iri(format!("http://e/v{v}")));
-                e.add_triple(&subj, &q, &Term::iri(format!("http://e/w{v}")));
+                nt.push_str(&format!(
+                    "<http://e/s{s}> <http://e/p> <http://e/v{v}> .\n\
+                     <http://e/s{s}> <http://e/q> <http://e/w{v}> .\n"
+                ));
             }
         }
+        e.load_ntriples_str(&nt).expect("seed engine");
         SharedParj::new(e)
     })
 }
