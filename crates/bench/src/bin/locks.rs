@@ -1,0 +1,7 @@
+//! Ordered-lock wrapper overhead guardrail plus a per-hierarchy-level
+//! lock-wait profile of the pooled closed loop. See EXPERIMENTS.md.
+fn main() {
+    let args = parj_bench::Args::parse(parj_bench::default_scale("locks"));
+    let (tables, json) = parj_bench::locks::locks(&args);
+    parj_bench::write_outputs(&args.out, "locks", &tables, json);
+}

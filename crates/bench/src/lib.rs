@@ -17,6 +17,7 @@
 //! | `metrics_overhead` | observability-registry recording cost, on vs off (not a paper artifact) |
 //! | `serve` | closed-loop HTTP serving: qps/p50/p99 vs client count + overload (not a paper artifact) |
 //! | `pool` | persistent-pool vs spawn-per-query dispatch at 8 clients (not a paper artifact) |
+//! | `locks` | ordered-lock wrapper overhead guardrail + per-level lock-wait profile (not a paper artifact) |
 //! | `run_all`| everything above, with outputs under `results/` |
 //!
 //! Every binary accepts `--scale N` (dataset size), `--runs N`
@@ -30,6 +31,7 @@
 
 pub mod ablation;
 pub mod experiments;
+pub mod locks;
 pub mod report;
 pub mod serve;
 pub mod setup;
@@ -63,6 +65,10 @@ pub fn default_scale(experiment: &str) -> usize {
         // Pool-vs-spawn dispatch on selective queries: same small
         // store; per-request overhead is the measured quantity.
         "pool" => 4,
+        // Lock-overhead guardrail: the microbench dominates; the
+        // closed-loop phase only needs enough data to exercise the
+        // pool locks.
+        "locks" => 4,
         // WatDiv scales are ~2.5 k-triple units.
         "table3" => 40,
         "table4" => 20,

@@ -296,6 +296,27 @@ fn scrape_counter(addr: SocketAddr, family: &str) -> Option<u64> {
         .and_then(|v| v.parse().ok())
 }
 
+/// Sums every labelled sample of `family` off `/metrics` (e.g.
+/// `parj_lock_wait_micros{level="pool_state"} 12`).
+fn scrape_labelled_sum(addr: SocketAddr, family: &str) -> u64 {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return 0;
+    };
+    if stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: bench\r\n\r\n")
+        .is_err()
+    {
+        return 0;
+    }
+    let mut body = String::new();
+    let _ = stream.read_to_string(&mut body);
+    body.lines()
+        .filter(|l| l.starts_with(family) && l.as_bytes().get(family.len()) == Some(&b'{'))
+        .filter_map(|l| l.rsplit(' ').next())
+        .filter_map(|v| v.parse::<u64>().ok())
+        .sum()
+}
+
 /// Pool dispatch benchmark: the same selective-query closed loop run
 /// twice — once against an engine whose queries submit to the
 /// persistent worker pool, once against one that spawns fresh scoped
@@ -318,7 +339,7 @@ pub fn pool(args: &Args) -> (Vec<Table>, serde_json::Value) {
              2 threads/query, morsel size 64, cache off)",
             REQUESTS_PER_CLIENT, args.scale
         ),
-        &["qps", "p50 (ms)", "p99 (ms)", "pool jobs", "helper joins"],
+        &["qps", "p50 (ms)", "p99 (ms)", "pool jobs", "helper joins", "lock wait (µs)"],
     );
 
     let mut rows = serde_json::Map::new();
@@ -352,6 +373,10 @@ pub fn pool(args: &Args) -> (Vec<Table>, serde_json::Value) {
         assert!(statuses.iter().all(|&s| s == 200), "pool bench never sheds");
         let jobs = scrape_counter(addr, "parj_pool_jobs_total").unwrap_or(0);
         let helper_joins = scrape_counter(addr, "parj_pool_helper_joins_total").unwrap_or(0);
+        // Cross-level sum of parj_lock_wait_micros{level}: the ordered
+        // wrappers' contention, observed through the same exposition an
+        // operator would scrape (the `locks` bench breaks it down).
+        let lock_wait = scrape_labelled_sum(addr, "parj_lock_wait_micros");
         let report = server.shutdown();
         assert_eq!(report.leaked, 0, "bench server must drain clean");
         if pooled {
@@ -366,6 +391,7 @@ pub fn pool(args: &Args) -> (Vec<Table>, serde_json::Value) {
                 fmt_ms(p99),
                 jobs.to_string(),
                 helper_joins.to_string(),
+                lock_wait.to_string(),
             ],
         );
         rows.insert(
@@ -374,12 +400,14 @@ pub fn pool(args: &Args) -> (Vec<Table>, serde_json::Value) {
                 "qps": qps, "p50_ms": p50, "p99_ms": p99,
                 "requests": POOL_CLIENTS * REQUESTS_PER_CLIENT,
                 "pool_jobs": jobs, "helper_joins": helper_joins,
+                "lock_wait_micros": lock_wait,
             }),
         );
     }
     let speedup = qps_by_mode[0] / qps_by_mode[1].max(f64::MIN_POSITIVE);
     table.row("speedup (pooled/spawn)", vec![
         format!("{speedup:.2}x"),
+        String::new(),
         String::new(),
         String::new(),
         String::new(),

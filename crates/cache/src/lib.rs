@@ -57,7 +57,7 @@
 use std::collections::HashMap;
 
 use parj_sync::atomic::{AtomicU64, Ordering};
-use parj_sync::Mutex;
+use parj_sync::{LockLevel, OrderedMutex};
 
 pub use parj_join::{PhysicalPlan, RowBatch};
 
@@ -178,7 +178,7 @@ fn shard_index(key: &[u8]) -> usize {
 /// byte keys to clonable values.
 #[derive(Debug)]
 pub struct ShardedLru<V> {
-    shards: Vec<Mutex<Shard<V>>>,
+    shards: Vec<OrderedMutex<Shard<V>>>,
     /// Per-shard byte budget (total budget / CACHE_SHARDS).
     shard_budget: usize,
 }
@@ -186,14 +186,16 @@ pub struct ShardedLru<V> {
 impl<V: Clone> ShardedLru<V> {
     /// A cache holding at most `budget_bytes` across all shards.
     pub fn new(budget_bytes: usize) -> Self {
-        let shards = (0..CACHE_SHARDS).map(|_| Mutex::new(Shard::new())).collect();
+        let shards = (0..CACHE_SHARDS)
+            .map(|_| OrderedMutex::new(LockLevel::CacheShard, "cache.shard", Shard::new()))
+            .collect();
         ShardedLru {
             shards,
             shard_budget: budget_bytes / CACHE_SHARDS,
         }
     }
 
-    fn shard_for(&self, key: &[u8]) -> &Mutex<Shard<V>> {
+    fn shard_for(&self, key: &[u8]) -> &OrderedMutex<Shard<V>> {
         &self.shards[shard_index(key)]
     }
 
@@ -350,7 +352,7 @@ pub struct QueryCache {
     /// Monotonic epoch per predicate id, bumped by delta-store write
     /// batches for exactly the predicates they touch. Sparse: a
     /// predicate absent from the map has epoch 0.
-    pred_epochs: Mutex<HashMap<u32, u64>>,
+    pred_epochs: OrderedMutex<HashMap<u32, u64>>,
     /// Plans are tiny; give them a slice of the budget with a floor so
     /// a small result budget cannot starve plan reuse.
     plan: ShardedLru<PlanEntry>,
@@ -363,7 +365,11 @@ impl QueryCache {
         let plan_budget = (result_budget_bytes / 16).max(1 << 20);
         QueryCache {
             generation: GenerationCounter::new(),
-            pred_epochs: Mutex::new(HashMap::new()),
+            pred_epochs: OrderedMutex::new(
+                LockLevel::CacheEpoch,
+                "cache.pred_epochs",
+                HashMap::new(),
+            ),
             plan: ShardedLru::new(plan_budget),
             result: ShardedLru::new(result_budget_bytes),
         }

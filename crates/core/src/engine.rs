@@ -676,6 +676,13 @@ impl Parj {
                 panics_contained: s.panics_contained,
             });
         }
+        if self.config.record_metrics {
+            // Per-level lock contention (process-global: parj-sync owns
+            // the counters, a snapshot publishes the latest view).
+            let totals = parj_sync::lock_wait_totals();
+            self.metrics
+                .publish_lock_waits(totals.iter().map(|&(level, v)| (level, v)));
+        }
         self.metrics.snapshot()
     }
 
@@ -1253,7 +1260,13 @@ impl Parj {
                     .config
                     .record_metrics
                     .then(|| Arc::clone(&self.metrics)),
-                profiles: spec.explain.then(Default::default),
+                profiles: spec.explain.then(|| {
+                    parj_sync::OrderedMutex::new(
+                        parj_sync::LockLevel::Profile,
+                        "engine.explain_profiles",
+                        Vec::new(),
+                    )
+                }),
             }))
         } else {
             None
@@ -2105,7 +2118,7 @@ struct CapturedProfile {
 /// plan.
 struct RunRecorder {
     metrics: Option<Arc<EngineMetrics>>,
-    profiles: Option<parj_sync::Mutex<Vec<CapturedProfile>>>,
+    profiles: Option<parj_sync::OrderedMutex<Vec<CapturedProfile>>>,
 }
 
 impl parj_join::Recorder for RunRecorder {

@@ -27,7 +27,7 @@ use parj_rio::{drain_triples, LoadReport, OnParseError, ParseError, TermTriple};
 use parj_store::StoreBuilder;
 
 use parj_sync::atomic::{AtomicUsize, Ordering};
-use parj_sync::Mutex;
+use parj_sync::{LockLevel, OrderedMutex};
 
 /// Chunks cut per worker thread: enough slack that an uneven chunk
 /// (comment-heavy region, long literals) cannot stall the whole load.
@@ -42,7 +42,10 @@ fn par_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, threads: usize, f: F) ->
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<T>> = Vec::new();
     slots.resize_with(n, || None);
-    let slot_ptrs: Vec<Mutex<&mut Option<T>>> = slots.iter_mut().map(Mutex::new).collect();
+    let slot_ptrs: Vec<OrderedMutex<&mut Option<T>>> = slots
+        .iter_mut()
+        .map(|s| OrderedMutex::new(LockLevel::Staging, "staging.loader_slot", s))
+        .collect();
     parj_sync::thread::scope(|scope| {
         for _ in 0..threads.min(n) {
             scope.spawn(|| loop {

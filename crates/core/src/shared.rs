@@ -15,7 +15,7 @@
 //! workers pull morsels as helpers, so a serving process churns no
 //! threads under load (see `EngineConfig::use_pool`).
 
-use parj_sync::RwLock;
+use parj_sync::{LockLevel, OrderedRwLock};
 
 use parj_dict::Term;
 use parj_obs::MetricsSnapshot;
@@ -29,7 +29,7 @@ use crate::result::{QueryResult, QueryRunStats};
 /// (`&SharedParj` is `Send + Sync`); clone an `Arc<SharedParj>` to share
 /// across ownership boundaries.
 pub struct SharedParj {
-    inner: RwLock<Parj>,
+    inner: OrderedRwLock<Parj>,
 }
 
 impl SharedParj {
@@ -38,7 +38,9 @@ impl SharedParj {
     pub fn new(mut engine: Parj) -> Self {
         engine.finalize();
         SharedParj {
-            inner: RwLock::new(engine),
+            // Engine level: held for a whole query (read) or mutation
+            // batch (write); every pool/cache/staging lock sits below.
+            inner: OrderedRwLock::new(LockLevel::Engine, "engine.shared", engine),
         }
     }
 

@@ -26,7 +26,7 @@
 use std::collections::HashMap;
 
 use parj_sync::atomic::{AtomicUsize, Ordering};
-use parj_sync::Mutex;
+use parj_sync::{LockLevel, OrderedMutex};
 
 use crate::dict::{Dictionary, Namespace};
 use crate::hash::{fx_hash_bytes, FxBuildHasher};
@@ -147,8 +147,10 @@ impl Namespace {
             let next = AtomicUsize::new(0);
             let mut slots: Vec<Option<ShardOut>> = Vec::new();
             slots.resize_with(n_shards, || None);
-            let slot_ptrs: Vec<Mutex<&mut Option<ShardOut>>> =
-                slots.iter_mut().map(Mutex::new).collect();
+            let slot_ptrs: Vec<OrderedMutex<&mut Option<ShardOut>>> = slots
+                .iter_mut()
+                .map(|s| OrderedMutex::new(LockLevel::Staging, "staging.dict_slot", s))
+                .collect();
             parj_sync::thread::scope(|scope| {
                 for _ in 0..threads {
                     scope.spawn(|| loop {

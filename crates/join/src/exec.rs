@@ -1540,10 +1540,14 @@ where
         Some(g) => Arc::clone(g),
         None => Arc::new(QueryGuard::unlimited()),
     };
-    let output = Arc::new(parj_sync::Mutex::new(PooledOutput::<S> {
-        parts: Vec::new(),
-        panicked: None,
-    }));
+    let output = Arc::new(parj_sync::OrderedMutex::new(
+        parj_sync::LockLevel::ExecOutput,
+        "exec.pooled_output",
+        PooledOutput::<S> {
+            parts: Vec::new(),
+            panicked: None,
+        },
+    ));
     let cursor = Arc::new(AtomicUsize::new(0));
     let body: crate::pool::Participant = {
         let store = Arc::clone(store);

@@ -46,7 +46,7 @@ use std::panic::AssertUnwindSafe;
 use std::time::Instant;
 
 use parj_sync::atomic::{AtomicU64, Ordering};
-use parj_sync::{Arc, Condvar, Mutex};
+use parj_sync::{Arc, LockLevel, OrderedCondvar, OrderedMutex};
 
 /// One participant body. Every invocation is an independent worker
 /// joining the job's morsel cursor; bodies must therefore be callable
@@ -60,8 +60,8 @@ struct Job {
     /// Helper seats pool workers may claim (the submitter's own
     /// participation is not a seat).
     seats: usize,
-    meta: Mutex<JobMeta>,
-    done: Condvar,
+    meta: OrderedMutex<JobMeta>,
+    done: OrderedCondvar,
 }
 
 /// Seat state, mutated only while holding `Job::meta` (claims
@@ -78,8 +78,8 @@ struct State {
 }
 
 struct Shared {
-    state: Mutex<State>,
-    work: Condvar,
+    state: OrderedMutex<State>,
+    work: OrderedCondvar,
     jobs: AtomicU64,
     helper_joins: AtomicU64,
     busy_micros: AtomicU64,
@@ -129,11 +129,15 @@ impl WorkerPool {
     /// Spawns a pool of `workers.max(1)` parked threads.
     pub fn new(workers: usize) -> Self {
         let shared = Arc::new(Shared {
-            state: Mutex::new(State {
-                queue: VecDeque::new(),
-                shutdown: false,
-            }),
-            work: Condvar::new(),
+            state: OrderedMutex::new(
+                LockLevel::PoolState,
+                "pool.state",
+                State {
+                    queue: VecDeque::new(),
+                    shutdown: false,
+                },
+            ),
+            work: OrderedCondvar::new(LockLevel::PoolState, "pool.work"),
             jobs: AtomicU64::new(0),
             helper_joins: AtomicU64::new(0),
             busy_micros: AtomicU64::new(0),
@@ -166,11 +170,13 @@ impl WorkerPool {
             participant();
             return;
         }
+        // Job meta sits one level *below* the pool state: workers claim
+        // seats (locking meta) while holding the pool mutex.
         let job = Arc::new(Job {
             run: Arc::clone(&participant),
             seats: helpers,
-            meta: Mutex::new(JobMeta::default()),
-            done: Condvar::new(),
+            meta: OrderedMutex::new(LockLevel::PoolJob, "pool.job_meta", JobMeta::default()),
+            done: OrderedCondvar::new(LockLevel::PoolJob, "pool.job_done"),
         });
         {
             let mut state = self.shared.state.lock();

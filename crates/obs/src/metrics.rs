@@ -7,7 +7,7 @@
 //! store-finalize path — never while a query runs.
 
 use parj_sync::atomic::{AtomicU64, Ordering};
-use parj_sync::RwLock;
+use parj_sync::{LockLevel, OrderedRwLock};
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -160,15 +160,29 @@ impl Histogram {
 ///
 /// Insertion takes the write lock; it happens only on the store
 /// finalize path. Reads (exposition) take the read lock.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct GaugeVec {
-    values: RwLock<std::collections::BTreeMap<String, u64>>,
+    values: OrderedRwLock<std::collections::BTreeMap<String, u64>>,
+}
+
+impl Default for GaugeVec {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl GaugeVec {
     /// An empty family.
     pub fn new() -> Self {
-        Self::default()
+        GaugeVec {
+            // Metrics is the hierarchy floor: safe to update while
+            // holding any other lock in the workspace.
+            values: OrderedRwLock::new(
+                LockLevel::Metrics,
+                "obs.gauge_vec",
+                std::collections::BTreeMap::new(),
+            ),
+        }
     }
 
     /// Sets the gauge for `label` to `v`, creating it if absent.

@@ -257,6 +257,10 @@ pub struct EngineMetrics {
     pool_park_micros: Gauge,
     /// `parj_pool_panics_contained_total` (gauge storage, see above).
     pool_panics_contained: Gauge,
+    /// `parj_lock_wait_micros{level}` — cumulative time threads spent
+    /// blocked acquiring ordered locks, per hierarchy level (gauge
+    /// storage: `parj-sync` owns the counters; publishing replaces).
+    lock_wait_micros: GaugeVec,
     // -- load pipeline -----------------------------------------------------
     /// `parj_load_statements_total{result}` (loaded / skipped).
     load_statements: [Counter; 2],
@@ -320,6 +324,7 @@ impl EngineMetrics {
             pool_busy_micros: Gauge::new(),
             pool_park_micros: Gauge::new(),
             pool_panics_contained: Gauge::new(),
+            lock_wait_micros: GaugeVec::new(),
             load_statements: Default::default(),
             load_micros_total: Counter::new(),
             load_bytes_total: Counter::new(),
@@ -421,6 +426,15 @@ impl EngineMetrics {
         self.pool_busy_micros.set(t.busy_micros);
         self.pool_park_micros.set(t.park_micros);
         self.pool_panics_contained.set(t.panics_contained);
+    }
+
+    /// Replaces the per-level lock-contention family from `parj-sync`'s
+    /// process-global wait counters (`lock_wait_totals()`); like the
+    /// pool families, the source owns the cumulative totals and a
+    /// snapshot publishes the latest view.
+    pub fn publish_lock_waits<'a>(&self, totals: impl IntoIterator<Item = (&'a str, u64)>) {
+        self.lock_wait_micros
+            .replace(totals.into_iter().map(|(level, v)| (level.to_string(), v)));
     }
 
     /// Records one bulk-load: statements kept, statements skipped
@@ -673,6 +687,16 @@ impl EngineMetrics {
                     "parj_pool_panics_contained_total",
                     "Participant panics contained by the pool worker loop.",
                     vec![plain(self.pool_panics_contained.get())],
+                ),
+                counter_fam(
+                    "parj_lock_wait_micros",
+                    "Microseconds threads spent blocked acquiring ordered locks, \
+                     by hierarchy level.",
+                    self.lock_wait_micros
+                        .get_all()
+                        .into_iter()
+                        .map(|(level, v)| labelled("level", &level, v))
+                        .collect(),
                 ),
                 counter_fam(
                     "parj_load_statements_total",

@@ -10,19 +10,12 @@
 
 use std::collections::HashMap;
 use std::net::IpAddr;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
-use parj_obs::ServerMetrics;
+use parj_sync::atomic::{AtomicUsize, Ordering};
+use parj_sync::{Arc, LockLevel, OrderedMutex};
 
-/// Locks a mutex, recovering the guard from a poisoned lock: admission
-/// state (counters, token buckets) stays valid under panics, and a
-/// poisoned bucket table must degrade to "serve" rather than take the
-/// whole front door down.
-pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
+use parj_obs::ServerMetrics;
 
 /// A bounded semaphore over query execution slots.
 ///
@@ -117,7 +110,7 @@ struct Bucket {
 #[derive(Debug)]
 pub struct QuotaTable {
     quota: Quota,
-    buckets: Mutex<HashMap<IpAddr, Bucket>>,
+    buckets: OrderedMutex<HashMap<IpAddr, Bucket>>,
 }
 
 impl QuotaTable {
@@ -128,7 +121,11 @@ impl QuotaTable {
     pub fn new(quota: Quota) -> Self {
         QuotaTable {
             quota,
-            buckets: Mutex::new(HashMap::new()),
+            buckets: OrderedMutex::new(
+                LockLevel::AdmissionQuota,
+                "admission.quota_buckets",
+                HashMap::new(),
+            ),
         }
     }
 
@@ -136,7 +133,7 @@ impl QuotaTable {
     /// over quota and the request must be rejected.
     pub fn try_take(&self, ip: IpAddr, now: Instant) -> bool {
         let burst = f64::from(self.quota.burst.max(1));
-        let mut buckets = lock_unpoisoned(&self.buckets);
+        let mut buckets = self.buckets.lock();
         if buckets.len() >= Self::MAX_CLIENTS && !buckets.contains_key(&ip) {
             // Evict buckets that have fully refilled — their owners are
             // idle and indistinguishable from new clients anyway.
@@ -173,7 +170,7 @@ impl QuotaTable {
 /// clients to back off longer.
 #[derive(Debug)]
 pub struct LatencyWindow {
-    samples: Mutex<Window>,
+    samples: OrderedMutex<Window>,
 }
 
 #[derive(Debug)]
@@ -200,17 +197,21 @@ impl LatencyWindow {
     /// An empty window.
     pub fn new() -> Self {
         LatencyWindow {
-            samples: Mutex::new(Window {
-                ring: vec![0; WINDOW],
-                next: 0,
-                filled: 0,
-            }),
+            samples: OrderedMutex::new(
+                LockLevel::AdmissionWindow,
+                "admission.latency_window",
+                Window {
+                    ring: vec![0; WINDOW],
+                    next: 0,
+                    filled: 0,
+                },
+            ),
         }
     }
 
     /// Records one accepted query's wall time, microseconds.
     pub fn record(&self, micros: u64) {
-        let mut w = lock_unpoisoned(&self.samples);
+        let mut w = self.samples.lock();
         let slot = w.next;
         w.ring[slot] = micros;
         w.next = (w.next + 1) % WINDOW;
@@ -219,7 +220,7 @@ impl LatencyWindow {
 
     /// Mean latency over the window, microseconds (0 when empty).
     pub fn mean_micros(&self) -> u64 {
-        let w = lock_unpoisoned(&self.samples);
+        let w = self.samples.lock();
         if w.filled == 0 {
             return 0;
         }

@@ -44,15 +44,16 @@ use std::collections::HashMap;
 use std::io;
 use std::net::{IpAddr, Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use parj_sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use parj_sync::thread::JoinHandle;
+use parj_sync::{Arc, LockLevel, OrderedMutex};
 
 use parj_core::{CancelToken, ParjError, SharedParj};
 use parj_obs::{MetricsSnapshot, ServerMetrics};
 
-use admission::{lock_unpoisoned, InflightGate, LatencyWindow, Quota, QuotaTable};
+use admission::{InflightGate, LatencyWindow, Quota, QuotaTable};
 use http::{Limits, Method, Request, Response};
 
 pub use admission::Permit;
@@ -133,7 +134,7 @@ struct ServerState {
     /// Cancel tokens of admitted, still-running queries, keyed by a
     /// server-local request id; shutdown cancels whatever is left here
     /// after the drain deadline.
-    live_tokens: Mutex<HashMap<u64, CancelToken>>,
+    live_tokens: OrderedMutex<HashMap<u64, CancelToken>>,
     next_request_id: AtomicU64,
     /// Connection-handler threads currently alive (drain waits on it).
     active_connections: AtomicUsize,
@@ -173,14 +174,18 @@ impl ParjServer {
             quotas: config.quota.map(QuotaTable::new),
             latency: LatencyWindow::new(),
             shutting_down: AtomicBool::new(false),
-            live_tokens: Mutex::new(HashMap::new()),
+            live_tokens: OrderedMutex::new(
+                LockLevel::Server,
+                "server.live_tokens",
+                HashMap::new(),
+            ),
             next_request_id: AtomicU64::new(0),
             active_connections: AtomicUsize::new(0),
             engine,
             config,
         });
         let acceptor_state = Arc::clone(&state);
-        let acceptor = std::thread::Builder::new()
+        let acceptor = parj_sync::thread::Builder::new()
             .name("parj-acceptor".to_string())
             .spawn(move || accept_loop(listener, acceptor_state))?;
         Ok(ServerHandle {
@@ -222,13 +227,13 @@ impl ServerHandle {
         let inflight_at_shutdown = self.state.metrics.inflight();
         let deadline = Instant::now() + self.state.config.drain_deadline;
         while self.connections_active() && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(5));
+            parj_sync::thread::sleep(Duration::from_millis(5));
         }
         if self.connections_active() {
             // Deadline passed: cancel whatever still runs and give the
             // cancellations a short grace period to unwind.
             let tokens: Vec<CancelToken> = {
-                let map = lock_unpoisoned(&self.state.live_tokens);
+                let map = self.state.live_tokens.lock();
                 map.values().cloned().collect()
             };
             for t in &tokens {
@@ -236,7 +241,7 @@ impl ServerHandle {
             }
             let grace = Instant::now() + Duration::from_secs(2);
             while self.connections_active() && Instant::now() < grace {
-                std::thread::sleep(Duration::from_millis(5));
+                parj_sync::thread::sleep(Duration::from_millis(5));
             }
         }
         DrainReport {
@@ -288,7 +293,7 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
         // ordering: Relaxed — see above.
         state.active_connections.fetch_add(1, Ordering::Relaxed);
         let conn_state = Arc::clone(&state);
-        let spawned = std::thread::Builder::new()
+        let spawned = parj_sync::thread::Builder::new()
             .name("parj-conn".to_string())
             .spawn(move || {
                 // Balances the increment above on every exit, panics
@@ -449,7 +454,7 @@ fn run_admitted(
     // ordering: Relaxed — the id only needs uniqueness, not ordering.
     let request_id = state.next_request_id.fetch_add(1, Ordering::Relaxed);
     let token = CancelToken::new();
-    lock_unpoisoned(&state.live_tokens).insert(request_id, token.clone());
+    state.live_tokens.lock().insert(request_id, token.clone());
     // Unregisters the token and releases the permit on every exit.
     struct AdmissionGuard<'a> {
         state: &'a ServerState,
@@ -458,7 +463,7 @@ fn run_admitted(
     }
     impl Drop for AdmissionGuard<'_> {
         fn drop(&mut self) {
-            lock_unpoisoned(&self.state.live_tokens).remove(&self.request_id);
+            self.state.live_tokens.lock().remove(&self.request_id);
         }
     }
     let _guard = AdmissionGuard {
@@ -547,7 +552,7 @@ impl DisconnectWatcher {
         let waker = stream.try_clone().ok();
         let thread = stream.try_clone().ok().and_then(|watch_stream| {
             let done = Arc::clone(&done);
-            std::thread::Builder::new()
+            parj_sync::thread::Builder::new()
                 .name("parj-disconnect-watch".to_string())
                 .spawn(move || watch(watch_stream, token, done))
                 .ok()

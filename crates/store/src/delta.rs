@@ -363,8 +363,8 @@ impl DeltaOverlay {
                 del_it.next();
                 continue;
             }
-            while add_it.peek().is_some_and(|a| *a < pair) {
-                out.push(add_it.next().expect("peeked"));
+            while let Some(a) = add_it.next_if(|a| *a < pair) {
+                out.push(a);
             }
             out.push(pair);
         }

@@ -23,7 +23,7 @@
 use std::collections::HashMap;
 
 use parj_sync::atomic::{AtomicUsize, Ordering};
-use parj_sync::Mutex;
+use parj_sync::{LockLevel, OrderedMutex};
 
 use parj_dict::{fx_hash_bytes, FxBuildHasher, Id, Namespace, Term, TermBatch};
 
@@ -133,8 +133,10 @@ impl StoreBuilder {
                 let next = AtomicUsize::new(0);
                 let mut slots: Vec<Option<(TermBatch, TermBatch, Vec<RefTriple>)>> = Vec::new();
                 slots.resize_with(n_chunks, || None);
-                let slot_ptrs: Vec<Mutex<&mut Option<_>>> =
-                    slots.iter_mut().map(Mutex::new).collect();
+                let slot_ptrs: Vec<OrderedMutex<&mut Option<_>>> = slots
+                    .iter_mut()
+                    .map(|s| OrderedMutex::new(LockLevel::Staging, "staging.store_slot", s))
+                    .collect();
                 parj_sync::thread::scope(|scope| {
                     for _ in 0..threads.min(n_chunks) {
                         scope.spawn(|| loop {
@@ -188,7 +190,8 @@ impl StoreBuilder {
             // One per-predicate pair table per worker.
             type WorkerTable = Vec<Vec<(Id, Id)>>;
             let next = AtomicUsize::new(0);
-            let tables: Mutex<Vec<WorkerTable>> = Mutex::new(Vec::new());
+            let tables: OrderedMutex<Vec<WorkerTable>> =
+                OrderedMutex::new(LockLevel::Staging, "staging.pair_tables", Vec::new());
             parj_sync::thread::scope(|scope| {
                 for _ in 0..threads.min(n_chunks) {
                     scope.spawn(|| {

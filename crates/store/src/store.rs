@@ -160,8 +160,16 @@ impl StoreBuilder {
             let next = parj_sync::atomic::AtomicUsize::new(0);
             let mut slots: Vec<Option<Partition>> = Vec::new();
             slots.resize_with(n_preds, || None);
-            let slot_ptrs: Vec<parj_sync::Mutex<&mut Option<Partition>>> =
-                slots.iter_mut().map(parj_sync::Mutex::new).collect();
+            let slot_ptrs: Vec<parj_sync::OrderedMutex<&mut Option<Partition>>> = slots
+                .iter_mut()
+                .map(|s| {
+                    parj_sync::OrderedMutex::new(
+                        parj_sync::LockLevel::Staging,
+                        "staging.partition_slot",
+                        s,
+                    )
+                })
+                .collect();
             parj_sync::thread::scope(|scope| {
                 for _ in 0..threads {
                     scope.spawn(|| loop {

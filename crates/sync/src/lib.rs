@@ -43,7 +43,8 @@ mod imp {
     /// Thread spawning, scoped threads and yields.
     pub mod thread {
         pub use std::thread::{
-            available_parallelism, scope, spawn, yield_now, JoinHandle, Scope, ScopedJoinHandle,
+            available_parallelism, scope, sleep, spawn, yield_now, Builder, JoinHandle, Scope,
+            ScopedJoinHandle,
         };
     }
 }
@@ -65,12 +66,23 @@ mod imp {
     /// Thread spawning, scoped threads and yields (loom-instrumented).
     pub mod thread {
         pub use loom::thread::{
-            available_parallelism, scope, spawn, yield_now, JoinHandle, Scope, ScopedJoinHandle,
+            available_parallelism, scope, sleep, spawn, yield_now, Builder, JoinHandle, Scope,
+            ScopedJoinHandle,
         };
     }
 }
 
 pub use imp::*;
+
+pub mod ordered;
+
+pub use ordered::{
+    assert_acquisition_graph_acyclic, lock_wait_totals, recorded_edges, LockLevel, OrderedCondvar,
+    OrderedMutex, OrderedMutexGuard, OrderedRwLock, OrderedRwLockReadGuard, OrderedRwLockWriteGuard,
+};
+
+#[cfg(debug_assertions)]
+pub use ordered::held_locks;
 
 #[cfg(test)]
 mod tests {

@@ -7,12 +7,16 @@
 //!
 //! 1. `ordering-justified` — every *atomic* `Ordering::` use outside
 //!    `crates/sync` carries a nearby `// ordering:` justification.
-//! 2. `no-raw-sync` — shimmed crates must reach `std::sync` /
-//!    `std::thread` through `parj_sync` in non-test code, or loom
-//!    models silently stop modeling those edges.
-//! 3. `hot-path-no-panic` — the join hot path never calls
-//!    `unwrap`/`expect`/`panic!`-family macros; failures flow through
-//!    `ExecFailure`.
+//! 2. `no-raw-sync` — shimmed crates (including `parj-server`) must
+//!    reach `std::sync` / `std::thread` through `parj_sync` in
+//!    non-test code, or loom models silently stop modeling those
+//!    edges. The `locks` pass (`locks.rs`) extends this to deny raw
+//!    `Mutex`/`RwLock`/`Condvar` types in favour of the level-carrying
+//!    ordered wrappers.
+//! 3. `hot-path-no-panic` — the join hot path (executor, search, rows,
+//!    and the delta-store merge iterators it probes through) never
+//!    calls `unwrap`/`expect`/`panic!`-family macros; failures flow
+//!    through `ExecFailure`.
 //! 4. `dead-code-reason` — `#[allow(dead_code)]` requires an adjacent
 //!    comment saying why.
 //! 5. `generation-boundary` — the cache's store-generation protocol
@@ -309,13 +313,14 @@ pub fn check_ordering_justified(rel: &Path, s: &Stripped, out: &mut Vec<Violatio
 
 /// Crates whose non-test code must reach sync primitives through
 /// `parj_sync` so loom models cover them.
-const SHIMMED: [&str; 6] = [
+pub const SHIMMED: [&str; 7] = [
     "crates/core",
     "crates/obs",
     "crates/dict",
     "crates/store",
     "crates/join",
     "crates/cache",
+    "crates/server",
 ];
 
 /// Rule 2: no direct `std::sync` / `std::thread` in shimmed crates'
@@ -350,11 +355,14 @@ pub fn check_no_raw_sync(rel: &Path, s: &Stripped, out: &mut Vec<Violation>) {
 }
 
 /// Join hot-path files: per-row code where a panic would tear down a
-/// worker instead of producing an `ExecFailure`.
-const HOT_PATH: [&str; 3] = [
+/// worker instead of producing an `ExecFailure`. The delta store's
+/// merge iterators qualify since PR 8: `_view` executor variants probe
+/// through them on every morsel.
+const HOT_PATH: [&str; 4] = [
     "crates/join/src/exec.rs",
     "crates/join/src/search.rs",
     "crates/join/src/rows.rs",
+    "crates/store/src/delta.rs",
 ];
 
 const PANICKY: [&str; 6] = [
@@ -463,7 +471,7 @@ pub fn check_file(rel: &Path, src: &str) -> Vec<Violation> {
 }
 
 /// Collects `.rs` files under `root/crates`, skipping build output.
-fn rust_files(root: &Path) -> Vec<PathBuf> {
+pub(crate) fn rust_files(root: &Path) -> Vec<PathBuf> {
     let mut files = Vec::new();
     let mut stack = vec![root.join("crates")];
     while let Some(dir) = stack.pop() {
@@ -618,6 +626,15 @@ mod tests {
             "use std::sync::Arc;",
         );
         assert!(test_file.is_empty(), "{test_file:?}");
+
+        // The serving layer joined the shimmed set with the lock
+        // hierarchy: its admission locks must be loom-modelable.
+        let server = check_file(
+            Path::new("crates/server/src/admission.rs"),
+            "use std::sync::Mutex;",
+        );
+        assert_eq!(server.len(), 1, "{server:?}");
+        assert_eq!(server[0].rule, "no-raw-sync");
     }
 
     #[test]
@@ -642,6 +659,15 @@ mod tests {
             "fn f(x: Option<u32>) -> u32 { x.unwrap() }",
         );
         assert!(other.is_empty(), "{other:?}");
+
+        // The delta merge iterators are hot path since the executor's
+        // `_view` variants probe through them per morsel.
+        let delta = check_file(
+            Path::new("crates/store/src/delta.rs"),
+            "fn f(x: Option<u32>) -> u32 { x.expect(\"present\") }",
+        );
+        assert_eq!(delta.len(), 1, "{delta:?}");
+        assert_eq!(delta[0].rule, "hot-path-no-panic");
     }
 
     #[test]

@@ -5,6 +5,10 @@
 //! * `cargo xtask lint` — run the custom lint gate over every crate
 //!   (see [`lint`] for the rules). Exits nonzero when any rule fires,
 //!   printing `path:line: [rule] message` per violation.
+//! * `cargo xtask locks` — run the lock-hierarchy static pass (see
+//!   [`locks`]): raw lock types are denied in product crates, every
+//!   ordered lock declares a known `LockLevel`, and the declared
+//!   hierarchy is acyclic and matches the DESIGN.md §17 lock table.
 
 #![forbid(unsafe_code)]
 
@@ -12,6 +16,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 mod lint;
+mod locks;
 
 /// Locates the workspace root: `CARGO_MANIFEST_DIR/../..` when built by
 /// cargo, falling back to the current directory.
@@ -46,8 +51,22 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("locks") => {
+            let root = workspace_root();
+            let violations = locks::run(&root);
+            if violations.is_empty() {
+                eprintln!("xtask locks: clean");
+                ExitCode::SUCCESS
+            } else {
+                for v in &violations {
+                    println!("{v}");
+                }
+                eprintln!("xtask locks: {} violation(s)", violations.len());
+                ExitCode::FAILURE
+            }
+        }
         _ => {
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("usage: cargo xtask <lint|locks>");
             ExitCode::FAILURE
         }
     }

@@ -2,7 +2,7 @@
 //! upstream loom lacks — this shim runs real OS threads, so scoped
 //! borrows work unchanged).
 
-pub use std::thread::{available_parallelism, JoinHandle, Scope, ScopedJoinHandle};
+pub use std::thread::{available_parallelism, sleep, Builder, JoinHandle, Scope, ScopedJoinHandle};
 
 use crate::sched;
 

@@ -122,6 +122,14 @@ impl<T> Mutex<T> {
             Err(poisoned) => poisoned.into_inner(),
         }
     }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
 }
 
 /// Condition variable with a non-poisoning interface.
