@@ -166,7 +166,10 @@ fn audit_replica(
 ) {
     let keys = r.keys();
     let offsets = r.offsets();
-    let values = r.values();
+    // Decodes when the replica is block-compressed (borrow when raw), so
+    // every CSR check below audits the *logical* content either way.
+    let decoded = r.decoded_values();
+    let values: &[Id] = &decoded;
 
     report.tick();
     if offsets.len() != keys.len() + 1 && !(keys.is_empty() && offsets.len() == 1) {
@@ -222,7 +225,8 @@ fn audit_replica(
     }
     report.tick();
     'groups: for g in 0..r.num_keys() {
-        for (j, w) in r.values_at(g).windows(2).enumerate() {
+        let group = &values[offsets[g] as usize..offsets[g + 1] as usize];
+        for (j, w) in group.windows(2).enumerate() {
             if w[0] >= w[1] {
                 report.fail(
                     "csr.group_sorted",
@@ -230,6 +234,39 @@ fn audit_replica(
                     format!("group {g} values[{}]={} !< values[{}]={}", j, w[0], j + 1, w[1]),
                 );
                 break 'groups;
+            }
+        }
+    }
+
+    // Block codec integrity: on a compressed replica, every packed
+    // group must decode to exactly the raw group and answer membership
+    // probes for its own boundary values (first, last, block edges).
+    if r.is_compressed() {
+        report.tick();
+        'packed: for g in 0..r.num_keys() {
+            let expect = &values[offsets[g] as usize..offsets[g + 1] as usize];
+            let group = r.group_at(g);
+            if group.len() != expect.len()
+                || group.iter().zip(expect.iter()).any(|(a, &b)| a != b)
+            {
+                report.fail(
+                    "codec.block_roundtrip",
+                    coords(predicate, order, g),
+                    format!("compressed group {g} decodes differently from raw"),
+                );
+                break 'packed;
+            }
+            let m = expect.len();
+            for &probe_at in &[0, m / 2, m.saturating_sub(1), parj_store::BLOCK_LEN.min(m) - 1] {
+                let v = expect[probe_at];
+                if !group.contains(v) {
+                    report.fail(
+                        "codec.block_probe",
+                        coords(predicate, order, g),
+                        format!("compressed group {g} misses its own value {v}"),
+                    );
+                    break 'packed;
+                }
             }
         }
     }
@@ -760,6 +797,37 @@ mod tests {
     fn empty_store_audits_clean() {
         let s = StoreBuilder::new().build();
         assert!(audit_all(&s).is_clean());
+    }
+
+    #[test]
+    fn compressed_store_audits_clean_and_checks_codec() {
+        let mut b = StoreBuilder::new();
+        for i in 0..3000u32 {
+            b.add_term_triple(
+                &Term::iri(format!("http://e/s{}", i % 4)),
+                &Term::iri("http://e/p"),
+                &Term::iri(format!("http://e/o{i}")),
+            );
+        }
+        let mut s = b.build();
+        assert!(s.compress_values(32) > 0);
+        let report = audit_all(&s);
+        assert!(report.is_clean(), "{report}");
+
+        // Corrupt one byte inside a packed block tail via a forged
+        // snapshot round-trip… snapshots decode first, so instead prove
+        // the codec check runs by counting: a compressed store audits
+        // strictly more checks than the same store raw.
+        let mut b = StoreBuilder::new();
+        for i in 0..3000u32 {
+            b.add_term_triple(
+                &Term::iri(format!("http://e/s{}", i % 4)),
+                &Term::iri("http://e/p"),
+                &Term::iri(format!("http://e/o{i}")),
+            );
+        }
+        let raw = b.build();
+        assert!(audit_store(&s).checks_run > audit_store(&raw).checks_run);
     }
 
     #[test]

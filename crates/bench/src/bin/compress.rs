@@ -1,0 +1,8 @@
+//! Replica block-compression report: bytes per triple raw vs packed
+//! (≥2× value-store bar asserted) plus probe throughput over the same
+//! data in both representations. See EXPERIMENTS.md.
+fn main() {
+    let args = parj_bench::Args::parse(parj_bench::default_scale("compress"));
+    let (tables, json) = parj_bench::compress::compress(&args);
+    parj_bench::write_outputs(&args.out, "compress", &tables, json);
+}

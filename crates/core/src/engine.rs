@@ -102,6 +102,17 @@ pub struct EngineConfig {
     /// `0` disables automatic compaction — the delta only folds into
     /// the base store at the next full rebuild. Default: 4096.
     pub delta_compaction_threshold: usize,
+    /// Block-compress replica value runs (frame-of-reference +
+    /// bitpacked deltas, [`parj_store::codec`]) when a replica holds at
+    /// least [`EngineConfig::compress_min_values`] triples and the
+    /// packed form is smaller than raw. Query results are byte-identical
+    /// either way; this trades a small decode cost on probe for a much
+    /// smaller resident store. Default: `true`.
+    pub compress_replicas: bool,
+    /// Size threshold for [`EngineConfig::compress_replicas`]: replicas
+    /// below this many values always stay raw (short runs gain nothing
+    /// and the skip-table overhead would dominate). Default: 4096.
+    pub compress_min_values: usize,
 }
 
 impl Default for EngineConfig {
@@ -124,6 +135,23 @@ impl Default for EngineConfig {
             cache: false,
             cache_bytes: 64 << 20,
             delta_compaction_threshold: 4096,
+            compress_replicas: true,
+            compress_min_values: 4096,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The [`StoreOptions`] actually used to build stores: the
+    /// configured options with the replica-compression policy folded
+    /// in, so partition builds, delta compactions and snapshot reloads
+    /// all apply the same policy.
+    pub fn effective_store_options(&self) -> StoreOptions {
+        StoreOptions {
+            compress_min_values: self
+                .compress_replicas
+                .then_some(self.compress_min_values),
+            ..self.store
         }
     }
 }
@@ -255,6 +283,20 @@ impl ParjBuilder {
     /// [`EngineConfig::delta_compaction_threshold`]; `0` disables).
     pub fn delta_compaction_threshold(mut self, pairs: usize) -> Self {
         self.config.delta_compaction_threshold = pairs;
+        self
+    }
+
+    /// Block-compress large replica value runs (see
+    /// [`EngineConfig::compress_replicas`]). On by default.
+    pub fn compress_replicas(mut self, on: bool) -> Self {
+        self.config.compress_replicas = on;
+        self
+    }
+
+    /// Replica size threshold for compression (see
+    /// [`EngineConfig::compress_min_values`]).
+    pub fn compress_min_values(mut self, values: usize) -> Self {
+        self.config.compress_min_values = values.max(1);
         self
     }
 
@@ -606,7 +648,7 @@ impl Parj {
         let Some(staged) = self.staged.take() else {
             return;
         };
-        let store = staged.build_with(self.config.store);
+        let store = staged.build_with(self.config.effective_store_options());
         let stats = Stats::build_with_buckets(&store, self.config.histogram_buckets);
         let calibration = if self.config.calibrate {
             calibrate(&store, &self.config.calibration)
@@ -2067,7 +2109,13 @@ impl Parj {
 
     /// Manually constructs an engine around an existing store (used by
     /// the benchmark harness, which builds stores via the generators).
-    pub fn from_store(store: TripleStore, config: EngineConfig) -> Parj {
+    pub fn from_store(mut store: TripleStore, config: EngineConfig) -> Parj {
+        // Generator-built and snapshot-loaded stores arrive raw; apply
+        // this engine's compression policy (also recording it in the
+        // store options, so delta compaction keeps honoring it).
+        if config.compress_replicas {
+            store.compress_values(config.compress_min_values);
+        }
         let stats = Stats::build_with_buckets(&store, config.histogram_buckets);
         let calibration = if config.calibrate {
             calibrate(&store, &config.calibration)

@@ -107,19 +107,29 @@ where
     start.elapsed().as_secs_f64().max(1e-9)
 }
 
+/// Largest single-step window multiplier we trust. Timing a handful of
+/// probes over a tiny or constant array can produce ratios in the
+/// thousands (both measurements sit at the clock floor); letting such a
+/// fraction drive the window would slam it to an array boundary and
+/// report a garbage break-even point.
+const MAX_STEP_RATIO: f64 = 64.0;
+
 /// Algorithm 2 for one random-access method supplied as `random_access`.
-/// Returns `(window, iterations)`.
+/// Returns `Some((window, iterations))`, or `None` when the array is too
+/// degenerate to measure (empty, near-singleton, or all-equal keys) —
+/// the caller substitutes the paper's published default for the method.
 fn calibrate_method<F>(
     arr: &[Id],
     cfg: &CalibrationConfig,
     mut random_access: F,
-) -> (usize, usize)
+) -> Option<(usize, usize)>
 where
     F: FnMut(&[Id], Id, &mut usize, &mut SearchStats) -> Option<usize>,
 {
     if arr.len() < 16 || arr[arr.len() - 1] == arr[0] {
-        // Degenerate array: any window works; return the starting one.
-        return (cfg.starting_window.max(1), 0);
+        // Degenerate array: every probe hits the same position, so the
+        // two methods cannot be told apart. Signal "unmeasurable".
+        return None;
     }
     let mut next_window = cfg.starting_window.max(1) as f64;
     let mut window;
@@ -130,12 +140,15 @@ where
         let w = (window as usize).clamp(1, arr.len() - 1);
         let time_binary = time_probes(arr, w, cfg.no_of_searches, &mut random_access);
         let time_scan = time_probes(arr, w, cfg.no_of_searches, sequential_search);
+        // Both timings are floored at 1e-9 s, so the ratio is finite;
+        // clamp it anyway so a near-zero denominator (sub-resolution
+        // measurement) cannot catapult the window across the array.
         let fraction = if time_binary > time_scan {
-            let fraction = time_binary / time_scan;
+            let fraction = (time_binary / time_scan).clamp(1.0, MAX_STEP_RATIO);
             next_window = window * fraction;
             fraction
         } else {
-            let fraction = time_scan / time_binary;
+            let fraction = (time_scan / time_binary).clamp(1.0, MAX_STEP_RATIO);
             next_window = window / fraction;
             fraction
         };
@@ -146,7 +159,7 @@ where
             break;
         }
     }
-    ((window as usize).clamp(1, arr.len() - 1), iterations)
+    Some(((window as usize).clamp(1, arr.len() - 1), iterations))
 }
 
 /// Runs Algorithm 2 against the largest replica of `store` — once for
@@ -175,7 +188,11 @@ pub fn calibrate(store: &TripleStore, cfg: &CalibrationConfig) -> CalibrationRes
     if keys.len() < 16 {
         return CalibrationResult::paper_defaults();
     }
-    let (window_binary, iterations_binary) = calibrate_method(keys, cfg, binary_search_cursor);
+    // Each method falls back to the paper's published break-even window
+    // independently when its measurement is degenerate.
+    let defaults = CalibrationResult::paper_defaults();
+    let (window_binary, iterations_binary) = calibrate_method(keys, cfg, binary_search_cursor)
+        .unwrap_or((defaults.window_binary, 0));
     let (window_index, iterations_index) = match idpos {
         Some(idx) => calibrate_method(keys, cfg, |arr, v, cursor, stats| {
             stats.index_lookups += 1;
@@ -186,8 +203,9 @@ pub fn calibrate(store: &TripleStore, cfg: &CalibrationConfig) -> CalibrationRes
             }
             let _ = arr;
             pos
-        }),
-        None => (CalibrationResult::paper_defaults().window_index, 0),
+        })
+        .unwrap_or((defaults.window_index, 0)),
+        None => (defaults.window_index, 0),
     };
     CalibrationResult {
         window_binary,
@@ -243,13 +261,64 @@ mod tests {
     }
 
     #[test]
-    fn degenerate_constant_array() {
-        // All keys identical spacing of zero span: calibrate_method must
-        // not loop forever or divide by zero.
-        let arr = vec![7u32; 100];
-        let (w, iters) = calibrate_method(&arr, &CalibrationConfig::default(), binary_search_cursor);
-        assert!(w >= 1);
-        assert_eq!(iters, 0);
+    fn degenerate_arrays_are_unmeasurable() {
+        // Grid of degenerate key arrays: empty, singleton, tiny, and
+        // all-equal (zero span). Every one must be reported as
+        // unmeasurable — never a garbage window — and must not loop
+        // forever or divide by zero along the way.
+        let grid: Vec<Vec<Id>> = vec![
+            vec![],
+            vec![7],
+            vec![3, 9],
+            (0..15).collect(),
+            vec![7; 100],
+            vec![u32::MAX; 64],
+            vec![0; 16],
+        ];
+        for arr in &grid {
+            let got = calibrate_method(arr, &CalibrationConfig::default(), binary_search_cursor);
+            assert_eq!(got, None, "array {:?}.. (len {})", arr.first(), arr.len());
+        }
+        // A minimal measurable array still yields a real window.
+        let arr: Vec<Id> = (0..16).map(|i| i * 10).collect();
+        let cfg = CalibrationConfig {
+            no_of_searches: 50,
+            max_iterations: 2,
+            ..CalibrationConfig::default()
+        };
+        let (w, iters) = calibrate_method(&arr, &cfg, binary_search_cursor).unwrap();
+        assert!((1..arr.len()).contains(&w));
+        assert!(iters >= 1);
+    }
+
+    #[test]
+    fn all_equal_keys_store_falls_back_to_paper_defaults() {
+        // A store whose largest replica has all-equal keys (every triple
+        // shares one subject) previously returned the starting window
+        // (64) instead of the paper defaults (200/20).
+        let mut b = StoreBuilder::new();
+        for i in 0..100u32 {
+            b.add_term_triple(
+                &Term::iri("s"),
+                &Term::iri("p"),
+                &Term::iri(format!("o{i:03}")),
+            );
+        }
+        let store = b.build();
+        let r = calibrate(&store, &CalibrationConfig::default());
+        // OS order has 100 distinct object keys, so that side may
+        // measure; the degenerate SO side must not poison the result:
+        // windows stay within the paper default or a measured range,
+        // never the raw starting window on an unmeasurable array.
+        assert!(r.window_binary >= 1);
+        // Force the truly degenerate path through calibrate_method.
+        let part = &store.partitions()[0];
+        let so_keys = part.replica(SortOrder::SO).keys();
+        assert_eq!(so_keys.len(), 1);
+        assert_eq!(
+            calibrate_method(so_keys, &CalibrationConfig::default(), binary_search_cursor),
+            None
+        );
     }
 
     #[test]

@@ -37,7 +37,7 @@ use parj_sync::atomic::{AtomicUsize, Ordering};
 use parj_sync::Arc;
 
 use parj_dict::Id;
-use parj_store::{DeltaOverlay, Replica, ReplicaView, StoreView, TripleStore};
+use parj_store::{DeltaOverlay, Group, Replica, ReplicaView, StoreView, TripleStore};
 
 use crate::calibrate::CalibrationResult;
 use crate::guard::{GuardTrip, QueryGuard, GUARD_BATCH};
@@ -499,8 +499,18 @@ fn group_contains(group: &[Id], value: Id, stats: &mut SearchStats) -> bool {
     group.binary_search(&value).is_ok()
 }
 
+/// [`group_contains`] over either value representation: binary search
+/// on raw groups, skip-table block pick + decoded-block scan on
+/// block-compressed ones.
+#[inline]
+fn group_probe(group: Group<'_>, value: Id, stats: &mut SearchStats) -> bool {
+    stats.group_probes += 1;
+    group.contains(value)
+}
+
 /// The sorted value group for `key` in an optional delta run, counting
 /// the lookup as a group probe. Missing run or absent key → empty.
+/// Delta runs are always raw (only base/compacted replicas compress).
 #[inline]
 fn overlay_group<'a>(
     rep: Option<&'a Replica>,
@@ -516,12 +526,28 @@ fn overlay_group<'a>(
     }
 }
 
+/// The base-side group for `key`, across either representation.
+#[inline]
+fn overlay_base_group<'a>(
+    rep: Option<&'a Replica>,
+    key: Id,
+    stats: &mut SearchStats,
+) -> Group<'a> {
+    match rep {
+        Some(r) => {
+            stats.group_probes += 1;
+            r.group_for_key(key)
+        }
+        None => Group::Raw(&[]),
+    }
+}
+
 /// Membership in the merged view `(base ∪ add) \ del` of one key's
 /// groups. Runs are sorted and obey the overlay invariants (`add`
 /// disjoint from `base`, `del` ⊆ `base`).
 #[inline]
 fn merged_group_contains(
-    base_group: &[Id],
+    base_group: Group<'_>,
     add_group: &[Id],
     del_group: &[Id],
     value: Id,
@@ -530,7 +556,7 @@ fn merged_group_contains(
     if !del_group.is_empty() && group_contains(del_group, value, stats) {
         return false;
     }
-    group_contains(base_group, value, stats)
+    group_probe(base_group, value, stats)
         || (!add_group.is_empty() && group_contains(add_group, value, stats))
 }
 
@@ -644,7 +670,7 @@ impl<'a, S: Sink> Worker<'a, S> {
             ReplicaView::Clean(replica) => (Some(replica), None, None),
             ReplicaView::Dirty { base, add, del } => (base, add, del),
         };
-        let base_group: &[Id] = match replica {
+        let base_group: Group<'a> = match replica {
             Some(replica) => match adaptive_search(
                 replica.keys(),
                 key_id,
@@ -654,10 +680,10 @@ impl<'a, S: Sink> Worker<'a, S> {
                 replica.idpos(),
                 &mut self.step_stats[depth],
             ) {
-                Some(pos) => replica.values_at(pos),
-                None => &[],
+                Some(pos) => replica.group_at(pos),
+                None => Group::Raw(&[]),
             },
-            None => &[],
+            None => Group::Raw(&[]),
         };
         if add.is_none() && del.is_none() {
             // Clean path: the group is exactly the replica's, and an
@@ -667,13 +693,15 @@ impl<'a, S: Sink> Worker<'a, S> {
             }
             match mode.value {
                 ValueMode::Bind(v) => {
-                    for &val in base_group {
+                    // The iterator borrows from the replica ('a), not
+                    // from `self`, so recursion is free to re-borrow.
+                    for val in base_group.iter() {
                         self.bindings[v as usize] = val;
                         self.descend(depth + 1);
                     }
                 }
                 ValueMode::CheckVar(v) => {
-                    if group_contains(
+                    if group_probe(
                         base_group,
                         self.bindings[v as usize],
                         &mut self.step_stats[depth],
@@ -682,12 +710,12 @@ impl<'a, S: Sink> Worker<'a, S> {
                     }
                 }
                 ValueMode::CheckConst(c) => {
-                    if group_contains(base_group, c, &mut self.step_stats[depth]) {
+                    if group_probe(base_group, c, &mut self.step_stats[depth]) {
                         self.descend(depth + 1);
                     }
                 }
                 ValueMode::CheckEqKey => {
-                    if group_contains(base_group, key_id, &mut self.step_stats[depth]) {
+                    if group_probe(base_group, key_id, &mut self.step_stats[depth]) {
                         self.descend(depth + 1);
                     }
                 }
@@ -748,13 +776,13 @@ impl<'a, S: Sink> Worker<'a, S> {
         &mut self,
         next_depth: usize,
         var: VarId,
-        base_group: &'a [Id],
+        base_group: Group<'a>,
         add_group: &'a [Id],
         del_group: &'a [Id],
     ) {
         let mut ai = 0;
         let mut di = 0;
-        for &val in base_group {
+        for val in base_group.iter() {
             if di < del_group.len() && del_group[di] == val {
                 di += 1;
                 continue;
@@ -789,23 +817,23 @@ impl<'a, S: Sink> Worker<'a, S> {
                     self.tick();
                     let key = replica.key_at(pos);
                     self.bindings[*bind_key as usize] = key;
-                    let group = replica.values_at(pos);
+                    let group = replica.group_at(pos);
                     match *value {
                         DriverValue::Bind(v) => {
-                            for &val in group {
+                            for val in group.iter() {
                                 self.bindings[v as usize] = val;
                                 self.descend(0);
                             }
                         }
                         DriverValue::CheckConst(c) => {
                             let slot = self.ctxs.len() + 1;
-                            if group_contains(group, c, &mut self.step_stats[slot]) {
+                            if group_probe(group, c, &mut self.step_stats[slot]) {
                                 self.descend(0);
                             }
                         }
                         DriverValue::CheckEqKey => {
                             let slot = self.ctxs.len() + 1;
-                            if group_contains(group, key, &mut self.step_stats[slot]) {
+                            if group_probe(group, key, &mut self.step_stats[slot]) {
                                 self.descend(0);
                             }
                         }
@@ -830,7 +858,8 @@ impl<'a, S: Sink> Worker<'a, S> {
                     // Dirty drivers pay one binary search per run and
                     // key (the merged key list has no positions into
                     // any single replica).
-                    let base_group = overlay_group(*base, key, &mut self.step_stats[slot]);
+                    let base_group =
+                        overlay_base_group(*base, key, &mut self.step_stats[slot]);
                     let add_group = overlay_group(*add, key, &mut self.step_stats[slot]);
                     let del_group = overlay_group(*del, key, &mut self.step_stats[slot]);
                     match *value {
@@ -933,10 +962,17 @@ fn prepare_exec<'a>(
             },
         },
         DriverMode::ScanGroup { key, bind_value } => match driver_source {
-            ReplicaView::Clean(replica) => ResolvedDriver::Group {
-                group: GroupRef::Borrowed(replica.values_for_key(key)),
-                bind_value,
-            },
+            ReplicaView::Clean(replica) => {
+                // Morsel sharding slices the driver domain by range, so
+                // a block-compressed group is materialized once here on
+                // the submitting thread (raw groups stay borrowed).
+                let g = replica.group_for_key(key);
+                let group = match g.as_raw() {
+                    Some(s) => GroupRef::Borrowed(s),
+                    None => GroupRef::Owned(g.to_vec()),
+                };
+                ResolvedDriver::Group { group, bind_value }
+            }
             ReplicaView::Dirty { .. } => {
                 let mut owned = Vec::new();
                 driver_source.merged_values_into(key, &mut owned);
@@ -1871,6 +1907,84 @@ mod tests {
             }
         }
         rows
+    }
+
+    #[test]
+    fn compressed_store_rows_equal_raw_byte_for_byte() {
+        // The same graph built raw and block-compressed must emit the
+        // *unsorted* row stream identically at every strategy, thread
+        // count and morsel size — compression is invisible to results.
+        let build = |compress: Option<usize>| {
+            let mut b = StoreBuilder::new();
+            for i in 0..3000u32 {
+                b.add_term_triple(
+                    &Term::iri(format!("s{}", i % 6)),
+                    &Term::iri("p0"),
+                    &Term::iri(format!("m{}", i % 500)),
+                );
+                b.add_term_triple(
+                    &Term::iri(format!("m{}", i % 500)),
+                    &Term::iri("p1"),
+                    &Term::iri(format!("t{}", (i * 7) % 90)),
+                );
+            }
+            b.build_with(parj_store::StoreOptions {
+                compress_min_values: compress,
+                ..Default::default()
+            })
+        };
+        let raw = build(None);
+        let zip = build(Some(16));
+        let p0 = pid(&raw, "p0");
+        let p1 = pid(&raw, "p1");
+        assert!(
+            zip.replica(p0, SortOrder::SO).unwrap().is_compressed(),
+            "long-run replica must compress"
+        );
+        // ?x p0 ?y . ?y p1 ?z
+        let plan = PhysicalPlan::new(
+            vec![
+                PlanStep {
+                    predicate: p0,
+                    order: SortOrder::SO,
+                    key: Atom::Var(0),
+                    value: Atom::Var(1),
+                },
+                PlanStep {
+                    predicate: p1,
+                    order: SortOrder::SO,
+                    key: Atom::Var(1),
+                    value: Atom::Var(2),
+                },
+            ],
+            3,
+            vec![0, 1, 2],
+        )
+        .unwrap();
+        for strategy in [
+            ProbeStrategy::AdaptiveIndex,
+            ProbeStrategy::AdaptiveBinary,
+            ProbeStrategy::AlwaysSequential,
+        ] {
+            for threads in [1usize, 4] {
+                for morsel in [7usize, 16_384] {
+                    let opts = ExecOptions {
+                        threads,
+                        morsel_size: morsel,
+                        strategy,
+                        guard: None,
+                        recorder: None,
+                    };
+                    let a = collect_rows(&raw, None, &plan, &opts);
+                    let b = collect_rows(&zip, None, &plan, &opts);
+                    assert_eq!(
+                        a, b,
+                        "strategy {strategy} threads {threads} morsel {morsel}"
+                    );
+                    assert!(!a.is_empty());
+                }
+            }
+        }
     }
 
     #[test]

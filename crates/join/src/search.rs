@@ -138,10 +138,15 @@ fn gallop_forward(
     cursor: &mut usize,
     stats: &mut SearchStats,
 ) -> Option<usize> {
+    debug_assert!(arr[from] < value && from < arr.len() - 1);
     let last = arr.len() - 1;
     let mut lo = from; // invariant: arr[lo] < value
     let mut jump = 1usize;
     let hi = loop {
+        // Every probe is clamped to `last`: the gallop can never
+        // overshoot the run (or block) boundary, however large the
+        // jump grows. `saturating_*` keeps the arithmetic itself from
+        // wrapping on pathological cursor positions.
         let cand = lo.saturating_add(jump).min(last);
         stats.sequential_steps += 1;
         if arr[cand] >= value {
@@ -154,7 +159,7 @@ fn gallop_forward(
             return None;
         }
         lo = cand;
-        jump <<= 1;
+        jump = jump.saturating_mul(2);
     };
     // Binary search the bracket (lo, hi] for the first element >= value.
     let (mut l, mut h) = (lo + 1, hi);
@@ -182,9 +187,13 @@ fn gallop_backward(
     cursor: &mut usize,
     stats: &mut SearchStats,
 ) -> Option<usize> {
+    debug_assert!(arr[from] > value && from > 0);
     let mut hi = from; // invariant: arr[hi] > value
     let mut jump = 1usize;
     let lo = loop {
+        // Clamped at index 0 by `saturating_sub` — the mirror-image of
+        // the forward clamp, so the backward gallop cannot overshoot
+        // the run start either.
         let cand = hi.saturating_sub(jump);
         stats.sequential_steps += 1;
         if arr[cand] <= value {
@@ -196,7 +205,7 @@ fn gallop_backward(
             return None;
         }
         hi = cand;
-        jump <<= 1;
+        jump = jump.saturating_mul(2);
     };
     // Binary search the bracket [lo, hi) for the last element <= value.
     let (mut l, mut h) = (lo, hi - 1);
@@ -483,6 +492,46 @@ mod tests {
                 let got = sequential_search(&a, probe, &mut cursor, &mut stats);
                 assert_eq!(got, want, "probe {probe} from {start}");
                 assert_eq!(cursor, want_cursor, "probe {probe} from {start}");
+            }
+        }
+    }
+
+    #[test]
+    fn gallop_never_overshoots_boundaries() {
+        // Exhaustive cursor-parity pinning at the shapes where an
+        // unclamped gallop would overshoot: run ends, length-1 runs,
+        // and probes past the last key. Result AND resting cursor must
+        // match the plain linear scan for every (start, probe) pair.
+        let shapes: Vec<Vec<Id>> = vec![
+            vec![7],                                      // length-1 run
+            vec![3, 9],                                   // length-2
+            (0..40).map(|i| i * 100).collect(),           // wide gaps
+            (0..17).map(|i| i * i).collect(),             // uneven gaps
+            vec![0, 1, 2, 3, 1_000_000, u32::MAX - 1],    // extreme tail
+        ];
+        for a in &shapes {
+            let max = *a.last().unwrap();
+            let probes: Vec<Id> = a
+                .iter()
+                .flat_map(|&v| [v.saturating_sub(1), v, v.saturating_add(1)])
+                .chain([0, max, max.saturating_add(1), u32::MAX])
+                .collect();
+            // Starts include positions past the end of the array —
+            // stale cursors from a longer previous run must clamp.
+            for start in (0..a.len() + 3).chain([usize::MAX]) {
+                for &probe in &probes {
+                    let (want, want_cursor) =
+                        linear_oracle(a, probe, start.min(a.len() - 1));
+                    let mut stats = SearchStats::new();
+                    let mut cursor = start;
+                    let got = sequential_search(a, probe, &mut cursor, &mut stats);
+                    assert_eq!(got, want, "len {} probe {probe} from {start}", a.len());
+                    assert_eq!(
+                        cursor, want_cursor,
+                        "cursor parity: len {} probe {probe} from {start}",
+                        a.len()
+                    );
+                }
             }
         }
     }

@@ -299,12 +299,31 @@ impl<'a> Scanner<'a> {
         (self.bump() == Some(b)).then_some(())
     }
 
-    fn unicode_escape(&mut self, kind: u8) -> Option<char> {
-        let n = if kind == b'u' { 4 } else { 8 };
+    fn hex_code(&mut self, n: usize) -> Option<u32> {
         let mut code = 0u32;
         for _ in 0..n {
             let d = (self.bump()? as char).to_digit(16)?;
             code = code * 16 + d;
+        }
+        Some(code)
+    }
+
+    /// Mirrors the serial parser's surrogate handling: `\uXXXX` pairs
+    /// combine, unpaired/inverted surrogates return `None` so the chunk
+    /// is re-parsed serially and gets the canonical line-anchored error
+    /// (this path must never silently produce a corrupt term).
+    fn unicode_escape(&mut self, kind: u8) -> Option<char> {
+        let n = if kind == b'u' { 4 } else { 8 };
+        let code = self.hex_code(n)?;
+        if kind == b'u' && (0xD800..=0xDBFF).contains(&code) {
+            if self.bump()? != b'\\' || self.bump()? != b'u' {
+                return None;
+            }
+            let low = self.hex_code(4)?;
+            if !(0xDC00..=0xDFFF).contains(&low) {
+                return None;
+            }
+            return char::from_u32(0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00));
         }
         char::from_u32(code)
     }

@@ -143,6 +143,29 @@ mod tests {
     }
 
     #[test]
+    fn surrogate_damage_recovers_at_statement_granularity() {
+        // Encoding damage (lone/inverted surrogates) is confined to the
+        // statement that carries it: strict mode anchors the error to
+        // that line, skip mode drops exactly that statement and loads
+        // the rest — including a later statement with a *valid* pair.
+        let doc = "<http://e/a> <http://e/p> \"ok\" .\n\
+                   <http://e/b> <http://e/p> \"bad \\uD800 high\" .\n\
+                   <http://e/c> <http://e/p> \"bad \\uDC00\\uD800 inverted\" .\n\
+                   <http://e/d> <http://e/p> \"good \\uD83D\\uDE00 pair\" .\n";
+        let err = parse_ntriples_str_lossy(doc, OnParseError::Abort).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("unpaired high surrogate"));
+        let (triples, report) =
+            parse_ntriples_str_lossy(doc, OnParseError::Skip { max_errors: 10 }).unwrap();
+        assert_eq!(triples.len(), 2);
+        assert_eq!(report.skipped, 2);
+        assert_eq!(report.errors[0].line, 2);
+        assert_eq!(report.errors[1].line, 3);
+        assert!(report.errors[1].to_string().contains("lone low surrogate"));
+        assert_eq!(triples[1].2.as_literal(), Some("good \u{1F600} pair"));
+    }
+
+    #[test]
     fn io_errors_are_fatal_even_in_skip_mode() {
         struct BrokenReader;
         impl std::io::Read for BrokenReader {

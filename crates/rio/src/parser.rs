@@ -108,10 +108,8 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    /// Decodes `\uXXXX` / `\UXXXXXXXX` (the leading backslash is already
-    /// consumed, `kind` is the `u`/`U` byte).
-    fn unicode_escape(&mut self, kind: u8) -> Result<char, ParseError> {
-        let n = if kind == b'u' { 4 } else { 8 };
+    /// Reads exactly `n` hex digits and returns the code they denote.
+    fn hex_escape_code(&mut self, n: usize) -> Result<u32, ParseError> {
         let start = self.pos;
         if self.pos + n > self.bytes.len() {
             return Err(self.err(ParseErrorKind::BadEscape("truncated \\u escape".into())));
@@ -120,8 +118,48 @@ impl<'a> Cursor<'a> {
         self.pos += n;
         let s = std::str::from_utf8(hex)
             .map_err(|_| self.err(ParseErrorKind::BadEscape("non-ASCII in \\u escape".into())))?;
-        let code = u32::from_str_radix(s, 16)
-            .map_err(|_| self.err(ParseErrorKind::BadEscape(format!("bad hex {s:?}"))))?;
+        u32::from_str_radix(s, 16)
+            .map_err(|_| self.err(ParseErrorKind::BadEscape(format!("bad hex {s:?}"))))
+    }
+
+    /// Decodes `\uXXXX` / `\UXXXXXXXX` (the leading backslash is already
+    /// consumed, `kind` is the `u`/`U` byte).
+    ///
+    /// A `\uXXXX` in the surrogate range is decoded UTF-16 style: a high
+    /// surrogate must be immediately followed by a `\uXXXX` low
+    /// surrogate (as emitted by JSON-era exporters) and the pair
+    /// combines into one scalar value. Unpaired highs and lone/inverted
+    /// lows are rejected with a surrogate-specific, line-anchored error
+    /// instead of silently producing a corrupt term.
+    fn unicode_escape(&mut self, kind: u8) -> Result<char, ParseError> {
+        let n = if kind == b'u' { 4 } else { 8 };
+        let code = self.hex_escape_code(n)?;
+        if kind == b'u' && (0xD800..=0xDBFF).contains(&code) {
+            // High surrogate: the low half must follow as `\uXXXX`.
+            if self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u') {
+                self.pos += 2;
+                let low = self.hex_escape_code(4)?;
+                if (0xDC00..=0xDFFF).contains(&low) {
+                    let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                    return char::from_u32(combined).ok_or_else(|| {
+                        self.err(ParseErrorKind::BadEscape(format!(
+                            "U+{combined:X} is not a scalar value"
+                        )))
+                    });
+                }
+                return Err(self.err(ParseErrorKind::BadEscape(format!(
+                    "unpaired high surrogate U+{code:04X}: \\u{low:04X} is not a low surrogate"
+                ))));
+            }
+            return Err(self.err(ParseErrorKind::BadEscape(format!(
+                "unpaired high surrogate U+{code:04X}: expected \\uDC00..\\uDFFF to follow"
+            ))));
+        }
+        if kind == b'u' && (0xDC00..=0xDFFF).contains(&code) {
+            return Err(self.err(ParseErrorKind::BadEscape(format!(
+                "inverted surrogate pair: lone low surrogate U+{code:04X}"
+            ))));
+        }
         char::from_u32(code).ok_or_else(|| {
             self.err(ParseErrorKind::BadEscape(format!(
                 "U+{code:X} is not a scalar value"
@@ -435,6 +473,42 @@ mod tests {
         assert!(matches!(
             fails(r#"<http://e/s> <http://e/p> "\uD800" ."#),
             ParseErrorKind::BadEscape(_) // lone surrogate
+        ));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_and_lone_halves_are_rejected() {
+        // A valid UTF-16 pair combines into one scalar value, in both
+        // literal and IRI positions.
+        let pair = r"\uD83D\uDE00"; // U+1F600 as a UTF-16 escape pair
+        let (_, _, o) = one(&format!(r#"<http://e/s> <http://e/p> "{pair}" ."#));
+        assert_eq!(o, Term::literal("\u{1F600}"));
+        let (s, _, _) = one(&format!(r"<http://e/{pair}> <http://e/p> <http://e/o> ."));
+        assert_eq!(s, Term::iri("http://e/\u{1F600}"));
+
+        // Each failure mode gets its own line-anchored diagnostic.
+        let cases: [(&str, &str); 4] = [
+            (r#""\uD800""#, "unpaired high surrogate"),
+            (r#""\uD800x""#, "unpaired high surrogate"),
+            (r#""\uD800\u0041""#, "is not a low surrogate"),
+            (r#""\uDC00\uD800""#, "lone low surrogate"),
+        ];
+        for (lit, want) in cases {
+            let line = format!("<http://e/s> <http://e/p> {lit} .");
+            let err = parse_line(&line, 42).unwrap_err();
+            assert_eq!(err.line, 42, "{lit}");
+            assert!(err.column > 26, "{lit}: column {}", err.column);
+            match err.kind {
+                ParseErrorKind::BadEscape(msg) => {
+                    assert!(msg.contains(want), "{lit}: {msg:?} missing {want:?}")
+                }
+                other => panic!("{lit}: expected BadEscape, got {other:?}"),
+            }
+        }
+        // \U00.. surrogates stay plain "not a scalar value" errors.
+        assert!(matches!(
+            fails(r#"<http://e/s> <http://e/p> "\U0000D800" ."#),
+            ParseErrorKind::BadEscape(_)
         ));
     }
 

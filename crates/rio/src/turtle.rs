@@ -323,8 +323,7 @@ impl Turtle {
         }
     }
 
-    fn unicode_escape(&mut self, kind: char) -> Result<char, ParseError> {
-        let n = if kind == 'u' { 4 } else { 8 };
+    fn hex_escape_code(&mut self, n: usize) -> Result<u32, ParseError> {
         let mut code = 0u32;
         for _ in 0..n {
             let c = self
@@ -333,6 +332,38 @@ impl Turtle {
             code = code * 16
                 + c.to_digit(16)
                     .ok_or_else(|| self.err_msg(format!("bad hex digit {c:?}")))?;
+        }
+        Ok(code)
+    }
+
+    /// `\uXXXX` surrogate handling matches the N-Triples parser: a high
+    /// surrogate pairs with an immediately-following `\uXXXX` low half;
+    /// unpaired/inverted surrogates get a surrogate-specific error.
+    fn unicode_escape(&mut self, kind: char) -> Result<char, ParseError> {
+        let n = if kind == 'u' { 4 } else { 8 };
+        let code = self.hex_escape_code(n)?;
+        if kind == 'u' && (0xD800..=0xDBFF).contains(&code) {
+            if self.peek() == Some('\\') && self.peek2() == Some('u') {
+                self.bump();
+                self.bump();
+                let low = self.hex_escape_code(4)?;
+                if (0xDC00..=0xDFFF).contains(&low) {
+                    let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                    return char::from_u32(combined)
+                        .ok_or_else(|| self.err_msg(format!("U+{combined:X} not a scalar")));
+                }
+                return Err(self.err_msg(format!(
+                    "unpaired high surrogate U+{code:04X}: \\u{low:04X} is not a low surrogate"
+                )));
+            }
+            return Err(self.err_msg(format!(
+                "unpaired high surrogate U+{code:04X}: expected \\uDC00..\\uDFFF to follow"
+            )));
+        }
+        if kind == 'u' && (0xDC00..=0xDFFF).contains(&code) {
+            return Err(self.err_msg(format!(
+                "inverted surrogate pair: lone low surrogate U+{code:04X}"
+            )));
         }
         char::from_u32(code).ok_or_else(|| self.err_msg(format!("U+{code:X} not a scalar")))
     }

@@ -1,0 +1,956 @@
+//! Block-compressed value-run storage: frame-of-reference + bitpacked
+//! deltas in fixed 128-value blocks with per-block skip pointers.
+//!
+//! A [`crate::Replica`] stores each key's sorted value run contiguously.
+//! Raw runs cost 4 bytes per value; since runs are strictly increasing
+//! (RDF set semantics), consecutive values differ by at least 1 and the
+//! gap minus one is usually a small integer — frequently zero for the
+//! dense id ranges the dictionary hands out. This module packs each run
+//! as:
+//!
+//! ```text
+//! run := varint(header)                           -- run length m comes
+//!        ⟨nothing⟩                 if m == 1         from the CSR offsets,
+//!        skip-table  block-0-tail  if 1 block        never stored
+//!        skip-table  block-tails   if > 1 block
+//! header      := first_value                 for the first nonempty run
+//!                                            at/after a sample anchor
+//!              | zigzag(first − prev_first)  otherwise (wrapping u32)
+//! skip-table  := (first: u32 LE, rel_off: u32 LE) per block 1..n
+//! block-tail  := width: u8, ⌈(mᵇ−1)·width / 8⌉ bytes of deltas
+//! ```
+//!
+//! Run headers are **delta-coded between sample anchors**: consecutive
+//! keys tend to map to nearby ids, so `first − prev_first` is usually a
+//! one-byte varint where an absolute first costs three. Every
+//! [`SAMPLE`]-th run restarts from an absolute value, which is what
+//! keeps random access possible — the positional walk below a sample
+//! anchor re-accumulates firsts from the anchor's absolute header.
+//!
+//! Each block covers up to [`BLOCK_LEN`] values; deltas store
+//! `v[i+1] − v[i] − 1` LSB-first at the per-block width (0 bits for
+//! consecutive-id runs, which then cost one header byte per block). The
+//! skip table lets a probe pick its block by a **clamped galloping
+//! search** over block-first values and decode only that block; byte
+//! offsets are relative to the end of the skip table. Run byte starts
+//! are sampled every [`SAMPLE`] runs — intermediate runs are skipped by
+//! an O(1)-per-run header parse — so the positional metadata stays
+//! far below one byte per key.
+//!
+//! The decode prefix-sum and the probe scan are vectorized with
+//! `std::arch` SIMD (SSE2 on x86-64, NEON on aarch64) behind **runtime
+//! feature detection**; the scalar fallback is bit-identical and is
+//! forced by setting the `PARJ_NO_SIMD` environment variable (or by
+//! running under Miri). This is the single module in the workspace
+//! allowed to contain `unsafe` — the exception is policed by
+//! `cargo xtask lint` (see DESIGN.md §18).
+#![allow(unsafe_code)]
+
+use parj_dict::Id;
+
+/// Values per compressed block.
+pub const BLOCK_LEN: usize = 128;
+
+/// Run-start byte offsets are sampled every `SAMPLE` runs.
+pub const SAMPLE: usize = 8;
+
+/// When the galloping block search has sequentially probed this many
+/// block-first values without bracketing the target, it starts doubling.
+const GALLOP_AFTER: usize = 4;
+
+/// One replica's value area, block-compressed. Logical run lengths are
+/// *not* stored here — every accessor takes the CSR `offsets` table the
+/// runs were packed from.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PackedValues {
+    /// Concatenated run encodings.
+    bytes: Vec<u8>,
+    /// Byte offset of run `SAMPLE*k`'s encoding, for each `k`.
+    samples: Vec<u32>,
+    /// Total logical values across all runs.
+    num_values: usize,
+}
+
+impl PackedValues {
+    /// Packs the value area of a CSR replica. `offsets` must be the
+    /// replica's offsets table (strictly increasing, first 0, last
+    /// `values.len()`), and every run must be strictly increasing.
+    pub fn pack(offsets: &[u32], values: &[Id]) -> PackedValues {
+        let num_keys = offsets.len().saturating_sub(1);
+        let mut bytes = Vec::with_capacity(values.len());
+        let mut samples = Vec::with_capacity(num_keys / SAMPLE + 1);
+        let mut prev_first: Option<Id> = None;
+        for pos in 0..num_keys {
+            if pos % SAMPLE == 0 {
+                assert!(bytes.len() <= u32::MAX as usize, "packed area exceeds u32 offsets");
+                samples.push(bytes.len() as u32);
+                // Bucket boundary: the next header is absolute again.
+                prev_first = None;
+            }
+            let run = &values[offsets[pos] as usize..offsets[pos + 1] as usize];
+            encode_run(run, prev_first, &mut bytes);
+            if let Some(&f) = run.first() {
+                prev_first = Some(f);
+            }
+        }
+        PackedValues {
+            bytes,
+            samples,
+            num_values: values.len(),
+        }
+    }
+
+    /// Total logical values.
+    #[inline]
+    pub fn num_values(&self) -> usize {
+        self.num_values
+    }
+
+    /// Bytes used by the packed encoding plus the sample table.
+    pub fn memory_bytes(&self) -> usize {
+        self.bytes.len() + self.samples.len() * 4
+    }
+
+    /// Borrows the run at key position `pos`. `offsets` must be the
+    /// same table the values were packed with.
+    pub fn run<'a>(&'a self, pos: usize, offsets: &[u32]) -> PackedRun<'a> {
+        let len = (offsets[pos + 1] - offsets[pos]) as usize;
+        let mut at = self.samples[pos / SAMPLE] as usize;
+        let mut prev_first: Option<Id> = None;
+        for skip in (pos / SAMPLE) * SAMPLE..pos {
+            let m = (offsets[skip + 1] - offsets[skip]) as usize;
+            if m > 0 {
+                prev_first = Some(resolve_first(&self.bytes[at..], prev_first));
+            }
+            at += encoded_len(&self.bytes[at..], m);
+        }
+        let first = if len == 0 {
+            0
+        } else {
+            resolve_first(&self.bytes[at..], prev_first)
+        };
+        PackedRun {
+            bytes: &self.bytes[at..],
+            len,
+            first,
+        }
+    }
+
+    /// Appends every logical value, in order, to `out`.
+    pub fn decode_all(&self, offsets: &[u32], out: &mut Vec<Id>) {
+        let num_keys = offsets.len().saturating_sub(1);
+        let mut at = 0usize;
+        let mut prev_first: Option<Id> = None;
+        for pos in 0..num_keys {
+            if pos % SAMPLE == 0 {
+                prev_first = None;
+            }
+            let m = (offsets[pos + 1] - offsets[pos]) as usize;
+            if m > 0 {
+                let first = resolve_first(&self.bytes[at..], prev_first);
+                prev_first = Some(first);
+                let run = PackedRun {
+                    bytes: &self.bytes[at..],
+                    len: m,
+                    first,
+                };
+                run.decode_into(out);
+            }
+            at += encoded_len(&self.bytes[at..], m);
+        }
+    }
+}
+
+/// One key's packed value run: a borrowed encoding plus its logical
+/// length and resolved first value (the header varint may be a delta
+/// from the previous run — the positional walk resolves it).
+#[derive(Debug, Clone, Copy)]
+pub struct PackedRun<'a> {
+    bytes: &'a [u8],
+    len: usize,
+    first: Id,
+}
+
+impl<'a> PackedRun<'a> {
+    /// Logical number of values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the run holds no values.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The first (smallest) value, if any.
+    pub fn first(&self) -> Option<Id> {
+        if self.len == 0 {
+            return None;
+        }
+        Some(self.first)
+    }
+
+    /// Membership probe: skip-table gallop to pick the block, then a
+    /// vectorized scan of the decoded block.
+    pub fn contains(&self, v: Id) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        let first = self.first;
+        let (_, header) = read_varint(self.bytes);
+        if v == first {
+            return true;
+        }
+        if v < first || self.len == 1 {
+            return false;
+        }
+        let nblocks = self.len.div_ceil(BLOCK_LEN);
+        let block = if nblocks == 1 {
+            0
+        } else {
+            let skips = &self.bytes[header..header + (nblocks - 1) * 8];
+            pick_block(skips, nblocks, v)
+        };
+        let mut buf = [0u32; BLOCK_LEN];
+        let m = self.decode_block(block, &mut buf);
+        contains(&buf[..m], v)
+    }
+
+    /// Decodes block `b` into `out`, returning the number of values
+    /// written (`BLOCK_LEN` except possibly for the last block).
+    pub fn decode_block(&self, b: usize, out: &mut [Id; BLOCK_LEN]) -> usize {
+        let nblocks = self.len.div_ceil(BLOCK_LEN);
+        debug_assert!(b < nblocks);
+        let first = self.first;
+        let (_, header) = read_varint(self.bytes);
+        if self.len == 1 {
+            out[0] = first;
+            return 1;
+        }
+        let m = if b + 1 < nblocks { BLOCK_LEN } else { self.len - b * BLOCK_LEN };
+        let skip_end = header + (nblocks - 1) * 8;
+        let (base, tail) = if b == 0 {
+            (first, skip_end)
+        } else {
+            let e = header + (b - 1) * 8;
+            let base = u32::from_le_bytes([
+                self.bytes[e],
+                self.bytes[e + 1],
+                self.bytes[e + 2],
+                self.bytes[e + 3],
+            ]);
+            let rel = u32::from_le_bytes([
+                self.bytes[e + 4],
+                self.bytes[e + 5],
+                self.bytes[e + 6],
+                self.bytes[e + 7],
+            ]) as usize;
+            (base, skip_end + rel)
+        };
+        decode_tail(base, &self.bytes[tail..], m, out);
+        m
+    }
+
+    /// Appends every value of the run, in order, to `out`.
+    pub fn decode_into(&self, out: &mut Vec<Id>) {
+        let mut buf = [0u32; BLOCK_LEN];
+        for b in 0..self.len.div_ceil(BLOCK_LEN) {
+            let m = self.decode_block(b, &mut buf);
+            out.extend_from_slice(&buf[..m]);
+        }
+    }
+
+    /// Streaming iterator over the run's values.
+    pub fn iter(&self) -> PackedRunIter<'a> {
+        PackedRunIter {
+            run: *self,
+            buf: [0; BLOCK_LEN],
+            block: 0,
+            filled: 0,
+            idx: 0,
+            remaining: self.len,
+        }
+    }
+}
+
+/// Block-buffered iterator over a [`PackedRun`].
+#[derive(Debug, Clone)]
+pub struct PackedRunIter<'a> {
+    run: PackedRun<'a>,
+    buf: [u32; BLOCK_LEN],
+    block: usize,
+    filled: usize,
+    idx: usize,
+    remaining: usize,
+}
+
+impl Iterator for PackedRunIter<'_> {
+    type Item = Id;
+
+    #[inline]
+    fn next(&mut self) -> Option<Id> {
+        if self.idx == self.filled {
+            if self.remaining == 0 {
+                return None;
+            }
+            self.filled = self.run.decode_block(self.block, &mut self.buf);
+            self.block += 1;
+            self.idx = 0;
+        }
+        let v = self.buf[self.idx];
+        self.idx += 1;
+        self.remaining -= 1;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for PackedRunIter<'_> {}
+
+/// Clamped galloping search over the skip table: returns the block
+/// whose value range may contain `v`, given `v >= first(block 0)`.
+///
+/// The gallop brackets by doubling but every candidate index is clamped
+/// to the last block, so the probe can never overshoot the run boundary
+/// (mirror of the clamp contract in `parj-join`'s `gallop_forward`).
+fn pick_block(skips: &[u8], nblocks: usize, v: Id) -> usize {
+    debug_assert_eq!(skips.len(), (nblocks - 1) * 8);
+    let first_of = |b: usize| -> Id {
+        // Block 0's first is not in the table; callers guarantee b >= 1.
+        let e = (b - 1) * 8;
+        u32::from_le_bytes([skips[e], skips[e + 1], skips[e + 2], skips[e + 3]])
+    };
+    // Sequential start: most probes land in the first few blocks.
+    let mut lo = 0usize; // invariant: first_of(lo) <= v (block 0 by contract)
+    let last = nblocks - 1;
+    for _ in 0..GALLOP_AFTER {
+        if lo == last || first_of(lo + 1) > v {
+            return lo;
+        }
+        lo += 1;
+    }
+    // Gallop: double the jump, clamped to the last block.
+    let mut jump = 1usize;
+    let mut hi = lo;
+    loop {
+        let next = hi.saturating_add(jump).min(last);
+        if next == hi {
+            return hi;
+        }
+        if first_of(next) > v {
+            // Bracketed: binary search (lo, next) for the last block
+            // with first <= v; invariant first_of(lo) <= v < first_of(next).
+            let (mut a, mut b) = (hi, next);
+            while b - a > 1 {
+                let mid = a + (b - a) / 2;
+                if first_of(mid) <= v {
+                    a = mid;
+                } else {
+                    b = mid;
+                }
+            }
+            return a;
+        }
+        hi = next;
+        jump <<= 1;
+    }
+}
+
+/// Byte length of the run encoding that starts at `bytes[0]`, for a run
+/// of logical length `m`.
+fn encoded_len(bytes: &[u8], m: usize) -> usize {
+    if m == 0 {
+        return 0;
+    }
+    let (_, header) = read_varint(bytes);
+    if m == 1 {
+        return header;
+    }
+    let nblocks = m.div_ceil(BLOCK_LEN);
+    let skip_end = header + (nblocks - 1) * 8;
+    // Offset of the last block's tail, then the tail's own size.
+    let last_tail = if nblocks == 1 {
+        skip_end
+    } else {
+        let e = header + (nblocks - 2) * 8 + 4;
+        let rel = u32::from_le_bytes([bytes[e], bytes[e + 1], bytes[e + 2], bytes[e + 3]]) as usize;
+        skip_end + rel
+    };
+    let m_last = m - (nblocks - 1) * BLOCK_LEN;
+    let w = bytes[last_tail] as usize;
+    last_tail + 1 + ((m_last - 1) * w).div_ceil(8)
+}
+
+/// Zigzag-folds a wrapping u32 difference so small jumps in either
+/// direction get small codes; exact for every `(first, prev)` pair
+/// because the decode side adds the difference back with wrapping
+/// arithmetic.
+#[inline]
+fn zigzag(d: u32) -> u32 {
+    let d = d as i32;
+    ((d << 1) ^ (d >> 31)) as u32
+}
+
+#[inline]
+fn unzigzag(z: u32) -> u32 {
+    (((z >> 1) as i32) ^ -((z & 1) as i32)) as u32
+}
+
+/// Reads the run header at `bytes[0]` and resolves the run's absolute
+/// first value: raw when the bucket walk has not yet seen a nonempty
+/// run (absolute header), previous-first plus the zigzag delta
+/// otherwise.
+#[inline]
+fn resolve_first(bytes: &[u8], prev_first: Option<Id>) -> Id {
+    let (raw, _) = read_varint(bytes);
+    match prev_first {
+        None => raw,
+        Some(p) => p.wrapping_add(unzigzag(raw)),
+    }
+}
+
+fn encode_run(run: &[Id], prev_first: Option<Id>, out: &mut Vec<u8>) {
+    let m = run.len();
+    if m == 0 {
+        return;
+    }
+    debug_assert!(run.windows(2).all(|w| w[0] < w[1]), "run not strictly increasing");
+    match prev_first {
+        None => write_varint(run[0], out),
+        Some(p) => write_varint(zigzag(run[0].wrapping_sub(p)), out),
+    }
+    if m == 1 {
+        return;
+    }
+    let nblocks = m.div_ceil(BLOCK_LEN);
+    let skip_at = out.len();
+    out.resize(skip_at + (nblocks - 1) * 8, 0);
+    let skip_end = out.len();
+    for b in 0..nblocks {
+        let block = &run[b * BLOCK_LEN..((b + 1) * BLOCK_LEN).min(m)];
+        if b > 0 {
+            let e = skip_at + (b - 1) * 8;
+            let rel = (out.len() - skip_end) as u32;
+            out[e..e + 4].copy_from_slice(&block[0].to_le_bytes());
+            out[e + 4..e + 8].copy_from_slice(&rel.to_le_bytes());
+        }
+        encode_tail(block, out);
+    }
+}
+
+/// Encodes one block's tail: width byte plus bitpacked `gap − 1`
+/// deltas (the block's first value lives in the run header or the skip
+/// table).
+fn encode_tail(block: &[Id], out: &mut Vec<u8>) {
+    let mut maxd = 0u32;
+    for w in block.windows(2) {
+        maxd = maxd.max(w[1] - w[0] - 1);
+    }
+    let width = 32 - maxd.leading_zeros() as usize;
+    out.push(width as u8);
+    if width == 0 {
+        return;
+    }
+    let mut acc = 0u64;
+    let mut bits = 0usize;
+    for w in block.windows(2) {
+        let d = (w[1] - w[0] - 1) as u64;
+        acc |= d << bits;
+        bits += width;
+        while bits >= 8 {
+            out.push(acc as u8);
+            acc >>= 8;
+            bits -= 8;
+        }
+    }
+    if bits > 0 {
+        out.push(acc as u8);
+    }
+}
+
+/// Decodes one block's tail into `out[..m]` given its base value.
+fn decode_tail(base: Id, tail: &[u8], m: usize, out: &mut [Id; BLOCK_LEN]) {
+    let width = tail[0] as usize;
+    let mut deltas = [0u32; BLOCK_LEN];
+    if width > 0 {
+        let mask = if width == 32 { u64::MAX } else { (1u64 << width) - 1 };
+        let mut acc = 0u64;
+        let mut bits = 0usize;
+        let mut src = 1usize;
+        for d in deltas.iter_mut().take(m - 1) {
+            while bits < width {
+                acc |= (tail[src] as u64) << bits;
+                src += 1;
+                bits += 8;
+            }
+            *d = (acc & mask) as u32;
+            acc >>= width;
+            bits -= width;
+        }
+    }
+    reconstruct(base, &deltas[..m - 1], &mut out[..m]);
+}
+
+/// Rebuilds block values from the base and the `gap − 1` deltas:
+/// `out[0] = base`, `out[i+1] = out[i] + deltas[i] + 1`. Dispatches to
+/// the SIMD prefix-sum kernel when available.
+fn reconstruct(base: Id, deltas: &[u32], out: &mut [Id]) {
+    #[cfg(target_arch = "x86_64")]
+    if simd_enabled() && is_x86_feature_detected!("sse2") {
+        // SAFETY: sse2 support was verified by the runtime feature
+        // detection on the line above.
+        unsafe { reconstruct_sse2(base, deltas, out) };
+        return;
+    }
+    #[cfg(target_arch = "aarch64")]
+    if simd_enabled() && std::arch::is_aarch64_feature_detected!("neon") {
+        // SAFETY: neon support was verified by the runtime feature
+        // detection on the line above.
+        unsafe { reconstruct_neon(base, deltas, out) };
+        return;
+    }
+    reconstruct_scalar(base, deltas, out);
+}
+
+fn reconstruct_scalar(base: Id, deltas: &[u32], out: &mut [Id]) {
+    out[0] = base;
+    let mut prev = base;
+    for (o, &d) in out[1..].iter_mut().zip(deltas) {
+        prev = prev.wrapping_add(d).wrapping_add(1);
+        *o = prev;
+    }
+}
+
+/// Sorted-membership scan over a decoded block. Dispatches to the SIMD
+/// equality scan when available.
+fn contains(hay: &[Id], v: Id) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    if simd_enabled() && is_x86_feature_detected!("sse2") {
+        // SAFETY: sse2 support was verified by the runtime feature
+        // detection on the line above.
+        return unsafe { contains_sse2(hay, v) };
+    }
+    #[cfg(target_arch = "aarch64")]
+    if simd_enabled() && std::arch::is_aarch64_feature_detected!("neon") {
+        // SAFETY: neon support was verified by the runtime feature
+        // detection on the line above.
+        return unsafe { contains_neon(hay, v) };
+    }
+    contains_scalar(hay, v)
+}
+
+fn contains_scalar(hay: &[Id], v: Id) -> bool {
+    hay.binary_search(&v).is_ok()
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn reconstruct_sse2(base: Id, deltas: &[u32], out: &mut [Id]) {
+    use std::arch::x86_64::*;
+    out[0] = base;
+    let mut carry = base;
+    let chunks = deltas.len() / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        // gaps = deltas + 1, then an in-register inclusive prefix sum
+        // (Hillis–Steele: shift-by-one-lane add, shift-by-two-lanes add).
+        let d = _mm_loadu_si128(deltas.as_ptr().add(i).cast());
+        let mut x = _mm_add_epi32(d, _mm_set1_epi32(1));
+        x = _mm_add_epi32(x, _mm_slli_si128(x, 4));
+        x = _mm_add_epi32(x, _mm_slli_si128(x, 8));
+        x = _mm_add_epi32(x, _mm_set1_epi32(carry as i32));
+        _mm_storeu_si128(out.as_mut_ptr().add(i + 1).cast(), x);
+        carry = _mm_cvtsi128_si32(_mm_shuffle_epi32(x, 0b11_11_11_11)) as u32;
+    }
+    for i in chunks * 4..deltas.len() {
+        carry = carry.wrapping_add(deltas[i]).wrapping_add(1);
+        out[i + 1] = carry;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn contains_sse2(hay: &[Id], v: Id) -> bool {
+    use std::arch::x86_64::*;
+    let needle = _mm_set1_epi32(v as i32);
+    let chunks = hay.len() / 4;
+    for c in 0..chunks {
+        let h = _mm_loadu_si128(hay.as_ptr().add(c * 4).cast());
+        if _mm_movemask_epi8(_mm_cmpeq_epi32(h, needle)) != 0 {
+            return true;
+        }
+    }
+    hay[chunks * 4..].contains(&v)
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn reconstruct_neon(base: Id, deltas: &[u32], out: &mut [Id]) {
+    use std::arch::aarch64::*;
+    out[0] = base;
+    let mut carry = base;
+    let chunks = deltas.len() / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        let d = vld1q_u32(deltas.as_ptr().add(i));
+        let mut x = vaddq_u32(d, vdupq_n_u32(1));
+        // Inclusive prefix sum via lane shifts (vextq with a zero vector
+        // shifts values toward higher lanes).
+        let z = vdupq_n_u32(0);
+        x = vaddq_u32(x, vextq_u32(z, x, 3));
+        x = vaddq_u32(x, vextq_u32(z, x, 2));
+        x = vaddq_u32(x, vdupq_n_u32(carry));
+        vst1q_u32(out.as_mut_ptr().add(i + 1), x);
+        carry = vgetq_lane_u32(x, 3);
+    }
+    for i in chunks * 4..deltas.len() {
+        carry = carry.wrapping_add(deltas[i]).wrapping_add(1);
+        out[i + 1] = carry;
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn contains_neon(hay: &[Id], v: Id) -> bool {
+    use std::arch::aarch64::*;
+    let needle = vdupq_n_u32(v);
+    let chunks = hay.len() / 4;
+    for c in 0..chunks {
+        let h = vld1q_u32(hay.as_ptr().add(c * 4));
+        if vmaxvq_u32(vceqq_u32(h, needle)) != 0 {
+            return true;
+        }
+    }
+    hay[chunks * 4..].contains(&v)
+}
+
+/// True when the vectorized kernels may run: not under Miri, and not
+/// force-disabled via the `PARJ_NO_SIMD` environment variable (the CI
+/// scalar-fallback job sets it so the scalar paths stay covered).
+fn simd_enabled() -> bool {
+    use parj_sync::atomic::{AtomicU32, Ordering};
+    if cfg!(miri) {
+        return false;
+    }
+    static STATE: AtomicU32 = AtomicU32::new(0);
+    // ordering: Relaxed — STATE is a memoized pure function of the
+    // process environment (0=unknown, 1=on, 2=off); racing initializers
+    // compute and store the same value, and no other memory is
+    // published through it.
+    match STATE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let disabled =
+                std::env::var_os("PARJ_NO_SIMD").is_some_and(|v| !v.is_empty() && v != "0");
+            // ordering: Relaxed — same-value memoization, see above.
+            STATE.store(if disabled { 2 } else { 1 }, Ordering::Relaxed);
+            !disabled
+        }
+    }
+}
+
+/// True when probes and decodes will use the vectorized kernels (used
+/// by benches to label their output).
+pub fn simd_active() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        return simd_enabled() && is_x86_feature_detected!("sse2");
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        return simd_enabled() && std::arch::is_aarch64_feature_detected!("neon");
+    }
+    #[allow(unreachable_code)]
+    false
+}
+
+fn write_varint(mut v: u32, out: &mut Vec<u8>) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Returns the decoded value and the number of bytes consumed.
+fn read_varint(bytes: &[u8]) -> (u32, usize) {
+    let mut v = 0u32;
+    let mut shift = 0;
+    let mut at = 0usize;
+    loop {
+        let b = bytes[at];
+        at += 1;
+        v |= ((b & 0x7f) as u32) << shift;
+        if b < 0x80 {
+            return (v, at);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn offsets_for(runs: &[Vec<Id>]) -> Vec<u32> {
+        let mut offsets = vec![0u32];
+        let mut total = 0u32;
+        for r in runs {
+            total += r.len() as u32;
+            offsets.push(total);
+        }
+        offsets
+    }
+
+    fn pack_runs(runs: &[Vec<Id>]) -> (PackedValues, Vec<u32>, Vec<Id>) {
+        let offsets = offsets_for(runs);
+        let values: Vec<Id> = runs.iter().flatten().copied().collect();
+        (PackedValues::pack(&offsets, &values), offsets, values)
+    }
+
+    /// Strictly increasing run of the given length starting near
+    /// `start`, with gaps drawn from `gaps`.
+    fn run_from(start: Id, gaps: &[u32]) -> Vec<Id> {
+        let mut v = start;
+        let mut out = vec![v];
+        for &g in gaps {
+            v = v.checked_add(g + 1).expect("run fits in u32");
+            out.push(v);
+        }
+        out
+    }
+
+    #[test]
+    fn roundtrips_fixed_shapes() {
+        // Lengths crossing every block boundary the format distinguishes.
+        for len in [1usize, 2, 3, 127, 128, 129, 255, 256, 257, 1000] {
+            for gap in [0u32, 1, 7, 1000] {
+                let run = run_from(5, &vec![gap; len - 1]);
+                let (packed, offsets, values) = pack_runs(std::slice::from_ref(&run));
+                let mut out = Vec::new();
+                packed.decode_all(&offsets, &mut out);
+                assert_eq!(out, values, "len {len} gap {gap}");
+                let pr = packed.run(0, &offsets);
+                assert_eq!(pr.len(), len);
+                assert_eq!(pr.iter().collect::<Vec<_>>(), run);
+                for &v in &run {
+                    assert!(pr.contains(v), "len {len} gap {gap} missing {v}");
+                }
+                assert!(!pr.contains(run[0].wrapping_sub(1)));
+                assert!(!pr.contains(run[len - 1] + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn multi_run_access_with_sampling() {
+        // More runs than one sample stride, with mixed lengths, so
+        // `run()` exercises the parse-skip path.
+        let runs: Vec<Vec<Id>> = (0..37u32)
+            .map(|i| run_from(i * 1000, &vec![i % 5; (i as usize % 7) + (i as usize % 3) * 130]))
+            .collect();
+        let (packed, offsets, values) = pack_runs(&runs);
+        assert_eq!(packed.num_values(), values.len());
+        for (i, r) in runs.iter().enumerate() {
+            let pr = packed.run(i, &offsets);
+            assert_eq!(&pr.iter().collect::<Vec<_>>(), r, "run {i}");
+            assert_eq!(pr.first(), r.first().copied());
+        }
+        let mut out = Vec::new();
+        packed.decode_all(&offsets, &mut out);
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn pick_block_matches_linear_oracle() {
+        // The clamped gallop over the skip table must agree with a
+        // plain linear scan of block firsts for every probe value —
+        // including probes past the last block (clamp, no overshoot).
+        for nblocks in [2usize, 3, 4, 5, 9, 17, 40] {
+            let len = (nblocks - 1) * BLOCK_LEN + 1;
+            let run = run_from(0, &vec![2; len - 1]);
+            let firsts: Vec<Id> = (0..nblocks).map(|b| run[b * BLOCK_LEN]).collect();
+            let mut skips = Vec::new();
+            for &f in &firsts[1..] {
+                skips.extend_from_slice(&f.to_le_bytes());
+                skips.extend_from_slice(&0u32.to_le_bytes()); // offsets unused here
+            }
+            let max = *run.last().unwrap();
+            for v in (firsts[0]..max.saturating_add(50)).step_by(7) {
+                let want = firsts.iter().rposition(|&f| f <= v).unwrap();
+                let got = pick_block(&skips, nblocks, v);
+                assert_eq!(got, want, "nblocks {nblocks} probe {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn contains_at_block_boundaries() {
+        // Values sitting exactly at block edges, probes between blocks,
+        // and probes past the end must all answer via the clamped
+        // gallop without overshooting.
+        let run = run_from(10, &vec![9; 1000]);
+        let (packed, offsets, _) = pack_runs(std::slice::from_ref(&run));
+        let pr = packed.run(0, &offsets);
+        for b in [0usize, 1, 2, 7] {
+            let edge = run[b * BLOCK_LEN];
+            assert!(pr.contains(edge));
+            assert!(!pr.contains(edge + 1), "gap values absent");
+            if b > 0 {
+                assert!(pr.contains(run[b * BLOCK_LEN - 1]), "last of prev block");
+            }
+        }
+        assert!(pr.contains(*run.last().unwrap()));
+        assert!(!pr.contains(run.last().unwrap() + 10));
+        assert!(!pr.contains(0));
+    }
+
+    #[test]
+    fn scalar_and_simd_kernels_agree() {
+        // The dispatching wrappers must be bit-identical to the scalar
+        // kernels on every length/alignment the block format produces.
+        let mut deltas = [0u32; BLOCK_LEN];
+        for (i, d) in deltas.iter_mut().enumerate() {
+            *d = (i as u32).wrapping_mul(2654435761) % 1000;
+        }
+        for n in [0usize, 1, 3, 4, 5, 8, 17, 127] {
+            let mut a = vec![0u32; n + 1];
+            let mut b = vec![0u32; n + 1];
+            reconstruct_scalar(77, &deltas[..n], &mut a);
+            reconstruct(77, &deltas[..n], &mut b);
+            assert_eq!(a, b, "reconstruct length {n}");
+            for probe in a.iter().copied().chain([0, 76, u32::MAX]) {
+                assert_eq!(
+                    contains_scalar(&a, probe),
+                    contains(&a, probe),
+                    "contains length {n} probe {probe}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zigzag_wrapping_roundtrip() {
+        // The header delta is a wrapping u32 difference; zigzag must be
+        // exact in both directions for every magnitude, including the
+        // full-range jumps 0 ↔ u32::MAX.
+        for (first, prev) in [
+            (0u32, 0u32),
+            (5, 3),
+            (3, 5),
+            (u32::MAX, 0),
+            (0, u32::MAX),
+            (2_147_483_648, 17),
+            (17, 2_147_483_648),
+        ] {
+            let d = first.wrapping_sub(prev);
+            assert_eq!(prev.wrapping_add(unzigzag(zigzag(d))), first, "{first} vs {prev}");
+        }
+    }
+
+    #[test]
+    fn wrapping_first_deltas_roundtrip() {
+        // Run firsts that jump across the whole u32 range in both
+        // directions, crossing sample-bucket boundaries, so both the
+        // absolute and the delta header paths are exercised at the
+        // extremes.
+        let runs: Vec<Vec<Id>> = (0..20u32)
+            .map(|i| {
+                let start = if i % 2 == 0 { u32::MAX - 100 - i } else { i * 3 };
+                run_from(start, &[(i % 4) * 7])
+            })
+            .collect();
+        let (packed, offsets, values) = pack_runs(&runs);
+        let mut out = Vec::new();
+        packed.decode_all(&offsets, &mut out);
+        assert_eq!(out, values);
+        for (i, r) in runs.iter().enumerate() {
+            let pr = packed.run(i, &offsets);
+            assert_eq!(pr.first(), r.first().copied(), "run {i}");
+            assert_eq!(&pr.iter().collect::<Vec<_>>(), r, "run {i}");
+            for &v in r {
+                assert!(pr.contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u32, 1, 127, 128, 300, 16_383, 16_384, u32::MAX] {
+            let mut out = Vec::new();
+            write_varint(v, &mut out);
+            assert_eq!(read_varint(&out), (v, out.len()));
+        }
+    }
+
+    #[test]
+    fn empty_area_packs_empty() {
+        let (packed, offsets, _) = pack_runs(&[]);
+        assert_eq!(packed.num_values(), 0);
+        let mut out = Vec::new();
+        packed.decode_all(&offsets, &mut out);
+        assert!(out.is_empty());
+    }
+
+    /// Random run set as `(start, gaps)` pairs; gap 0 exercises the
+    /// width-0 consecutive-id fast path.
+    fn arb_runs() -> impl Strategy<Value = Vec<Vec<Id>>> {
+        proptest::collection::vec(
+            (
+                0u32..1_000_000,
+                proptest::collection::vec(0u32..64, 0..300),
+            ),
+            0..12,
+        )
+        .prop_map(|rs| rs.into_iter().map(|(s, gaps)| run_from(s, &gaps)).collect())
+    }
+
+    proptest! {
+        /// Encode → decode identity over random run shapes, via every
+        /// accessor (bulk decode, per-run iterator, membership probe).
+        #[test]
+        fn roundtrip_random_runs(runs in arb_runs()) {
+            let (packed, offsets, values) = pack_runs(&runs);
+            let mut out = Vec::new();
+            packed.decode_all(&offsets, &mut out);
+            prop_assert_eq!(&out, &values);
+            for (i, r) in runs.iter().enumerate() {
+                let pr = packed.run(i, &offsets);
+                prop_assert_eq!(pr.len(), r.len());
+                prop_assert_eq!(&pr.iter().collect::<Vec<_>>(), r);
+                // Every present value answers true; neighbours of the
+                // run ends answer false unless genuinely present.
+                for &v in r {
+                    prop_assert!(pr.contains(v));
+                }
+                if let (Some(&lo), Some(&hi)) = (r.first(), r.last()) {
+                    prop_assert!(!pr.contains(lo.wrapping_sub(1)) || lo == 0);
+                    prop_assert!(!pr.contains(hi.wrapping_add(1)) || hi == u32::MAX);
+                }
+            }
+        }
+
+        /// Block-boundary run lengths: exact multiples and ±1, asserted
+        /// through both the scalar and the dispatching kernels.
+        #[test]
+        fn roundtrip_block_boundary_lengths(
+            start in 0u32..100_000,
+            gap in 0u32..32,
+            blocks in 1usize..4,
+            wobble in -1isize..=1,
+        ) {
+            let len = (blocks * BLOCK_LEN).saturating_add_signed(wobble).max(1);
+            let run = run_from(start, &vec![gap; len - 1]);
+            let (packed, offsets, _) = pack_runs(std::slice::from_ref(&run));
+            let pr = packed.run(0, &offsets);
+            prop_assert_eq!(pr.iter().collect::<Vec<_>>(), run);
+        }
+    }
+}

@@ -329,6 +329,12 @@ impl DeltaOverlay {
                     .build_idpos(universe, options.idpos_interval);
             }
         }
+        // Replacement partitions inherit the base store's compression
+        // policy, so a compressed store stays compressed across
+        // compactions.
+        if let Some(min) = options.compress_min_values {
+            part.compress_values(min);
+        }
         self.preds[idx].compacted = Some(Arc::new(part));
         self.preds[idx].add = None;
         self.preds[idx].del = None;
@@ -543,35 +549,33 @@ pub enum ReplicaView<'a> {
 }
 
 impl<'a> ReplicaView<'a> {
-    /// True if `(key, value)` is visible.
+    /// True if `(key, value)` is visible. Probes go through
+    /// [`crate::Group`], so base replicas (and compacted replacements)
+    /// may be block-compressed; add/del runs are always raw.
     pub fn contains_pair(&self, key: Id, value: Id) -> bool {
         match self {
-            ReplicaView::Clean(rep) => {
-                sorted_contains(rep.values_for_key(key), value)
-            }
+            ReplicaView::Clean(rep) => rep.group_for_key(key).contains(value),
             ReplicaView::Dirty { base, add, del } => {
-                let in_del = del
-                    .is_some_and(|d| sorted_contains(d.values_for_key(key), value));
+                let in_del =
+                    del.is_some_and(|d| d.group_for_key(key).contains(value));
                 if in_del {
                     return false;
                 }
-                base.is_some_and(|b| sorted_contains(b.values_for_key(key), value))
-                    || add.is_some_and(|a| {
-                        sorted_contains(a.values_for_key(key), value)
-                    })
+                base.is_some_and(|b| b.group_for_key(key).contains(value))
+                    || add.is_some_and(|a| a.group_for_key(key).contains(value))
             }
         }
     }
 
     /// The visible sorted value group for `key`, appended to `out`
-    /// (which is cleared first). For a clean replica prefer borrowing
-    /// [`Replica::values_for_key`] directly.
+    /// (which is cleared first). For a clean raw replica prefer
+    /// borrowing [`Replica::values_for_key`] directly.
     pub fn merged_values_into(&self, key: Id, out: &mut Vec<Id>) {
         out.clear();
         match self {
-            ReplicaView::Clean(rep) => out.extend_from_slice(rep.values_for_key(key)),
-            ReplicaView::Dirty { base, add, del } => merge_values_into(
-                base.map_or(&[][..], |b| b.values_for_key(key)),
+            ReplicaView::Clean(rep) => rep.group_for_key(key).decode_into(out),
+            ReplicaView::Dirty { base, add, del } => merge_group_into(
+                base.map_or(crate::Group::Raw(&[]), |b| b.group_for_key(key)),
                 add.map_or(&[][..], |a| a.values_for_key(key)),
                 del.map_or(&[][..], |d| d.values_for_key(key)),
                 out,
@@ -629,6 +633,33 @@ pub fn merge_values_into(base: &[Id], add: &[Id], del: &[Id], out: &mut Vec<Id>)
     let mut di = 0;
     let mut ai = 0;
     for &v in base {
+        if di < del.len() && del[di] == v {
+            di += 1;
+            continue;
+        }
+        while ai < add.len() && add[ai] < v {
+            out.push(add[ai]);
+            ai += 1;
+        }
+        out.push(v);
+    }
+    out.extend_from_slice(&add[ai..]);
+}
+
+/// [`merge_values_into`] with a [`crate::Group`] base, so the same
+/// two-pointer merge runs over raw and block-compressed base groups.
+pub fn merge_group_into(
+    base: crate::Group<'_>,
+    add: &[Id],
+    del: &[Id],
+    out: &mut Vec<Id>,
+) {
+    if let Some(slice) = base.as_raw() {
+        return merge_values_into(slice, add, del, out);
+    }
+    let mut di = 0;
+    let mut ai = 0;
+    for v in base.iter() {
         if di < del.len() && del[di] == v {
             di += 1;
             continue;
@@ -781,6 +812,90 @@ mod tests {
         // OS order: o2's subjects now include s2.
         let os = view.replica(0, SortOrder::OS).unwrap();
         assert!(os.contains_pair(o2, s2));
+    }
+
+    #[test]
+    fn overlay_over_compressed_base() {
+        // A block-compressed base must behave identically to raw under
+        // mutation, merge, and compaction.
+        let mut b = StoreBuilder::new();
+        for i in 0..2000u32 {
+            b.add_term_triple(
+                &Term::iri(format!("s{}", i % 4)),
+                &Term::iri("p"),
+                &Term::iri(format!("o{i}")),
+            );
+        }
+        let raw = b.build();
+        let mut zip_opts = raw.options();
+        zip_opts.compress_min_values = Some(8);
+        let mut b = StoreBuilder::new();
+        for i in 0..2000u32 {
+            b.add_term_triple(
+                &Term::iri(format!("s{}", i % 4)),
+                &Term::iri("p"),
+                &Term::iri(format!("o{i}")),
+            );
+        }
+        let zip = b.build_with(zip_opts);
+        assert!(zip.replica(0, SortOrder::SO).unwrap().is_compressed());
+
+        // Insert absent (s0, o_j) pairs for j % 4 != 0 — ids must stay
+        // inside the base dictionary (the engine extends DictDelta for
+        // genuinely new terms; this test mutates existing resources).
+        let s0 = rid(&raw, "s0");
+        let mut batch_ins: Vec<(Id, Id)> = (1..60)
+            .filter(|j| j % 4 != 0)
+            .map(|j| (s0, rid(&raw, &format!("o{j}"))))
+            .collect();
+        batch_ins.sort_unstable();
+        let batch_del: Vec<(Id, Id)> = raw
+            .partition(0)
+            .unwrap()
+            .iter_so()
+            .step_by(13)
+            .collect();
+        let run = |base: &TripleStore| {
+            let mut ov = DeltaOverlay::new(base);
+            ov.apply_pred(base, 0, &batch_ins, &[]);
+            ov.apply_pred(base, 0, &[], &batch_del);
+            assert_eq!(ov.check_invariants(base), Ok(()));
+            let dirty = ov.merged_so_pairs(base, 0);
+            let view = StoreView::with_delta(base, &ov);
+            let rep = view.replica(0, SortOrder::SO).unwrap();
+            let mut probe = Vec::new();
+            rep.merged_values_into(1, &mut probe);
+            ov.compact_pred(base, 0);
+            assert_eq!(ov.check_invariants(base), Ok(()));
+            assert_eq!(ov.merged_so_pairs(base, 0), dirty);
+            (dirty, probe, ov)
+        };
+        let (raw_pairs, raw_probe, _) = run(&raw);
+        let (zip_pairs, zip_probe, zip_ov) = run(&zip);
+        assert_eq!(raw_pairs, zip_pairs);
+        assert_eq!(raw_probe, zip_probe);
+        // The compacted replacement re-applied the compression policy.
+        let comp = zip_ov.pred(0).unwrap().compacted().unwrap();
+        assert!(comp.replica(SortOrder::SO).is_compressed());
+    }
+
+    #[test]
+    fn merge_group_matches_merge_values() {
+        let base: Vec<Id> = (0..500).map(|i| i * 3).collect();
+        let add = vec![1, 4, 2000];
+        let del = vec![0, 300, 1497];
+        let offsets = vec![0, base.len() as u32];
+        let packed = crate::codec::PackedValues::pack(&offsets, &base);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        merge_values_into(&base, &add, &del, &mut a);
+        merge_group_into(
+            crate::Group::Packed(packed.run(0, &offsets)),
+            &add,
+            &del,
+            &mut b,
+        );
+        assert_eq!(a, b);
     }
 
     #[test]

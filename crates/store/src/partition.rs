@@ -75,7 +75,16 @@ impl Partition {
 
     /// True if `(s, o)` is present.
     pub fn contains(&self, s: Id, o: Id) -> bool {
-        self.so.values_for_key(s).binary_search(&o).is_ok()
+        self.so.group_for_key(s).contains(o)
+    }
+
+    /// Block-compresses both replicas' value areas when they hold at
+    /// least `min_values` triples and compression actually shrinks
+    /// them. Returns whether either replica is compressed afterwards.
+    pub fn compress_values(&mut self, min_values: usize) -> bool {
+        let a = self.so.compress(min_values);
+        let b = self.os.compress(min_values);
+        a || b
     }
 
     /// Iterates all `(subject, object)` pairs in (s, o) order.
@@ -161,6 +170,26 @@ mod tests {
         let p = teaches();
         let pairs: Vec<_> = p.iter_so().collect();
         assert_eq!(pairs, vec![(1, 3), (1, 8), (4, 5), (6, 7)]);
+    }
+
+    #[test]
+    fn compressed_partition_stays_consistent() {
+        let mut pairs = Vec::new();
+        for s in 0..60u32 {
+            for j in 0..1 + (s * 13) % 300 {
+                pairs.push((s, j * 2 + s));
+            }
+        }
+        let mut p = Partition::build(2, &pairs);
+        let raw = p.clone();
+        assert!(p.compress_values(1));
+        assert_eq!(p.check_invariants(), Ok(()));
+        assert_eq!(p, raw, "compression is logically invisible");
+        for &(s, o) in pairs.iter().step_by(17) {
+            assert!(p.contains(s, o));
+        }
+        assert!(!p.contains(0, 1));
+        assert!(p.memory_bytes() < raw.memory_bytes());
     }
 
     #[test]

@@ -104,7 +104,10 @@ impl TripleStore {
                 let (keys, offsets, values) = part.replica(order).raw_parts();
                 put_ids(&mut out, keys);
                 put_u32s(&mut out, offsets);
-                put_ids(&mut out, values);
+                // `values` is Cow: borrowed when raw, decoded when the
+                // replica is block-compressed — snapshot bytes stay
+                // representation-independent (format v1 unchanged).
+                put_ids(&mut out, &values);
             }
         }
         out

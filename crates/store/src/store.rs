@@ -49,6 +49,12 @@ pub struct StoreOptions {
     /// embarrassingly parallel across predicates; output is identical
     /// at any thread count). Default: available parallelism.
     pub build_threads: usize,
+    /// When `Some(n)`, block-compress each replica's values area
+    /// ([`crate::codec`]) once it holds at least `n` triples and the
+    /// packed form is smaller than raw. `None` (the default) keeps all
+    /// replicas raw; the engine layer opts in via
+    /// `EngineConfig::compress_replicas`.
+    pub compress_min_values: Option<usize>,
 }
 
 impl Default for StoreOptions {
@@ -57,6 +63,7 @@ impl Default for StoreOptions {
             build_idpos: true,
             idpos_interval: 512,
             build_threads: parj_sync::thread::available_parallelism().map_or(1, |n| n.get()),
+            compress_min_values: None,
         }
     }
 }
@@ -143,6 +150,9 @@ impl StoreBuilder {
                     part.replica_mut(order)
                         .build_idpos(universe, options.idpos_interval);
                 }
+            }
+            if let Some(min) = options.compress_min_values {
+                part.compress_values(min);
             }
             part
         };
@@ -286,6 +296,25 @@ impl TripleStore {
     /// dictionary for LUBM 10240).
     pub fn total_memory_bytes(&self) -> usize {
         self.partitions_memory_bytes() + self.dict.memory_bytes()
+    }
+
+    /// Block-compresses every replica holding at least `min_values`
+    /// triples (where the packed form actually saves memory), and
+    /// records the policy in [`StoreOptions::compress_min_values`] so
+    /// delta compaction re-applies it to replacement partitions.
+    /// Returns the number of replicas now compressed.
+    pub fn compress_values(&mut self, min_values: usize) -> usize {
+        self.options.compress_min_values = Some(min_values);
+        let mut n = 0;
+        for part in &mut self.partitions {
+            for order in [SortOrder::SO, SortOrder::OS] {
+                let r = part.replica_mut(order);
+                if r.compress(min_values) {
+                    n += 1;
+                }
+            }
+        }
+        n
     }
 
     /// Verifies every partition's invariants.
@@ -446,6 +475,59 @@ mod tests {
                 "{threads}-thread build differs from serial"
             );
         }
+    }
+
+    #[test]
+    fn compressed_build_matches_raw() {
+        let make = |compress: Option<usize>| {
+            let mut b = StoreBuilder::new();
+            for i in 0..4000u32 {
+                b.add_term_triple(
+                    &Term::iri(format!("s{}", i % 11)),
+                    &Term::iri(format!("p{}", i % 3)),
+                    &Term::iri(format!("o{}", (i * 7) % 2900)),
+                );
+            }
+            b.build_with(StoreOptions {
+                compress_min_values: compress,
+                ..StoreOptions::default()
+            })
+        };
+        let raw = make(None);
+        let zip = make(Some(1));
+        assert!(
+            zip.partitions()
+                .iter()
+                .any(|p| p.replica(SortOrder::SO).is_compressed()),
+            "threshold 1 must compress the large replicas"
+        );
+        assert_eq!(zip.check_invariants(), Ok(()));
+        assert_eq!(zip.num_triples(), raw.num_triples());
+        // Snapshots always serialize the raw representation.
+        assert_eq!(zip.to_snapshot_bytes(), raw.to_snapshot_bytes());
+        assert!(zip.partitions_memory_bytes() < raw.partitions_memory_bytes());
+        for t in raw.iter_triples().step_by(97) {
+            assert!(zip.contains(t));
+        }
+    }
+
+    #[test]
+    fn compress_values_after_build() {
+        let mut b = StoreBuilder::new();
+        for i in 0..3000u32 {
+            b.add_term_triple(
+                &Term::iri(format!("s{}", i % 5)),
+                &Term::iri("p"),
+                &Term::iri(format!("o{i}")),
+            );
+        }
+        let mut store = b.build();
+        let before = store.partitions_memory_bytes();
+        let n = store.compress_values(64);
+        assert!(n > 0);
+        assert_eq!(store.options().compress_min_values, Some(64));
+        assert!(store.partitions_memory_bytes() < before);
+        assert_eq!(store.check_invariants(), Ok(()));
     }
 
     #[test]

@@ -421,3 +421,117 @@ fn morsel_imbalance_never_exceeds_static_shard_imbalance() {
         }
     }
 }
+
+/// Counts block-compressed replicas across a store's partitions.
+fn compressed_replicas(store: &parj::TripleStore) -> usize {
+    store
+        .partitions()
+        .iter()
+        .flat_map(|p| [parj::SortOrder::SO, parj::SortOrder::OS].map(|o| p.replica(o)))
+        .filter(|r| r.is_compressed())
+        .count()
+}
+
+#[test]
+fn compressed_rows_identical_to_uncompressed_across_combos() {
+    // Block compression is a physical-layout choice; the contract is
+    // that it is invisible in results. Every threads × morsels ×
+    // pooled/spawned combination over a compressed store must return
+    // the exact rows — same order — of the uncompressed engine.
+    let mut raw = Parj::from_store(
+        lubm_store(),
+        EngineConfig {
+            compress_replicas: false,
+            ..config(true)
+        },
+    );
+    let small = |use_pool: bool| EngineConfig {
+        // Threshold low enough that most LUBM-1 runs compress.
+        compress_min_values: 4,
+        ..config(use_pool)
+    };
+    let mut pooled = Parj::from_store(lubm_store(), small(true));
+    let mut spawned = Parj::from_store(lubm_store(), small(false));
+    assert_eq!(compressed_replicas(raw.store()), 0);
+    assert!(
+        compressed_replicas(pooled.store()) > 0,
+        "threshold 4 must compress some replicas"
+    );
+
+    for q in lubm::queries() {
+        let baseline = raw
+            .request(&q.sparql)
+            .threads(1)
+            .ids_only()
+            .run()
+            .expect("uncompressed baseline")
+            .ids
+            .expect("ids mode returns ids");
+        assert_all_combos_match(&mut pooled, &q.sparql, &q.name, &baseline);
+        assert_all_combos_match(&mut spawned, &q.sparql, &q.name, &baseline);
+    }
+}
+
+#[test]
+fn compressed_delta_rows_identical_to_uncompressed_across_combos() {
+    // Same contract with a mutation batch layered on top: resident
+    // delta runs merging into *compressed* base groups, and inline
+    // compaction re-compressing the replacement partitions, must both
+    // match a fully uncompressed engine holding the same batch.
+    let base = lubm_store();
+    let (inserts, deletes) = mutation_batch(&base);
+    let mut raw_resident = Parj::from_store(
+        lubm_store(),
+        EngineConfig {
+            delta_compaction_threshold: 0,
+            compress_replicas: false,
+            ..config(true)
+        },
+    );
+    let mut packed_resident = Parj::from_store(
+        lubm_store(),
+        EngineConfig {
+            delta_compaction_threshold: 0,
+            compress_min_values: 4,
+            ..config(true)
+        },
+    );
+    let mut packed_compacted = Parj::from_store(
+        lubm_store(),
+        EngineConfig {
+            delta_compaction_threshold: 1,
+            compress_min_values: 4,
+            ..config(false)
+        },
+    );
+    for engine in [&mut raw_resident, &mut packed_resident, &mut packed_compacted] {
+        let out = engine
+            .mutate()
+            .insert_all(inserts.iter().cloned())
+            .delete_all(deletes.iter().cloned())
+            .run()
+            .expect("mutation batch");
+        assert_eq!(out.inserted, inserts.len() as u64);
+        assert_eq!(out.deleted, deletes.len() as u64);
+    }
+    assert!(
+        compressed_replicas(packed_resident.store()) > 0,
+        "resident engine must keep compressed bases"
+    );
+    assert!(
+        compressed_replicas(packed_compacted.store()) > 0,
+        "compaction must re-compress replacement partitions"
+    );
+    for q in lubm::queries() {
+        let baseline = raw_resident
+            .request(&q.sparql)
+            .threads(1)
+            .ids_only()
+            .run()
+            .expect("uncompressed baseline")
+            .ids
+            .expect("ids mode returns ids");
+        assert_all_combos_match(&mut packed_resident, &q.sparql, &q.name, &baseline);
+        assert_all_combos_match(&mut packed_compacted, &q.sparql, &q.name, &baseline);
+    }
+}
